@@ -1,0 +1,308 @@
+(* prima: command-line front end.
+
+     prima paper                       -- replay the paper's running example
+     prima simulate [options]          -- synthetic hospital + refinement
+     prima coverage --policy F --audit F [--bag]
+     prima refine   --policy F --audit F [options]
+     prima mine     --audit F [--min-support N] [--min-confidence X]
+
+   File formats:
+   - policy files: one rule per line, "data:purpose:authorized"; '#' comments;
+   - audit files: CSV with header time,op,user,data,purpose,authorized,status
+     (op/status numeric as in Section 4.2). *)
+
+let setup_logs level =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level level
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let vocab_of_name = function
+  | "figure1" -> Vocabulary.Samples.figure1 ()
+  | "hospital" -> Vocabulary.Samples.hospital ()
+  | name -> Fmt.failwith "unknown vocabulary %S (use figure1 or hospital)" name
+
+let parse_policy_file path : Prima_core.Policy.t =
+  Prima_core.Policy_file.of_string (read_file path)
+
+let parse_audit_file path : Hdb.Audit_schema.entry list =
+  Hdb.Audit_csv.of_string (read_file path)
+
+(* --- paper --- *)
+
+let run_paper () =
+  let vocab = Workload.Scenario.vocab () in
+  let attrs = Vocabulary.Audit_attrs.pattern in
+  let p_ps = Workload.Scenario.policy_store () in
+  let fig3 =
+    Prima_core.Coverage.aligned ~bag:false vocab ~attrs ~p_x:p_ps
+      ~p_y:(Workload.Scenario.figure3_audit_policy ())
+  in
+  Fmt.pr "Figure 3 system : %a@." Prima_core.Coverage.pp_stats fig3;
+  let p_al = Workload.Scenario.table1_audit_policy () in
+  let report = Prima_core.Refinement.run_epoch ~vocab ~p_ps ~p_al () in
+  Fmt.pr "Table 1 snapshot: %a@." Prima_core.Coverage.pp_stats
+    report.Prima_core.Refinement.coverage_before;
+  Fmt.pr "@.%a" Prima_core.Report.pp_epoch report;
+  0
+
+(* --- coverage --- *)
+
+let run_coverage vocab_name policy_path audit_path bag =
+  let vocab = vocab_of_name vocab_name in
+  let p_ps = parse_policy_file policy_path in
+  let p_al = Audit_mgmt.To_policy.policy_of_entries (parse_audit_file audit_path) in
+  let stats =
+    Prima_core.Coverage.aligned ~bag vocab ~attrs:Vocabulary.Audit_attrs.pattern ~p_x:p_ps
+      ~p_y:p_al
+  in
+  Fmt.pr "%a@." Prima_core.Coverage.pp_stats stats;
+  if stats.Prima_core.Coverage.uncovered <> [] then begin
+    Fmt.pr "uncovered:@.";
+    List.iter
+      (fun r -> Fmt.pr "  %a@." Prima_core.Report.pp_pattern r)
+      stats.Prima_core.Coverage.uncovered
+  end;
+  0
+
+(* --- refine --- *)
+
+let run_refine vocab_name policy_path audit_path min_frequency use_mining =
+  let vocab = vocab_of_name vocab_name in
+  let p_ps = parse_policy_file policy_path in
+  let p_al = Audit_mgmt.To_policy.policy_of_entries (parse_audit_file audit_path) in
+  let backend =
+    if use_mining then
+      Prima_core.Extract_patterns.Mining
+        { Prima_core.Extract_patterns.default_mining with
+          Prima_core.Extract_patterns.min_support = min_frequency;
+        }
+    else
+      Prima_core.Extract_patterns.Sql
+        { Prima_core.Data_analysis.default_config with
+          Prima_core.Data_analysis.min_frequency;
+        }
+  in
+  let config = { Prima_core.Refinement.default_config with Prima_core.Refinement.backend } in
+  let report = Prima_core.Refinement.run_epoch ~config ~vocab ~p_ps ~p_al () in
+  Prima_core.Report.pp_epoch Fmt.stdout report;
+  0
+
+(* --- mine --- *)
+
+let run_mine audit_path min_support min_confidence =
+  let entries = parse_audit_file audit_path in
+  let practice =
+    Prima_core.Filter.run (Audit_mgmt.To_policy.policy_of_entries entries)
+  in
+  Fmt.pr "practice entries: %d@." (Prima_core.Policy.cardinality practice);
+  let interner, rules =
+    Prima_core.Extract_patterns.correlations ~min_support ~min_confidence practice
+  in
+  Fmt.pr "association rules (support >= %d, confidence >= %.2f):@." min_support
+    min_confidence;
+  List.iter (fun r -> Fmt.pr "  %a@." (Mining.Assoc_rules.pp interner) r) rules;
+  0
+
+(* --- simulate --- *)
+
+let run_simulate seed accesses epoch_size violation_rate acceptance_name =
+  let config =
+    { (Workload.Hospital.default_config ~seed ()) with
+      Workload.Hospital.total_accesses = accesses;
+      epoch_size;
+      violation_rate;
+    }
+  in
+  let vocab = config.Workload.Hospital.vocab in
+  let acceptance =
+    match acceptance_name with
+    | "oracle" -> Prima_core.Refinement.Oracle (Workload.Generator.oracle config)
+    | "accept-all" -> Prima_core.Refinement.Accept_all
+    | "reject-all" -> Prima_core.Refinement.Reject_all
+    | name -> Fmt.failwith "unknown acceptance %S" name
+  in
+  let ref_config = { Prima_core.Refinement.default_config with acceptance } in
+  let trail = Workload.Generator.generate config in
+  let batches =
+    List.map
+      (fun b -> Audit_mgmt.To_policy.policy_of_entries (Workload.Generator.entries b))
+      (Workload.Generator.epochs config trail)
+  in
+  let reports, final =
+    Prima_core.Refinement.run_epochs ~config:ref_config ~vocab
+      ~p_ps:(Workload.Hospital.policy_store config) ~batches ()
+  in
+  List.iteri
+    (fun i r ->
+      Fmt.pr "epoch %2d: %a -> %a  (+%d rules)@." (i + 1) Prima_core.Coverage.pp_stats
+        r.Prima_core.Refinement.coverage_before Prima_core.Coverage.pp_stats
+        r.Prima_core.Refinement.coverage_after
+        (List.length r.Prima_core.Refinement.accepted))
+    reports;
+  let covered = Workload.Generator.practices_covered config final in
+  Fmt.pr "informal practices documented: %d/%d@." (List.length covered)
+    (List.length config.Workload.Hospital.informal);
+  0
+
+(* --- generate --- *)
+
+let run_generate seed accesses audit_out policy_out =
+  let config =
+    { (Workload.Hospital.default_config ~seed ()) with
+      Workload.Hospital.total_accesses = accesses;
+    }
+  in
+  let trail = Workload.Generator.generate config in
+  Hdb.Audit_csv.save audit_out (Workload.Generator.entries trail);
+  Prima_core.Policy_file.save policy_out (Workload.Hospital.policy_store config);
+  Fmt.pr "wrote %d audit entries to %s and %d policy rules to %s@."
+    (List.length trail) audit_out
+    (List.length config.Workload.Hospital.documented)
+    policy_out;
+  Fmt.pr "try:  prima refine --vocab hospital --policy %s --audit %s@." policy_out audit_out;
+  0
+
+(* --- analyze --- *)
+
+let run_analyze vocab_name policy_path =
+  let vocab = vocab_of_name vocab_name in
+  let p_ps = parse_policy_file policy_path in
+  let redundant = Prima_core.Analysis.redundant_rules vocab p_ps in
+  if redundant <> [] then begin
+    Fmt.pr "redundant rules:@.";
+    List.iter (fun r -> Fmt.pr "  %a@." Prima_core.Rule.pp r) redundant
+  end;
+  let generalized, summary = Prima_core.Analysis.summarize_generalization vocab p_ps in
+  Fmt.pr "rules: %d -> %d (range of %d ground rules preserved: %b)@."
+    summary.Prima_core.Analysis.rules_before summary.Prima_core.Analysis.rules_after
+    summary.Prima_core.Analysis.range_cardinality
+    summary.Prima_core.Analysis.range_preserved;
+  Fmt.pr "%a" Prima_core.Policy.pp generalized;
+  0
+
+(* --- trend --- *)
+
+let run_trend vocab_name policy_path audit_path window =
+  let vocab = vocab_of_name vocab_name in
+  let p_ps = parse_policy_file policy_path in
+  let p_al = Audit_mgmt.To_policy.policy_of_entries (parse_audit_file audit_path) in
+  let points = Prima_core.Trend.compute vocab ~p_ps ~p_al ~window () in
+  Prima_core.Trend.pp Fmt.stdout points;
+  if Prima_core.Trend.drifting points then
+    Fmt.pr "@.warning: coverage is drifting; a refinement run is due@.";
+  0
+
+(* --- cmdliner wiring --- *)
+
+open Cmdliner
+
+let vocab_arg =
+  Arg.(value & opt string "figure1" & info [ "vocab" ] ~docv:"NAME"
+         ~doc:"Vocabulary: figure1 or hospital.")
+
+let policy_arg =
+  Arg.(required & opt (some file) None & info [ "policy" ] ~docv:"FILE"
+         ~doc:"Policy store file (data:purpose:authorized per line).")
+
+let audit_arg =
+  Arg.(required & opt (some file) None & info [ "audit" ] ~docv:"FILE"
+         ~doc:"Audit trail CSV (time,op,user,data,purpose,authorized,status).")
+
+let paper_cmd =
+  Cmd.v (Cmd.info "paper" ~doc:"Replay the paper's running example")
+    Term.(const run_paper $ const ())
+
+let coverage_cmd =
+  let bag =
+    Arg.(value & flag & info [ "bag" ] ~doc:"Count each audit entry (Section 5 accounting).")
+  in
+  Cmd.v (Cmd.info "coverage" ~doc:"ComputeCoverage over a policy store and an audit trail")
+    Term.(const run_coverage $ vocab_arg $ policy_arg $ audit_arg $ bag)
+
+let refine_cmd =
+  let min_frequency =
+    Arg.(value & opt int 5 & info [ "f"; "min-frequency" ] ~docv:"N"
+           ~doc:"Threshold frequency f of Algorithm 4.")
+  in
+  let mining =
+    Arg.(value & flag & info [ "mining" ] ~doc:"Use the Apriori backend instead of SQL.")
+  in
+  Cmd.v (Cmd.info "refine" ~doc:"Run the Refinement pipeline (Algorithms 2-6)")
+    Term.(const run_refine $ vocab_arg $ policy_arg $ audit_arg $ min_frequency $ mining)
+
+let mine_cmd =
+  let min_support =
+    Arg.(value & opt int 5 & info [ "min-support" ] ~docv:"N" ~doc:"Absolute support.")
+  in
+  let min_confidence =
+    Arg.(value & opt float 0.8 & info [ "min-confidence" ] ~docv:"X" ~doc:"Confidence.")
+  in
+  Cmd.v (Cmd.info "mine" ~doc:"Mine association rules from the practice entries")
+    Term.(const run_mine $ audit_arg $ min_support $ min_confidence)
+
+let simulate_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.") in
+  let accesses =
+    Arg.(value & opt int 2000 & info [ "accesses" ] ~docv:"N" ~doc:"Total accesses.")
+  in
+  let epoch =
+    Arg.(value & opt int 250 & info [ "epoch-size" ] ~docv:"N" ~doc:"Accesses per epoch.")
+  in
+  let violations =
+    Arg.(value & opt float 0.02 & info [ "violation-rate" ] ~docv:"X"
+           ~doc:"Fraction of rogue accesses.")
+  in
+  let acceptance =
+    Arg.(value & opt string "oracle" & info [ "acceptance" ] ~docv:"MODE"
+           ~doc:"oracle, accept-all or reject-all.")
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Synthetic hospital with epoch-wise refinement")
+    Term.(const run_simulate $ seed $ accesses $ epoch $ violations $ acceptance)
+
+let generate_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.") in
+  let accesses =
+    Arg.(value & opt int 2000 & info [ "accesses" ] ~docv:"N" ~doc:"Total accesses.")
+  in
+  let audit_out =
+    Arg.(value & opt string "audit.csv" & info [ "audit-out" ] ~docv:"FILE"
+           ~doc:"Audit CSV output path.")
+  in
+  let policy_out =
+    Arg.(value & opt string "policy.txt" & info [ "policy-out" ] ~docv:"FILE"
+           ~doc:"Policy file output path.")
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Write a synthetic hospital audit trail and policy to disk")
+    Term.(const run_generate $ seed $ accesses $ audit_out $ policy_out)
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Redundancy and generalization analysis of a policy store")
+    Term.(const run_analyze $ vocab_arg $ policy_arg)
+
+let trend_cmd =
+  let window =
+    Arg.(value & opt int 100 & info [ "window" ] ~docv:"N" ~doc:"Window size in time ticks.")
+  in
+  Cmd.v (Cmd.info "trend" ~doc:"Windowed coverage trend of an audit trail")
+    Term.(const run_trend $ vocab_arg $ policy_arg $ audit_arg $ window)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "prima" ~version:"1.0.0"
+       ~doc:"PRIMA: privacy policy coverage and refinement for healthcare")
+    [ paper_cmd; coverage_cmd; refine_cmd; mine_cmd; simulate_cmd; generate_cmd; analyze_cmd; trend_cmd ]
+
+let () =
+  (* PRIMA_VERBOSE=1 surfaces refinement and enforcement decision logs. *)
+  setup_logs
+    (match Sys.getenv_opt "PRIMA_VERBOSE" with
+    | Some _ -> Some Logs.Info
+    | None -> Some Logs.Warning);
+  exit (Cmd.eval' main_cmd)

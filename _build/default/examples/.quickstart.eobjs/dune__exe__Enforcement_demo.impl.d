@@ -1,0 +1,1 @@
+examples/enforcement_demo.ml: Fmt Hdb List Relational String Vocabulary

@@ -1,0 +1,1 @@
+examples/enforcement_demo.mli:

@@ -1,0 +1,1 @@
+examples/federation_demo.ml: Audit_mgmt Fmt Hdb List Prima_core Vocabulary Workload

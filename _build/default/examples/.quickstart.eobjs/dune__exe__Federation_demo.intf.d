@@ -1,0 +1,1 @@
+examples/federation_demo.mli:

@@ -1,0 +1,1 @@
+examples/hospital_simulation.ml: Audit_mgmt Fmt List Prima_core Printf String Vocabulary Workload

@@ -1,0 +1,1 @@
+examples/hospital_simulation.mli:

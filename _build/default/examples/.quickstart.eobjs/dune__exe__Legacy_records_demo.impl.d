@@ -1,0 +1,1 @@
+examples/legacy_records_demo.ml: Audit_mgmt Fmt Hdb List Prima_core String Tree_enforcement Tree_store Treedata Vocabulary Workload Xml

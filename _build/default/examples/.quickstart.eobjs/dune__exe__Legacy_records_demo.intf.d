@@ -1,0 +1,1 @@
+examples/legacy_records_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Audit_mgmt Fmt List Prima_core Vocabulary Workload

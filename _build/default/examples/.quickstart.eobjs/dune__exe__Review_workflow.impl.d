@@ -1,0 +1,1 @@
+examples/review_workflow.ml: Audit_mgmt Fmt Hdb List Prima_core Workload

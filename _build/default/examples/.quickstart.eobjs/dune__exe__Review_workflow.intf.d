@@ -1,0 +1,1 @@
+examples/review_workflow.mli:

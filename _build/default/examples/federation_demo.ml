@@ -1,0 +1,60 @@
+(* Audit Management across heterogeneous sites: a modern HDB-instrumented
+   clinical database plus a legacy departmental system with its own column
+   names and value encodings, consolidated into one virtual audit view
+   (the paper uses DB2 Information Integrator for this) and fed to
+   refinement.
+
+     dune exec examples/federation_demo.exe *)
+
+module F = Audit_mgmt.Federation
+
+let () =
+  let vocab = Vocabulary.Samples.figure1 () in
+
+  (* Site 1: the main clinical system, already producing standard entries
+     (the first half of the Table 1 trail). *)
+  let main = Audit_mgmt.Site.create ~name:"main-ehr" () in
+  Audit_mgmt.Site.ingest_entries main
+    (List.filteri (fun i _ -> i < 5) (Workload.Scenario.table1_entries ()));
+
+  (* Site 2: a legacy departmental app logging raw records with its own
+     schema; a Mapping normalises them. *)
+  let mapping =
+    Audit_mgmt.Mapping.create
+      ~column_aliases:
+        [ ("ts", "time"); ("action", "op"); ("who", "user"); ("category", "data");
+          ("reason", "purpose"); ("role", "authorized"); ("mode", "status") ]
+      ~value_synonyms:[ (("authorized", "rn"), "nurse"); (("data", "rx"), "prescription") ]
+      ()
+  in
+  let legacy = Audit_mgmt.Site.create ~mapping ~name:"radiology-legacy" () in
+  List.iter
+    (Audit_mgmt.Site.ingest_raw legacy)
+    [ [ ("ts", "6"); ("action", "GRANTED"); ("who", "Jason"); ("category", "RX");
+        ("reason", "Billing"); ("role", "Clerk"); ("mode", "BTG") ];
+      [ ("ts", "7"); ("action", "GRANTED"); ("who", "Mark"); ("category", "Referral");
+        ("reason", "Registration"); ("role", "RN"); ("mode", "BTG") ];
+      [ ("ts", "8"); ("action", "GRANTED"); ("who", "Tim"); ("category", "Referral");
+        ("reason", "Registration"); ("role", "RN"); ("mode", "BTG") ];
+      [ ("ts", "9"); ("action", "GRANTED"); ("who", "Bob"); ("category", "Referral");
+        ("reason", "Registration"); ("role", "RN"); ("mode", "BTG") ];
+      [ ("ts", "10"); ("action", "GRANTED"); ("who", "Mark"); ("category", "Referral");
+        ("reason", "Registration"); ("role", "RN"); ("mode", "BTG") ];
+    ];
+
+  let fed = F.of_sites [ main; legacy ] in
+  Fmt.pr "%a@." F.pp fed;
+
+  Fmt.pr "Consolidated virtual view (time-ordered):@.";
+  List.iter (fun e -> Fmt.pr "  %a@." Hdb.Audit_schema.pp e) (F.consolidated fed);
+
+  (* The consolidated view is P_AL; refine against the Figure 3(a) store. *)
+  let p_ps = Workload.Scenario.policy_store () in
+  let p_al = F.to_policy fed in
+  let report = Prima_core.Refinement.run_epoch ~vocab ~p_ps ~p_al () in
+  Fmt.pr "@.Refinement over the federation:@.";
+  Prima_core.Report.pp_epoch Fmt.stdout report;
+
+  Fmt.pr
+    "@.The cross-site pattern was only frequent enough because both sites'@.\
+     entries were consolidated: neither log alone reaches the f = 5 threshold.@."

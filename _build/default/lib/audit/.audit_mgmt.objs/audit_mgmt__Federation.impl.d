@@ -1,0 +1,1 @@
+lib/audit/federation.ml: Fmt Hdb Int List Option Prima_core Site String To_policy

@@ -1,0 +1,1 @@
+lib/audit/federation.mli: Format Hdb Prima_core Site

@@ -1,0 +1,1 @@
+lib/audit/mapping.ml: Hdb List Printf String Vocabulary

@@ -1,0 +1,1 @@
+lib/audit/mapping.mli: Hdb

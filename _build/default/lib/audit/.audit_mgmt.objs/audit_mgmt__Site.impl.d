@@ -1,0 +1,1 @@
+lib/audit/site.ml: Hdb List Mapping

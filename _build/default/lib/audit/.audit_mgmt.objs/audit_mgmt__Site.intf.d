@@ -1,0 +1,1 @@
+lib/audit/site.mli: Hdb Mapping

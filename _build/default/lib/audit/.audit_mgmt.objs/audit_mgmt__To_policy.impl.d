@@ -1,0 +1,1 @@
+lib/audit/to_policy.ml: Hdb List Prima_core Vocabulary

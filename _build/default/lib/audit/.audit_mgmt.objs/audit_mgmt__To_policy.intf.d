@@ -1,0 +1,1 @@
+lib/audit/to_policy.mli: Hdb Prima_core

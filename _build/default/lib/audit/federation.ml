@@ -1,0 +1,87 @@
+(* The PRIMA Audit Management component: a consolidated virtual view over
+   every site's audit trail (the role DB2 Information Integrator plays in
+   the paper's first instantiation).  Entries are merged by timestamp with
+   a k-way merge; per-site logs are append-ordered so each is already
+   sorted, and out-of-order sites are sorted defensively. *)
+
+type t = {
+  mutable sites : Site.t list;
+}
+
+let create () = { sites = [] }
+
+let of_sites sites = { sites }
+
+let add_site t site = t.sites <- t.sites @ [ site ]
+
+let sites t = t.sites
+
+let site t name = List.find_opt (fun s -> String.equal (Site.name s) name) t.sites
+
+let total_entries t =
+  List.fold_left (fun acc site -> acc + Site.length site) 0 t.sites
+
+let is_sorted entries =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+      a.Hdb.Audit_schema.time <= b.Hdb.Audit_schema.time && go rest
+    | [ _ ] | [] -> true
+  in
+  go entries
+
+let sorted_entries site =
+  let entries = Site.entries site in
+  if is_sorted entries then entries
+  else
+    List.stable_sort
+      (fun a b -> Int.compare a.Hdb.Audit_schema.time b.Hdb.Audit_schema.time)
+      entries
+
+(* K-way merge of the per-site streams; ties resolve in site order, keeping
+   the merge stable and deterministic. *)
+let consolidated t : Hdb.Audit_schema.entry list =
+  let streams = List.map sorted_entries t.sites in
+  let rec merge streams acc =
+    let heads =
+      List.filter_map (function [] -> None | e :: rest -> Some (e, rest)) streams
+    in
+    match heads with
+    | [] -> List.rev acc
+    | _ ->
+      let best, _ =
+        List.fold_left
+          (fun (best, best_time) (e, _) ->
+            let time = e.Hdb.Audit_schema.time in
+            if time < best_time then (Some e, time) else (best, best_time))
+          (None, max_int) heads
+      in
+      let best = Option.get best in
+      (* Remove exactly one occurrence of [best], from the first stream
+         whose head it is. *)
+      let consumed = ref false in
+      let streams' =
+        List.map
+          (fun stream ->
+            match stream with
+            | e :: rest when (not !consumed) && e == best ->
+              consumed := true;
+              rest
+            | _ -> stream)
+          streams
+      in
+      merge streams' (best :: acc)
+  in
+  merge streams []
+
+(* The consolidated view as P_AL. *)
+let to_policy t : Prima_core.Policy.t = To_policy.policy_of_entries (consolidated t)
+
+(* Entries within a time window — e.g. one refinement epoch. *)
+let window t ~time_from ~time_to =
+  List.filter
+    (fun e -> e.Hdb.Audit_schema.time >= time_from && e.Hdb.Audit_schema.time <= time_to)
+    (consolidated t)
+
+let pp ppf t =
+  Fmt.pf ppf "federation of %d sites, %d entries@." (List.length t.sites) (total_entries t);
+  List.iter (fun s -> Fmt.pf ppf "  %s: %d entries@." (Site.name s) (Site.length s)) t.sites

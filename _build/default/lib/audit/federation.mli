@@ -1,0 +1,26 @@
+(** The PRIMA Audit Management component: a consolidated virtual view over
+    every site's audit trail — the role DB2 Information Integrator plays in
+    the paper's first instantiation. *)
+
+type t
+
+val create : unit -> t
+val of_sites : Site.t list -> t
+val add_site : t -> Site.t -> unit
+val sites : t -> Site.t list
+val site : t -> string -> Site.t option
+val total_entries : t -> int
+
+val consolidated : t -> Hdb.Audit_schema.entry list
+(** K-way merge of the per-site streams by timestamp; ties resolve in site
+    order (stable and deterministic).  Out-of-order site logs are sorted
+    defensively. *)
+
+val to_policy : t -> Prima_core.Policy.t
+(** The consolidated view as P_AL. *)
+
+val window : t -> time_from:int -> time_to:int -> Hdb.Audit_schema.entry list
+(** Consolidated entries within an inclusive time window — e.g. one
+    refinement epoch. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+(* Schema mappings for federating heterogeneous site logs.  A legacy site
+   may name columns differently ("role" for "authorized"), encode ops and
+   statuses with its own tokens ("GRANTED"/"BTG") and use local role or
+   category synonyms ("RN" for "nurse").  A mapping normalises one raw
+   record — an (attribute, value) association — into the standard entry. *)
+
+type t = {
+  (* foreign column name -> standard attribute *)
+  column_aliases : (string * string) list;
+  (* (standard attribute, foreign value) -> standard value *)
+  value_synonyms : ((string * string) * string) list;
+}
+
+let identity = { column_aliases = []; value_synonyms = [] }
+
+let create ?(column_aliases = []) ?(value_synonyms = []) () =
+  { column_aliases =
+      List.map (fun (f, s) -> (String.lowercase_ascii f, s)) column_aliases;
+    value_synonyms;
+  }
+
+let standard_attr t foreign =
+  let foreign = String.lowercase_ascii foreign in
+  match List.assoc_opt foreign t.column_aliases with
+  | Some standard -> standard
+  | None -> foreign
+
+let standard_value t ~attr value =
+  match List.assoc_opt (attr, value) t.value_synonyms with
+  | Some standard -> standard
+  | None -> value
+
+exception Unmappable of string
+
+let lookup normalized attr =
+  match List.assoc_opt attr normalized with
+  | Some v -> v
+  | None -> raise (Unmappable (Printf.sprintf "missing attribute %s" attr))
+
+let bool_like what = function
+  | "1" | "true" | "yes" | "allow" | "granted" | "regular" -> 1
+  | "0" | "false" | "no" | "deny" | "denied" | "exception" | "btg" -> 0
+  | v -> raise (Unmappable (Printf.sprintf "cannot read %s value %S" what v))
+
+(* [apply t raw] normalises a raw record into a standard audit entry.
+   @raise Unmappable when a required attribute is absent or unreadable. *)
+let apply t (raw : (string * string) list) : Hdb.Audit_schema.entry =
+  let normalized =
+    List.map
+      (fun (foreign, value) ->
+        let attr = standard_attr t foreign in
+        (attr, standard_value t ~attr (String.lowercase_ascii value)))
+      raw
+  in
+  let time =
+    let v = lookup normalized Vocabulary.Audit_attrs.time in
+    match int_of_string_opt v with
+    | Some time -> time
+    | None -> raise (Unmappable (Printf.sprintf "cannot read time value %S" v))
+  in
+  Hdb.Audit_schema.entry ~time
+    ~op:(Hdb.Audit_schema.op_of_int (bool_like "op" (lookup normalized Vocabulary.Audit_attrs.op)))
+    ~user:(lookup normalized Vocabulary.Audit_attrs.user)
+    ~data:(lookup normalized Vocabulary.Audit_attrs.data)
+    ~purpose:(lookup normalized Vocabulary.Audit_attrs.purpose)
+    ~authorized:(lookup normalized Vocabulary.Audit_attrs.authorized)
+    ~status:
+      (Hdb.Audit_schema.status_of_int
+         (bool_like "status" (lookup normalized Vocabulary.Audit_attrs.status)))

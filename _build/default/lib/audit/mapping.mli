@@ -1,0 +1,31 @@
+(** Schema mappings for federating heterogeneous site logs.
+
+    A legacy site may name columns differently ("role" for "authorized"),
+    encode ops and statuses with its own tokens ("GRANTED"/"BTG") and use
+    local value synonyms ("RN" for "nurse").  A mapping normalises one raw
+    record — an (attribute, value) association — into the standard entry. *)
+
+type t
+
+val identity : t
+(** For sites already speaking the standard schema (values are still
+    lowercased). *)
+
+val create :
+  ?column_aliases:(string * string) list ->
+  ?value_synonyms:((string * string) * string) list ->
+  unit ->
+  t
+(** [column_aliases]: foreign column name -> standard attribute.
+    [value_synonyms]: ((standard attribute, foreign value) -> standard
+    value); foreign values are matched after lowercasing. *)
+
+val standard_attr : t -> string -> string
+val standard_value : t -> attr:string -> string -> string
+
+exception Unmappable of string
+
+val apply : t -> (string * string) list -> Hdb.Audit_schema.entry
+(** Normalises a raw record.  Op accepts 1/true/yes/allow/granted vs
+    0/false/no/deny/denied; status accepts regular vs exception/btg.
+    @raise Unmappable when a required attribute is absent or unreadable. *)

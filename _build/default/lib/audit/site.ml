@@ -1,0 +1,33 @@
+(* One audited system in the clinical environment: a named audit store plus
+   the mapping that normalises its raw records.  A modern HDB-instrumented
+   site ingests standard entries directly; a legacy site ingests raw
+   records through its mapping. *)
+
+type t = {
+  name : string;
+  store : Hdb.Audit_store.t;
+  mapping : Mapping.t;
+}
+
+let create ?(mapping = Mapping.identity) ~name () =
+  { name; store = Hdb.Audit_store.create (); mapping }
+
+let name t = t.name
+
+let store t = t.store
+
+let length t = Hdb.Audit_store.length t.store
+
+let ingest_entry t entry = Hdb.Audit_store.append t.store entry
+
+let ingest_entries t entries = List.iter (ingest_entry t) entries
+
+(* @raise Mapping.Unmappable on malformed raw records. *)
+let ingest_raw t raw = ingest_entry t (Mapping.apply t.mapping raw)
+
+let ingest_raw_all t raws = List.iter (ingest_raw t) raws
+
+let entries t = Hdb.Audit_store.to_list t.store
+
+(* Attach an existing store (e.g. an enforcement logger's). *)
+let of_store ?(mapping = Mapping.identity) ~name store = { name; store; mapping }

@@ -1,0 +1,24 @@
+(** One audited system in the clinical environment: a named audit store
+    plus the mapping that normalises its raw records. *)
+
+type t
+
+val create : ?mapping:Mapping.t -> name:string -> unit -> t
+(** A fresh site with its own store; [mapping] defaults to
+    {!Mapping.identity}. *)
+
+val of_store : ?mapping:Mapping.t -> name:string -> Hdb.Audit_store.t -> t
+(** Attach an existing store — e.g. an enforcement logger's. *)
+
+val name : t -> string
+val store : t -> Hdb.Audit_store.t
+val length : t -> int
+val ingest_entry : t -> Hdb.Audit_schema.entry -> unit
+val ingest_entries : t -> Hdb.Audit_schema.entry list -> unit
+
+val ingest_raw : t -> (string * string) list -> unit
+(** Legacy path: a raw record through the site's mapping.
+    @raise Mapping.Unmappable on malformed records. *)
+
+val ingest_raw_all : t -> (string * string) list list -> unit
+val entries : t -> Hdb.Audit_schema.entry list

@@ -1,0 +1,18 @@
+(** Bridge between the audit world and the formal model: an audit entry is
+    a seven-term rule (Section 4.2); a log is the ground policy P_AL
+    (Definition 7). *)
+
+val rule_of_entry : Hdb.Audit_schema.entry -> Prima_core.Rule.t
+
+val pattern_rule_of_entry : Hdb.Audit_schema.entry -> Prima_core.Rule.t
+(** Projection to (data, purpose, authorized), as Figure 3(b) presents log
+    rules. *)
+
+val policy_of_entries : Hdb.Audit_schema.entry list -> Prima_core.Policy.t
+(** Tagged with the {!Prima_core.Policy.Audit_log} source. *)
+
+val policy_of_store : Hdb.Audit_store.t -> Prima_core.Policy.t
+
+val entry_of_rule : Prima_core.Rule.t -> Hdb.Audit_schema.entry option
+(** Inverse direction; [None] unless the rule carries all seven audit
+    attributes with readable time/op/status values. *)

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: List Policy Range Rule Rule_term String Vocabulary

@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Policy Rule Vocabulary

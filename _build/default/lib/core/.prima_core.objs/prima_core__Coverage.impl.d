@@ -1,0 +1,1 @@
+lib/core/coverage.ml: Fmt List Policy Range Rule

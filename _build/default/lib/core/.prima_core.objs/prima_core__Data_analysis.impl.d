@@ -1,0 +1,1 @@
+lib/core/data_analysis.ml: List Policy Printf Relational Rule Rule_term String Vocabulary

@@ -1,0 +1,1 @@
+lib/core/data_analysis.mli: Policy Relational Rule

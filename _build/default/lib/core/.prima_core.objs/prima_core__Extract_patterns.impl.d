@@ -1,0 +1,1 @@
+lib/core/extract_patterns.ml: Data_analysis List Mining Policy Rule Rule_term String Vocabulary

@@ -1,0 +1,1 @@
+lib/core/extract_patterns.mli: Data_analysis Mining Policy Rule

@@ -1,0 +1,1 @@
+lib/core/filter.ml: Policy Rule String Vocabulary

@@ -1,0 +1,1 @@
+lib/core/filter.mli: Policy Rule

@@ -1,0 +1,1 @@
+lib/core/policy_file.ml: Fun List Policy Printf Rule String Vocabulary

@@ -1,0 +1,1 @@
+lib/core/prima.ml: Coverage List Policy Printf Refinement Vocabulary

@@ -1,0 +1,1 @@
+lib/core/prima.mli: Coverage Policy Refinement Rule Vocabulary

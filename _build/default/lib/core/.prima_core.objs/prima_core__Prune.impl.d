@@ -1,0 +1,1 @@
+lib/core/prune.ml: List Policy Range Rule Rule_term String

@@ -1,0 +1,1 @@
+lib/core/range.ml: Fmt List Policy Rule Set

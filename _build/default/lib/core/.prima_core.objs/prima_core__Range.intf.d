@@ -1,0 +1,1 @@
+lib/core/range.mli: Format Policy Rule Vocabulary

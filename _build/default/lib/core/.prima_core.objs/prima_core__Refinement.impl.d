@@ -1,0 +1,1 @@
+lib/core/refinement.ml: Coverage Extract_patterns Filter List Logs Policy Prune Rule Vocabulary

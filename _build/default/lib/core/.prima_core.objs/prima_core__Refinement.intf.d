@@ -1,0 +1,1 @@
+lib/core/refinement.mli: Coverage Extract_patterns Policy Rule Vocabulary

@@ -1,0 +1,1 @@
+lib/core/report.ml: Coverage Float Fmt List Option Refinement Rule String Vocabulary

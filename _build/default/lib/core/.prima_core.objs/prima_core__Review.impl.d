@@ -1,0 +1,1 @@
+lib/core/review.ml: Fmt List Option Policy Printf Refinement Rule String Vocabulary

@@ -1,0 +1,1 @@
+lib/core/review.mli: Format Policy Refinement Rule

@@ -1,0 +1,1 @@
+lib/core/rule.ml: Fmt List Option Rule_term String

@@ -1,0 +1,1 @@
+lib/core/rule_term.ml: Fmt List String Vocabulary

@@ -1,0 +1,1 @@
+lib/core/trend.ml: Array Coverage Float List Option Policy Printf Report Rule Vocabulary

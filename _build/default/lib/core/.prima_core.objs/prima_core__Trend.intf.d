@@ -1,0 +1,1 @@
+lib/core/trend.mli: Coverage Format Policy Vocabulary

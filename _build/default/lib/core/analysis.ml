@@ -1,0 +1,127 @@
+(* Policy analysis: redundancy, minimization and generalization.
+
+   Refinement grows the policy store with ground rules, one adopted pattern
+   at a time.  Left alone, the store degenerates into the flat rule list the
+   paper's Section 2 complains about.  These analyses push back:
+
+   - [redundant_rules] finds rules already implied by the rest of the store;
+   - [minimize] drops them;
+   - [generalize] climbs the vocabulary: when every child of a composite
+     value appears in otherwise-identical rules, the siblings collapse into
+     one composite rule — the inverse of grounding, recovering the abstract
+     rules a privacy officer would have written. *)
+
+(* A rule is redundant when the rest of the policy already covers its whole
+   ground set. *)
+let redundant_rules vocab (policy : Policy.t) : Rule.t list =
+  let rules = Policy.rules policy in
+  List.filteri
+    (fun i rule ->
+      let others = List.filteri (fun j _ -> j <> i) rules in
+      let range = Range.of_rules vocab others in
+      Range.covers vocab range rule)
+    rules
+
+(* Greedy minimization: drop each rule that the remaining rules still
+   cover.  Scanning in reverse order keeps the earliest (most
+   deliberate) statement of any duplicated coverage. *)
+let minimize vocab (policy : Policy.t) : Policy.t =
+  let keep =
+    List.fold_left
+      (fun kept rule ->
+        let without = List.filter (fun r -> not (r == rule)) kept in
+        let range = Range.of_rules vocab without in
+        if Range.covers vocab range rule then without else kept)
+      (Policy.rules policy)
+      (List.rev (Policy.rules policy))
+  in
+  Policy.make ~source:(Policy.source policy) keep
+
+(* One generalization step: find a composite vocabulary value [v] on
+   attribute [attr] such that for *every* child of [v] there is a rule in
+   the policy identical to a template except for carrying that child as its
+   [attr] value; replace those sibling rules by the template with [v].
+   Returns [None] when no step applies. *)
+let generalize_step vocab (rules : Rule.t list) : Rule.t list option =
+  let try_attr attr =
+    match Vocabulary.Vocab.taxonomy_opt vocab attr with
+    | None -> None
+    | Some taxonomy ->
+      (* Candidate parents: composite values of the taxonomy. *)
+      let composites =
+        List.filter
+          (fun v -> not (Vocabulary.Taxonomy.is_ground taxonomy v))
+          (Vocabulary.Taxonomy.all_values taxonomy)
+      in
+      let template_of rule =
+        List.filter (fun t -> Rule_term.attr t <> attr) (Rule.terms rule)
+      in
+      let find_parent () =
+        List.find_map
+          (fun parent ->
+            let children = Vocabulary.Taxonomy.children taxonomy parent in
+            (* For some rule carrying one of the children, check that every
+               sibling version exists. *)
+            let rule_with template value =
+              Rule.make (Rule_term.make ~attr ~value :: template)
+            in
+            List.find_map
+              (fun rule ->
+                match Rule.find_attr rule attr with
+                | Some value when List.mem value children ->
+                  let template = template_of rule in
+                  let siblings = List.map (rule_with template) children in
+                  if
+                    List.for_all
+                      (fun s -> List.exists (Rule.equal_syntactic s) rules)
+                      siblings
+                  then Some (siblings, rule_with template parent)
+                  else None
+                | Some _ | None -> None)
+              rules)
+          composites
+      in
+      find_parent ()
+  in
+  let attrs =
+    List.sort_uniq String.compare
+      (List.concat_map (fun r -> List.map Rule_term.attr (Rule.terms r)) rules)
+  in
+  match List.find_map try_attr attrs with
+  | None -> None
+  | Some (siblings, replacement) ->
+    let without =
+      List.filter (fun r -> not (List.exists (Rule.equal_syntactic r) siblings)) rules
+    in
+    Some (replacement :: without)
+
+(* Generalize to fixpoint, then minimize.  The result has the same range as
+   the input (coverage is preserved) with fewer, more abstract rules. *)
+let generalize vocab (policy : Policy.t) : Policy.t =
+  let rec fixpoint rules =
+    match generalize_step vocab rules with
+    | Some rules' -> fixpoint rules'
+    | None -> rules
+  in
+  minimize vocab (Policy.make ~source:(Policy.source policy) (fixpoint (Policy.rules policy)))
+
+type summary = {
+  rules_before : int;
+  rules_after : int;
+  range_cardinality : int;
+  range_preserved : bool;
+}
+
+(* Apply [generalize] and report what happened; used by the ablation bench. *)
+let summarize_generalization vocab (policy : Policy.t) : Policy.t * summary =
+  let before = Range.of_policy vocab policy in
+  let generalized = generalize vocab policy in
+  let after = Range.of_policy vocab generalized in
+  ( generalized,
+    { rules_before = Policy.cardinality policy;
+      rules_after = Policy.cardinality generalized;
+      range_cardinality = Range.cardinality after;
+      range_preserved =
+        Range.cardinality (Range.inter before after) = Range.cardinality before
+        && Range.cardinality before = Range.cardinality after;
+    } )

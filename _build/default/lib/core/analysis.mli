@@ -1,0 +1,31 @@
+(** Policy analysis: redundancy, minimization and generalization.
+
+    Refinement grows the store with ground rules one pattern at a time;
+    these analyses keep it the small, abstract rule base Section 2 says
+    organizations actually want. *)
+
+val redundant_rules : Vocabulary.Vocab.t -> Policy.t -> Rule.t list
+(** Rules whose whole ground set is already covered by the rest of the
+    policy. *)
+
+val minimize : Vocabulary.Vocab.t -> Policy.t -> Policy.t
+(** Greedily drops redundant rules; the range is preserved.  Earlier rules
+    win over later duplicates. *)
+
+val generalize_step : Vocabulary.Vocab.t -> Rule.t list -> Rule.t list option
+(** One climbing step: when every child of some composite vocabulary value
+    appears in otherwise-identical rules, the siblings collapse into the
+    composite rule.  [None] when no step applies. *)
+
+val generalize : Vocabulary.Vocab.t -> Policy.t -> Policy.t
+(** {!generalize_step} to fixpoint, then {!minimize}.  Range-preserving:
+    coverage judgments are unchanged. *)
+
+type summary = {
+  rules_before : int;
+  rules_after : int;
+  range_cardinality : int;
+  range_preserved : bool;  (** always true; reported as a self-check *)
+}
+
+val summarize_generalization : Vocabulary.Vocab.t -> Policy.t -> Policy.t * summary

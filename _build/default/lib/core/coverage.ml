@@ -1,0 +1,68 @@
+(* Definition 9 / Algorithm 1: ComputeCoverage.
+
+   Coverage of P_x in relation to P_y is
+     #(Range(P_x) ∩ Range(P_y)) / #Range(P_y).
+
+   Two denominators coexist in the paper and both are provided:
+
+   - [compute] is Definition 9 verbatim — ranges are *sets*, so repeated
+     audit entries collapse (Figure 3's 3/6 = 50 %);
+   - [compute_bag] counts each rule occurrence of P_y separately, which is
+     how Section 5 arrives at 3/10 = 30 % for Table 1 (the pattern entry
+     repeats five times).
+
+   Policies over different attribute sets (seven-term audit rules vs
+   three-term store rules) never intersect under Definition 6; callers
+   align them first with [Policy.project] — [aligned] does this for you. *)
+
+type stats = {
+  overlap : int;
+  denominator : int;
+  coverage : float;
+  uncovered : Rule.t list; (* the rules of P_y driving the gap *)
+}
+
+let ratio overlap denominator =
+  if denominator = 0 then 1.0 else float_of_int overlap /. float_of_int denominator
+
+(* Algorithm 1, set semantics. *)
+let compute vocab ~p_x ~p_y : stats =
+  let range_x = Range.of_policy vocab p_x in
+  let range_y = Range.of_policy vocab p_y in
+  let overlap = Range.inter range_x range_y in
+  { overlap = Range.cardinality overlap;
+    denominator = Range.cardinality range_y;
+    coverage = ratio (Range.cardinality overlap) (Range.cardinality range_y);
+    uncovered = Range.elements (Range.diff range_y range_x);
+  }
+
+(* Bag semantics over P_y's rule sequence: each occurrence counts, as in the
+   Section 5 walkthrough.  A rule is covered when its whole ground set lies
+   in Range(P_x). *)
+let compute_bag vocab ~p_x ~p_y : stats =
+  let range_x = Range.of_policy vocab p_x in
+  let rules = Policy.rules p_y in
+  let covered, uncovered =
+    List.partition (fun rule -> Range.covers vocab range_x rule) rules
+  in
+  { overlap = List.length covered;
+    denominator = List.length rules;
+    coverage = ratio (List.length covered) (List.length rules);
+    uncovered;
+  }
+
+(* Project both policies onto the attributes they share with the
+   vocabulary's pattern dimensions before comparing. *)
+let aligned ?(bag = false) vocab ~attrs ~p_x ~p_y : stats =
+  let p_x = Policy.project p_x ~attrs in
+  let p_y = Policy.project p_y ~attrs in
+  if bag then compute_bag vocab ~p_x ~p_y else compute vocab ~p_x ~p_y
+
+(* Definition 10. *)
+let complete vocab ~p_x ~p_y =
+  let range_x = Range.of_policy vocab p_x in
+  let range_y = Range.of_policy vocab p_y in
+  Range.subset range_y range_x
+
+let pp_stats ppf s =
+  Fmt.pf ppf "coverage = %d/%d = %.0f%%" s.overlap s.denominator (100. *. s.coverage)

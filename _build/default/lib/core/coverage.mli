@@ -1,0 +1,41 @@
+(** ComputeCoverage (Definition 9 / Algorithm 1).
+
+    Coverage of P_x in relation to P_y is
+    [#(Range(P_x) ∩ Range(P_y)) / #Range(P_y)].
+
+    Two denominators coexist in the paper and both are provided:
+    {!compute} is Definition 9 verbatim (ranges are sets — Figure 3's
+    3/6 = 50 %); {!compute_bag} counts each rule occurrence of P_y, which
+    is how Section 5 arrives at 3/10 = 30 % for Table 1. *)
+
+type stats = {
+  overlap : int;  (** numerator *)
+  denominator : int;
+  coverage : float;  (** 1.0 when the denominator is 0 (vacuous) *)
+  uncovered : Rule.t list;  (** the rules of P_y driving the gap *)
+}
+
+val compute : Vocabulary.Vocab.t -> p_x:Policy.t -> p_y:Policy.t -> stats
+(** Algorithm 1, set semantics.  Policies over different attribute sets
+    never intersect (Definition 6 compares cardinalities) — align them with
+    {!Policy.project} or use {!aligned}. *)
+
+val compute_bag : Vocabulary.Vocab.t -> p_x:Policy.t -> p_y:Policy.t -> stats
+(** Bag semantics over P_y's rule sequence: a rule occurrence is covered
+    when its whole ground set lies in Range(P_x). *)
+
+val aligned :
+  ?bag:bool ->
+  Vocabulary.Vocab.t ->
+  attrs:string list ->
+  p_x:Policy.t ->
+  p_y:Policy.t ->
+  stats
+(** Projects both policies onto [attrs] first, then computes coverage
+    ([bag] defaults to false). *)
+
+val complete : Vocabulary.Vocab.t -> p_x:Policy.t -> p_y:Policy.t -> bool
+(** Definition 10: Range(P_y) ⊆ Range(P_x). *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** e.g. ["coverage = 3/10 = 30%"]. *)

@@ -1,0 +1,96 @@
+(* Algorithm 5: dataAnalysis(P, A, f, c).
+
+   Translates the analysis parameters into the SQL statement of the paper —
+
+     SELECT A1,..,An FROM P's table
+     GROUP BY A1,..,An
+     HAVING COUNT( * ) >= f AND c
+
+   — and executes it on the relational engine.  The paper writes
+   "COUNT( * ) > f" in the pseudocode but "occurred at least f times" in the
+   prose (and the Section 5 pattern occurs exactly f = 5 times), so the
+   comparator defaults to [>=] and is configurable. *)
+
+type comparator =
+  | At_least (* COUNT( * ) >= f : matches the narrative and Section 5 *)
+  | More_than (* COUNT( * ) > f  : matches the pseudocode literally *)
+
+type config = {
+  attributes : string list; (* A: subset of the audit schema *)
+  min_frequency : int; (* f: system-defined threshold, default 5 *)
+  comparator : comparator;
+  condition : string option; (* c: extra HAVING conjunct, SQL text *)
+}
+
+(* The defaults of Algorithm 4: A = pattern attributes, f = 5,
+   c = COUNT(DISTINCT user) > 1. *)
+let default_config =
+  { attributes = Vocabulary.Audit_attrs.pattern;
+    min_frequency = 5;
+    comparator = At_least;
+    condition = Some (Printf.sprintf "COUNT(DISTINCT %s) > 1" Vocabulary.Audit_attrs.user);
+  }
+
+(* Materialise a policy of audit rules as a relational table; every column
+   is TEXT, one per attribute appearing in the policy's rules. *)
+let materialize engine ~table_name (p : Policy.t) =
+  let attrs =
+    List.fold_left
+      (fun acc rule ->
+        List.fold_left
+          (fun acc (attr, _) -> if List.mem attr acc then acc else acc @ [ attr ])
+          acc (Rule.to_assoc rule))
+      [] (Policy.rules p)
+  in
+  let db = Relational.Engine.database engine in
+  if Relational.Database.table_exists db table_name then
+    Relational.Database.drop_table db table_name;
+  let columns = List.map (fun a -> (a, Relational.Value.T_string)) attrs in
+  let tbl = Relational.Engine.create_table engine ~name:table_name ~columns in
+  List.iter
+    (fun rule ->
+      let assoc = Rule.to_assoc rule in
+      let row =
+        List.map
+          (fun attr ->
+            match List.assoc_opt attr assoc with
+            | Some v -> Relational.Value.Str v
+            | None -> Relational.Value.Null)
+          attrs
+      in
+      Relational.Table.insert tbl (Relational.Row.of_list row))
+    (Policy.rules p);
+  attrs
+
+(* Render the statement of Algorithm 5, line 2. *)
+let statement ~table_name config =
+  let attrs = String.concat ", " config.attributes in
+  let op = match config.comparator with At_least -> ">=" | More_than -> ">" in
+  let having =
+    Printf.sprintf "COUNT(*) %s %d%s" op config.min_frequency
+      (match config.condition with Some c -> " AND " ^ c | None -> "")
+  in
+  Printf.sprintf "SELECT %s FROM %s GROUP BY %s HAVING %s" attrs table_name attrs having
+
+(* [run engine ~table_name config] executes the generated statement and
+   returns each surviving group as a rule over [config.attributes]. *)
+let run engine ~table_name config : Rule.t list =
+  let sql = statement ~table_name config in
+  let result = Relational.Engine.query engine sql in
+  List.map
+    (fun row ->
+      Rule.make
+        (List.mapi
+           (fun i attr ->
+             let value = Relational.Value.to_string (Relational.Row.get row i) in
+             Rule_term.make ~attr ~value)
+           config.attributes))
+    result.Relational.Executor.rows
+
+(* One-call variant: load the practice policy into a fresh engine and
+   analyse it there. *)
+let analyse ?(config = default_config) (practice : Policy.t) : Rule.t list =
+  let engine = Relational.Engine.create () in
+  let table_name = "practice" in
+  let _ = materialize engine ~table_name practice in
+  run engine ~table_name config

@@ -1,0 +1,38 @@
+(** dataAnalysis (Algorithm 5): translate (A, f, c) into the SQL statement
+
+    {v SELECT A1,..,An FROM <table> GROUP BY A1,..,An
+   HAVING COUNT( * ) >= f AND c v}
+
+    and execute it on the relational engine. *)
+
+type comparator =
+  | At_least
+      (** [COUNT( * ) >= f] — matches the paper's prose ("occurred at least
+          f times") and the Section 5 walkthrough, where the pattern occurs
+          exactly f = 5 times. *)
+  | More_than  (** [COUNT( * ) > f] — the pseudocode read literally. *)
+
+type config = {
+  attributes : string list;  (** A: a subset of the audit schema *)
+  min_frequency : int;  (** f: the system-defined threshold *)
+  comparator : comparator;
+  condition : string option;  (** c: extra HAVING conjunct, SQL text *)
+}
+
+val default_config : config
+(** Algorithm 4's defaults: A = (data, purpose, authorized), f = 5,
+    c = [COUNT(DISTINCT user) > 1], at-least comparator. *)
+
+val materialize : Relational.Engine.t -> table_name:string -> Policy.t -> string list
+(** Loads a policy of audit rules into a (re)created TEXT table, one column
+    per attribute appearing in the rules; returns the column order. *)
+
+val statement : table_name:string -> config -> string
+(** The generated SQL text (Algorithm 5, line 2). *)
+
+val run : Relational.Engine.t -> table_name:string -> config -> Rule.t list
+(** Executes the statement; each surviving group becomes a rule over
+    [config.attributes]. *)
+
+val analyse : ?config:config -> Policy.t -> Rule.t list
+(** One-call variant: materialise into a fresh engine and run there. *)

@@ -1,0 +1,27 @@
+(* Algorithm 3: Filter.
+
+   Keeps the exception-based entries of P_AL — rules with (status, 0) —
+   which embody the undocumented practice refinement feeds on.  The
+   algorithm's contract ("returns the non-prohibitions") additionally
+   requires dropping denied accesses, so rules carrying (op, 0) are removed
+   too unless [keep_prohibitions] is set; in the paper's Table 1 every op is
+   an allow, making both readings agree. *)
+
+let is_exception rule =
+  match Rule.find_attr rule Vocabulary.Audit_attrs.status with
+  | Some v -> String.equal v Vocabulary.Audit_attrs.status_exception
+  | None -> false
+
+let is_prohibition rule =
+  match Rule.find_attr rule Vocabulary.Audit_attrs.op with
+  | Some v -> String.equal v Vocabulary.Audit_attrs.op_disallow
+  | None -> false
+
+let run ?(keep_prohibitions = false) (p_al : Policy.t) : Policy.t =
+  let practice =
+    Policy.filter
+      (fun rule ->
+        is_exception rule && (keep_prohibitions || not (is_prohibition rule)))
+      p_al
+  in
+  Policy.make ~source:(Policy.Derived "practice") (Policy.rules practice)

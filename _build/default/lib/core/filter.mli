@@ -1,0 +1,14 @@
+(** Filter (Algorithm 3): keep the exception-based entries of P_AL — the
+    undocumented practice refinement feeds on. *)
+
+val is_exception : Rule.t -> bool
+(** Carries (status, 0). *)
+
+val is_prohibition : Rule.t -> bool
+(** Carries (op, 0). *)
+
+val run : ?keep_prohibitions:bool -> Policy.t -> Policy.t
+(** Keeps exception-based rules; prohibitions (denied accesses) are dropped
+    too unless [keep_prohibitions] is set — Algorithm 3 only tests
+    [status], but its contract says "returns the non-prohibitions" (the two
+    readings agree on the paper's Table 1, where every op is an allow). *)

@@ -1,0 +1,75 @@
+(* Textual policy-store format.
+
+   One rule per line, two notations, freely mixed:
+
+     routine:treatment:nurse             — the (data, purpose, authorized)
+                                           triple shorthand of the use case
+     data=routine, purpose=treatment     — general attr=value conjunctions
+
+   '#' starts a comment; blank lines are ignored. *)
+
+exception Bad_line of string
+
+let parse_line line : Rule.t option =
+  let line = match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = String.trim line in
+  if line = "" then None
+  else if String.contains line '=' then begin
+    let pairs =
+      String.split_on_char ',' line
+      |> List.map (fun chunk ->
+             match String.split_on_char '=' (String.trim chunk) with
+             | [ attr; value ] -> (String.trim attr, String.trim value)
+             | _ -> raise (Bad_line line))
+    in
+    Some (Rule.of_assoc pairs)
+  end
+  else
+    match String.split_on_char ':' line with
+    | [ data; purpose; authorized ] ->
+      Some
+        (Rule.of_assoc
+           [ (Vocabulary.Audit_attrs.data, String.trim data);
+             (Vocabulary.Audit_attrs.purpose, String.trim purpose);
+             (Vocabulary.Audit_attrs.authorized, String.trim authorized);
+           ])
+    | _ -> raise (Bad_line line)
+
+(* [of_string text] parses a policy store.
+   @raise Bad_line on malformed lines. *)
+let of_string ?(source = Policy.Policy_store) text : Policy.t =
+  Policy.make ~source
+    (List.filter_map parse_line (String.split_on_char '\n' text))
+
+let rule_to_line rule =
+  let assoc = Rule.to_assoc rule in
+  let is_pattern_triple =
+    List.length assoc = 3
+    && List.for_all (fun (a, _) -> List.mem a Vocabulary.Audit_attrs.pattern) assoc
+  in
+  if is_pattern_triple then
+    Rule.to_compact_string ~attrs:Vocabulary.Audit_attrs.pattern rule
+  else String.concat ", " (List.map (fun (a, v) -> a ^ "=" ^ v) assoc)
+
+let to_string (policy : Policy.t) : string =
+  let header =
+    Printf.sprintf "# policy store [%s], %d rules\n"
+      (Policy.source_to_string (Policy.source policy))
+      (Policy.cardinality policy)
+  in
+  header ^ String.concat "\n" (List.map rule_to_line (Policy.rules policy)) ^ "\n"
+
+let load path : Policy.t =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let save path (policy : Policy.t) : unit =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string policy))

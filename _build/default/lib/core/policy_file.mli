@@ -1,0 +1,25 @@
+(** Textual policy-store format.
+
+    One rule per line in either notation, freely mixed:
+    {v routine:treatment:nurse                   (pattern-triple shorthand)
+   data=routine, purpose=treatment, authorized=nurse v}
+    ['#'] starts a comment; blank lines are ignored. *)
+
+exception Bad_line of string
+
+val parse_line : string -> Rule.t option
+(** [None] for blank/comment lines.
+    @raise Bad_line on malformed lines. *)
+
+val of_string : ?source:Policy.source -> string -> Policy.t
+(** @raise Bad_line on malformed lines. *)
+
+val rule_to_line : Rule.t -> string
+(** Pattern triples render in the shorthand; anything else as
+    [attr=value] pairs. *)
+
+val to_string : Policy.t -> string
+(** Round-trips through {!of_string} (modulo the header comment). *)
+
+val load : string -> Policy.t
+val save : string -> Policy.t -> unit

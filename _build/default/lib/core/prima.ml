@@ -1,0 +1,73 @@
+(* The PRIMA policy-refinement component (Figure 4), at the policy level:
+   it owns the policy store P_PS, consumes consolidated audit rules from
+   Audit Management as P_AL, enforces a training period, and exposes
+   coverage measurement and refinement runs.  The stakeholder-facing
+   integration with HDB enforcement lives in the prima_system library. *)
+
+type t = {
+  vocab : Vocabulary.Vocab.t;
+  mutable p_ps : Policy.t;
+  mutable p_al : Policy.t;
+  mutable training_minimum : int; (* entries required before refinement *)
+  mutable refinement_config : Refinement.config;
+  mutable history : Refinement.epoch_report list; (* newest first *)
+}
+
+let create ?(training_minimum = 0) ?(config = Refinement.default_config) ~vocab ~p_ps () =
+  { vocab;
+    p_ps;
+    p_al = Policy.make ~source:Policy.Audit_log [];
+    training_minimum;
+    refinement_config = config;
+    history = [];
+  }
+
+let vocab t = t.vocab
+let policy_store t = t.p_ps
+let audit_policy t = t.p_al
+let history t = List.rev t.history
+
+let set_training_minimum t n = t.training_minimum <- n
+let set_refinement_config t config = t.refinement_config <- config
+
+let ingest_rule t rule = t.p_al <- Policy.add_rule t.p_al rule
+
+let ingest_rules t rules = t.p_al <- Policy.add_rules t.p_al rules
+
+let add_store_rule t rule = t.p_ps <- Policy.add_rule t.p_ps rule
+
+(* Both coverage readings of the paper at once. *)
+type coverage_report = {
+  set_semantics : Coverage.stats; (* Definition 9 *)
+  bag_semantics : Coverage.stats; (* Section 5 accounting *)
+}
+
+let coverage t =
+  let attrs = Vocabulary.Audit_attrs.pattern in
+  { set_semantics =
+      Coverage.aligned ~bag:false t.vocab ~attrs ~p_x:t.p_ps ~p_y:t.p_al;
+    bag_semantics = Coverage.aligned ~bag:true t.vocab ~attrs ~p_x:t.p_ps ~p_y:t.p_al;
+  }
+
+let in_training t = Policy.cardinality t.p_al < t.training_minimum
+
+(* Run one refinement pass over everything collected so far; the accepted
+   patterns extend the policy store in place.  [Error] while the training
+   period has not accumulated enough log. *)
+let refine t : (Refinement.epoch_report, string) result =
+  if in_training t then
+    Error
+      (Printf.sprintf "training period: %d/%d audit entries collected"
+         (Policy.cardinality t.p_al) t.training_minimum)
+  else begin
+    let report =
+      Refinement.run_epoch ~config:t.refinement_config ~vocab:t.vocab ~p_ps:t.p_ps
+        ~p_al:t.p_al ()
+    in
+    t.p_ps <- report.Refinement.p_ps';
+    t.history <- report :: t.history;
+    Ok report
+  end
+
+(* Drop consumed audit entries (e.g. after an epoch over a sliding window). *)
+let reset_audit t = t.p_al <- Policy.make ~source:Policy.Audit_log []

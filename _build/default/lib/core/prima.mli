@@ -1,0 +1,53 @@
+(** The PRIMA policy-refinement component (Figure 4), at the policy level.
+
+    Owns the policy store P_PS, consumes consolidated audit rules from
+    Audit Management as P_AL, enforces a training period, and exposes
+    coverage measurement and refinement runs.  The stakeholder-facing
+    integration with HDB enforcement is {!Prima_system.System}. *)
+
+type t
+
+val create :
+  ?training_minimum:int ->
+  ?config:Refinement.config ->
+  vocab:Vocabulary.Vocab.t ->
+  p_ps:Policy.t ->
+  unit ->
+  t
+(** [training_minimum] is the number of audit entries that must accumulate
+    before {!refine} will run (default 0). *)
+
+val vocab : t -> Vocabulary.Vocab.t
+val policy_store : t -> Policy.t
+val audit_policy : t -> Policy.t
+
+val history : t -> Refinement.epoch_report list
+(** All completed refinement runs, oldest first. *)
+
+val set_training_minimum : t -> int -> unit
+val set_refinement_config : t -> Refinement.config -> unit
+
+val ingest_rule : t -> Rule.t -> unit
+(** Append one audit rule to P_AL. *)
+
+val ingest_rules : t -> Rule.t list -> unit
+
+val add_store_rule : t -> Rule.t -> unit
+(** Stakeholder-driven extension of P_PS. *)
+
+type coverage_report = {
+  set_semantics : Coverage.stats;  (** Definition 9 *)
+  bag_semantics : Coverage.stats;  (** Section 5 accounting *)
+}
+
+val coverage : t -> coverage_report
+(** Both coverage readings, over the pattern attributes. *)
+
+val in_training : t -> bool
+
+val refine : t -> (Refinement.epoch_report, string) result
+(** One refinement pass over everything collected so far; accepted patterns
+    extend the store in place.  [Error] during the training period. *)
+
+val reset_audit : t -> unit
+(** Drop consumed audit entries (sliding-window refinement). *)

@@ -1,0 +1,38 @@
+(* Algorithm 6: Prune(Patterns, P_PS, V).
+
+   Removes the patterns already present in the policy store: the useful
+   patterns are the set complement Range(Patterns) \ Range(P_PS).  Both
+   ranges are taken over the pattern attributes, so the store's composite
+   rules cover their whole subtrees.  The result deliberately stops short
+   of auto-adoption — "human input is prudent at this stage" — which is the
+   acceptance step in Refinement. *)
+
+let run vocab ~(patterns : Rule.t list) ~(p_ps : Policy.t) : Rule.t list =
+  if patterns = [] then []
+  else begin
+    let attrs =
+      List.sort_uniq String.compare
+        (List.concat_map
+           (fun rule -> List.map Rule_term.attr (Rule.terms rule))
+           patterns)
+    in
+    let range_ps = Range.of_policy vocab (Policy.project p_ps ~attrs) in
+    (* A pattern survives when some ground instance of it is uncovered. *)
+    List.filter (fun pattern -> not (Range.covers vocab range_ps pattern)) patterns
+  end
+
+(* Ground-level variant: exactly getComplement(range_x, range_y), returning
+   the uncovered ground rules themselves. *)
+let ground_complement vocab ~(patterns : Rule.t list) ~(p_ps : Policy.t) : Rule.t list =
+  if patterns = [] then []
+  else begin
+    let attrs =
+      List.sort_uniq String.compare
+        (List.concat_map
+           (fun rule -> List.map Rule_term.attr (Rule.terms rule))
+           patterns)
+    in
+    let range_ps = Range.of_policy vocab (Policy.project p_ps ~attrs) in
+    let range_patterns = Range.of_rules vocab patterns in
+    Range.elements (Range.diff range_patterns range_ps)
+  end

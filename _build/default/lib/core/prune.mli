@@ -1,0 +1,15 @@
+(** Prune (Algorithm 6): remove the patterns already present in the policy
+    store — the useful patterns are Range(Patterns) \ Range(P_PS).
+
+    The result deliberately stops short of adoption: "human input is
+    prudent at this stage" (the acceptance step of {!Refinement}). *)
+
+val run : Vocabulary.Vocab.t -> patterns:Rule.t list -> p_ps:Policy.t -> Rule.t list
+(** Patterns with at least one uncovered ground instance.  The store is
+    projected onto the patterns' attributes first, so composite store rules
+    prune the ground patterns beneath them. *)
+
+val ground_complement :
+  Vocabulary.Vocab.t -> patterns:Rule.t list -> p_ps:Policy.t -> Rule.t list
+(** Exactly getComplement(range_x, range_y): the uncovered ground rules
+    themselves. *)

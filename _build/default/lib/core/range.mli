@@ -1,0 +1,33 @@
+(** Range (Definition 8): the set of all ground rules derivable from a
+    policy under the vocabulary.
+
+    Equivalent ground rules of equal cardinality are syntactically equal
+    after canonicalisation, so the Definition 6 intersection of Algorithm 1
+    reduces to structural set operations. *)
+
+type t
+
+val empty : t
+val of_rules : Vocabulary.Vocab.t -> Rule.t list -> t
+val of_policy : Vocabulary.Vocab.t -> Policy.t -> t
+
+val cardinality : t -> int
+(** #Range of Definition 8. *)
+
+val mem : Rule.t -> t -> bool
+(** Membership of a (canonical, ground) rule. *)
+
+val inter : t -> t -> t
+val diff : t -> t -> t
+val union : t -> t -> t
+val subset : t -> t -> bool
+val elements : t -> Rule.t list
+val is_empty : t -> bool
+
+val covers : Vocabulary.Vocab.t -> t -> Rule.t -> bool
+(** Every ground instance of the rule lies in the range. *)
+
+val intersects : Vocabulary.Vocab.t -> t -> Rule.t -> bool
+(** Some ground instance of the rule lies in the range. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+(* Algorithm 2: Refinement(P_PS, P_AL, V) — the feedback loop between real
+   and ideal policy.
+
+     Practice        <- Filter(P_AL)                  (Algorithm 3)
+     Patterns        <- extractPatterns(Practice, V)  (Algorithms 4-5)
+     usefulPatterns  <- Prune(Patterns, P_PS, V)      (Algorithm 6)
+
+   plus the human acceptance step the paper mandates after Prune, modelled
+   as a pluggable [acceptance] policy, and an epoch driver that folds the
+   accepted patterns back into the policy store and tracks coverage. *)
+
+let log_src = Logs.Src.create "prima.refinement" ~doc:"PRIMA policy refinement runs"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type acceptance =
+  | Accept_all (* trusting privacy officer: every useful pattern adopted *)
+  | Reject_all (* audit-only mode: nothing changes *)
+  | Oracle of (Rule.t -> bool) (* e.g. ground-truth classifier in experiments *)
+
+type config = {
+  backend : Extract_patterns.backend;
+  keep_prohibitions : bool;
+  acceptance : acceptance;
+}
+
+let default_config =
+  { backend = Extract_patterns.default_backend;
+    keep_prohibitions = false;
+    acceptance = Accept_all;
+  }
+
+(* Algorithm 2 verbatim: the useful patterns, before human review. *)
+let useful_patterns ?(config = default_config) ~vocab ~p_ps ~p_al () : Rule.t list =
+  let practice = Filter.run ~keep_prohibitions:config.keep_prohibitions p_al in
+  let patterns = Extract_patterns.run ~backend:config.backend practice in
+  Prune.run vocab ~patterns ~p_ps
+
+let accept acceptance patterns =
+  match acceptance with
+  | Accept_all -> patterns
+  | Reject_all -> []
+  | Oracle judge -> List.filter judge patterns
+
+type epoch_report = {
+  practice_size : int;
+  patterns : Rule.t list;
+  useful : Rule.t list;
+  accepted : Rule.t list;
+  p_ps' : Policy.t;
+  coverage_before : Coverage.stats;
+  coverage_after : Coverage.stats;
+}
+
+(* One refinement epoch: run the pipeline, apply the acceptance policy,
+   extend the store, and report coverage (bag semantics over the audit
+   entries, per Section 5) before and after. *)
+let run_epoch ?(config = default_config) ~vocab ~p_ps ~p_al () : epoch_report =
+  let attrs = Vocabulary.Audit_attrs.pattern in
+  let practice = Filter.run ~keep_prohibitions:config.keep_prohibitions p_al in
+  let patterns = Extract_patterns.run ~backend:config.backend practice in
+  let useful = Prune.run vocab ~patterns ~p_ps in
+  let accepted = accept config.acceptance useful in
+  let p_ps' = Policy.add_rules p_ps accepted in
+  let coverage_before = Coverage.aligned ~bag:true vocab ~attrs ~p_x:p_ps ~p_y:p_al in
+  let coverage_after = Coverage.aligned ~bag:true vocab ~attrs ~p_x:p_ps' ~p_y:p_al in
+  Log.info (fun m ->
+      m "epoch: %d practice entries, %d patterns, %d useful, %d accepted, coverage %.0f%% -> %.0f%%"
+        (Policy.cardinality practice) (List.length patterns) (List.length useful)
+        (List.length accepted)
+        (100. *. coverage_before.Coverage.coverage)
+        (100. *. coverage_after.Coverage.coverage));
+  { practice_size = Policy.cardinality practice;
+    patterns;
+    useful;
+    accepted;
+    p_ps';
+    coverage_before;
+    coverage_after;
+  }
+
+(* Iterated refinement over a stream of audit batches: each epoch sees one
+   batch, extends the store, and the next batch is judged against the
+   refined store — the Figure 2 trajectory. *)
+let run_epochs ?(config = default_config) ~vocab ~p_ps ~batches () :
+    epoch_report list * Policy.t =
+  let reports, final_ps =
+    List.fold_left
+      (fun (reports, store) batch ->
+        let report = run_epoch ~config ~vocab ~p_ps:store ~p_al:batch () in
+        (report :: reports, report.p_ps'))
+      ([], p_ps) batches
+  in
+  (List.rev reports, final_ps)

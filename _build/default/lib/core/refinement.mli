@@ -1,0 +1,59 @@
+(** Refinement (Algorithm 2): the feedback loop between real and ideal
+    policy.
+
+    {v Practice       <- Filter(P_AL)                  (Algorithm 3)
+   Patterns       <- extractPatterns(Practice, V)  (Algorithms 4-5)
+   usefulPatterns <- Prune(Patterns, P_PS, V)      (Algorithm 6) v}
+
+    plus the human acceptance step the paper mandates after Prune, and an
+    epoch driver that folds accepted patterns back into the policy store
+    while tracking coverage. *)
+
+type acceptance =
+  | Accept_all  (** trusting privacy officer: every useful pattern adopted *)
+  | Reject_all  (** audit-only mode: nothing changes *)
+  | Oracle of (Rule.t -> bool)
+      (** e.g. a ground-truth classifier in experiments, or a human review
+          queue in deployment *)
+
+type config = {
+  backend : Extract_patterns.backend;
+  keep_prohibitions : bool;
+  acceptance : acceptance;
+}
+
+val default_config : config
+(** SQL backend with the paper's defaults, prohibitions dropped,
+    accept-all. *)
+
+val useful_patterns :
+  ?config:config -> vocab:Vocabulary.Vocab.t -> p_ps:Policy.t -> p_al:Policy.t -> unit ->
+  Rule.t list
+(** Algorithm 2 verbatim: the useful patterns, before human review. *)
+
+val accept : acceptance -> Rule.t list -> Rule.t list
+
+type epoch_report = {
+  practice_size : int;
+  patterns : Rule.t list;
+  useful : Rule.t list;
+  accepted : Rule.t list;
+  p_ps' : Policy.t;  (** the store extended with the accepted patterns *)
+  coverage_before : Coverage.stats;  (** bag semantics, pattern attributes *)
+  coverage_after : Coverage.stats;
+}
+
+val run_epoch :
+  ?config:config -> vocab:Vocabulary.Vocab.t -> p_ps:Policy.t -> p_al:Policy.t -> unit ->
+  epoch_report
+
+val run_epochs :
+  ?config:config ->
+  vocab:Vocabulary.Vocab.t ->
+  p_ps:Policy.t ->
+  batches:Policy.t list ->
+  unit ->
+  epoch_report list * Policy.t
+(** Iterated refinement over audit batches: each epoch extends the store
+    and the next batch is judged against the refined store — the Figure 2
+    trajectory.  Returns the per-epoch reports and the final store. *)

@@ -1,0 +1,67 @@
+(* Definition 5: a Rule is a conjunction of RuleTerms.  Terms are kept
+   sorted by (attr, value) so structurally equal ground rules compare equal,
+   which makes range sets (Definition 8) well defined. *)
+
+type t = Rule_term.t list
+
+let make terms : t =
+  if terms = [] then invalid_arg "Rule.make: a rule needs at least one term";
+  List.sort_uniq Rule_term.compare terms
+
+let of_assoc pairs = make (List.map (fun (attr, value) -> Rule_term.make ~attr ~value) pairs)
+
+let to_assoc (t : t) = List.map (fun term -> (Rule_term.attr term, Rule_term.value term)) t
+
+let terms (t : t) = t
+
+(* #R of Definition 5. *)
+let cardinality (t : t) = List.length t
+
+let compare (a : t) (b : t) = List.compare Rule_term.compare a b
+
+let equal_syntactic a b = compare a b = 0
+
+let find_attr (t : t) attr =
+  List.find_opt (fun term -> String.equal (Rule_term.attr term) attr) t
+  |> Option.map Rule_term.value
+
+(* Restriction of the rule to the given attributes, e.g. projecting a
+   seven-term audit rule onto (data, purpose, authorized).  None when no
+   term survives. *)
+let project (t : t) ~attrs =
+  match List.filter (fun term -> List.mem (Rule_term.attr term) attrs) t with
+  | [] -> None
+  | survivors -> Some (make survivors)
+
+let is_ground vocab (t : t) = List.for_all (Rule_term.is_ground vocab) t
+
+(* Corollary 1: the ground rules derivable from this rule — the cartesian
+   product of its terms' ground sets. *)
+let ground_rules vocab (t : t) : t list =
+  let per_term = List.map (Rule_term.ground_set vocab) t in
+  List.fold_right
+    (fun choices acc ->
+      List.concat_map (fun term -> List.map (fun rest -> term :: rest) acc) choices)
+    per_term [ [] ]
+  |> List.map make
+
+(* Definition 6: same cardinality, and every term of [a] is equivalent to
+   some term of [b]. *)
+let equivalent vocab (a : t) (b : t) =
+  cardinality a = cardinality b
+  && List.for_all (fun x -> List.exists (Rule_term.equivalent vocab x) b) a
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any " @<1>∧ ") Rule_term.pp) t
+
+let to_string t = Fmt.str "%a" pp t
+
+(* Compact rendering in the paper's use-case notation, e.g.
+   "Referral:Registration:Nurse" for the pattern attributes. *)
+let to_compact_string ?attrs (t : t) =
+  let values =
+    match attrs with
+    | Some attrs -> List.filter_map (find_attr t) attrs
+    | None -> List.map Rule_term.value t
+  in
+  String.concat ":" values

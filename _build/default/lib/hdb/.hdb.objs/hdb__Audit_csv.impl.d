@@ -1,0 +1,1 @@
+lib/hdb/audit_csv.ml: Audit_schema Audit_store Fun List Printf Relational String

@@ -1,0 +1,1 @@
+lib/hdb/audit_logger.ml: Audit_schema Audit_store

@@ -1,0 +1,1 @@
+lib/hdb/audit_query.ml: Audit_schema Audit_store Hashtbl Int List Option

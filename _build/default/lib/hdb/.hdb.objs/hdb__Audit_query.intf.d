@@ -1,0 +1,1 @@
+lib/hdb/audit_query.mli: Audit_schema Audit_store

@@ -1,0 +1,1 @@
+lib/hdb/audit_schema.ml: Fmt List Printf Relational Row Value Vocabulary

@@ -1,0 +1,1 @@
+lib/hdb/audit_schema.mli: Format Relational

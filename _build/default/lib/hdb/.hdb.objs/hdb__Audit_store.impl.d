@@ -1,0 +1,1 @@
+lib/hdb/audit_store.ml: Array Audit_schema Bytes Char Hashtbl List Relational String

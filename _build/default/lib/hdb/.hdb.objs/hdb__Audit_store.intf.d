@@ -1,0 +1,1 @@
+lib/hdb/audit_store.mli: Audit_schema Relational

@@ -1,0 +1,1 @@
+lib/hdb/category_map.ml: Hashtbl List String

@@ -1,0 +1,1 @@
+lib/hdb/category_map.mli:

@@ -1,0 +1,1 @@
+lib/hdb/consent.ml: Hashtbl List Option String Vocabulary

@@ -1,0 +1,1 @@
+lib/hdb/consent.mli: Vocabulary

@@ -1,0 +1,1 @@
+lib/hdb/control_center.ml: Audit_logger Category_map Consent Enforcement Privacy_rules Relational

@@ -1,0 +1,1 @@
+lib/hdb/control_center.mli: Audit_logger Audit_schema Audit_store Consent Enforcement Privacy_rules Relational Vocabulary

@@ -1,0 +1,1 @@
+lib/hdb/enforcement.ml: Audit_logger Audit_schema Category_map Consent Database Engine Executor Hashtbl List Logs Option Printf Privacy_rules Relational Row Schema Sql_ast String Table Value

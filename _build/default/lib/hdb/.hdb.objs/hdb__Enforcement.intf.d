@@ -1,0 +1,1 @@
+lib/hdb/enforcement.mli: Audit_logger Category_map Consent Privacy_rules Relational

@@ -1,0 +1,1 @@
+lib/hdb/privacy_rules.ml: Fmt List Vocabulary

@@ -1,0 +1,1 @@
+lib/hdb/privacy_rules.mli: Format Vocabulary

@@ -1,0 +1,61 @@
+(* CSV interchange for audit trails: the seven Section 4.2 columns with a
+   fixed header, so trails can leave one PRIMA deployment and enter
+   another (or a spreadsheet). *)
+
+let header = "time,op,user,data,purpose,authorized,status"
+
+let expected_columns = String.split_on_char ',' header
+
+exception Bad_csv of string
+
+let entry_to_line (e : Audit_schema.entry) =
+  Printf.sprintf "%d,%d,%s,%s,%s,%s,%d" e.Audit_schema.time
+    (Audit_schema.op_to_int e.Audit_schema.op)
+    (Relational.Csv.escape_field e.Audit_schema.user)
+    (Relational.Csv.escape_field e.Audit_schema.data)
+    (Relational.Csv.escape_field e.Audit_schema.purpose)
+    (Relational.Csv.escape_field e.Audit_schema.authorized)
+    (Audit_schema.status_to_int e.Audit_schema.status)
+
+let to_string entries =
+  String.concat "\n" (header :: List.map entry_to_line entries) ^ "\n"
+
+let of_string text : Audit_schema.entry list =
+  match Relational.Csv.parse_line_seq text with
+  | [] -> []
+  | got_header :: rows ->
+    if List.map String.lowercase_ascii got_header <> expected_columns then
+      raise
+        (Bad_csv (Printf.sprintf "header must be %S, got %S" header
+                    (String.concat "," got_header)));
+    (* Blank lines parse as a single empty field; skip them. *)
+    let rows = List.filter (fun row -> row <> [] && row <> [ "" ]) rows in
+    List.map
+      (fun row ->
+        match row with
+        | [ time; op; user; data; purpose; authorized; status ] -> begin
+          match int_of_string_opt time, int_of_string_opt op, int_of_string_opt status with
+          | Some time, Some op, Some status ->
+            Audit_schema.entry ~time ~op:(Audit_schema.op_of_int op) ~user ~data ~purpose
+              ~authorized
+              ~status:(Audit_schema.status_of_int status)
+          | _ -> raise (Bad_csv ("unreadable numeric field in: " ^ String.concat "," row))
+        end
+        | _ -> raise (Bad_csv ("wrong arity in row: " ^ String.concat "," row)))
+      rows
+
+let save path entries =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string entries))
+
+let load path : Audit_schema.entry list =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let save_store path store = save path (Audit_store.to_list store)
+
+let load_store path : Audit_store.t = Audit_store.of_entries (load path)

@@ -1,0 +1,19 @@
+(** CSV interchange for audit trails: the seven Section 4.2 columns under a
+    fixed header ([time,op,user,data,purpose,authorized,status], op/status
+    numeric). *)
+
+val header : string
+
+exception Bad_csv of string
+
+val entry_to_line : Audit_schema.entry -> string
+val to_string : Audit_schema.entry list -> string
+
+val of_string : string -> Audit_schema.entry list
+(** @raise Bad_csv on a wrong header, wrong arity, or unreadable numeric
+    fields. *)
+
+val save : string -> Audit_schema.entry list -> unit
+val load : string -> Audit_schema.entry list
+val save_store : string -> Audit_store.t -> unit
+val load_store : string -> Audit_store.t

@@ -1,0 +1,32 @@
+(* Append-only audit logging with a logical clock.  Every enforcement
+   decision — permitted, denied, or break-glass — lands here. *)
+
+type t = {
+  store : Audit_store.t;
+  mutable clock : int;
+}
+
+let create ?(start_time = 1) () = { store = Audit_store.create (); clock = start_time }
+
+let store t = t.store
+
+let now t = t.clock
+
+let tick t =
+  let time = t.clock in
+  t.clock <- t.clock + 1;
+  time
+
+(* [log t ...] stamps the entry with the current clock without advancing it;
+   one user action (query) may produce several same-time entries. *)
+let log t ~op ~user ~data ~purpose ~authorized ~status =
+  Audit_store.append t.store
+    (Audit_schema.entry ~time:t.clock ~op ~user ~data ~purpose ~authorized ~status)
+
+let log_entry t entry =
+  Audit_store.append t.store entry;
+  if entry.Audit_schema.time >= t.clock then t.clock <- entry.Audit_schema.time + 1
+
+let length t = Audit_store.length t.store
+
+let entries t = Audit_store.to_list t.store

@@ -1,0 +1,29 @@
+(** Append-only audit logging with a logical clock.  Every enforcement
+    decision — permitted, denied, or break-glass — lands here. *)
+
+type t
+
+val create : ?start_time:int -> unit -> t
+val store : t -> Audit_store.t
+val now : t -> int
+
+val tick : t -> int
+(** Returns the current time and advances the clock.  One user action may
+    produce several same-time entries between ticks. *)
+
+val log :
+  t ->
+  op:Audit_schema.op ->
+  user:string ->
+  data:string ->
+  purpose:string ->
+  authorized:string ->
+  status:Audit_schema.status ->
+  unit
+(** Appends an entry stamped with the current clock (not advancing it). *)
+
+val log_entry : t -> Audit_schema.entry -> unit
+(** Appends a pre-stamped entry; the clock jumps past its time. *)
+
+val length : t -> int
+val entries : t -> Audit_schema.entry list

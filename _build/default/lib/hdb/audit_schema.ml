@@ -1,0 +1,121 @@
+(* The Compliance Auditing entry schema of Section 4.2:
+
+     {(time,t), (op,X), (user,u), (data,d), (purpose,p), (authorized,a),
+      (status,s)}
+
+   op: 0 = disallow, 1 = allow.  status: 0 = exception-based access (the
+   user manually entered the purpose — Break The Glass), 1 = regular. *)
+
+type op =
+  | Disallow
+  | Allow
+
+type status =
+  | Exception_based
+  | Regular
+
+type entry = {
+  time : int;
+  op : op;
+  user : string;
+  data : string;
+  purpose : string;
+  authorized : string;
+  status : status;
+}
+
+let entry ~time ~op ~user ~data ~purpose ~authorized ~status =
+  { time; op; user; data; purpose; authorized; status }
+
+let op_to_int = function Disallow -> 0 | Allow -> 1
+
+let op_of_int = function
+  | 0 -> Disallow
+  | 1 -> Allow
+  | n -> invalid_arg (Printf.sprintf "Audit_schema.op_of_int: %d" n)
+
+let status_to_int = function Exception_based -> 0 | Regular -> 1
+
+let status_of_int = function
+  | 0 -> Exception_based
+  | 1 -> Regular
+  | n -> invalid_arg (Printf.sprintf "Audit_schema.status_of_int: %d" n)
+
+let attr_time = Vocabulary.Audit_attrs.time
+let attr_op = Vocabulary.Audit_attrs.op
+let attr_user = Vocabulary.Audit_attrs.user
+let attr_data = Vocabulary.Audit_attrs.data
+let attr_purpose = Vocabulary.Audit_attrs.purpose
+let attr_authorized = Vocabulary.Audit_attrs.authorized
+let attr_status = Vocabulary.Audit_attrs.status
+
+(* Attribute order of the schema in the paper. *)
+let attributes =
+  [ attr_time; attr_op; attr_user; attr_data; attr_purpose; attr_authorized; attr_status ]
+
+(* The A default of Algorithm 4: the projection the SQL analysis groups by. *)
+let pattern_attributes = [ attr_data; attr_purpose; attr_authorized ]
+
+let relational_columns =
+  [ (attr_time, Relational.Value.T_int);
+    (attr_op, Relational.Value.T_int);
+    (attr_user, Relational.Value.T_string);
+    (attr_data, Relational.Value.T_string);
+    (attr_purpose, Relational.Value.T_string);
+    (attr_authorized, Relational.Value.T_string);
+    (attr_status, Relational.Value.T_int);
+  ]
+
+let relational_schema () =
+  Relational.Schema.of_list
+    (List.map (fun (n, ty) -> Relational.Schema.column n ty) relational_columns)
+
+let to_row e : Relational.Row.t =
+  [| Relational.Value.Int e.time;
+     Relational.Value.Int (op_to_int e.op);
+     Relational.Value.Str e.user;
+     Relational.Value.Str e.data;
+     Relational.Value.Str e.purpose;
+     Relational.Value.Str e.authorized;
+     Relational.Value.Int (status_to_int e.status);
+  |]
+
+let of_row (row : Relational.Row.t) : entry =
+  let open Relational in
+  let int_at i =
+    match Value.as_int (Row.get row i) with
+    | Some v -> v
+    | None -> invalid_arg "Audit_schema.of_row: expected integer"
+  in
+  let str_at i =
+    match Value.as_string (Row.get row i) with
+    | Some v -> v
+    | None -> invalid_arg "Audit_schema.of_row: expected string"
+  in
+  { time = int_at 0;
+    op = op_of_int (int_at 1);
+    user = str_at 2;
+    data = str_at 3;
+    purpose = str_at 4;
+    authorized = str_at 5;
+    status = status_of_int (int_at 6);
+  }
+
+(* Association-list view: the entry as the paper's rule of seven RuleTerms. *)
+let to_assoc e =
+  [ (attr_time, string_of_int e.time);
+    (attr_op, string_of_int (op_to_int e.op));
+    (attr_user, e.user);
+    (attr_data, e.data);
+    (attr_purpose, e.purpose);
+    (attr_authorized, e.authorized);
+    (attr_status, string_of_int (status_to_int e.status));
+  ]
+
+let equal (a : entry) (b : entry) = a = b
+
+let pp ppf e =
+  Fmt.pf ppf "t%d %s %s data=%s purpose=%s authorized=%s %s" e.time
+    (match e.op with Allow -> "allow" | Disallow -> "disallow")
+    e.user e.data e.purpose e.authorized
+    (match e.status with Regular -> "regular" | Exception_based -> "exception")

@@ -1,0 +1,72 @@
+(** The Compliance Auditing entry schema (Section 4.2):
+
+    {v {(time,t), (op,X), (user,u), (data,d), (purpose,p),
+    (authorized,a), (status,s)} v}
+
+    op: 0 = disallow, 1 = allow.  status: 0 = exception-based access (the
+    user manually entered the purpose — Break The Glass), 1 = regular. *)
+
+type op =
+  | Disallow
+  | Allow
+
+type status =
+  | Exception_based
+  | Regular
+
+type entry = {
+  time : int;  (** logical timestamp *)
+  op : op;
+  user : string;
+  data : string;  (** data category, from the vocabulary *)
+  purpose : string;
+  authorized : string;  (** authorization category (role) *)
+  status : status;
+}
+
+val entry :
+  time:int ->
+  op:op ->
+  user:string ->
+  data:string ->
+  purpose:string ->
+  authorized:string ->
+  status:status ->
+  entry
+
+val op_to_int : op -> int
+val op_of_int : int -> op
+(** @raise Invalid_argument outside {0, 1}. *)
+
+val status_to_int : status -> int
+val status_of_int : int -> status
+(** @raise Invalid_argument outside {0, 1}. *)
+
+val attr_time : string
+val attr_op : string
+val attr_user : string
+val attr_data : string
+val attr_purpose : string
+val attr_authorized : string
+val attr_status : string
+
+val attributes : string list
+(** Schema order as given in the paper. *)
+
+val pattern_attributes : string list
+(** The A default of Algorithm 4: (data, purpose, authorized). *)
+
+val relational_columns : (string * Relational.Value.ty) list
+val relational_schema : unit -> Relational.Schema.t
+val to_row : entry -> Relational.Row.t
+
+val of_row : Relational.Row.t -> entry
+(** @raise Invalid_argument on rows that do not follow
+    {!relational_schema}. *)
+
+val to_assoc : entry -> (string * string) list
+(** The entry as the paper's rule of seven RuleTerms (ints rendered as
+    strings). *)
+
+val equal : entry -> entry -> bool
+val pp : Format.formatter -> entry -> unit

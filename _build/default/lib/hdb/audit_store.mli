@@ -1,0 +1,33 @@
+(** Storage-efficient audit log — the "minimal impact, storage and
+    performance efficient logs" of HDB Compliance Auditing.
+
+    Columnar layout: times in an int vector; user/data/purpose/authorized
+    dictionary-encoded (audit logs repeat a small set of strings
+    endlessly); op and status bit-packed.  {!naive_bytes} and
+    {!encoded_bytes} feed the storage-efficiency experiment (E6). *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val append : t -> Audit_schema.entry -> unit
+
+val get : t -> int -> Audit_schema.entry
+(** @raise Invalid_argument when out of bounds. *)
+
+val iter : (Audit_schema.entry -> unit) -> t -> unit
+val fold : ('acc -> Audit_schema.entry -> 'acc) -> 'acc -> t -> 'acc
+val to_list : t -> Audit_schema.entry list
+val append_all : t -> Audit_schema.entry list -> unit
+val of_entries : Audit_schema.entry list -> t
+
+val naive_bytes : t -> int
+(** Estimated size of the flat row-store equivalent (strings inline). *)
+
+val encoded_bytes : t -> int
+(** Estimated size of this encoded representation (id vectors + packed
+    bits + dictionaries). *)
+
+val to_table : t -> database:Relational.Database.t -> table_name:string -> Relational.Table.t
+(** Exports into a relational table (truncating any previous export), for
+    SQL analysis over the log. *)

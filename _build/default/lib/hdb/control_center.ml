@@ -1,0 +1,55 @@
+(* The HDB Control Center: the single surface a deployment uses to stand up
+   Active Enforcement + Compliance Auditing over a clinical database — define
+   the vocabulary-backed rule base, patient consent, the column-to-category
+   mapping, then run enforced queries and inspect the audit trail. *)
+
+type t = {
+  engine : Relational.Engine.t;
+  rules : Privacy_rules.t;
+  consent : Consent.t;
+  categories : Category_map.t;
+  logger : Audit_logger.t;
+  enforcement : Enforcement.t;
+}
+
+let create ?(engine = Relational.Engine.create ()) ~vocab () =
+  let rules = Privacy_rules.create ~vocab in
+  let consent = Consent.create ~vocab () in
+  let categories = Category_map.create () in
+  let logger = Audit_logger.create () in
+  let enforcement = Enforcement.create ~engine ~rules ~consent ~categories ~logger in
+  { engine; rules; consent; categories; logger; enforcement }
+
+let engine t = t.engine
+let rules t = t.rules
+let consent t = t.consent
+let logger t = t.logger
+let enforcement t = t.enforcement
+let audit_store t = Audit_logger.store t.logger
+
+(* Administrative SQL (DDL, loads) bypasses enforcement. *)
+let admin_exec t sql = Relational.Engine.exec t.engine sql
+
+let permit t ~data ~purpose ~authorized =
+  Privacy_rules.add t.rules ~data ~purpose ~authorized ()
+
+let forbid t ~data ~purpose ~authorized =
+  Privacy_rules.add t.rules ~effect:Privacy_rules.Forbid ~data ~purpose ~authorized ()
+
+let map_column t ~table ~column ~category =
+  Category_map.set_category t.categories ~table ~column ~category
+
+let set_patient_column t ~table ~column =
+  Category_map.set_patient_column t.categories ~table ~column
+
+let opt_out t ~patient ~purpose ~data =
+  Consent.record t.consent ~patient ~purpose ~data Consent.Opt_out
+
+let opt_in t ~patient ~purpose ~data =
+  Consent.record t.consent ~patient ~purpose ~data Consent.Opt_in
+
+let query ?break_glass t ~user ~role ~purpose sql =
+  Enforcement.run_query ?break_glass t.enforcement
+    { Enforcement.user; role; purpose } sql
+
+let audit_entries t = Audit_logger.entries t.logger

@@ -1,0 +1,390 @@
+(* HDB Active Enforcement: the middleware of Figure 5.
+
+   A user query arrives with a context (user, role, chosen purpose).  The
+   enforcer parses it, maps the touched columns to data categories, consults
+   the privacy rules and patient consent, and rewrites the query so that only
+   policy- and consent-consistent data is returned:
+
+   - cell-level limitation: projections of forbidden categories are replaced
+     by NULL (keeping the output shape);
+   - row-level limitation: a patient-exclusion predicate is injected for
+     patients who opted out of the (purpose, category) uses the query makes;
+   - predicate columns of forbidden categories deny the whole query (masking
+     cannot fix information flow through WHERE).
+
+   Denied queries may be re-issued with [~break_glass:true]; the original
+   query then runs unmasked but every disclosed category is logged as an
+   exception-based access (status 0) — the raw material of PRIMA refinement. *)
+
+open Relational
+
+let log_src = Logs.Src.create "prima.enforcement" ~doc:"HDB Active Enforcement decisions"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type context = {
+  user : string;
+  role : string;
+  purpose : string;
+}
+
+type t = {
+  engine : Engine.t;
+  rules : Privacy_rules.t;
+  consent : Consent.t;
+  categories : Category_map.t;
+  logger : Audit_logger.t;
+}
+
+type outcome = {
+  result : Executor.result_set;
+  rewritten_sql : string;
+  masked_columns : string list;
+  excluded_patients : string list;
+  break_glass : bool;
+  disclosed_categories : string list;
+}
+
+type error =
+  | Denied of string
+  | Unsupported of string
+
+let create ~engine ~rules ~consent ~categories ~logger =
+  { engine; rules; consent; categories; logger }
+
+let engine t = t.engine
+let logger t = t.logger
+let rules t = t.rules
+let consent t = t.consent
+let categories t = t.categories
+
+(* Column references (qualifier, name) appearing anywhere in an
+   expression. *)
+let rec expr_columns (e : Sql_ast.expr) =
+  match e with
+  | Sql_ast.Col { qualifier; name } -> [ (qualifier, String.lowercase_ascii name) ]
+  | Sql_ast.Lit _ | Sql_ast.Star -> []
+  | Sql_ast.Unop (_, x) -> expr_columns x
+  | Sql_ast.Binop (_, a, b) -> expr_columns a @ expr_columns b
+  | Sql_ast.Agg { arg; _ } -> expr_columns arg
+  | Sql_ast.Call (_, args) -> List.concat_map expr_columns args
+  | Sql_ast.In_list { scrutinee; items; _ } ->
+    expr_columns scrutinee @ List.concat_map expr_columns items
+  | Sql_ast.In_select { scrutinee; _ } ->
+    (* Subquery columns reference the subquery's own scope. *)
+    expr_columns scrutinee
+  | Sql_ast.Exists _ | Sql_ast.Scalar_select _ -> []
+  | Sql_ast.Like { scrutinee; pattern; _ } -> expr_columns scrutinee @ expr_columns pattern
+  | Sql_ast.Is_null { scrutinee; _ } -> expr_columns scrutinee
+  | Sql_ast.Between { scrutinee; low; high; _ } ->
+    expr_columns scrutinee @ expr_columns low @ expr_columns high
+
+let dedupe xs = List.sort_uniq String.compare xs
+
+exception Derived_in_scope
+
+(* The base tables a FROM clause brings into scope, with their qualifiers
+   and schemas.  Derived tables could smuggle clinical columns past the
+   rewriter, so they are rejected under enforcement.
+   @raise Derived_in_scope when the tree contains one. *)
+type scope_entry = {
+  table_name : string;
+  qualifier : string;
+  table_schema : Schema.t;
+}
+
+let rec scope_of t (ref : Sql_ast.table_ref) : scope_entry list =
+  match ref with
+  | Sql_ast.Table { name; alias } ->
+    let table = Database.table (Engine.database t.engine) name in
+    [ { table_name = Table.name table;
+        qualifier = String.lowercase_ascii (Option.value alias ~default:(Table.name table));
+        table_schema = Table.schema table;
+      } ]
+  | Sql_ast.Derived _ -> raise Derived_in_scope
+  | Sql_ast.Join { left; right; on; _ } ->
+    ignore on;
+    scope_of t left @ scope_of t right
+
+(* Resolve a column reference to the table it reads from.  Unqualified
+   names resolve when exactly one in-scope table has the column; other
+   cases are left to the engine's own resolution errors. *)
+let table_of_column scope (qualifier, name) =
+  match qualifier with
+  | Some q ->
+    List.find_opt
+      (fun entry -> String.equal entry.qualifier (String.lowercase_ascii q))
+      scope
+  | None -> begin
+    match List.filter (fun entry -> Schema.mem entry.table_schema name) scope with
+    | [ entry ] -> Some entry
+    | _ -> None
+  end
+
+let category_of_ref t scope column_ref =
+  match table_of_column scope column_ref with
+  | None -> None
+  | Some entry ->
+    Option.map
+      (fun category -> (entry, category))
+      (Category_map.category_of t.categories ~table:entry.table_name ~column:(snd column_ref))
+
+let permitted t ctx category =
+  Privacy_rules.permits t.rules ~data:category ~purpose:ctx.purpose ~authorized:ctx.role
+
+(* All distinct patient ids present in a table, in first-seen order. *)
+let patients_in_table t ~table ~patient_column =
+  let tbl = Database.table (Engine.database t.engine) table in
+  let idx = Schema.find_exn (Table.schema tbl) patient_column in
+  let seen = Hashtbl.create 256 in
+  Table.fold
+    (fun acc row ->
+      match Value.as_string (Row.get row idx) with
+      | Some p when not (Hashtbl.mem seen p) ->
+        Hashtbl.add seen p ();
+        p :: acc
+      | Some _ | None -> acc)
+    [] tbl
+  |> List.rev
+
+let log_categories t ctx ~op ~status categories =
+  let _ = Audit_logger.tick t.logger in
+  List.iter
+    (fun data ->
+      Audit_logger.log t.logger ~op ~user:ctx.user ~data ~purpose:ctx.purpose
+        ~authorized:ctx.role ~status)
+    categories
+
+(* Expand '*' projections against the full scope so masking can act per
+   output column. *)
+let expand_select_projections scope (projections : Sql_ast.projection list) =
+  List.concat_map
+    (fun (p : Sql_ast.projection) ->
+      match p with
+      | Sql_ast.All_columns ->
+        List.concat_map
+          (fun entry ->
+            List.map
+              (fun (c : Schema.column) ->
+                Sql_ast.Proj
+                  (Sql_ast.Col { qualifier = Some entry.qualifier; name = c.Schema.name },
+                   Some c.Schema.name))
+              (Schema.columns entry.table_schema))
+          scope
+      | Sql_ast.Proj _ -> [ p ])
+    projections
+
+(* The rewrite itself, pure of side effects: returns the rewritten select,
+   masked output columns, excluded patients and disclosed categories, or the
+   denial reason.  Handles any join tree of base tables; unmapped tables in
+   scope contribute nothing to enforcement. *)
+let rewrite t ctx (select : Sql_ast.select) =
+  match select.Sql_ast.from with
+  | None -> Ok (select, [], [], [])
+  | Some from_clause ->
+    match scope_of t from_clause with
+    | exception Derived_in_scope ->
+      Error (Unsupported "derived tables are not supported under enforcement")
+    | scope ->
+    let any_mapped =
+      List.exists
+        (fun entry -> Category_map.is_mapped_table t.categories ~table:entry.table_name)
+        scope
+    in
+    if not any_mapped then Ok (select, [], [], [])
+    else begin
+      let projections = expand_select_projections scope select.Sql_ast.projections in
+      (* Predicate-side categories (WHERE, GROUP BY, HAVING, ORDER BY and
+         join conditions) must be permitted outright. *)
+      let rec on_conditions (ref : Sql_ast.table_ref) =
+        match ref with
+        | Sql_ast.Table _ | Sql_ast.Derived _ -> []
+        | Sql_ast.Join { left; right; on; _ } ->
+          Option.to_list on @ on_conditions left @ on_conditions right
+      in
+      let predicate_refs =
+        List.concat_map expr_columns
+          (Option.to_list select.Sql_ast.where
+          @ select.Sql_ast.group_by
+          @ Option.to_list select.Sql_ast.having
+          @ List.map fst select.Sql_ast.order_by
+          @ on_conditions from_clause)
+      in
+      let forbidden_predicate_categories =
+        List.filter_map
+          (fun column_ref ->
+            match category_of_ref t scope column_ref with
+            | Some (_, category) when not (permitted t ctx category) -> Some category
+            | Some _ | None -> None)
+          predicate_refs
+        |> dedupe
+      in
+      if forbidden_predicate_categories <> [] then
+        Error
+          (Denied
+             (Printf.sprintf "predicate uses forbidden categories: %s"
+                (String.concat ", " forbidden_predicate_categories)))
+      else begin
+        (* Cell-level masking of projections; track disclosures per table
+           for consent. *)
+        let masked = ref [] in
+        let disclosed = ref [] in (* (table_name, category) *)
+        let masked_projections =
+          List.map
+            (fun (p : Sql_ast.projection) ->
+              match p with
+              | Sql_ast.All_columns -> p
+              | Sql_ast.Proj (e, alias) ->
+                let refs = expr_columns e in
+                let categories = List.filter_map (category_of_ref t scope) refs in
+                let bad =
+                  List.filter (fun (_, c) -> not (permitted t ctx c)) categories
+                in
+                if bad = [] then begin
+                  disclosed :=
+                    List.map (fun (entry, c) -> (entry.table_name, c)) categories
+                    @ !disclosed;
+                  p
+                end
+                else begin
+                  masked := List.map snd refs @ !masked;
+                  let name =
+                    match alias, e with
+                    | Some a, _ -> Some a
+                    | None, Sql_ast.Col { name; _ } -> Some name
+                    | None, _ -> None
+                  in
+                  Sql_ast.Proj (Sql_ast.Lit Value.Null, name)
+                end)
+            projections
+        in
+        let disclosed_pairs = List.sort_uniq compare !disclosed in
+        let disclosed_categories = dedupe (List.map snd disclosed_pairs) in
+        if disclosed_categories = [] && !masked <> [] then
+          Error (Denied "no requested category is permitted for this role and purpose")
+        else begin
+          (* Row-level consent exclusion, per mapped table with a patient
+             column, over the categories disclosed from that table. *)
+          let exclusions =
+            List.filter_map
+              (fun entry ->
+                match Category_map.patient_column t.categories ~table:entry.table_name with
+                | None -> None
+                | Some pc ->
+                  let table_categories =
+                    List.filter_map
+                      (fun (tbl, c) ->
+                        if String.equal tbl entry.table_name then Some c else None)
+                      disclosed_pairs
+                  in
+                  if table_categories = [] then None
+                  else begin
+                    let patients =
+                      patients_in_table t ~table:entry.table_name ~patient_column:pc
+                    in
+                    match
+                      Consent.opted_out_patients t.consent ~patients ~purpose:ctx.purpose
+                        ~categories:table_categories
+                    with
+                    | [] -> None
+                    | excluded -> Some (entry, pc, excluded)
+                  end)
+              scope
+          in
+          let where =
+            List.fold_left
+              (fun where (entry, pc, excluded) ->
+                let exclusion =
+                  Sql_ast.In_list
+                    { scrutinee =
+                        Sql_ast.Col { qualifier = Some entry.qualifier; name = pc };
+                      negated = true;
+                      items = List.map (fun p -> Sql_ast.Lit (Value.Str p)) excluded;
+                    }
+                in
+                match where with
+                | Some w -> Some (Sql_ast.and_ w exclusion)
+                | None -> Some exclusion)
+              select.Sql_ast.where exclusions
+          in
+          let rewritten =
+            { select with Sql_ast.projections = masked_projections; where }
+          in
+          let excluded_patients =
+            dedupe (List.concat_map (fun (_, _, excluded) -> excluded) exclusions)
+          in
+          Ok (rewritten, dedupe !masked, excluded_patients, disclosed_categories)
+        end
+      end
+    end
+
+(* Categories the raw query would disclose, before any masking. *)
+let requested_categories t (select : Sql_ast.select) =
+  match select.Sql_ast.from with
+  | None -> []
+  | Some from_clause ->
+    match scope_of t from_clause with
+    | exception Derived_in_scope -> []
+    | scope ->
+    let projections = expand_select_projections scope select.Sql_ast.projections in
+    List.concat_map
+      (fun (p : Sql_ast.projection) ->
+        match p with
+        | Sql_ast.All_columns -> []
+        | Sql_ast.Proj (e, _) ->
+          List.filter_map
+            (fun column_ref ->
+              Option.map snd (category_of_ref t scope column_ref))
+            (expr_columns e))
+      projections
+    |> dedupe
+
+let run_query ?(break_glass = false) t ctx sql : (outcome, error) result =
+  match Engine.parse sql with
+  | Sql_ast.Select select -> begin
+    match rewrite t ctx select with
+    | Ok (rewritten, masked_columns, excluded_patients, disclosed) ->
+      Log.debug (fun m ->
+          m "permit %s/%s/%s: disclosed=[%s] masked=[%s] excluded=%d" ctx.user ctx.role
+            ctx.purpose (String.concat "," disclosed)
+            (String.concat "," masked_columns)
+            (List.length excluded_patients));
+      let result = Engine.query_select t.engine rewritten in
+      if disclosed <> [] then
+        log_categories t ctx ~op:Audit_schema.Allow ~status:Audit_schema.Regular disclosed;
+      Ok
+        { result;
+          rewritten_sql = Sql_ast.select_to_sql rewritten;
+          masked_columns;
+          excluded_patients;
+          break_glass = false;
+          disclosed_categories = disclosed;
+        }
+    | Error (Denied reason) when break_glass ->
+      (* Break The Glass: execute the original query, audit everything
+         disclosed as exception-based. *)
+      Log.info (fun m -> m "break-the-glass by %s/%s/%s (%s)" ctx.user ctx.role ctx.purpose reason);
+      let disclosed = requested_categories t select in
+      let result = Engine.query_select t.engine select in
+      log_categories t ctx ~op:Audit_schema.Allow ~status:Audit_schema.Exception_based
+        disclosed;
+      Ok
+        { result;
+          rewritten_sql = Sql_ast.select_to_sql select;
+          masked_columns = [];
+          excluded_patients = [];
+          break_glass = true;
+          disclosed_categories = disclosed;
+        }
+    | Error (Denied reason) ->
+      Log.info (fun m -> m "deny %s/%s/%s: %s" ctx.user ctx.role ctx.purpose reason);
+      let requested = requested_categories t select in
+      log_categories t ctx ~op:Audit_schema.Disallow ~status:Audit_schema.Regular requested;
+      Error (Denied reason)
+    | Error e -> Error e
+  end
+  | _ -> Error (Unsupported "enforcement applies to SELECT statements only")
+
+let error_to_string = function
+  | Denied reason -> "denied: " ^ reason
+  | Unsupported reason -> "unsupported: " ^ reason

@@ -1,0 +1,67 @@
+(** HDB Active Enforcement: the query-rewriting middleware of Figure 5.
+
+    A user query arrives with a context (user, role, chosen purpose).  The
+    enforcer parses it, maps touched columns to data categories, consults
+    the privacy rules and patient consent, and rewrites the query so that
+    only policy- and consent-consistent data is returned:
+
+    - cell-level limitation: projections of forbidden categories are
+      replaced by NULL (keeping the output shape);
+    - row-level limitation: a patient-exclusion predicate is injected for
+      patients who opted out of the uses the query makes;
+    - predicate columns of forbidden categories deny the whole query
+      (masking cannot fix information flow through WHERE).
+
+    Denied queries may be re-issued with [~break_glass:true]; the original
+    query then runs unmasked and every disclosed category is logged as an
+    exception-based access (status 0) — the raw material of PRIMA
+    refinement. *)
+
+type context = {
+  user : string;
+  role : string;  (** authorization category, a vocabulary value *)
+  purpose : string;  (** chosen (or manually entered) purpose *)
+}
+
+type t
+
+type outcome = {
+  result : Relational.Executor.result_set;
+  rewritten_sql : string;  (** what actually ran, for inspection *)
+  masked_columns : string list;
+  excluded_patients : string list;
+  break_glass : bool;
+  disclosed_categories : string list;
+}
+
+type error =
+  | Denied of string
+  | Unsupported of string
+
+val create :
+  engine:Relational.Engine.t ->
+  rules:Privacy_rules.t ->
+  consent:Consent.t ->
+  categories:Category_map.t ->
+  logger:Audit_logger.t ->
+  t
+
+val engine : t -> Relational.Engine.t
+val logger : t -> Audit_logger.t
+val rules : t -> Privacy_rules.t
+val consent : t -> Consent.t
+val categories : t -> Category_map.t
+
+val rewrite :
+  t ->
+  context ->
+  Relational.Sql_ast.select ->
+  (Relational.Sql_ast.select * string list * string list * string list, error) result
+(** The pure rewrite: [(rewritten, masked columns, excluded patients,
+    disclosed categories)] or the denial.  Queries over unmapped tables
+    pass through untouched. *)
+
+val run_query : ?break_glass:bool -> t -> context -> string -> (outcome, error) result
+(** Rewrite, execute, audit.  Non-SELECT statements are [Unsupported]. *)
+
+val error_to_string : error -> string

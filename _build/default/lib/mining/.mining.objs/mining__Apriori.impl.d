@@ -1,0 +1,1 @@
+lib/mining/apriori.ml: Array Itemset List Transactions

@@ -1,0 +1,1 @@
+lib/mining/apriori.mli: Itemset Transactions

@@ -1,0 +1,1 @@
+lib/mining/assoc_rules.ml: Apriori Float Fmt Int Itemset List Transactions

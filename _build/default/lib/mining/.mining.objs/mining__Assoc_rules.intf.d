@@ -1,0 +1,1 @@
+lib/mining/assoc_rules.mli: Apriori Format Itemset Transactions

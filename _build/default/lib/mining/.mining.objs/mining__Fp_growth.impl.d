@@ -1,0 +1,1 @@
+lib/mining/fp_growth.ml: Apriori Array Hashtbl Int Itemset List Transactions

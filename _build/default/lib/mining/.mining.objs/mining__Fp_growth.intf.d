@@ -1,0 +1,1 @@
+lib/mining/fp_growth.mli: Apriori Transactions

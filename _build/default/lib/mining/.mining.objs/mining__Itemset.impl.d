@@ -1,0 +1,1 @@
+lib/mining/itemset.ml: Array Fmt Hashtbl Int List String

@@ -1,0 +1,1 @@
+lib/mining/itemset.mli: Format Hashtbl

@@ -1,0 +1,1 @@
+lib/mining/transactions.mli: Itemset

@@ -1,0 +1,78 @@
+(* Association rules from frequent itemsets (support/confidence framework of
+   Agrawal & Srikant).  PRIMA uses these to surface cross-attribute
+   correlations the plain SQL analysis misses, e.g. "purpose=registration ->
+   authorized=nurse" with high confidence. *)
+
+type rule = {
+  antecedent : Itemset.t;
+  consequent : Itemset.t;
+  support : int; (* absolute support of antecedent ∪ consequent *)
+  confidence : float;
+  lift : float;
+}
+
+(* Proper non-empty subsets of [s], as itemsets. *)
+let proper_subsets (s : Itemset.t) : Itemset.t list =
+  let items = Itemset.to_list s in
+  let n = List.length items in
+  if n > 20 then invalid_arg "Assoc_rules: itemset too large";
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: rest ->
+      let subs = go rest in
+      subs @ List.map (fun sub -> x :: sub) subs
+  in
+  go items
+  |> List.filter (fun sub -> sub <> [] && List.length sub < n)
+  |> List.map Itemset.of_list
+
+(* [derive tx frequents ~min_confidence] enumerates all rules X -> Y with
+   X ∪ Y frequent, X ∩ Y = ∅ and confidence >= min_confidence. *)
+let derive (tx : Transactions.t) (frequents : Apriori.frequent list) ~min_confidence :
+    rule list =
+  let support_of =
+    let table = Itemset.Tbl.create (List.length frequents) in
+    List.iter
+      (fun (f : Apriori.frequent) -> Itemset.Tbl.replace table f.itemset f.support)
+      frequents;
+    fun itemset ->
+      match Itemset.Tbl.find_opt table itemset with
+      | Some s -> s
+      | None -> Transactions.support tx itemset
+  in
+  let total = float_of_int (Transactions.count tx) in
+  List.concat_map
+    (fun (f : Apriori.frequent) ->
+      if Itemset.size f.itemset < 2 then []
+      else
+        List.filter_map
+          (fun antecedent ->
+            let consequent = Itemset.diff f.itemset antecedent in
+            let support_a = support_of antecedent in
+            if support_a = 0 then None
+            else begin
+              let confidence = float_of_int f.support /. float_of_int support_a in
+              if confidence < min_confidence then None
+              else begin
+                let support_c = support_of consequent in
+                let lift =
+                  if support_c = 0 || total = 0. then 0.
+                  else confidence /. (float_of_int support_c /. total)
+                in
+                Some { antecedent; consequent; support = f.support; confidence; lift }
+              end
+            end)
+          (proper_subsets f.itemset))
+    frequents
+
+let sort_by_confidence rules =
+  List.sort
+    (fun a b ->
+      let c = Float.compare b.confidence a.confidence in
+      if c <> 0 then c else Int.compare b.support a.support)
+    rules
+
+let pp interner ppf rule =
+  Fmt.pf ppf "%a -> %a  (support=%d, confidence=%.2f, lift=%.2f)"
+    (Itemset.pp interner) rule.antecedent (Itemset.pp interner) rule.consequent rule.support
+    rule.confidence rule.lift

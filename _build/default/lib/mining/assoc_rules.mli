@@ -1,0 +1,25 @@
+(** Association rules from frequent itemsets (support/confidence framework).
+
+    PRIMA uses these to surface cross-attribute correlations the plain SQL
+    analysis misses, e.g. "purpose=registration -> authorized=nurse". *)
+
+type rule = {
+  antecedent : Itemset.t;
+  consequent : Itemset.t;
+  support : int;  (** absolute support of antecedent ∪ consequent *)
+  confidence : float;
+  lift : float;
+}
+
+val proper_subsets : Itemset.t -> Itemset.t list
+(** Non-empty proper subsets.
+    @raise Invalid_argument on itemsets larger than 20. *)
+
+val derive : Transactions.t -> Apriori.frequent list -> min_confidence:float -> rule list
+(** All rules X -> Y with X ∪ Y frequent, X ∩ Y = ∅ and confidence >=
+    [min_confidence]. *)
+
+val sort_by_confidence : rule list -> rule list
+(** Descending confidence, then support. *)
+
+val pp : Itemset.interner -> Format.formatter -> rule -> unit

@@ -1,0 +1,137 @@
+(* FP-growth: frequent itemset mining without candidate generation.
+   Used as the ablation baseline against Apriori in experiment E7 — both must
+   produce identical frequent sets. *)
+
+type node = {
+  item : int; (* -1 at the root *)
+  mutable count : int;
+  parent : node option;
+  mutable children : (int * node) list;
+}
+
+type tree = {
+  root : node;
+  (* Header table: item id -> every node carrying that item. *)
+  header : (int, node list ref) Hashtbl.t;
+}
+
+let make_root () = { item = -1; count = 0; parent = None; children = [] }
+
+let new_tree () = { root = make_root (); header = Hashtbl.create 64 }
+
+let child_for tree parent item =
+  match List.assoc_opt item parent.children with
+  | Some child -> child
+  | None ->
+    let child = { item; count = 0; parent = Some parent; children = [] } in
+    parent.children <- (item, child) :: parent.children;
+    (match Hashtbl.find_opt tree.header item with
+    | Some nodes -> nodes := child :: !nodes
+    | None -> Hashtbl.add tree.header item (ref [ child ]));
+    child
+
+(* Insert a transaction (already frequency-ordered) with multiplicity. *)
+let insert tree items count =
+  let node =
+    List.fold_left
+      (fun parent item ->
+        let child = child_for tree parent item in
+        child.count <- child.count + count;
+        child)
+      tree.root items
+  in
+  ignore node
+
+(* Order items in a transaction by decreasing global frequency (ties broken
+   by id) and drop infrequent ones: the canonical FP-tree insertion order. *)
+let order_items frequencies ~min_support items =
+  items
+  |> List.filter (fun id -> frequencies.(id) >= min_support)
+  |> List.sort (fun a b ->
+         let c = Int.compare frequencies.(b) frequencies.(a) in
+         if c <> 0 then c else Int.compare a b)
+
+let build_tree (transactions : (int list * int) list) frequencies ~min_support =
+  let tree = new_tree () in
+  List.iter
+    (fun (items, count) ->
+      let ordered = order_items frequencies ~min_support items in
+      if ordered <> [] then insert tree ordered count)
+    transactions;
+  tree
+
+(* Conditional pattern base of an item: for each node carrying it, the path
+   to the root with that node's count. *)
+let conditional_base tree item =
+  match Hashtbl.find_opt tree.header item with
+  | None -> []
+  | Some nodes ->
+    List.filter_map
+      (fun node ->
+        let rec path acc n =
+          match n.parent with
+          | None -> acc
+          | Some p -> if p.item = -1 then acc else path (p.item :: acc) p
+        in
+        let items = path [] node in
+        if items = [] then None else Some (items, node.count))
+      !nodes
+
+let item_support tree item =
+  match Hashtbl.find_opt tree.header item with
+  | None -> 0
+  | Some nodes -> List.fold_left (fun acc n -> acc + n.count) 0 !nodes
+
+let tree_items tree = Hashtbl.fold (fun item _ acc -> item :: acc) tree.header []
+
+let frequencies_of transactions universe =
+  let freq = Array.make universe 0 in
+  List.iter
+    (fun (items, count) -> List.iter (fun id -> freq.(id) <- freq.(id) + count) items)
+    transactions;
+  freq
+
+(* [mine tx ~min_support] produces the same result set as [Apriori.mine]
+   (order may differ).  ~max_size bounds itemset size. *)
+let mine ?(max_size = max_int) (tx : Transactions.t) ~min_support : Apriori.frequent list
+    =
+  if min_support <= 0 then invalid_arg "Fp_growth.mine: min_support must be positive";
+  let universe = Itemset.universe_size (Transactions.interner tx) in
+  let results = ref [] in
+  let rec grow transactions suffix suffix_support =
+    if List.length suffix > 0 then
+      results :=
+        { Apriori.itemset = Itemset.of_list suffix; support = suffix_support } :: !results;
+    if List.length suffix >= max_size then ()
+    else begin
+      let frequencies = frequencies_of transactions universe in
+      let tree = build_tree transactions frequencies ~min_support in
+      let items =
+        tree_items tree
+        |> List.filter (fun item -> item_support tree item >= min_support)
+        (* Mine least-frequent first, canonical FP-growth order. *)
+        |> List.sort (fun a b ->
+               let c = Int.compare (item_support tree a) (item_support tree b) in
+               if c <> 0 then c else Int.compare b a)
+      in
+      List.iter
+        (fun item ->
+          let support = item_support tree item in
+          grow (conditional_base tree item) (item :: suffix) support)
+        items
+    end
+  in
+  let base =
+    List.init (Transactions.count tx) (fun i ->
+        (Itemset.to_list (Transactions.get tx i), 1))
+  in
+  grow base [] 0;
+  !results
+
+(* Normalise a frequent-set list for comparison across miners. *)
+let normalize (frequents : Apriori.frequent list) =
+  List.sort
+    (fun (a : Apriori.frequent) b ->
+      let c = Int.compare (Itemset.size a.itemset) (Itemset.size b.itemset) in
+      if c <> 0 then c else Itemset.compare a.itemset b.itemset)
+    frequents

@@ -1,0 +1,11 @@
+(** FP-growth: frequent-itemset mining without candidate generation.
+
+    The ablation baseline against {!Apriori} — both must produce identical
+    frequent sets (experiment E7 and the property suite check this). *)
+
+val mine : ?max_size:int -> Transactions.t -> min_support:int -> Apriori.frequent list
+(** Same result set as {!Apriori.mine} (order may differ).
+    @raise Invalid_argument when [min_support <= 0]. *)
+
+val normalize : Apriori.frequent list -> Apriori.frequent list
+(** Canonical order (by size, then itemset) for comparing miners. *)

@@ -1,0 +1,39 @@
+(* A transaction database: each transaction is one audit entry rendered as a
+   set of (attribute, value) items.  Construction interns items and sorts
+   each transaction once, so the miners work on dense ids. *)
+
+type t = {
+  interner : Itemset.interner;
+  rows : Itemset.t array;
+}
+
+let of_item_lists (lists : Itemset.item list list) =
+  let interner = Itemset.create_interner () in
+  let rows =
+    Array.of_list
+      (List.map
+         (fun items -> Itemset.of_list (List.map (Itemset.intern interner) items))
+         lists)
+  in
+  { interner; rows }
+
+let interner t = t.interner
+
+let count t = Array.length t.rows
+
+let get t i = t.rows.(i)
+
+let iter f t = Array.iter f t.rows
+
+(* Absolute support of an itemset: number of transactions containing it. *)
+let support t itemset =
+  Array.fold_left (fun acc row -> if Itemset.subset itemset row then acc + 1 else acc) 0 t.rows
+
+let relative_support t itemset =
+  if count t = 0 then 0. else float_of_int (support t itemset) /. float_of_int (count t)
+
+(* Per-item absolute frequencies, indexed by item id. *)
+let item_frequencies t =
+  let freq = Array.make (Itemset.universe_size t.interner) 0 in
+  iter (fun row -> Array.iter (fun id -> freq.(id) <- freq.(id) + 1) row) t;
+  freq

@@ -1,0 +1,20 @@
+(** A transaction database: each transaction is one audit entry rendered as
+    a set of (attribute, value) items. *)
+
+type t
+
+val of_item_lists : Itemset.item list list -> t
+(** Interns items and sorts each transaction once. *)
+
+val interner : t -> Itemset.interner
+val count : t -> int
+val get : t -> int -> Itemset.t
+val iter : (Itemset.t -> unit) -> t -> unit
+
+val support : t -> Itemset.t -> int
+(** Absolute support: transactions containing the itemset. *)
+
+val relative_support : t -> Itemset.t -> float
+
+val item_frequencies : t -> int array
+(** Per-item absolute frequencies, indexed by item id. *)

@@ -1,0 +1,1 @@
+lib/prima_system/system.ml: Audit_mgmt Hdb List Prima_core Vocabulary

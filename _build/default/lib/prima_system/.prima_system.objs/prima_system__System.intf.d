@@ -1,0 +1,1 @@
+lib/prima_system/system.mli: Audit_mgmt Hdb Prima_core Vocabulary

@@ -1,0 +1,86 @@
+(* The assembled PRIMA architecture of Figure 4:
+
+     stakeholders -> Privacy Policy Definition (HDB Control Center)
+                  -> privacy controls in the clinical environment
+                  -> audit logs -> Audit Management (federation)
+                  -> Policy Refinement -> definitions back into the policy
+
+   This module wires the three components together and closes the loop:
+   patterns accepted during refinement are installed both in the formal
+   policy store P_PS and as Active Enforcement permit rules, so the
+   corresponding accesses stop needing Break-The-Glass — privacy controls
+   are "gradually and seamlessly" embedded into the clinical workflow. *)
+
+type t = {
+  control : Hdb.Control_center.t;
+  federation : Audit_mgmt.Federation.t;
+  prima : Prima_core.Prima.t;
+}
+
+let create ?(training_minimum = 0) ?config ~vocab ~p_ps () =
+  let control = Hdb.Control_center.create ~vocab () in
+  (* Seed the enforcement rule base from the initial policy store. *)
+  List.iter
+    (fun rule ->
+      match
+        ( Prima_core.Rule.find_attr rule Vocabulary.Audit_attrs.data,
+          Prima_core.Rule.find_attr rule Vocabulary.Audit_attrs.purpose,
+          Prima_core.Rule.find_attr rule Vocabulary.Audit_attrs.authorized )
+      with
+      | Some data, Some purpose, Some authorized ->
+        Hdb.Control_center.permit control ~data ~purpose ~authorized
+      | _ -> ())
+    (Prima_core.Policy.rules p_ps);
+  let federation = Audit_mgmt.Federation.create () in
+  Audit_mgmt.Federation.add_site federation
+    (Audit_mgmt.Site.of_store ~name:"clinical-db" (Hdb.Control_center.audit_store control));
+  let prima = Prima_core.Prima.create ~training_minimum ?config ~vocab ~p_ps () in
+  { control; federation; prima }
+
+let control t = t.control
+let federation t = t.federation
+let prima t = t.prima
+
+let add_site t site = Audit_mgmt.Federation.add_site t.federation site
+
+(* Pull the consolidated audit view into the refinement component's P_AL. *)
+let sync_audit t =
+  Prima_core.Prima.reset_audit t.prima;
+  Prima_core.Prima.ingest_rules t.prima
+    (Prima_core.Policy.rules (Audit_mgmt.Federation.to_policy t.federation))
+
+let coverage t =
+  sync_audit t;
+  Prima_core.Prima.coverage t.prima
+
+(* Install an adopted pattern as an enforcement rule so subsequent accesses
+   matching it are regular, not exception-based. *)
+let install_pattern t rule =
+  match
+    ( Prima_core.Rule.find_attr rule Vocabulary.Audit_attrs.data,
+      Prima_core.Rule.find_attr rule Vocabulary.Audit_attrs.purpose,
+      Prima_core.Rule.find_attr rule Vocabulary.Audit_attrs.authorized )
+  with
+  | Some data, Some purpose, Some authorized ->
+    Hdb.Control_center.permit t.control ~data ~purpose ~authorized
+  | _ -> ()
+
+(* Coverage trend over the consolidated trail, judged against the current
+   store; [drifting] on its result signals a refinement run is due. *)
+let trend t ~window =
+  sync_audit t;
+  Prima_core.Trend.compute
+    (Prima_core.Prima.vocab t.prima)
+    ~p_ps:(Prima_core.Prima.policy_store t.prima)
+    ~p_al:(Prima_core.Prima.audit_policy t.prima)
+    ~window ()
+
+(* One full refinement cycle: consolidate logs, run Algorithm 2 with the
+   configured acceptance, embed accepted patterns into enforcement. *)
+let refine t : (Prima_core.Refinement.epoch_report, string) result =
+  sync_audit t;
+  match Prima_core.Prima.refine t.prima with
+  | Error _ as e -> e
+  | Ok report ->
+    List.iter (install_pattern t) report.Prima_core.Refinement.accepted;
+    Ok report

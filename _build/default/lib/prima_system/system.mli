@@ -1,0 +1,47 @@
+(** The assembled PRIMA architecture of Figure 4.
+
+    Wires Privacy Policy Definition (the HDB Control Center), Audit
+    Management (the federation) and Policy Refinement together, and closes
+    the loop: patterns accepted during refinement are installed both in the
+    formal policy store P_PS and as Active Enforcement permit rules, so the
+    corresponding accesses stop needing Break-The-Glass — privacy controls
+    are "gradually and seamlessly" embedded into the clinical workflow. *)
+
+type t
+
+val create :
+  ?training_minimum:int ->
+  ?config:Prima_core.Refinement.config ->
+  vocab:Vocabulary.Vocab.t ->
+  p_ps:Prima_core.Policy.t ->
+  unit ->
+  t
+(** Seeds the enforcement rule base from [p_ps] and registers the clinical
+    database's audit store as the federation's first site. *)
+
+val control : t -> Hdb.Control_center.t
+val federation : t -> Audit_mgmt.Federation.t
+val prima : t -> Prima_core.Prima.t
+
+val add_site : t -> Audit_mgmt.Site.t -> unit
+(** Bring another system's audit trail into the consolidated view. *)
+
+val sync_audit : t -> unit
+(** Pull the consolidated view into the refinement component's P_AL. *)
+
+val coverage : t -> Prima_core.Prima.coverage_report
+(** Syncs, then reports both coverage readings. *)
+
+val install_pattern : t -> Prima_core.Rule.t -> unit
+(** Install a pattern as an enforcement permit rule (no-op for rules
+    without the three pattern attributes). *)
+
+val trend : t -> window:int -> Prima_core.Trend.point list
+(** Coverage trend of the consolidated trail against the current store;
+    {!Prima_core.Trend.drifting} on the result signals a refinement run is
+    due. *)
+
+val refine : t -> (Prima_core.Refinement.epoch_report, string) result
+(** One full cycle: consolidate logs, run Algorithm 2 with the configured
+    acceptance, embed accepted patterns into enforcement.  [Error] during
+    the training period. *)

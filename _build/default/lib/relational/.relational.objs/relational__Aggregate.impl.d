@@ -1,0 +1,1 @@
+lib/relational/aggregate.ml: Errors Hashtbl Sql_ast Value

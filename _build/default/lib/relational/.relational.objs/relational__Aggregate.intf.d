@@ -1,0 +1,1 @@
+lib/relational/aggregate.mli: Sql_ast Value

@@ -1,0 +1,1 @@
+lib/relational/csv.ml: Buffer Errors List Row Schema String Table Value

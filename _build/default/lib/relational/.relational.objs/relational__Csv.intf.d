@@ -1,0 +1,1 @@
+lib/relational/csv.mli: Row Schema Table Value

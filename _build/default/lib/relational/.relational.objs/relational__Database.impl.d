@@ -1,0 +1,1 @@
+lib/relational/database.ml: Errors Hashtbl List String Table

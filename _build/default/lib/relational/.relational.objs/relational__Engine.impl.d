@@ -1,0 +1,1 @@
+lib/relational/engine.ml: Csv Database Errors Executor Fmt List Row Schema Sql_ast Sql_parser String Table Value

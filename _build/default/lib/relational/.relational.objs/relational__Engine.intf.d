@@ -1,0 +1,1 @@
+lib/relational/engine.mli: Database Executor Format Sql_ast Table Value

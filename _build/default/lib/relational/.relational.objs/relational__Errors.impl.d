@@ -1,0 +1,1 @@
+lib/relational/errors.ml: Fmt Printexc Printf

@@ -1,0 +1,1 @@
+lib/relational/executor.ml: Aggregate Array Database Errors Expr Hashtbl Index List Option Printf Row Schema Sql_ast String Table Value

@@ -1,0 +1,1 @@
+lib/relational/executor.mli: Database Row Schema Sql_ast

@@ -1,0 +1,1 @@
+lib/relational/expr.ml: Array Errors Float Hashtbl List Option Row Schema Sql_ast String Value

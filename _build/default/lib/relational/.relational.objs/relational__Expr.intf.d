@@ -1,0 +1,1 @@
+lib/relational/expr.mli: Row Schema Sql_ast Value

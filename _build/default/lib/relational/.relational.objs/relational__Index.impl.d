@@ -1,0 +1,1 @@
+lib/relational/index.ml: Hashtbl List Row Value

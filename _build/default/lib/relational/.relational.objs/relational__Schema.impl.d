@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Array Errors Fmt Fun List Option Printf String Value

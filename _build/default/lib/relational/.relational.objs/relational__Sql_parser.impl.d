@@ -1,0 +1,1 @@
+lib/relational/sql_parser.ml: Errors List Sql_ast Sql_lexer String Value

@@ -1,0 +1,1 @@
+lib/relational/table.ml: Array Errors Fmt Index List Row Schema Value Vec

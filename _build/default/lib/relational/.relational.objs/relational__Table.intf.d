@@ -1,0 +1,1 @@
+lib/relational/table.mli: Format Index Row Schema Value

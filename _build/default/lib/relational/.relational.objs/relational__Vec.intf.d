@@ -1,0 +1,1 @@
+lib/relational/vec.mli:

@@ -1,0 +1,97 @@
+(* Streaming aggregate accumulators.  One accumulator instance per
+   (aggregate expression, group); DISTINCT variants keep a value hash set. *)
+
+module Value_tbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type numeric_sum = {
+  mutable int_sum : int;
+  mutable float_sum : float;
+  mutable saw_float : bool;
+  mutable non_null : int;
+}
+
+type kind =
+  | Acc_count of { mutable n : int }
+  | Acc_sum of numeric_sum
+  | Acc_avg of numeric_sum
+  | Acc_min of { mutable best : Value.t option }
+  | Acc_max of { mutable best : Value.t option }
+
+type t = {
+  kind : kind;
+  seen : unit Value_tbl.t option; (* Some for DISTINCT *)
+  counts_star : bool;
+}
+
+let fresh_sum () = { int_sum = 0; float_sum = 0.; saw_float = false; non_null = 0 }
+
+let create (fn : Sql_ast.agg_fn) ~distinct ~counts_star =
+  let kind =
+    match fn with
+    | Sql_ast.Count -> Acc_count { n = 0 }
+    | Sql_ast.Sum -> Acc_sum (fresh_sum ())
+    | Sql_ast.Avg -> Acc_avg (fresh_sum ())
+    | Sql_ast.Min -> Acc_min { best = None }
+    | Sql_ast.Max -> Acc_max { best = None }
+  in
+  { kind; seen = (if distinct then Some (Value_tbl.create 64) else None); counts_star }
+
+let add_numeric sum v =
+  match v with
+  | Value.Int i ->
+    sum.int_sum <- sum.int_sum + i;
+    sum.non_null <- sum.non_null + 1
+  | Value.Float f ->
+    sum.float_sum <- sum.float_sum +. f;
+    sum.saw_float <- true;
+    sum.non_null <- sum.non_null + 1
+  | Value.Null -> ()
+  | v -> Errors.fail Errors.Execute "cannot aggregate non-numeric value %s" (Value.to_string v)
+
+(* [step t v] feeds one input value.  For COUNT star the value is ignored and
+   every row counts; otherwise SQL semantics skip NULLs. *)
+let step t v =
+  let skip =
+    (not t.counts_star)
+    &&
+    (Value.is_null v
+    ||
+    match t.seen with
+    | Some seen ->
+      if Value_tbl.mem seen v then true
+      else begin
+        Value_tbl.add seen v ();
+        false
+      end
+    | None -> false)
+  in
+  if not skip then
+    match t.kind with
+    | Acc_count c -> c.n <- c.n + 1
+    | Acc_sum sum | Acc_avg sum -> add_numeric sum v
+    | Acc_min m ->
+      (match m.best with
+      | None -> m.best <- Some v
+      | Some b -> if Value.compare v b < 0 then m.best <- Some v)
+    | Acc_max m ->
+      (match m.best with
+      | None -> m.best <- Some v
+      | Some b -> if Value.compare v b > 0 then m.best <- Some v)
+
+let final t =
+  match t.kind with
+  | Acc_count c -> Value.Int c.n
+  | Acc_sum sum ->
+    if sum.non_null = 0 then Value.Null
+    else if sum.saw_float then Value.Float (sum.float_sum +. float_of_int sum.int_sum)
+    else Value.Int sum.int_sum
+  | Acc_avg sum ->
+    if sum.non_null = 0 then Value.Null
+    else Value.Float ((sum.float_sum +. float_of_int sum.int_sum) /. float_of_int sum.non_null)
+  | Acc_min m -> (match m.best with Some v -> v | None -> Value.Null)
+  | Acc_max m -> (match m.best with Some v -> v | None -> Value.Null)

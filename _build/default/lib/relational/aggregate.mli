@@ -1,0 +1,16 @@
+(** Streaming aggregate accumulators: one instance per (aggregate
+    expression, group).  DISTINCT variants keep a hash set of seen values. *)
+
+type t
+
+val create : Sql_ast.agg_fn -> distinct:bool -> counts_star:bool -> t
+(** [counts_star] marks COUNT( * ): every row counts and the fed value is
+    ignored.  Otherwise SQL semantics skip NULL inputs. *)
+
+val step : t -> Value.t -> unit
+(** Feed one input value. *)
+
+val final : t -> Value.t
+(** The aggregate result.  Empty SUM/AVG/MIN/MAX yield NULL; empty COUNT
+    yields 0.  SUM stays INTEGER unless a REAL was seen; AVG is always
+    REAL. *)

@@ -1,0 +1,23 @@
+(** Minimal RFC-4180-style CSV for fixtures and result export.
+
+    Quoted fields may contain commas, quotes ([""] escape) and newlines.
+    Empty fields read as NULL; NULL writes as the empty field. *)
+
+val parse_line_seq : string -> string list list
+(** Raw records (no header handling).
+    @raise Errors.Sql_error (Parse) on unterminated quotes. *)
+
+val parse_value : Value.ty -> string -> Value.t
+(** One field under a column type; [""] is NULL.
+    @raise Errors.Sql_error (Parse) on unreadable fields. *)
+
+val load_into : Table.t -> string -> has_header:bool -> int
+(** Appends parsed rows (column order must match the schema); returns the
+    number of rows loaded. *)
+
+val escape_field : string -> string
+(** Quotes a field when it contains commas, quotes or newlines. *)
+
+val value_to_field : Value.t -> string
+val result_to_csv : Schema.t -> Row.t list -> string
+(** With a header line of column names. *)

@@ -1,0 +1,24 @@
+(* Engine-wide error reporting.  Every user-facing failure is a [Sql_error]
+   carrying a phase, so callers never have to match on internal exceptions. *)
+
+type phase =
+  | Lex
+  | Parse
+  | Plan
+  | Execute
+  | Catalog
+
+exception Sql_error of phase * string
+
+let phase_to_string = function
+  | Lex -> "lex"
+  | Parse -> "parse"
+  | Plan -> "plan"
+  | Execute -> "execute"
+  | Catalog -> "catalog"
+
+let fail phase fmt = Fmt.kstr (fun msg -> raise (Sql_error (phase, msg))) fmt
+
+let to_string = function
+  | Sql_error (phase, msg) -> Printf.sprintf "%s error: %s" (phase_to_string phase) msg
+  | exn -> Printexc.to_string exn

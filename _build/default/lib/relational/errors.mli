@@ -1,0 +1,23 @@
+(** Engine-wide error reporting.
+
+    Every user-facing failure of the relational engine is a {!Sql_error}
+    tagged with the phase that produced it, so callers can report precisely
+    without matching internal exceptions. *)
+
+type phase =
+  | Lex  (** tokenisation of SQL text *)
+  | Parse  (** syntactic analysis *)
+  | Plan  (** name resolution / query validation *)
+  | Execute  (** runtime evaluation *)
+  | Catalog  (** table catalog operations *)
+
+exception Sql_error of phase * string
+
+val phase_to_string : phase -> string
+
+val fail : phase -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [fail phase fmt ...] raises {!Sql_error} with a formatted message. *)
+
+val to_string : exn -> string
+(** Human-readable rendering; falls back to [Printexc] for foreign
+    exceptions. *)

@@ -1,0 +1,32 @@
+(** Statement execution.
+
+    SELECT pipeline: FROM (scans, nested-loop joins) → WHERE →
+    grouping/aggregation → HAVING → projection → DISTINCT → ORDER BY →
+    OFFSET/LIMIT.  Uncorrelated [IN (SELECT ...)] subqueries in WHERE and
+    HAVING are evaluated eagerly and replaced by literal lists. *)
+
+type result_set = {
+  schema : Schema.t;
+  rows : Row.t list;
+}
+
+type outcome =
+  | Rows of result_set  (** SELECT *)
+  | Affected of int  (** INSERT/DELETE/UPDATE row count *)
+  | Table_created of string
+  | Table_dropped of string
+
+val resolve_subqueries : Database.t -> Sql_ast.expr -> Sql_ast.expr
+(** Replaces every [In_select] with an [In_list] of the subquery's first
+    column.  @raise Errors.Sql_error (Plan) when a subquery is not
+    single-column. *)
+
+val exec_select : Database.t -> Sql_ast.select -> result_set
+(** @raise Errors.Sql_error on any planning or runtime failure. *)
+
+val exec_compound : Database.t -> Sql_ast.compound -> result_set
+(** UNION chains: branches must agree in arity; the first branch names the
+    output; plain UNION deduplicates, UNION ALL concatenates. *)
+
+val exec_stmt : Database.t -> Sql_ast.stmt -> outcome
+(** Executes any statement. *)

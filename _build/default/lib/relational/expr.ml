@@ -1,0 +1,291 @@
+(* Compilation of AST expressions into closures over rows.
+
+   Compilation resolves column references against a schema once, so
+   per-row evaluation does no name lookups.  Aggregate nodes compile to
+   references into an "aggregate segment": an array of values computed by
+   the executor per group, identified positionally by structural equality
+   with the query's collected aggregate expressions.
+
+   NULL follows SQL three-valued logic: comparisons involving NULL are
+   NULL, AND/OR are Kleene connectives, and WHERE/HAVING treat a NULL
+   predicate as false ([is_true]). *)
+
+type ctx = {
+  schema : Schema.t;
+  agg_exprs : Sql_ast.expr array;
+}
+
+type compiled = Row.t -> Value.t array -> Value.t
+
+let scalar_ctx schema = { schema; agg_exprs = [||] }
+
+let is_true = function Value.Bool true -> true | _ -> false
+
+let of_bool3 = function None -> Value.Null | Some b -> Value.Bool b
+
+(* SQL LIKE with % (any run) and _ (any single char); naive backtracking is
+   fine at our pattern sizes. *)
+let like_match ~pattern text =
+  let np = String.length pattern and nt = String.length text in
+  let rec go p t =
+    if p = np then t = nt
+    else
+      match pattern.[p] with
+      | '%' ->
+        let rec try_from t' = t' <= nt && (go (p + 1) t' || try_from (t' + 1)) in
+        try_from t
+      | '_' -> t < nt && go (p + 1) (t + 1)
+      | c -> t < nt && text.[t] = c && go (p + 1) (t + 1)
+  in
+  go 0 0
+
+let arith_op op a b =
+  match a, b with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Int x, Value.Int y ->
+    (match op with
+    | Sql_ast.Add -> Value.Int (x + y)
+    | Sql_ast.Sub -> Value.Int (x - y)
+    | Sql_ast.Mul -> Value.Int (x * y)
+    | Sql_ast.Div ->
+      if y = 0 then Errors.fail Errors.Execute "division by zero" else Value.Int (x / y)
+    | Sql_ast.Mod ->
+      if y = 0 then Errors.fail Errors.Execute "modulo by zero" else Value.Int (x mod y)
+    | _ -> assert false)
+  | _ ->
+    (match Value.as_float a, Value.as_float b with
+    | Some x, Some y ->
+      (match op with
+      | Sql_ast.Add -> Value.Float (x +. y)
+      | Sql_ast.Sub -> Value.Float (x -. y)
+      | Sql_ast.Mul -> Value.Float (x *. y)
+      | Sql_ast.Div ->
+        if y = 0. then Errors.fail Errors.Execute "division by zero" else Value.Float (x /. y)
+      | Sql_ast.Mod -> Value.Float (Float.rem x y)
+      | _ -> assert false)
+    | _ ->
+      Errors.fail Errors.Execute "arithmetic on non-numeric values: %s, %s"
+        (Value.to_string a) (Value.to_string b))
+
+let compare_op op a b =
+  if Value.is_null a || Value.is_null b then Value.Null
+  else begin
+    let c = Value.compare a b in
+    let result =
+      match op with
+      | Sql_ast.Eq -> c = 0
+      | Sql_ast.Neq -> c <> 0
+      | Sql_ast.Lt -> c < 0
+      | Sql_ast.Le -> c <= 0
+      | Sql_ast.Gt -> c > 0
+      | Sql_ast.Ge -> c >= 0
+      | _ -> assert false
+    in
+    Value.Bool result
+  end
+
+let to_bool3 = function
+  | Value.Null -> None
+  | Value.Bool b -> Some b
+  | v -> Errors.fail Errors.Execute "expected boolean, got %s" (Value.to_string v)
+
+let apply_scalar_function name args =
+  match name, args with
+  | "lower", [ Value.Str s ] -> Value.Str (String.lowercase_ascii s)
+  | "upper", [ Value.Str s ] -> Value.Str (String.uppercase_ascii s)
+  | "length", [ Value.Str s ] -> Value.Int (String.length s)
+  | ("lower" | "upper" | "length"), [ Value.Null ] -> Value.Null
+  | "abs", [ Value.Int i ] -> Value.Int (abs i)
+  | "abs", [ Value.Float f ] -> Value.Float (Float.abs f)
+  | "abs", [ Value.Null ] -> Value.Null
+  | "round", [ Value.Float f ] -> Value.Int (int_of_float (Float.round f))
+  | "round", [ Value.Int i ] -> Value.Int i
+  | "round", [ Value.Null ] -> Value.Null
+  | "coalesce", args ->
+    (match List.find_opt (fun v -> not (Value.is_null v)) args with
+    | Some v -> v
+    | None -> Value.Null)
+  | "ifnull", [ a; b ] -> if Value.is_null a then b else a
+  | "nullif", [ a; b ] -> if Value.equal a b then Value.Null else a
+  | "trim", [ Value.Str s ] -> Value.Str (String.trim s)
+  | "trim", [ Value.Null ] -> Value.Null
+  | "substr", [ Value.Str s; Value.Int start; Value.Int len ] ->
+    (* 1-based start, SQL style. *)
+    let n = String.length s in
+    let start = max 0 (start - 1) in
+    let len = max 0 (min len (n - start)) in
+    if start >= n then Value.Str "" else Value.Str (String.sub s start len)
+  | _ ->
+    Errors.fail Errors.Execute "unknown function or bad arguments: %s/%d" name
+      (List.length args)
+
+let rec compile ctx (expr : Sql_ast.expr) : compiled =
+  match expr with
+  | Sql_ast.Lit v -> fun _ _ -> v
+  | Sql_ast.Col { qualifier; name } ->
+    let i = Schema.find_exn ctx.schema ?qualifier name in
+    fun row _ -> Row.get row i
+  | Sql_ast.Star -> Errors.fail Errors.Plan "'*' is only valid in COUNT(*) or SELECT *"
+  | Sql_ast.In_select _ | Sql_ast.Exists _ | Sql_ast.Scalar_select _ ->
+    (* The executor rewrites IN (SELECT ...) to a literal list before
+       compiling; reaching here means a subquery survived in a context that
+       does not support it. *)
+    Errors.fail Errors.Plan "subqueries are only supported in WHERE and HAVING"
+  | Sql_ast.Agg _ as agg ->
+    let position = ref (-1) in
+    Array.iteri (fun i e -> if Sql_ast.equal_expr e agg then position := i) ctx.agg_exprs;
+    if !position < 0 then
+      Errors.fail Errors.Plan "aggregate %s not allowed in this context"
+        (Sql_ast.expr_to_sql agg);
+    let i = !position in
+    fun _ aggs -> aggs.(i)
+  | Sql_ast.Unop (Sql_ast.Not, e) ->
+    let ce = compile ctx e in
+    fun row aggs ->
+      (match to_bool3 (ce row aggs) with
+      | None -> Value.Null
+      | Some b -> Value.Bool (not b))
+  | Sql_ast.Unop (Sql_ast.Neg, e) ->
+    let ce = compile ctx e in
+    fun row aggs ->
+      (match ce row aggs with
+      | Value.Int i -> Value.Int (-i)
+      | Value.Float f -> Value.Float (-.f)
+      | Value.Null -> Value.Null
+      | v -> Errors.fail Errors.Execute "cannot negate %s" (Value.to_string v))
+  | Sql_ast.Binop (Sql_ast.And, a, b) ->
+    let ca = compile ctx a and cb = compile ctx b in
+    fun row aggs ->
+      (match to_bool3 (ca row aggs) with
+      | Some false -> Value.Bool false
+      | Some true -> of_bool3 (to_bool3 (cb row aggs))
+      | None ->
+        (match to_bool3 (cb row aggs) with
+        | Some false -> Value.Bool false
+        | Some true | None -> Value.Null))
+  | Sql_ast.Binop (Sql_ast.Or, a, b) ->
+    let ca = compile ctx a and cb = compile ctx b in
+    fun row aggs ->
+      (match to_bool3 (ca row aggs) with
+      | Some true -> Value.Bool true
+      | Some false -> of_bool3 (to_bool3 (cb row aggs))
+      | None ->
+        (match to_bool3 (cb row aggs) with
+        | Some true -> Value.Bool true
+        | Some false | None -> Value.Null))
+  | Sql_ast.Binop (Sql_ast.Concat, a, b) ->
+    let ca = compile ctx a and cb = compile ctx b in
+    fun row aggs ->
+      let va = ca row aggs and vb = cb row aggs in
+      if Value.is_null va || Value.is_null vb then Value.Null
+      else Value.Str (Value.to_string va ^ Value.to_string vb)
+  | Sql_ast.Binop (((Sql_ast.Add | Sql_ast.Sub | Sql_ast.Mul | Sql_ast.Div | Sql_ast.Mod) as op), a, b)
+    ->
+    let ca = compile ctx a and cb = compile ctx b in
+    fun row aggs -> arith_op op (ca row aggs) (cb row aggs)
+  | Sql_ast.Binop (((Sql_ast.Eq | Sql_ast.Neq | Sql_ast.Lt | Sql_ast.Le | Sql_ast.Gt | Sql_ast.Ge) as op), a, b)
+    ->
+    let ca = compile ctx a and cb = compile ctx b in
+    fun row aggs -> compare_op op (ca row aggs) (cb row aggs)
+  | Sql_ast.Call (name, args) ->
+    let cargs = List.map (compile ctx) args in
+    fun row aggs -> apply_scalar_function name (List.map (fun c -> c row aggs) cargs)
+  | Sql_ast.In_list { scrutinee; negated; items } ->
+    let cs = compile ctx scrutinee in
+    let literals =
+      List.filter_map (function Sql_ast.Lit v -> Some v | _ -> None) items
+    in
+    if List.length literals = List.length items then begin
+      (* All-literal lists (the common case — consent exclusion lists can be
+         large) become a hash set built once at compile time. *)
+      let set = Hashtbl.create (List.length literals) in
+      let has_null = List.exists Value.is_null literals in
+      List.iter
+        (fun v -> if not (Value.is_null v) then Hashtbl.replace set v ())
+        literals;
+      (* Hash probe first; numeric cross-type equality (2 = 2.0) is not
+         structural, so numbers that miss fall back to a scan. *)
+      let mem v =
+        Hashtbl.mem set v
+        ||
+        match v with
+        | Value.Int _ | Value.Float _ ->
+          Hashtbl.fold (fun x () acc -> acc || Value.equal v x) set false
+        | _ -> false
+      in
+      fun row aggs ->
+        let v = cs row aggs in
+        if Value.is_null v then Value.Null
+        else if mem v then Value.Bool (not negated)
+        else if has_null then Value.Null
+        else Value.Bool negated
+    end
+    else begin
+      let citems = List.map (compile ctx) items in
+      fun row aggs ->
+        let v = cs row aggs in
+        if Value.is_null v then Value.Null
+        else begin
+          let vs = List.map (fun c -> c row aggs) citems in
+          let found = List.exists (fun x -> (not (Value.is_null x)) && Value.equal v x) vs in
+          let has_null = List.exists Value.is_null vs in
+          if found then Value.Bool (not negated)
+          else if has_null then Value.Null
+          else Value.Bool negated
+        end
+    end
+  | Sql_ast.Like { scrutinee; negated; pattern } ->
+    let cs = compile ctx scrutinee and cp = compile ctx pattern in
+    fun row aggs ->
+      (match cs row aggs, cp row aggs with
+      | Value.Null, _ | _, Value.Null -> Value.Null
+      | Value.Str s, Value.Str p ->
+        let m = like_match ~pattern:p s in
+        Value.Bool (if negated then not m else m)
+      | a, b ->
+        Errors.fail Errors.Execute "LIKE expects strings, got %s and %s" (Value.to_string a)
+          (Value.to_string b))
+  | Sql_ast.Is_null { scrutinee; negated } ->
+    let cs = compile ctx scrutinee in
+    fun row aggs ->
+      let isnull = Value.is_null (cs row aggs) in
+      Value.Bool (if negated then not isnull else isnull)
+  | Sql_ast.Between { scrutinee; negated; low; high } ->
+    let cs = compile ctx scrutinee and cl = compile ctx low and ch = compile ctx high in
+    fun row aggs ->
+      let v = cs row aggs and lo = cl row aggs and hi = ch row aggs in
+      if Value.is_null v || Value.is_null lo || Value.is_null hi then Value.Null
+      else begin
+        let inside = Value.compare v lo >= 0 && Value.compare v hi <= 0 in
+        Value.Bool (if negated then not inside else inside)
+      end
+
+(* Best-effort static type for result schemas; falls back to TEXT. *)
+let rec infer_type schema (expr : Sql_ast.expr) : Value.ty =
+  match expr with
+  | Sql_ast.Lit v -> Option.value (Value.type_of v) ~default:Value.T_string
+  | Sql_ast.Col { qualifier; name } ->
+    (match Schema.find schema ?qualifier name with
+    | Ok i -> Schema.ty_at schema i
+    | Error _ -> Value.T_string)
+  | Sql_ast.Star -> Value.T_string
+  | Sql_ast.Agg { fn = Sql_ast.Count; _ } -> Value.T_int
+  | Sql_ast.Agg { fn = Sql_ast.Avg; _ } -> Value.T_float
+  | Sql_ast.Agg { fn = Sql_ast.Sum | Sql_ast.Min | Sql_ast.Max; arg; _ } ->
+    infer_type schema arg
+  | Sql_ast.Unop (Sql_ast.Not, _) -> Value.T_bool
+  | Sql_ast.Unop (Sql_ast.Neg, e) -> infer_type schema e
+  | Sql_ast.Binop ((Sql_ast.Add | Sql_ast.Sub | Sql_ast.Mul | Sql_ast.Div | Sql_ast.Mod), a, b) ->
+    (match infer_type schema a, infer_type schema b with
+    | Value.T_int, Value.T_int -> Value.T_int
+    | _ -> Value.T_float)
+  | Sql_ast.Binop (Sql_ast.Concat, _, _) -> Value.T_string
+  | Sql_ast.Binop ((Sql_ast.Eq | Sql_ast.Neq | Sql_ast.Lt | Sql_ast.Le | Sql_ast.Gt | Sql_ast.Ge | Sql_ast.And | Sql_ast.Or), _, _)
+    ->
+    Value.T_bool
+  | Sql_ast.Call (("length" | "round" | "abs"), _) -> Value.T_int
+  | Sql_ast.Call (_, _) -> Value.T_string
+  | Sql_ast.In_list _ | Sql_ast.In_select _ | Sql_ast.Exists _ | Sql_ast.Like _
+  | Sql_ast.Is_null _ | Sql_ast.Between _ ->
+    Value.T_bool
+  | Sql_ast.Scalar_select _ -> Value.T_string

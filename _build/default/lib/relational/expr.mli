@@ -1,0 +1,38 @@
+(** Compilation of AST expressions to closures over rows.
+
+    Column references resolve against a schema once at compile time, so
+    per-row evaluation does no name lookups.  Aggregate nodes compile to
+    positional references into an "aggregate segment" — an array of values
+    the executor computes per group, identified by structural equality with
+    the query's collected aggregate expressions.
+
+    NULL follows SQL three-valued logic: comparisons involving NULL yield
+    NULL, AND/OR are Kleene connectives, and predicates treat a NULL result
+    as false (see {!is_true}). *)
+
+type ctx = {
+  schema : Schema.t;
+  agg_exprs : Sql_ast.expr array;
+      (** the aggregate expressions available positionally, [||] for scalar
+          contexts *)
+}
+
+type compiled = Row.t -> Value.t array -> Value.t
+(** A compiled expression: applied to an input row and the group's
+    aggregate segment. *)
+
+val scalar_ctx : Schema.t -> ctx
+(** Context with no aggregate segment (WHERE, join conditions, DML). *)
+
+val is_true : Value.t -> bool
+(** Predicate semantics: only [Bool true] passes; NULL does not. *)
+
+val like_match : pattern:string -> string -> bool
+(** SQL LIKE: [%] matches any run, [_] any single character. *)
+
+val compile : ctx -> Sql_ast.expr -> compiled
+(** @raise Errors.Sql_error (Plan) on unknown columns, aggregates without a
+    segment slot, stray ['*'], or unresolved subqueries. *)
+
+val infer_type : Schema.t -> Sql_ast.expr -> Value.ty
+(** Best-effort static type for result schemas; defaults to TEXT. *)

@@ -1,0 +1,33 @@
+(* Hash index over one column: equality lookups in O(1).  Used by the
+   executor for point predicates and by HDB consent semi-joins. *)
+
+module Value_tbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type t = {
+  column : int;
+  entries : int list ref Value_tbl.t;
+}
+
+let create ~column = { column; entries = Value_tbl.create 256 }
+
+let column t = t.column
+
+let add t row row_id =
+  let key = Row.get row t.column in
+  match Value_tbl.find_opt t.entries key with
+  | Some ids -> ids := row_id :: !ids
+  | None -> Value_tbl.add t.entries key (ref [ row_id ])
+
+let lookup t key =
+  match Value_tbl.find_opt t.entries key with
+  | Some ids -> List.rev !ids
+  | None -> []
+
+let clear t = Value_tbl.reset t.entries
+
+let cardinality t = Value_tbl.length t.entries

@@ -1,0 +1,22 @@
+(** Hash index over one column: O(1) equality lookups.
+
+    Maintained by {!Table} on insert; rebuilt after deletes and updates. *)
+
+type t
+
+val create : column:int -> t
+(** An empty index keyed on the column at position [column]. *)
+
+val column : t -> int
+
+val add : t -> Row.t -> int -> unit
+(** [add t row row_id] indexes [row] (its key is read at the index's
+    column). *)
+
+val lookup : t -> Value.t -> int list
+(** Row ids whose key equals the probe, in insertion order. *)
+
+val clear : t -> unit
+
+val cardinality : t -> int
+(** Number of distinct keys. *)

@@ -1,0 +1,36 @@
+(* Rows are flat value arrays aligned with a schema. *)
+
+type t = Value.t array
+
+let of_list = Array.of_list
+
+let to_list = Array.to_list
+
+let arity (t : t) = Array.length t
+
+let get (t : t) i = t.(i)
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b && Array.for_all2 Value.equal a b
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let hash (t : t) =
+  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+let concat (a : t) (b : t) : t = Array.append a b
+
+let project (t : t) indices = Array.map (fun i -> t.(i)) indices
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "(%a)" (Fmt.array ~sep:(Fmt.any ", ") Value.pp) t

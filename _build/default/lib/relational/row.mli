@@ -1,0 +1,24 @@
+(** Rows: flat value arrays aligned with a schema. *)
+
+type t = Value.t array
+
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+val arity : t -> int
+val get : t -> int -> Value.t
+
+val equal : t -> t -> bool
+(** Pointwise {!Value.equal}; arities must agree. *)
+
+val compare : t -> t -> int
+(** Lexicographic {!Value.compare}; shorter rows order first. *)
+
+val hash : t -> int
+(** Consistent with {!equal}. *)
+
+val concat : t -> t -> t
+
+val project : t -> int array -> t
+(** [project row indices] selects the given positions, in order. *)
+
+val pp : Format.formatter -> t -> unit

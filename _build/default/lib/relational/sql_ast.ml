@@ -1,0 +1,291 @@
+(* Abstract syntax of the SQL dialect.  The same AST is produced by the
+   parser, manipulated by HDB Active Enforcement's query rewriter, and
+   consumed by the planner; [to_sql] renders any statement back to concrete
+   syntax so rewritten queries stay inspectable and loggable. *)
+
+type agg_fn =
+  | Count
+  | Sum
+  | Avg
+  | Min
+  | Max
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Concat
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop =
+  | Not
+  | Neg
+
+type expr =
+  | Lit of Value.t
+  | Col of { qualifier : string option; name : string }
+  | Star
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Agg of { fn : agg_fn; distinct : bool; arg : expr }
+  | Call of string * expr list
+  | In_list of { scrutinee : expr; negated : bool; items : expr list }
+  | In_select of { scrutinee : expr; negated : bool; select : select }
+  | Exists of select
+  | Scalar_select of select
+  | Like of { scrutinee : expr; negated : bool; pattern : expr }
+  | Is_null of { scrutinee : expr; negated : bool }
+  | Between of { scrutinee : expr; negated : bool; low : expr; high : expr }
+
+and order_dir =
+  | Asc
+  | Desc
+
+and projection =
+  | All_columns
+  | Proj of expr * string option
+
+and join_kind =
+  | Inner
+  | Left
+  | Cross
+
+and table_ref =
+  | Table of { name : string; alias : string option }
+  | Derived of { select : select; alias : string }
+  | Join of { left : table_ref; right : table_ref; kind : join_kind; on : expr option }
+
+and select = {
+  distinct : bool;
+  projections : projection list;
+  from : table_ref option;
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : (expr * order_dir) list;
+  limit : int option;
+  offset : int option;
+}
+
+(* A UNION chain: the first branch plus (all?, branch) continuations. *)
+type compound = {
+  first : select;
+  rest : (bool * select) list;
+}
+
+type stmt =
+  | Select of select
+  | Compound of compound
+  | Create_table of { name : string; columns : (string * Value.ty) list }
+  | Drop_table of string
+  | Insert of { table : string; columns : string list option; rows : expr list list }
+  | Delete of { table : string; where : expr option }
+  | Update of { table : string; assignments : (string * expr) list; where : expr option }
+
+let col ?qualifier name = Col { qualifier; name }
+
+let lit v = Lit v
+let int_lit i = Lit (Value.Int i)
+let str_lit s = Lit (Value.Str s)
+let bool_lit b = Lit (Value.Bool b)
+
+let eq a b = Binop (Eq, a, b)
+let and_ a b = Binop (And, a, b)
+let or_ a b = Binop (Or, a, b)
+
+let conj = function
+  | [] -> Lit (Value.Bool true)
+  | e :: es -> List.fold_left and_ e es
+
+let disj = function
+  | [] -> Lit (Value.Bool false)
+  | e :: es -> List.fold_left or_ e es
+
+let select ?(distinct = false) ?from ?where ?(group_by = []) ?having ?(order_by = [])
+    ?limit ?offset projections =
+  { distinct; projections; from; where; group_by; having; order_by; limit; offset }
+
+(* Structural equality on expressions; used by the planner to identify the
+   distinct aggregate computations a query needs. *)
+let rec equal_expr a b =
+  match a, b with
+  | Lit x, Lit y -> Value.equal x y
+  | Col x, Col y ->
+    Option.equal String.equal x.qualifier y.qualifier && String.equal x.name y.name
+  | Star, Star -> true
+  | Unop (opa, xa), Unop (opb, xb) -> opa = opb && equal_expr xa xb
+  | Binop (opa, la, ra), Binop (opb, lb, rb) ->
+    opa = opb && equal_expr la lb && equal_expr ra rb
+  | Agg a', Agg b' -> a'.fn = b'.fn && a'.distinct = b'.distinct && equal_expr a'.arg b'.arg
+  | Call (fa, xa), Call (fb, xb) ->
+    String.equal fa fb && List.length xa = List.length xb && List.for_all2 equal_expr xa xb
+  | In_list a', In_list b' ->
+    a'.negated = b'.negated
+    && equal_expr a'.scrutinee b'.scrutinee
+    && List.length a'.items = List.length b'.items
+    && List.for_all2 equal_expr a'.items b'.items
+  | Like a', Like b' ->
+    a'.negated = b'.negated
+    && equal_expr a'.scrutinee b'.scrutinee
+    && equal_expr a'.pattern b'.pattern
+  | In_select a', In_select b' ->
+    a'.negated = b'.negated && equal_expr a'.scrutinee b'.scrutinee && a'.select = b'.select
+  | Exists a', Exists b' -> a' = b'
+  | Scalar_select a', Scalar_select b' -> a' = b' 
+  | Is_null a', Is_null b' -> a'.negated = b'.negated && equal_expr a'.scrutinee b'.scrutinee
+  | Between a', Between b' ->
+    a'.negated = b'.negated
+    && equal_expr a'.scrutinee b'.scrutinee
+    && equal_expr a'.low b'.low
+    && equal_expr a'.high b'.high
+  | ( ( Lit _ | Col _ | Star | Unop _ | Binop _ | Agg _ | Call _ | In_list _ | In_select _
+      | Exists _ | Scalar_select _ | Like _ | Is_null _ | Between _ ),
+      _ ) ->
+    false
+
+let rec contains_agg = function
+  | Agg _ -> true
+  | Lit _ | Col _ | Star -> false
+  | Unop (_, e) -> contains_agg e
+  | Binop (_, a, b) -> contains_agg a || contains_agg b
+  | Call (_, args) -> List.exists contains_agg args
+  | In_list { scrutinee; items; _ } -> contains_agg scrutinee || List.exists contains_agg items
+  | In_select { scrutinee; _ } -> contains_agg scrutinee
+  | Exists _ | Scalar_select _ -> false
+  | Like { scrutinee; pattern; _ } -> contains_agg scrutinee || contains_agg pattern
+  | Is_null { scrutinee; _ } -> contains_agg scrutinee
+  | Between { scrutinee; low; high; _ } ->
+    contains_agg scrutinee || contains_agg low || contains_agg high
+
+let agg_fn_name = function
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Avg -> "AVG"
+  | Min -> "MIN"
+  | Max -> "MAX"
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Concat -> "||"
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "AND"
+  | Or -> "OR"
+
+let rec expr_to_sql = function
+  | Lit v -> Value.to_sql_literal v
+  | Col { qualifier = Some q; name } -> q ^ "." ^ name
+  | Col { qualifier = None; name } -> name
+  | Star -> "*"
+  | Unop (Not, e) -> "NOT (" ^ expr_to_sql e ^ ")"
+  | Unop (Neg, e) -> "-(" ^ expr_to_sql e ^ ")"
+  | Binop (op, a, b) ->
+    "(" ^ expr_to_sql a ^ " " ^ binop_name op ^ " " ^ expr_to_sql b ^ ")"
+  | Agg { fn; distinct; arg } ->
+    agg_fn_name fn ^ "(" ^ (if distinct then "DISTINCT " else "") ^ expr_to_sql arg ^ ")"
+  | Call (f, args) ->
+    String.uppercase_ascii f ^ "(" ^ String.concat ", " (List.map expr_to_sql args) ^ ")"
+  | In_list { scrutinee; negated; items } ->
+    expr_to_sql scrutinee
+    ^ (if negated then " NOT IN (" else " IN (")
+    ^ String.concat ", " (List.map expr_to_sql items)
+    ^ ")"
+  | Like { scrutinee; negated; pattern } ->
+    expr_to_sql scrutinee ^ (if negated then " NOT LIKE " else " LIKE ") ^ expr_to_sql pattern
+  | Is_null { scrutinee; negated } ->
+    expr_to_sql scrutinee ^ if negated then " IS NOT NULL" else " IS NULL"
+  | In_select { scrutinee; negated; select } ->
+    expr_to_sql scrutinee
+    ^ (if negated then " NOT IN (" else " IN (")
+    ^ select_to_sql select ^ ")"
+  | Exists select -> "EXISTS (" ^ select_to_sql select ^ ")"
+  | Scalar_select select -> "(" ^ select_to_sql select ^ ")"
+  | Between { scrutinee; negated; low; high } ->
+    expr_to_sql scrutinee
+    ^ (if negated then " NOT BETWEEN " else " BETWEEN ")
+    ^ expr_to_sql low ^ " AND " ^ expr_to_sql high
+
+and projection_to_sql = function
+  | All_columns -> "*"
+  | Proj (e, Some alias) -> expr_to_sql e ^ " AS " ^ alias
+  | Proj (e, None) -> expr_to_sql e
+
+and table_ref_to_sql = function
+  | Table { name; alias = Some a } -> name ^ " AS " ^ a
+  | Table { name; alias = None } -> name
+  | Derived { select; alias } -> "(" ^ select_to_sql select ^ ") AS " ^ alias
+  | Join { left; right; kind; on } ->
+    let kind_str =
+      match kind with Inner -> " JOIN " | Left -> " LEFT JOIN " | Cross -> " CROSS JOIN "
+    in
+    table_ref_to_sql left ^ kind_str ^ table_ref_to_sql right
+    ^ (match on with Some e -> " ON " ^ expr_to_sql e | None -> "")
+
+and select_to_sql s =
+  let buffer = Buffer.create 128 in
+  Buffer.add_string buffer "SELECT ";
+  if s.distinct then Buffer.add_string buffer "DISTINCT ";
+  Buffer.add_string buffer (String.concat ", " (List.map projection_to_sql s.projections));
+  Option.iter (fun f -> Buffer.add_string buffer (" FROM " ^ table_ref_to_sql f)) s.from;
+  Option.iter (fun w -> Buffer.add_string buffer (" WHERE " ^ expr_to_sql w)) s.where;
+  if s.group_by <> [] then
+    Buffer.add_string buffer
+      (" GROUP BY " ^ String.concat ", " (List.map expr_to_sql s.group_by));
+  Option.iter (fun h -> Buffer.add_string buffer (" HAVING " ^ expr_to_sql h)) s.having;
+  if s.order_by <> [] then begin
+    let item (e, dir) = expr_to_sql e ^ (match dir with Asc -> " ASC" | Desc -> " DESC") in
+    Buffer.add_string buffer (" ORDER BY " ^ String.concat ", " (List.map item s.order_by))
+  end;
+  Option.iter (fun n -> Buffer.add_string buffer (" LIMIT " ^ string_of_int n)) s.limit;
+  Option.iter (fun n -> Buffer.add_string buffer (" OFFSET " ^ string_of_int n)) s.offset;
+  Buffer.contents buffer
+
+let compound_to_sql c =
+  select_to_sql c.first
+  ^ String.concat ""
+      (List.map
+         (fun (all, s) -> (if all then " UNION ALL " else " UNION ") ^ select_to_sql s)
+         c.rest)
+
+let to_sql = function
+  | Select s -> select_to_sql s
+  | Compound c -> compound_to_sql c
+  | Create_table { name; columns } ->
+    "CREATE TABLE " ^ name ^ " ("
+    ^ String.concat ", "
+        (List.map (fun (c, ty) -> c ^ " " ^ Value.ty_to_string ty) columns)
+    ^ ")"
+  | Drop_table name -> "DROP TABLE " ^ name
+  | Insert { table; columns; rows } ->
+    let cols =
+      match columns with
+      | Some cs -> " (" ^ String.concat ", " cs ^ ")"
+      | None -> ""
+    in
+    let row vs = "(" ^ String.concat ", " (List.map expr_to_sql vs) ^ ")" in
+    "INSERT INTO " ^ table ^ cols ^ " VALUES " ^ String.concat ", " (List.map row rows)
+  | Delete { table; where } ->
+    "DELETE FROM " ^ table
+    ^ (match where with Some w -> " WHERE " ^ expr_to_sql w | None -> "")
+  | Update { table; assignments; where } ->
+    "UPDATE " ^ table ^ " SET "
+    ^ String.concat ", "
+        (List.map (fun (c, e) -> c ^ " = " ^ expr_to_sql e) assignments)
+    ^ (match where with Some w -> " WHERE " ^ expr_to_sql w | None -> "")

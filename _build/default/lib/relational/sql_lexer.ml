@@ -1,0 +1,172 @@
+(* Hand-written SQL lexer.  Keywords are not distinguished here — the parser
+   matches identifiers case-insensitively, so user tables may freely use
+   names like "status" that are keywords elsewhere. *)
+
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star_tok
+  | Plus
+  | Minus
+  | Slash
+  | Percent
+  | Eq_tok
+  | Neq_tok
+  | Lt_tok
+  | Le_tok
+  | Gt_tok
+  | Ge_tok
+  | Concat_tok
+  | Semicolon
+  | Eof
+
+let token_to_string = function
+  | Ident s -> s
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | String_lit s -> "'" ^ s ^ "'"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Comma -> ","
+  | Dot -> "."
+  | Star_tok -> "*"
+  | Plus -> "+"
+  | Minus -> "-"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Eq_tok -> "="
+  | Neq_tok -> "<>"
+  | Lt_tok -> "<"
+  | Le_tok -> "<="
+  | Gt_tok -> ">"
+  | Ge_tok -> ">="
+  | Concat_tok -> "||"
+  | Semicolon -> ";"
+  | Eof -> "<eof>"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* [tokenize s] returns the token list or raises [Errors.Sql_error (Lex, _)].
+   Vocabulary values containing '-' (e.g. lab-results) must appear as string
+   literals or double-quoted identifiers, never as bare identifiers. *)
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let read_while p =
+    let start = !pos in
+    while !pos < n && p input.[!pos] do
+      advance ()
+    done;
+    String.sub input start (!pos - start)
+  in
+  let read_string_literal () =
+    (* Opening quote consumed by caller; '' is an escaped quote. *)
+    let buffer = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then Errors.fail Errors.Lex "unterminated string literal"
+      else begin
+        let c = input.[!pos] in
+        advance ();
+        if c = '\'' then begin
+          if !pos < n && input.[!pos] = '\'' then begin
+            Buffer.add_char buffer '\'';
+            advance ();
+            go ()
+          end
+        end
+        else begin
+          Buffer.add_char buffer c;
+          go ()
+        end
+      end
+    in
+    go ();
+    Buffer.contents buffer
+  in
+  let read_number () =
+    let integral = read_while is_digit in
+    let is_float =
+      !pos + 1 < n && input.[!pos] = '.' && is_digit input.[!pos + 1]
+    in
+    if is_float then begin
+      advance ();
+      let fractional = read_while is_digit in
+      emit (Float_lit (float_of_string (integral ^ "." ^ fractional)))
+    end
+    else emit (Int_lit (int_of_string integral))
+  in
+  let rec loop () =
+    match peek () with
+    | None -> ()
+    | Some c ->
+      (match c with
+      | ' ' | '\t' | '\n' | '\r' -> advance ()
+      | '(' -> advance (); emit Lparen
+      | ')' -> advance (); emit Rparen
+      | ',' -> advance (); emit Comma
+      | '.' -> advance (); emit Dot
+      | '*' -> advance (); emit Star_tok
+      | '+' -> advance (); emit Plus
+      | '-' ->
+        advance ();
+        if peek () = Some '-' then begin
+          (* line comment *)
+          advance ();
+          let _ = read_while (fun c -> c <> '\n') in
+          ()
+        end
+        else emit Minus
+      | '/' -> advance (); emit Slash
+      | '%' -> advance (); emit Percent
+      | ';' -> advance (); emit Semicolon
+      | '=' -> advance (); emit Eq_tok
+      | '!' ->
+        advance ();
+        if peek () = Some '=' then begin advance (); emit Neq_tok end
+        else Errors.fail Errors.Lex "unexpected character '!'"
+      | '<' ->
+        advance ();
+        (match peek () with
+        | Some '=' -> advance (); emit Le_tok
+        | Some '>' -> advance (); emit Neq_tok
+        | Some _ | None -> emit Lt_tok)
+      | '>' ->
+        advance ();
+        (match peek () with
+        | Some '=' -> advance (); emit Ge_tok
+        | Some _ | None -> emit Gt_tok)
+      | '|' ->
+        advance ();
+        if peek () = Some '|' then begin advance (); emit Concat_tok end
+        else Errors.fail Errors.Lex "unexpected character '|'"
+      | '\'' ->
+        advance ();
+        emit (String_lit (read_string_literal ()))
+      | '"' ->
+        (* Double-quoted identifier. *)
+        advance ();
+        let name = read_while (fun c -> c <> '"') in
+        if !pos >= n then Errors.fail Errors.Lex "unterminated quoted identifier";
+        advance ();
+        emit (Ident name)
+      | c when is_digit c -> read_number ()
+      | c when is_ident_start c -> emit (Ident (read_while is_ident_char))
+      | c -> Errors.fail Errors.Lex "unexpected character %C" c);
+      loop ()
+  in
+  loop ();
+  List.rev (Eof :: !tokens)

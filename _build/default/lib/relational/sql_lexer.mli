@@ -1,0 +1,35 @@
+(** Hand-written SQL lexer.
+
+    Keywords are not distinguished here — the parser matches identifiers
+    case-insensitively, so user tables may freely use names like [status]
+    that are keywords elsewhere. *)
+
+type token =
+  | Ident of string  (** bare or double-quoted identifier *)
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string  (** single-quoted, with [''] escapes decoded *)
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star_tok
+  | Plus
+  | Minus
+  | Slash
+  | Percent
+  | Eq_tok
+  | Neq_tok  (** [<>] or [!=] *)
+  | Lt_tok
+  | Le_tok
+  | Gt_tok
+  | Ge_tok
+  | Concat_tok  (** [||] *)
+  | Semicolon
+  | Eof
+
+val token_to_string : token -> string
+
+val tokenize : string -> token list
+(** The token stream, ending with {!Eof}.  [--] line comments are skipped.
+    @raise Errors.Sql_error (Lex) on malformed input. *)

@@ -1,0 +1,14 @@
+(** Recursive-descent SQL parser.
+
+    Supported statements: SELECT (DISTINCT, joins, WHERE, GROUP BY, HAVING,
+    ORDER BY, LIMIT/OFFSET, aggregates including COUNT(DISTINCT e) and
+    COUNT( * ), [IN (SELECT ...)] subqueries), CREATE TABLE, DROP TABLE,
+    INSERT, DELETE and UPDATE. *)
+
+val parse_stmt : string -> Sql_ast.stmt
+(** Parses one statement (an optional trailing [;] is accepted).
+    @raise Errors.Sql_error (Lex or Parse) on malformed input. *)
+
+val parse_expr_string : string -> Sql_ast.expr
+(** Parses a standalone expression, e.g. a HAVING condition fragment.
+    @raise Errors.Sql_error (Lex or Parse) on malformed input. *)

@@ -1,0 +1,1 @@
+lib/treedata/path.ml: List String Xml

@@ -1,0 +1,1 @@
+lib/treedata/path.mli: Xml

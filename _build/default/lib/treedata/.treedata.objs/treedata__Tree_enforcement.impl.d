@@ -1,0 +1,1 @@
+lib/treedata/tree_enforcement.ml: Hdb List Printf Tree_store Xml

@@ -1,0 +1,1 @@
+lib/treedata/tree_enforcement.mli: Hdb Tree_store Xml

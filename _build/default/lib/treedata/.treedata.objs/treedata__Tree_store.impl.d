@@ -1,0 +1,1 @@
+lib/treedata/tree_store.ml: Hashtbl List Path String Xml

@@ -1,0 +1,1 @@
+lib/treedata/tree_store.mli: Path Xml

@@ -1,0 +1,1 @@
+lib/treedata/xml.ml: Buffer Fmt List Printf String

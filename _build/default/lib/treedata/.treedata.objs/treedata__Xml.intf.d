@@ -1,0 +1,1 @@
+lib/treedata/xml.mli: Format

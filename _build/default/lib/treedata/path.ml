@@ -1,0 +1,104 @@
+(* Path expressions over tree records: the XPath subset PRIMA needs to map
+   subtrees to privacy vocabulary categories.
+
+     /record/medications/prescription     absolute child steps
+     /record/*/date                        single-level wildcard
+     //psychiatry                          descendant-or-self search
+     /record//note                         mixed
+
+   A path matches *nodes*; [select] returns every matching node, [matches]
+   tests a concrete tag path (root tag first). *)
+
+type step =
+  | Child of string
+  | Any_child
+  | Descendant of string
+
+type t = step list
+
+exception Invalid_path of string
+
+let parse (input : string) : t =
+  if input = "" || input.[0] <> '/' then
+    raise (Invalid_path (input ^ ": a path must start with '/'"));
+  (* Tokenise on '/' keeping '//' markers: split and interpret empty
+     segments after the first as descendant markers. *)
+  let segments = String.split_on_char '/' input in
+  let rec go acc ~descendant = function
+    | [] -> List.rev acc
+    | "" :: rest ->
+      if rest = [] then List.rev acc (* trailing slash *)
+      else go acc ~descendant:true rest
+    | name :: rest ->
+      let step =
+        if descendant then begin
+          if name = "*" then raise (Invalid_path (input ^ ": '//*' is not supported"));
+          Descendant name
+        end
+        else if name = "*" then Any_child
+        else Child name
+      in
+      go (step :: acc) ~descendant:false rest
+  in
+  match segments with
+  | "" :: rest ->
+    let path = go [] ~descendant:false rest in
+    if path = [] then raise (Invalid_path (input ^ ": empty path")) else path
+  | _ -> raise (Invalid_path input)
+
+let to_string (t : t) =
+  String.concat ""
+    (List.map
+       (function
+         | Child name -> "/" ^ name
+         | Any_child -> "/*"
+         | Descendant name -> "//" ^ name)
+       t)
+
+(* [select path root] — all nodes of [root]'s tree reached by [path].  The
+   first step is matched against the root element itself. *)
+let select (path : t) (root : Xml.node) : Xml.node list =
+  let rec descendants_named name node =
+    let self = if node.Xml.tag = name then [ node ] else [] in
+    self @ List.concat_map (descendants_named name) node.Xml.children
+  in
+  let step_from nodes = function
+    | Child name ->
+      List.concat_map
+        (fun n -> List.filter (fun c -> c.Xml.tag = name) n.Xml.children)
+        nodes
+    | Any_child -> List.concat_map (fun n -> n.Xml.children) nodes
+    | Descendant name ->
+      List.concat_map (fun n -> List.concat_map (descendants_named name) n.Xml.children) nodes
+  in
+  match path with
+  | [] -> []
+  | first :: rest ->
+    let start =
+      match first with
+      | Child name -> if root.Xml.tag = name then [ root ] else []
+      | Any_child -> [ root ]
+      | Descendant name -> descendants_named name root
+    in
+    List.fold_left step_from start rest
+
+(* [matches path tags] — does the concrete tag path [tags] (root first)
+   satisfy [path]?  Used to classify a node by its location without
+   materialising node sets. *)
+let matches (path : t) (tags : string list) : bool =
+  let rec go steps tags =
+    match steps, tags with
+    | [], [] -> true
+    | [], _ :: _ -> false
+    | _ :: _, [] -> false
+    | Child name :: steps', tag :: tags' -> tag = name && go steps' tags'
+    | Any_child :: steps', _ :: tags' -> go steps' tags'
+    | Descendant name :: steps', _ ->
+      (* skip zero or more tags, then require [name] *)
+      let rec search = function
+        | [] -> false
+        | tag :: rest -> (tag = name && go steps' rest) || search rest
+      in
+      search tags
+  in
+  go path tags

@@ -1,0 +1,29 @@
+(** Path expressions over tree records: the XPath subset PRIMA needs to map
+    subtrees to privacy vocabulary categories.
+
+    {v /record/medications/prescription    absolute child steps
+   /record/*/date                       single-level wildcard
+   //psychiatry                         descendant search
+   /record//note                        mixed v} *)
+
+type step =
+  | Child of string
+  | Any_child
+  | Descendant of string
+
+type t = step list
+
+exception Invalid_path of string
+
+val parse : string -> t
+(** @raise Invalid_path on malformed expressions (must start with [/];
+    [//*] is not supported). *)
+
+val to_string : t -> string
+
+val select : t -> Xml.node -> Xml.node list
+(** All nodes reached by the path; the first step is matched against the
+    root element itself. *)
+
+val matches : t -> string list -> bool
+(** Does a concrete tag path (root tag first) satisfy the expression? *)

@@ -1,0 +1,120 @@
+(* Active Enforcement over hierarchical records: the paper's "natural
+   evolution" of PRIMA to tree-based legacy structures.
+
+   Retrieving a patient record prunes every subtree whose data category is
+   not permitted for the requester's (role, purpose) — the tree analogue of
+   cell-level masking — and excludes whole documents the patient withheld
+   consent for.  Disclosures and Break-The-Glass retrievals feed the same
+   audit schema as the relational path, so refinement is oblivious to which
+   substrate produced the log. *)
+
+type context = {
+  user : string;
+  role : string;
+  purpose : string;
+}
+
+type t = {
+  store : Tree_store.t;
+  rules : Hdb.Privacy_rules.t;
+  consent : Hdb.Consent.t;
+  logger : Hdb.Audit_logger.t;
+}
+
+type outcome = {
+  document : Xml.node;
+  pruned_categories : string list;
+  disclosed_categories : string list;
+  break_glass : bool;
+}
+
+type error =
+  | Denied of string
+  | Not_found of string
+
+let create ~store ~rules ~consent ~logger = { store; rules; consent; logger }
+
+let store t = t.store
+let logger t = t.logger
+let rules t = t.rules
+let consent t = t.consent
+
+let log_categories t ctx ~op ~status categories =
+  let _ = Hdb.Audit_logger.tick t.logger in
+  List.iter
+    (fun data ->
+      Hdb.Audit_logger.log t.logger ~op ~user:ctx.user ~data ~purpose:ctx.purpose
+        ~authorized:ctx.role ~status)
+    categories
+
+(* Categories in the document the context may see. *)
+let permitted_categories t ctx categories =
+  List.partition
+    (fun data ->
+      Hdb.Privacy_rules.permits t.rules ~data ~purpose:ctx.purpose ~authorized:ctx.role)
+    categories
+
+let prune_document t ctx ~patient document =
+  let keep tags node =
+    ignore node;
+    match Tree_store.category_of_tags t.store tags with
+    | None -> true (* structural nodes without a category stay *)
+    | Some category ->
+      Hdb.Privacy_rules.permits t.rules ~data:category ~purpose:ctx.purpose
+        ~authorized:ctx.role
+      && Hdb.Consent.permits t.consent ~patient ~purpose:ctx.purpose ~data:category
+  in
+  Xml.filter_children ~keep document
+
+(* [retrieve t ctx ~patient] returns the policy- and consent-pruned record.
+   When nothing at all may be disclosed the retrieval is denied; a denied
+   retrieval may be retried with [~break_glass:true], which returns the full
+   record and logs every category as an exception-based access. *)
+let retrieve ?(break_glass = false) t ctx ~patient : (outcome, error) result =
+  match Tree_store.get t.store ~patient with
+  | None -> Error (Not_found patient)
+  | Some document ->
+    let categories = Tree_store.categories_in t.store document in
+    let allowed, forbidden = permitted_categories t ctx categories in
+    let consented =
+      List.filter
+        (fun data -> Hdb.Consent.permits t.consent ~patient ~purpose:ctx.purpose ~data)
+        allowed
+    in
+    if consented = [] && categories <> [] then begin
+      if break_glass then begin
+        log_categories t ctx ~op:Hdb.Audit_schema.Allow
+          ~status:Hdb.Audit_schema.Exception_based categories;
+        Ok
+          { document;
+            pruned_categories = [];
+            disclosed_categories = categories;
+            break_glass = true;
+          }
+      end
+      else begin
+        log_categories t ctx ~op:Hdb.Audit_schema.Disallow ~status:Hdb.Audit_schema.Regular
+          categories;
+        Error
+          (Denied
+             (Printf.sprintf "no category of %s's record is permitted for %s/%s" patient
+                ctx.role ctx.purpose))
+      end
+    end
+    else begin
+      let pruned = prune_document t ctx ~patient document in
+      log_categories t ctx ~op:Hdb.Audit_schema.Allow ~status:Hdb.Audit_schema.Regular
+        consented;
+      Ok
+        { document = pruned;
+          pruned_categories =
+            forbidden
+            @ List.filter (fun c -> not (List.mem c consented)) allowed;
+          disclosed_categories = consented;
+          break_glass = false;
+        }
+    end
+
+let error_to_string = function
+  | Denied reason -> "denied: " ^ reason
+  | Not_found patient -> "no record for patient " ^ patient

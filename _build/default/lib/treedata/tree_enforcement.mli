@@ -1,0 +1,47 @@
+(** Active Enforcement over hierarchical records: the tree analogue of the
+    relational middleware.
+
+    Retrieving a patient record prunes every subtree whose data category is
+    not permitted for the requester's (role, purpose) and withholds
+    categories the patient opted out of.  Disclosures and Break-The-Glass
+    retrievals feed the same audit schema as the relational path, so
+    refinement is oblivious to which substrate produced the log. *)
+
+type context = {
+  user : string;
+  role : string;
+  purpose : string;
+}
+
+type t
+
+type outcome = {
+  document : Xml.node;  (** the pruned record *)
+  pruned_categories : string list;
+  disclosed_categories : string list;
+  break_glass : bool;
+}
+
+type error =
+  | Denied of string
+  | Not_found of string
+
+val create :
+  store:Tree_store.t ->
+  rules:Hdb.Privacy_rules.t ->
+  consent:Hdb.Consent.t ->
+  logger:Hdb.Audit_logger.t ->
+  t
+
+val store : t -> Tree_store.t
+val logger : t -> Hdb.Audit_logger.t
+val rules : t -> Hdb.Privacy_rules.t
+val consent : t -> Hdb.Consent.t
+
+val retrieve : ?break_glass:bool -> t -> context -> patient:string -> (outcome, error) result
+(** The policy- and consent-pruned record.  When nothing at all may be
+    disclosed the retrieval is denied (and audited with op 0); retried with
+    [~break_glass:true] it returns the full record and logs every category
+    as an exception-based access. *)
+
+val error_to_string : error -> string

@@ -1,0 +1,49 @@
+(* A store of hierarchical patient records: one XML document per patient,
+   with a path-to-category mapping that plays the role Category_map plays
+   for relational clinical tables. *)
+
+type t = {
+  documents : (string, Xml.node) Hashtbl.t; (* patient id -> record *)
+  mutable category_paths : (Path.t * string) list; (* path -> data category *)
+}
+
+let create () = { documents = Hashtbl.create 32; category_paths = [] }
+
+let put t ~patient document = Hashtbl.replace t.documents patient document
+
+let put_xml t ~patient xml = put t ~patient (Xml.parse xml)
+
+let get t ~patient = Hashtbl.find_opt t.documents patient
+
+let patients t =
+  Hashtbl.fold (fun patient _ acc -> patient :: acc) t.documents []
+  |> List.sort String.compare
+
+let count t = Hashtbl.length t.documents
+
+let map_path t ~path ~category =
+  t.category_paths <- t.category_paths @ [ (Path.parse path, category) ]
+
+let mappings t = t.category_paths
+
+(* The data category of a node at tag path [tags] (root tag first):
+   first mapping whose path matches, searched innermost-first so more
+   specific mappings can be listed later. *)
+let category_of_tags t tags =
+  List.fold_left
+    (fun found (path, category) ->
+      if Path.matches path tags then Some category else found)
+    None t.category_paths
+
+(* All categories present in a document. *)
+let categories_in t document =
+  let acc = ref [] in
+  let rec go tags node =
+    let tags = tags @ [ node.Xml.tag ] in
+    (match category_of_tags t tags with
+    | Some category when not (List.mem category !acc) -> acc := category :: !acc
+    | Some _ | None -> ());
+    List.iter (go tags) node.Xml.children
+  in
+  go [] document;
+  List.rev !acc

@@ -1,0 +1,28 @@
+(** A store of hierarchical patient records: one XML document per patient,
+    with a path-to-category mapping playing the role {!Hdb.Category_map}
+    plays for relational clinical tables. *)
+
+type t
+
+val create : unit -> t
+val put : t -> patient:string -> Xml.node -> unit
+
+val put_xml : t -> patient:string -> string -> unit
+(** @raise Xml.Parse_error on malformed documents. *)
+
+val get : t -> patient:string -> Xml.node option
+val patients : t -> string list
+val count : t -> int
+
+val map_path : t -> path:string -> category:string -> unit
+(** Declares that nodes matching [path] hold data of [category].
+    @raise Path.Invalid_path on malformed paths. *)
+
+val mappings : t -> (Path.t * string) list
+
+val category_of_tags : t -> string list -> string option
+(** Category of a node at the given tag path (root first); later mappings
+    win, so more specific ones can be listed last. *)
+
+val categories_in : t -> Xml.node -> string list
+(** All categories present in a document, in discovery order. *)

@@ -1,0 +1,262 @@
+(* A small XML-like document model and parser for hierarchical legacy
+   records — the paper's conclusion names tree-based structures as PRIMA's
+   natural evolution, since "legacy systems employ hierarchical, XML-like
+   structures".
+
+   Supported syntax: elements with attributes, text content, self-closing
+   tags, &amp;-style entities and comments.  No namespaces, CDATA or
+   processing instructions — clinical exports in the wild that PRIMA would
+   face are regular enough for this subset. *)
+
+type node = {
+  tag : string;
+  attributes : (string * string) list;
+  children : node list;
+  text : string; (* concatenated character data directly under this node *)
+}
+
+exception Parse_error of string
+
+let element ?(attributes = []) ?(text = "") tag children =
+  { tag; attributes; children; text }
+
+let attribute node name = List.assoc_opt name node.attributes
+
+(* --- parsing --- *)
+
+type cursor = {
+  input : string;
+  mutable pos : int;
+}
+
+let fail_at cursor fmt =
+  Fmt.kstr (fun msg -> raise (Parse_error (Printf.sprintf "at %d: %s" cursor.pos msg))) fmt
+
+let peek_char c = if c.pos < String.length c.input then Some c.input.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_whitespace c =
+  while
+    c.pos < String.length c.input
+    && (match c.input.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    advance c
+  done
+
+let looking_at c prefix =
+  let n = String.length prefix in
+  c.pos + n <= String.length c.input && String.sub c.input c.pos n = prefix
+
+let expect_string c prefix =
+  if looking_at c prefix then c.pos <- c.pos + String.length prefix
+  else fail_at c "expected %S" prefix
+
+let is_name_char ch =
+  (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || (ch >= '0' && ch <= '9')
+  || ch = '-' || ch = '_' || ch = '.'
+
+let read_name c =
+  let start = c.pos in
+  while c.pos < String.length c.input && is_name_char c.input.[c.pos] do
+    advance c
+  done;
+  if c.pos = start then fail_at c "expected a name";
+  String.sub c.input start (c.pos - start)
+
+let decode_entities s =
+  let buffer = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else if s.[i] = '&' then begin
+      let rest = String.sub s i (min 6 (n - i)) in
+      let emit entity char =
+        Buffer.add_char buffer char;
+        go (i + String.length entity)
+      in
+      if String.length rest >= 5 && String.sub rest 0 5 = "&amp;" then emit "&amp;" '&'
+      else if String.length rest >= 4 && String.sub rest 0 4 = "&lt;" then emit "&lt;" '<'
+      else if String.length rest >= 4 && String.sub rest 0 4 = "&gt;" then emit "&gt;" '>'
+      else if String.length rest >= 6 && String.sub rest 0 6 = "&quot;" then emit "&quot;" '"'
+      else if String.length rest >= 6 && String.sub rest 0 6 = "&apos;" then emit "&apos;" '\''
+      else begin
+        Buffer.add_char buffer '&';
+        go (i + 1)
+      end
+    end
+    else begin
+      Buffer.add_char buffer s.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buffer
+
+let read_attribute c =
+  let name = read_name c in
+  skip_whitespace c;
+  expect_string c "=";
+  skip_whitespace c;
+  let quote =
+    match peek_char c with
+    | Some ('"' as q) | Some ('\'' as q) -> q
+    | _ -> fail_at c "expected a quoted attribute value"
+  in
+  advance c;
+  let start = c.pos in
+  while c.pos < String.length c.input && c.input.[c.pos] <> quote do
+    advance c
+  done;
+  if c.pos >= String.length c.input then fail_at c "unterminated attribute value";
+  let value = String.sub c.input start (c.pos - start) in
+  advance c;
+  (name, decode_entities value)
+
+let rec skip_misc c =
+  skip_whitespace c;
+  if looking_at c "<!--" then begin
+    match
+      let rec find i =
+        if i + 3 > String.length c.input then None
+        else if String.sub c.input i 3 = "-->" then Some i
+        else find (i + 1)
+      in
+      find (c.pos + 4)
+    with
+    | Some i ->
+      c.pos <- i + 3;
+      skip_misc c
+    | None -> fail_at c "unterminated comment"
+  end
+  else if looking_at c "<?" then begin
+    match String.index_from_opt c.input c.pos '>' with
+    | Some i ->
+      c.pos <- i + 1;
+      skip_misc c
+    | None -> fail_at c "unterminated declaration"
+  end
+
+let rec parse_element c =
+  expect_string c "<";
+  let tag = read_name c in
+  let rec attributes acc =
+    skip_whitespace c;
+    match peek_char c with
+    | Some '>' | Some '/' -> List.rev acc
+    | Some _ -> attributes (read_attribute c :: acc)
+    | None -> fail_at c "unterminated tag %s" tag
+  in
+  let attrs = attributes [] in
+  skip_whitespace c;
+  if looking_at c "/>" then begin
+    expect_string c "/>";
+    { tag; attributes = attrs; children = []; text = "" }
+  end
+  else begin
+    expect_string c ">";
+    let buffer = Buffer.create 16 in
+    let rec content children =
+      if c.pos >= String.length c.input then fail_at c "unterminated element %s" tag
+      else if looking_at c "</" then begin
+        expect_string c "</";
+        let closing = read_name c in
+        if closing <> tag then fail_at c "mismatched close: <%s> vs </%s>" tag closing;
+        skip_whitespace c;
+        expect_string c ">";
+        List.rev children
+      end
+      else if looking_at c "<!--" then begin
+        skip_misc c;
+        content children
+      end
+      else if looking_at c "<" then content (parse_element c :: children)
+      else begin
+        Buffer.add_char buffer c.input.[c.pos];
+        advance c;
+        content children
+      end
+    in
+    let children = content [] in
+    { tag;
+      attributes = attrs;
+      children;
+      text = decode_entities (String.trim (Buffer.contents buffer));
+    }
+  end
+
+(* [parse s] parses one document (a single root element, optionally
+   preceded by an XML declaration and comments).
+   @raise Parse_error on malformed input. *)
+let parse input =
+  let c = { input; pos = 0 } in
+  skip_misc c;
+  if peek_char c <> Some '<' then fail_at c "expected an element";
+  let root = parse_element c in
+  skip_misc c;
+  if c.pos < String.length c.input then fail_at c "trailing content after root element";
+  root
+
+(* --- printing --- *)
+
+let escape s =
+  let buffer = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '&' -> Buffer.add_string buffer "&amp;"
+      | '<' -> Buffer.add_string buffer "&lt;"
+      | '>' -> Buffer.add_string buffer "&gt;"
+      | '"' -> Buffer.add_string buffer "&quot;"
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let rec to_string ?(indent = 0) node =
+  let pad = String.make (2 * indent) ' ' in
+  let attrs =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf " %s=\"%s\"" k (escape v)) node.attributes)
+  in
+  if node.children = [] && node.text = "" then Printf.sprintf "%s<%s%s/>" pad node.tag attrs
+  else if node.children = [] then
+    Printf.sprintf "%s<%s%s>%s</%s>" pad node.tag attrs (escape node.text) node.tag
+  else begin
+    let inner =
+      String.concat "\n" (List.map (to_string ~indent:(indent + 1)) node.children)
+    in
+    let text_line =
+      if node.text = "" then ""
+      else Printf.sprintf "%s%s\n" (String.make (2 * (indent + 1)) ' ') (escape node.text)
+    in
+    Printf.sprintf "%s<%s%s>\n%s%s\n%s</%s>" pad node.tag attrs text_line inner pad node.tag
+  end
+
+let pp ppf node = Fmt.string ppf (to_string node)
+
+(* --- traversal helpers --- *)
+
+let rec iter f node =
+  f node;
+  List.iter (iter f) node.children
+
+let rec fold f acc node = List.fold_left (fold f) (f acc node) node.children
+
+let count node = fold (fun acc _ -> acc + 1) 0 node
+
+let equal (a : node) (b : node) = a = b
+
+(* Structure-preserving filter: keep a child subtree only when [keep] holds
+   for it; the predicate sees each node with its path from the root. *)
+let filter_children ~keep root =
+  let rec go path node =
+    let path = path @ [ node.tag ] in
+    let children =
+      List.filter_map
+        (fun child ->
+          if keep (path @ [ child.tag ]) child then Some (go path child) else None)
+        node.children
+    in
+    { node with children }
+  in
+  go [] root

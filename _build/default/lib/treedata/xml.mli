@@ -1,0 +1,38 @@
+(** A small XML-like document model and parser for hierarchical legacy
+    records — the paper's conclusion names tree-based structures as PRIMA's
+    natural evolution.
+
+    Supported syntax: elements with attributes, text content, self-closing
+    tags, the five predefined entities, and comments.  No namespaces,
+    CDATA, or processing instructions. *)
+
+type node = {
+  tag : string;
+  attributes : (string * string) list;
+  children : node list;
+  text : string;  (** concatenated, trimmed character data of this node *)
+}
+
+exception Parse_error of string
+
+val element : ?attributes:(string * string) list -> ?text:string -> string -> node list -> node
+val attribute : node -> string -> string option
+
+val parse : string -> node
+(** Parses one document (a single root element, optionally preceded by an
+    XML declaration and comments).
+    @raise Parse_error on malformed input. *)
+
+val escape : string -> string
+val to_string : ?indent:int -> node -> string
+val pp : Format.formatter -> node -> unit
+
+val iter : (node -> unit) -> node -> unit
+val fold : ('acc -> node -> 'acc) -> 'acc -> node -> 'acc
+val count : node -> int
+val equal : node -> node -> bool
+
+val filter_children : keep:(string list -> node -> bool) -> node -> node
+(** Structure-preserving filter: a child subtree survives only when [keep]
+    holds for it.  The predicate receives each candidate's tag path from
+    the root (inclusive) and the node itself; the root always survives. *)

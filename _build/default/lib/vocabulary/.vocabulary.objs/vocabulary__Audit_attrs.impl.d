@@ -1,0 +1,1 @@
+lib/vocabulary/audit_attrs.ml:

@@ -1,0 +1,1 @@
+lib/vocabulary/samples.ml: Taxonomy Vocab

@@ -1,0 +1,1 @@
+lib/vocabulary/taxonomy.ml: Fmt Hashtbl List

@@ -1,0 +1,1 @@
+lib/vocabulary/taxonomy.mli: Format

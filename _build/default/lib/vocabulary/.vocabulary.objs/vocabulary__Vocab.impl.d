@@ -1,0 +1,1 @@
+lib/vocabulary/vocab.ml: List Map String Taxonomy

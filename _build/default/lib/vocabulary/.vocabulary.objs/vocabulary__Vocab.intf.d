@@ -1,0 +1,1 @@
+lib/vocabulary/vocab.mli: Format Taxonomy

@@ -1,0 +1,23 @@
+(* Names of the audit-entry attributes (Section 4.2 schema).  Shared here so
+   the HDB audit components and the PRIMA core algorithms agree on the
+   strings by construction. *)
+
+let time = "time"
+let op = "op"
+let user = "user"
+let data = "data"
+let purpose = "purpose"
+let authorized = "authorized"
+let status = "status"
+
+(* Schema order as given in the paper. *)
+let all = [ time; op; user; data; purpose; authorized; status ]
+
+(* The default analysis projection A of Algorithm 4. *)
+let pattern = [ data; purpose; authorized ]
+
+(* Values of op and status, as recorded in rules/logs. *)
+let op_allow = "1"
+let op_disallow = "0"
+let status_regular = "1"
+let status_exception = "0"

@@ -1,0 +1,103 @@
+(* Concrete vocabularies.
+
+   [figure1] reconstructs the sample vocabulary of Figure 1 and Section 3.3:
+   the narrative fixes (data, demographic) with a four-element ground set
+   containing address and gender, a routine clinical category covering
+   prescription and referral (rule 1 grounds to 1a and 1b), psychiatry outside
+   it (so the Figure 3(b) rule-4 exception is genuinely uncovered), and the
+   purposes and roles used by Figure 3 and Table 1.
+
+   The policy-store rule for psychiatry uses the psychiatrist leaf: the paper
+   says psychiatry data is reserved to "a physician", yet counts both the
+   Nurse (Figure 3) and Doctor (Table 1, t4) accesses as uncovered, so the
+   authorizing role must be a strict sub-category of physician distinct from
+   the doctor leaf. *)
+
+let attr_data = "data"
+let attr_purpose = "purpose"
+let attr_authorized = "authorized"
+
+let n = Taxonomy.node
+let l = Taxonomy.leaf
+
+let figure1_data () =
+  Taxonomy.create ~attr:attr_data
+    (n "data"
+       [ n "demographic" [ l "name"; l "address"; l "gender"; l "birthdate" ];
+         n "clinical"
+           [ n "routine" [ l "prescription"; l "referral"; l "lab-results" ];
+             n "sensitive" [ l "psychiatry"; l "hiv-status"; l "genetic" ];
+           ];
+         n "financial" [ l "insurance"; l "payment-history" ];
+       ])
+
+let figure1_purpose () =
+  Taxonomy.create ~attr:attr_purpose
+    (n "purpose"
+       [ n "administering-healthcare" [ l "treatment"; l "registration"; l "billing" ];
+         l "research";
+         l "telemarketing";
+       ])
+
+let figure1_authorized () =
+  Taxonomy.create ~attr:attr_authorized
+    (n "staff"
+       [ n "clinical-staff"
+           [ n "physician" [ l "psychiatrist"; l "doctor"; l "surgeon" ]; l "nurse" ];
+         n "administrative-staff" [ l "clerk"; l "receptionist" ];
+       ])
+
+let figure1 () =
+  Vocab.of_taxonomies [ figure1_data (); figure1_purpose (); figure1_authorized () ]
+
+(* A larger vocabulary for the synthetic hospital of lib/workload: same three
+   attributes, wider and deeper trees, so scaling experiments exercise
+   non-trivial grounding. *)
+
+let hospital_data () =
+  Taxonomy.create ~attr:attr_data
+    (n "data"
+       [ n "demographic"
+           [ l "name"; l "address"; l "gender"; l "birthdate"; l "phone"; l "email" ];
+         n "clinical"
+           [ n "routine"
+               [ l "prescription"; l "referral"; l "lab-results"; l "vitals";
+                 l "allergies"; l "immunizations" ];
+             n "sensitive"
+               [ l "psychiatry"; l "hiv-status"; l "genetic"; l "substance-abuse";
+                 l "reproductive-health" ];
+             n "imaging" [ l "x-ray"; l "mri"; l "ct-scan" ];
+           ];
+         n "financial" [ l "insurance"; l "payment-history"; l "billing-address" ];
+         n "administrative" [ l "appointments"; l "admission-record"; l "discharge-record" ];
+       ])
+
+let hospital_purpose () =
+  Taxonomy.create ~attr:attr_purpose
+    (n "purpose"
+       [ n "administering-healthcare"
+           [ n "care-delivery" [ l "treatment"; l "diagnosis"; l "emergency-care" ];
+             n "care-coordination" [ l "registration"; l "scheduling"; l "transfer" ];
+             n "payment" [ l "billing"; l "claims-processing" ];
+           ];
+         n "secondary-use" [ l "research"; l "quality-improvement"; l "training" ];
+         l "telemarketing";
+       ])
+
+let hospital_authorized () =
+  Taxonomy.create ~attr:attr_authorized
+    (n "staff"
+       [ n "clinical-staff"
+           [ n "physician"
+               [ l "psychiatrist"; l "doctor"; l "surgeon"; l "radiologist";
+                 l "emergency-physician" ];
+             n "nursing" [ l "nurse"; l "head-nurse"; l "nurse-assistant" ];
+             l "pharmacist";
+             l "lab-technician";
+           ];
+         n "administrative-staff" [ l "clerk"; l "receptionist"; l "billing-specialist" ];
+         n "oversight" [ l "privacy-officer"; l "auditor" ];
+       ])
+
+let hospital () =
+  Vocab.of_taxonomies [ hospital_data (); hospital_purpose (); hospital_authorized () ]

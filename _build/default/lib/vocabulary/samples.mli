@@ -1,0 +1,28 @@
+(** Ready-made vocabularies: the paper's Figure 1 reconstruction and a larger
+    synthetic-hospital vocabulary used by the workload generator. *)
+
+val attr_data : string
+(** The ["data"] attribute name. *)
+
+val attr_purpose : string
+(** The ["purpose"] attribute name. *)
+
+val attr_authorized : string
+(** The ["authorized"] (role) attribute name. *)
+
+val figure1_data : unit -> Taxonomy.t
+val figure1_purpose : unit -> Taxonomy.t
+val figure1_authorized : unit -> Taxonomy.t
+
+val figure1 : unit -> Vocab.t
+(** The sample vocabulary of Figure 1 / Section 3.3:  demographic grounds to
+    four terms including address and gender; prescription and referral share
+    the routine-clinical parent; psychiatry is a sensitive sibling. *)
+
+val hospital_data : unit -> Taxonomy.t
+val hospital_purpose : unit -> Taxonomy.t
+val hospital_authorized : unit -> Taxonomy.t
+
+val hospital : unit -> Vocab.t
+(** A wider and deeper three-attribute vocabulary for synthetic workloads and
+    scaling experiments. *)

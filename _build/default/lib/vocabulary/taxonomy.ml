@@ -1,0 +1,123 @@
+(* A taxonomy is the value hierarchy of a single policy attribute (e.g. the
+   "data" tree of Figure 1 in the paper).  Interior nodes are composite
+   values; leaves are ground values.  Node values are unique within one
+   taxonomy so that a value alone identifies its node. *)
+
+type node = {
+  value : string;
+  children : node list;
+}
+
+type t = {
+  attr : string;
+  root : node;
+  by_value : (string, node) Hashtbl.t;
+}
+
+exception Duplicate_value of string
+exception Unknown_value of string
+
+let node value children = { value; children }
+
+let leaf value = node value []
+
+let rec iter_nodes f n =
+  f n;
+  List.iter (iter_nodes f) n.children
+
+let create ~attr root =
+  let by_value = Hashtbl.create 64 in
+  let add n =
+    if Hashtbl.mem by_value n.value then raise (Duplicate_value n.value)
+    else Hashtbl.add by_value n.value n
+  in
+  iter_nodes add root;
+  { attr; root; by_value }
+
+let attr t = t.attr
+
+let root_value t = t.root.value
+
+let mem t value = Hashtbl.mem t.by_value value
+
+let find_node t value =
+  match Hashtbl.find_opt t.by_value value with
+  | Some n -> n
+  | None -> raise (Unknown_value value)
+
+let is_ground t value = (find_node t value).children = []
+
+let children t value =
+  List.map (fun n -> n.value) (find_node t value).children
+
+(* Ground set of a value: the set RT' of Definition 2 — every leaf reachable
+   from the value's node.  A leaf grounds to itself. *)
+let leaves_under t value =
+  let rec collect acc n =
+    match n.children with
+    | [] -> n.value :: acc
+    | cs -> List.fold_left collect acc cs
+  in
+  List.rev (collect [] (find_node t value))
+
+(* [subsumes t ~ancestor ~descendant] holds when [descendant] lies in the
+   subtree rooted at [ancestor] (reflexively). *)
+let subsumes t ~ancestor ~descendant =
+  if not (mem t descendant) then raise (Unknown_value descendant);
+  let rec search n =
+    n.value = descendant || List.exists search n.children
+  in
+  search (find_node t ancestor)
+
+(* Two values are equivalent in the sense of Definition 4 when their ground
+   sets intersect; in a tree that is exactly an ancestor/descendant
+   relationship in either direction. *)
+let equivalent t v1 v2 =
+  subsumes t ~ancestor:v1 ~descendant:v2
+  || subsumes t ~ancestor:v2 ~descendant:v1
+
+let all_values t =
+  let acc = ref [] in
+  iter_nodes (fun n -> acc := n.value :: !acc) t.root;
+  List.rev !acc
+
+let ground_values t =
+  let acc = ref [] in
+  iter_nodes (fun n -> if n.children = [] then acc := n.value :: !acc) t.root;
+  List.rev !acc
+
+let size t = Hashtbl.length t.by_value
+
+let depth t =
+  let rec go n = 1 + List.fold_left (fun m c -> max m (go c)) 0 n.children in
+  go t.root
+
+let parent t value =
+  if not (mem t value) then raise (Unknown_value value);
+  let result = ref None in
+  iter_nodes
+    (fun n -> if List.exists (fun c -> c.value = value) n.children then result := Some n.value)
+    t.root;
+  !result
+
+(* Path from the root down to [value], inclusive on both ends. *)
+let path_to t value =
+  if not (mem t value) then raise (Unknown_value value);
+  let rec go trail n =
+    if n.value = value then Some (List.rev (n.value :: trail))
+    else
+      List.fold_left
+        (fun found c -> match found with Some _ -> found | None -> go (n.value :: trail) c)
+        None n.children
+  in
+  match go [] t.root with
+  | Some p -> p
+  | None -> raise (Unknown_value value)
+
+let pp ppf t =
+  let rec pp_node indent ppf n =
+    Fmt.pf ppf "%s%s%s@." indent n.value (if n.children = [] then "" else ":");
+    List.iter (pp_node (indent ^ "  ") ppf) n.children
+  in
+  Fmt.pf ppf "[%s]@." t.attr;
+  pp_node "" ppf t.root

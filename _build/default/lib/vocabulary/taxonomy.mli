@@ -1,0 +1,76 @@
+(** Value hierarchy for one policy attribute.
+
+    A taxonomy captures one tree of the privacy policy vocabulary (Figure 1 of
+    the paper): the "data" tree, the "purpose" tree, etc.  Interior nodes are
+    composite values that can be refined; leaves are ground values
+    (Definition 2). *)
+
+type node
+(** A tree node carrying a value and its sub-values. *)
+
+type t
+(** A taxonomy: an attribute name plus its value tree. *)
+
+exception Duplicate_value of string
+(** Raised by {!create} when the same value appears twice in one tree. *)
+
+exception Unknown_value of string
+(** Raised by lookups when the value is not part of the taxonomy. *)
+
+val node : string -> node list -> node
+(** [node value children] builds an interior (or leaf, if [children] is empty)
+    node. *)
+
+val leaf : string -> node
+(** [leaf value] is [node value []]. *)
+
+val create : attr:string -> node -> t
+(** [create ~attr root] validates value uniqueness and builds the taxonomy.
+    @raise Duplicate_value if a value occurs twice. *)
+
+val attr : t -> string
+(** The attribute this taxonomy describes, e.g. ["data"]. *)
+
+val root_value : t -> string
+(** Value at the root of the tree. *)
+
+val mem : t -> string -> bool
+(** Membership test for a value. *)
+
+val is_ground : t -> string -> bool
+(** [is_ground t v] is true iff [v] is a leaf, i.e. atomic w.r.t. the
+    vocabulary (Definition 2).  @raise Unknown_value on foreign values. *)
+
+val children : t -> string -> string list
+(** Immediate sub-values of a value. *)
+
+val leaves_under : t -> string -> string list
+(** Ground set of a value: all leaves in its subtree, in tree order.  A leaf
+    grounds to the singleton containing itself. *)
+
+val subsumes : t -> ancestor:string -> descendant:string -> bool
+(** Reflexive subtree containment. *)
+
+val equivalent : t -> string -> string -> bool
+(** Definition 4 restricted to one attribute: ground sets intersect. *)
+
+val all_values : t -> string list
+(** Every value in the tree, preorder. *)
+
+val ground_values : t -> string list
+(** Every leaf value, in tree order. *)
+
+val size : t -> int
+(** Number of values in the tree. *)
+
+val depth : t -> int
+(** Height of the tree (a single leaf has depth 1). *)
+
+val parent : t -> string -> string option
+(** Parent value, or [None] for the root. *)
+
+val path_to : t -> string -> string list
+(** Root-to-value path, both ends included. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented rendering of the tree, as in Figure 1. *)

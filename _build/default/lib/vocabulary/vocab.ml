@@ -1,0 +1,65 @@
+(* A privacy policy vocabulary V: one taxonomy per policy attribute.  The
+   vocabulary is what makes grounding (Definition 3) well defined. *)
+
+module String_map = Map.Make (String)
+
+type t = Taxonomy.t String_map.t
+
+exception Unknown_attribute of string
+exception Duplicate_attribute of string
+
+let empty = String_map.empty
+
+let add t taxonomy =
+  let attr = Taxonomy.attr taxonomy in
+  if String_map.mem attr t then raise (Duplicate_attribute attr)
+  else String_map.add attr taxonomy t
+
+let of_taxonomies taxonomies = List.fold_left add empty taxonomies
+
+let attributes t = List.map fst (String_map.bindings t)
+
+let mem_attribute t attr = String_map.mem attr t
+
+let taxonomy t attr =
+  match String_map.find_opt attr t with
+  | Some tax -> tax
+  | None -> raise (Unknown_attribute attr)
+
+let taxonomy_opt t attr = String_map.find_opt attr t
+
+let mem_value t ~attr ~value =
+  match String_map.find_opt attr t with
+  | Some tax -> Taxonomy.mem tax value
+  | None -> false
+
+(* Grounding treats values of attributes outside the vocabulary (e.g. the
+   audit log's user names and timestamps) as already ground: the vocabulary
+   cannot refine what it does not describe. *)
+let is_ground t ~attr ~value =
+  match String_map.find_opt attr t with
+  | Some tax -> if Taxonomy.mem tax value then Taxonomy.is_ground tax value else true
+  | None -> true
+
+let ground_set t ~attr ~value =
+  match String_map.find_opt attr t with
+  | Some tax when Taxonomy.mem tax value -> Taxonomy.leaves_under tax value
+  | Some _ | None -> [ value ]
+
+let equivalent_values t ~attr v1 v2 =
+  match String_map.find_opt attr t with
+  | Some tax when Taxonomy.mem tax v1 && Taxonomy.mem tax v2 ->
+    Taxonomy.equivalent tax v1 v2
+  | Some _ | None -> String.equal v1 v2
+
+let subsumes_value t ~attr ~ancestor ~descendant =
+  match String_map.find_opt attr t with
+  | Some tax when Taxonomy.mem tax ancestor && Taxonomy.mem tax descendant ->
+    Taxonomy.subsumes tax ~ancestor ~descendant
+  | Some _ | None -> String.equal ancestor descendant
+
+let cardinality t =
+  String_map.fold (fun _ tax acc -> acc + Taxonomy.size tax) t 0
+
+let pp ppf t =
+  String_map.iter (fun _ tax -> Taxonomy.pp ppf tax) t

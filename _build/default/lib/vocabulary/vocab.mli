@@ -1,0 +1,48 @@
+(** Privacy policy vocabulary: the set of attribute taxonomies against which
+    policies are grounded and compared (the [V] of Algorithms 1–6).
+
+    Attributes that are not described by the vocabulary — the audit log's
+    [user], [time], [op] and [status] fields — are treated as flat domains:
+    every value is its own ground set and equivalence is string equality. *)
+
+type t
+
+exception Unknown_attribute of string
+exception Duplicate_attribute of string
+
+val empty : t
+
+val add : t -> Taxonomy.t -> t
+(** @raise Duplicate_attribute when the taxonomy's attribute is present. *)
+
+val of_taxonomies : Taxonomy.t list -> t
+
+val attributes : t -> string list
+(** Attribute names, sorted. *)
+
+val mem_attribute : t -> string -> bool
+
+val taxonomy : t -> string -> Taxonomy.t
+(** @raise Unknown_attribute when absent. *)
+
+val taxonomy_opt : t -> string -> Taxonomy.t option
+
+val mem_value : t -> attr:string -> value:string -> bool
+(** Whether the vocabulary explicitly describes [value] for [attr]. *)
+
+val is_ground : t -> attr:string -> value:string -> bool
+(** Definition 2 lifted to the vocabulary; values of attributes (or values)
+    outside the vocabulary are ground by convention. *)
+
+val ground_set : t -> attr:string -> value:string -> string list
+(** The set [RT'] of Definition 2 for one attribute value. *)
+
+val equivalent_values : t -> attr:string -> string -> string -> bool
+(** Definition 4 for one attribute: ground sets intersect. *)
+
+val subsumes_value : t -> attr:string -> ancestor:string -> descendant:string -> bool
+
+val cardinality : t -> int
+(** Total number of vocabulary values across all taxonomies. *)
+
+val pp : Format.formatter -> t -> unit

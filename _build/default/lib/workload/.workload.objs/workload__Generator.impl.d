@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Hdb Hospital List Prima_core Printf Prng Vocabulary

@@ -1,0 +1,1 @@
+lib/workload/generator.mli: Hdb Hospital Prima_core

@@ -1,0 +1,1 @@
+lib/workload/hospital.ml: List Prima_core Printf String Vocabulary

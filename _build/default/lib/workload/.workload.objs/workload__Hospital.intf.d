@@ -1,0 +1,1 @@
+lib/workload/hospital.mli: Prima_core Vocabulary

@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Audit_mgmt Hdb Prima_core Vocabulary

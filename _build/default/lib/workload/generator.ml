@@ -1,0 +1,146 @@
+(* Synthetic audit-trail generation with ground truth.
+
+   Each generated access is labelled:
+   - [Covered]: permitted by the documented policy (grounded from a
+     documented triple).  Mostly regular accesses; a configurable fraction
+     still goes through Break-The-Glass out of habit — the paper notes
+     controls are bypassed "even for some [accesses] that are" covered.
+   - [Informal]: one of the hospital's informal practices — undocumented
+     but legitimate clinical workflow, always exception-based.  These are
+     what refinement should surface.
+   - [Violation]: rogue accesses by a small set of users, exception-based.
+     These are what the pruning/human step should reject.
+
+   Ground truth lets experiments measure refinement precision/recall, which
+   the paper could not do on the real trails it discusses. *)
+
+type label =
+  | Covered
+  | Informal of Hospital.informal_practice
+  | Violation
+
+type labelled = {
+  entry : Hdb.Audit_schema.entry;
+  label : label;
+}
+
+(* Ground a possibly-composite vocabulary value by picking a random leaf
+   beneath it. *)
+let ground_value rng vocab ~attr value =
+  match Vocabulary.Vocab.ground_set vocab ~attr ~value with
+  | [] -> value
+  | leaves -> Prng.pick rng leaves
+
+let leaf_roles config =
+  List.map fst config.Hospital.staff_per_role
+
+let random_user rng config role =
+  match Hospital.users_of_role config role with
+  | [] -> role ^ "-00"
+  | users -> Prng.pick rng users
+
+let generate_covered rng (config : Hospital.config) time =
+  let data, purpose, authorized = Prng.pick rng config.documented in
+  let vocab = config.vocab in
+  let data = ground_value rng vocab ~attr:Vocabulary.Audit_attrs.data data in
+  let purpose = ground_value rng vocab ~attr:Vocabulary.Audit_attrs.purpose purpose in
+  let role = ground_value rng vocab ~attr:Vocabulary.Audit_attrs.authorized authorized in
+  (* Composite roles ground to any leaf; keep only staffed ones. *)
+  let role = if Hospital.users_of_role config role = [] then
+      Prng.pick rng (leaf_roles config)
+    else role
+  in
+  let status =
+    if Prng.bool rng ~probability:config.btg_on_covered then
+      Hdb.Audit_schema.Exception_based
+    else Hdb.Audit_schema.Regular
+  in
+  { entry =
+      Hdb.Audit_schema.entry ~time ~op:Hdb.Audit_schema.Allow
+        ~user:(random_user rng config role) ~data ~purpose ~authorized:role ~status;
+    label = Covered;
+  }
+
+let generate_informal rng (config : Hospital.config) time =
+  let weighted = List.map (fun p -> (p, p.Hospital.weight)) config.informal in
+  let p = Prng.pick_weighted rng weighted in
+  { entry =
+      Hdb.Audit_schema.entry ~time ~op:Hdb.Audit_schema.Allow
+        ~user:(random_user rng config p.Hospital.authorized) ~data:p.Hospital.data
+        ~purpose:p.Hospital.purpose ~authorized:p.Hospital.authorized
+        ~status:Hdb.Audit_schema.Exception_based;
+    label = Informal p;
+  }
+
+(* Violations model snooping: each rogue user repeatedly pries into the same
+   target — a fixed (data, purpose, role) derived from the rogue's identity.
+   Repetition is what makes contamination dangerous for refinement: a rogue's
+   habit can cross the frequency threshold f, and only the distinct-user
+   condition (or the human review step) then keeps it out of the policy. *)
+let generate_violation rng (config : Hospital.config) time =
+  let vocab = config.vocab in
+  let rogue = Prng.int rng (max 1 config.rogue_users) in
+  let nth_of xs k = List.nth xs (k mod List.length xs) in
+  let data_leaves =
+    Vocabulary.Taxonomy.ground_values
+      (Vocabulary.Vocab.taxonomy vocab Vocabulary.Audit_attrs.data)
+  in
+  let purpose_leaves =
+    Vocabulary.Taxonomy.ground_values
+      (Vocabulary.Vocab.taxonomy vocab Vocabulary.Audit_attrs.purpose)
+  in
+  let data = nth_of data_leaves ((rogue * 7) + 3) in
+  let purpose = nth_of purpose_leaves ((rogue * 5) + 2) in
+  let role = nth_of (leaf_roles config) ((rogue * 3) + 1) in
+  { entry =
+      Hdb.Audit_schema.entry ~time ~op:Hdb.Audit_schema.Allow
+        ~user:(Printf.sprintf "rogue-%02d" rogue) ~data ~purpose ~authorized:role
+        ~status:Hdb.Audit_schema.Exception_based;
+    label = Violation;
+  }
+
+(* [generate config] produces the full labelled trail, time-ordered. *)
+let generate (config : Hospital.config) : labelled list =
+  let rng = Prng.create ~seed:config.seed in
+  List.init config.total_accesses (fun i ->
+      let time = i + 1 in
+      let draw = Prng.float rng in
+      if draw < config.violation_rate then generate_violation rng config time
+      else if draw < config.violation_rate +. config.informal_rate then
+        generate_informal rng config time
+      else generate_covered rng config time)
+
+let entries labelled = List.map (fun l -> l.entry) labelled
+
+(* Split into consecutive epochs of [config.epoch_size] accesses. *)
+let epochs (config : Hospital.config) labelled =
+  let rec go acc current n = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | x :: rest ->
+      if n = config.Hospital.epoch_size then go (List.rev current :: acc) [ x ] 1 rest
+      else go acc (x :: current) (n + 1) rest
+  in
+  go [] [] 0 labelled
+
+(* Ground-truth acceptance oracle for refinement: adopt exactly the
+   patterns describing informal practice. *)
+let oracle (config : Hospital.config) : Prima_core.Rule.t -> bool =
+  fun rule -> Hospital.is_informal_pattern config rule
+
+(* How many of the informal practices does the policy [p_ps] now cover?
+   Used for recall-style metrics. *)
+let practices_covered (config : Hospital.config) (p_ps : Prima_core.Policy.t) =
+  let vocab = config.vocab in
+  let attrs = Vocabulary.Audit_attrs.pattern in
+  let range = Prima_core.Range.of_policy vocab (Prima_core.Policy.project p_ps ~attrs) in
+  List.filter
+    (fun (p : Hospital.informal_practice) ->
+      let rule =
+        Prima_core.Rule.of_assoc
+          [ (Vocabulary.Audit_attrs.data, p.Hospital.data);
+            (Vocabulary.Audit_attrs.purpose, p.Hospital.purpose);
+            (Vocabulary.Audit_attrs.authorized, p.Hospital.authorized);
+          ]
+      in
+      Prima_core.Range.covers vocab range rule)
+    config.informal

@@ -1,0 +1,39 @@
+(** Synthetic audit-trail generation with ground truth.
+
+    Each access is labelled [Covered] (permitted by the documented policy;
+    a configurable fraction still goes through Break-The-Glass out of
+    habit), [Informal] (undocumented but legitimate practice — what
+    refinement should surface; always exception-based), or [Violation]
+    (snooping: a rogue user repeatedly prying into the same target; always
+    exception-based — what pruning and human review should reject).
+
+    Ground truth lets experiments measure refinement precision/recall,
+    which the paper could not do on the real trails it discusses. *)
+
+type label =
+  | Covered
+  | Informal of Hospital.informal_practice
+  | Violation
+
+type labelled = {
+  entry : Hdb.Audit_schema.entry;
+  label : label;
+}
+
+val generate : Hospital.config -> labelled list
+(** The full labelled trail, time-ordered, deterministic in
+    [config.seed]. *)
+
+val entries : labelled list -> Hdb.Audit_schema.entry list
+
+val epochs : Hospital.config -> labelled list -> labelled list list
+(** Consecutive batches of [config.epoch_size] accesses (last may be
+    short). *)
+
+val oracle : Hospital.config -> Prima_core.Rule.t -> bool
+(** Ground-truth acceptance: adopt exactly the informal-practice
+    patterns. *)
+
+val practices_covered : Hospital.config -> Prima_core.Policy.t -> Hospital.informal_practice list
+(** The informal practices whose pattern the policy now covers — a
+    recall-style metric. *)

@@ -1,0 +1,107 @@
+(* The synthetic hospital: staffing, the documented policy (what the privacy
+   officer wrote down), and the informal practices (what care delivery
+   actually requires) — the substitute for the real audit-trail study the
+   paper builds on ([2]). *)
+
+type informal_practice = {
+  data : string;
+  purpose : string;
+  authorized : string;
+  weight : int; (* relative frequency among informal accesses *)
+}
+
+type config = {
+  seed : int;
+  vocab : Vocabulary.Vocab.t;
+  staff_per_role : (string * int) list; (* leaf role -> head count *)
+  total_accesses : int;
+  epoch_size : int; (* accesses per refinement epoch *)
+  documented : (string * string * string) list; (* (data, purpose, authorized) *)
+  informal : informal_practice list;
+  informal_rate : float; (* fraction of accesses that are informal practice *)
+  violation_rate : float; (* fraction that are rogue accesses *)
+  btg_on_covered : float; (* covered accesses still using BTG out of habit *)
+  rogue_users : int; (* distinct users responsible for violations *)
+}
+
+let practice ~data ~purpose ~authorized ~weight = { data; purpose; authorized; weight }
+
+let default_config ?(seed = 42) () =
+  let vocab = Vocabulary.Samples.hospital () in
+  { seed;
+    vocab;
+    staff_per_role =
+      [ ("nurse", 14); ("head-nurse", 2); ("nurse-assistant", 6); ("doctor", 8);
+        ("psychiatrist", 2); ("surgeon", 3); ("radiologist", 2);
+        ("emergency-physician", 3); ("pharmacist", 2); ("lab-technician", 3);
+        ("clerk", 4); ("receptionist", 3); ("billing-specialist", 3);
+      ];
+    total_accesses = 4000;
+    epoch_size = 500;
+    documented =
+      [ ("routine", "care-delivery", "nursing");
+        ("routine", "care-delivery", "physician");
+        ("sensitive", "diagnosis", "doctor");
+        ("psychiatry", "treatment", "psychiatrist");
+        ("imaging", "diagnosis", "radiologist");
+        ("demographic", "payment", "billing-specialist");
+        ("demographic", "care-coordination", "receptionist");
+        ("prescription", "treatment", "pharmacist");
+        ("lab-results", "diagnosis", "lab-technician");
+      ];
+    informal =
+      [ practice ~data:"referral" ~purpose:"registration" ~authorized:"nurse" ~weight:6;
+        practice ~data:"prescription" ~purpose:"billing" ~authorized:"clerk" ~weight:4;
+        practice ~data:"x-ray" ~purpose:"emergency-care" ~authorized:"emergency-physician"
+          ~weight:4;
+        practice ~data:"vitals" ~purpose:"transfer" ~authorized:"nurse-assistant" ~weight:3;
+        practice ~data:"lab-results" ~purpose:"scheduling" ~authorized:"clerk" ~weight:2;
+        practice ~data:"insurance" ~purpose:"claims-processing" ~authorized:"billing-specialist"
+          ~weight:3;
+        practice ~data:"psychiatry" ~purpose:"emergency-care" ~authorized:"emergency-physician"
+          ~weight:3;
+      ];
+    informal_rate = 0.22;
+    violation_rate = 0.02;
+    btg_on_covered = 0.05;
+    rogue_users = 2;
+  }
+
+(* The documented policy as the initial P_PS. *)
+let policy_store config : Prima_core.Policy.t =
+  Prima_core.Policy.of_assoc_list ~source:Prima_core.Policy.Policy_store
+    (List.map
+       (fun (data, purpose, authorized) ->
+         [ (Vocabulary.Audit_attrs.data, data);
+           (Vocabulary.Audit_attrs.purpose, purpose);
+           (Vocabulary.Audit_attrs.authorized, authorized);
+         ])
+       config.documented)
+
+(* Every staff member, as (user name, leaf role). *)
+let staff config =
+  List.concat_map
+    (fun (role, count) -> List.init count (fun i -> (Printf.sprintf "%s-%02d" role (i + 1), role)))
+    config.staff_per_role
+
+let users_of_role config role =
+  List.filter_map (fun (user, r) -> if String.equal r role then Some user else None)
+    (staff config)
+
+(* Does [rule] (over the pattern attributes) describe one of the informal
+   practices?  This is the ground-truth oracle experiments hand to the
+   refinement acceptance step. *)
+let is_informal_pattern config (rule : Prima_core.Rule.t) =
+  let find attr = Prima_core.Rule.find_attr rule attr in
+  match
+    ( find Vocabulary.Audit_attrs.data,
+      find Vocabulary.Audit_attrs.purpose,
+      find Vocabulary.Audit_attrs.authorized )
+  with
+  | Some data, Some purpose, Some authorized ->
+    List.exists
+      (fun p ->
+        String.equal p.data data && String.equal p.purpose purpose
+        && String.equal p.authorized authorized)
+      config.informal
+  | _ -> false

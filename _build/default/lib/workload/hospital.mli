@@ -1,0 +1,45 @@
+(** The synthetic hospital: staffing, the documented policy (what the
+    privacy officer wrote down) and the informal practices (what care
+    delivery actually requires) — the substitute for the real audit-trail
+    study the paper builds on ([2], the Norwegian hospital data). *)
+
+type informal_practice = {
+  data : string;
+  purpose : string;
+  authorized : string;
+  weight : int;  (** relative frequency among informal accesses *)
+}
+
+type config = {
+  seed : int;
+  vocab : Vocabulary.Vocab.t;
+  staff_per_role : (string * int) list;  (** leaf role -> head count *)
+  total_accesses : int;
+  epoch_size : int;  (** accesses per refinement epoch *)
+  documented : (string * string * string) list;
+      (** (data, purpose, authorized) triples, possibly composite *)
+  informal : informal_practice list;
+  informal_rate : float;  (** fraction of accesses that are informal practice *)
+  violation_rate : float;  (** fraction that are rogue accesses *)
+  btg_on_covered : float;  (** covered accesses still using BTG out of habit *)
+  rogue_users : int;  (** distinct users responsible for violations *)
+}
+
+val practice :
+  data:string -> purpose:string -> authorized:string -> weight:int -> informal_practice
+
+val default_config : ?seed:int -> unit -> config
+(** 55 staff over 13 leaf roles, 9 documented (mostly composite) rules,
+    7 informal practices, 22 % informal rate, 2 % violations. *)
+
+val policy_store : config -> Prima_core.Policy.t
+(** The documented policy as the initial P_PS. *)
+
+val staff : config -> (string * string) list
+(** Every staff member as (user name, leaf role). *)
+
+val users_of_role : config -> string -> string list
+
+val is_informal_pattern : config -> Prima_core.Rule.t -> bool
+(** Ground truth: does this pattern rule describe one of the informal
+    practices?  The oracle experiments hand to the acceptance step. *)

@@ -1,0 +1,82 @@
+(* The paper's running example, as executable fixtures:
+
+   - the Figure 1 vocabulary (via Vocabulary.Samples.figure1);
+   - the Figure 3(a) policy store P_PS: three composite rules whose ground
+     expansions include 1a (prescription, treatment, nurse),
+     1b (referral, treatment, nurse) and 3a (address, billing, clerk);
+   - the Figure 3(b) audit log: six entries of which 1, 2 and 5 are covered
+     and 3, 4 and 6 are the annotated exception scenarios — coverage 3/6;
+   - the Table 1 audit trail: ten entries, coverage 3/10, whose exception
+     subset yields the Referral:Registration:Nurse pattern at f = 5. *)
+
+let vocab = Vocabulary.Samples.figure1
+
+let data = Vocabulary.Audit_attrs.data
+let purpose = Vocabulary.Audit_attrs.purpose
+let authorized = Vocabulary.Audit_attrs.authorized
+
+(* Figure 3(a): the abstract-level composite policy P_PS. *)
+let policy_store () : Prima_core.Policy.t =
+  Prima_core.Policy.of_assoc_list ~source:Prima_core.Policy.Policy_store
+    [ (* Rule 1: nurses use routine clinical data for treatment. *)
+      [ (data, "routine"); (purpose, "treatment"); (authorized, "nurse") ];
+      (* Rule 2: psychiatry data is reserved to the treating psychiatrist. *)
+      [ (data, "psychiatry"); (purpose, "treatment"); (authorized, "psychiatrist") ];
+      (* Rule 3: clerks use demographic data for billing. *)
+      [ (data, "demographic"); (purpose, "billing"); (authorized, "clerk") ];
+    ]
+
+let allow = Hdb.Audit_schema.Allow
+let regular = Hdb.Audit_schema.Regular
+let exception_based = Hdb.Audit_schema.Exception_based
+
+let entry = Hdb.Audit_schema.entry
+
+(* Figure 3(b): the six-rule audit-log policy. *)
+let figure3_entries () : Hdb.Audit_schema.entry list =
+  [ entry ~time:1 ~op:allow ~user:"john" ~data:"prescription" ~purpose:"treatment"
+      ~authorized:"nurse" ~status:regular;
+    entry ~time:2 ~op:allow ~user:"tim" ~data:"referral" ~purpose:"treatment"
+      ~authorized:"nurse" ~status:regular;
+    entry ~time:3 ~op:allow ~user:"mark" ~data:"referral" ~purpose:"registration"
+      ~authorized:"nurse" ~status:exception_based;
+    entry ~time:4 ~op:allow ~user:"sarah" ~data:"psychiatry" ~purpose:"treatment"
+      ~authorized:"nurse" ~status:exception_based;
+    entry ~time:5 ~op:allow ~user:"bill" ~data:"address" ~purpose:"billing"
+      ~authorized:"clerk" ~status:regular;
+    entry ~time:6 ~op:allow ~user:"jason" ~data:"prescription" ~purpose:"billing"
+      ~authorized:"clerk" ~status:exception_based;
+  ]
+
+(* Table 1: the audit trail after the training period. *)
+let table1_entries () : Hdb.Audit_schema.entry list =
+  [ entry ~time:1 ~op:allow ~user:"john" ~data:"prescription" ~purpose:"treatment"
+      ~authorized:"nurse" ~status:regular;
+    entry ~time:2 ~op:allow ~user:"tim" ~data:"referral" ~purpose:"treatment"
+      ~authorized:"nurse" ~status:regular;
+    entry ~time:3 ~op:allow ~user:"mark" ~data:"referral" ~purpose:"registration"
+      ~authorized:"nurse" ~status:exception_based;
+    entry ~time:4 ~op:allow ~user:"sarah" ~data:"psychiatry" ~purpose:"treatment"
+      ~authorized:"doctor" ~status:exception_based;
+    entry ~time:5 ~op:allow ~user:"bill" ~data:"address" ~purpose:"billing"
+      ~authorized:"clerk" ~status:regular;
+    entry ~time:6 ~op:allow ~user:"jason" ~data:"prescription" ~purpose:"billing"
+      ~authorized:"clerk" ~status:exception_based;
+    entry ~time:7 ~op:allow ~user:"mark" ~data:"referral" ~purpose:"registration"
+      ~authorized:"nurse" ~status:exception_based;
+    entry ~time:8 ~op:allow ~user:"tim" ~data:"referral" ~purpose:"registration"
+      ~authorized:"nurse" ~status:exception_based;
+    entry ~time:9 ~op:allow ~user:"bob" ~data:"referral" ~purpose:"registration"
+      ~authorized:"nurse" ~status:exception_based;
+    entry ~time:10 ~op:allow ~user:"mark" ~data:"referral" ~purpose:"registration"
+      ~authorized:"nurse" ~status:exception_based;
+  ]
+
+let figure3_audit_policy () = Audit_mgmt.To_policy.policy_of_entries (figure3_entries ())
+
+let table1_audit_policy () = Audit_mgmt.To_policy.policy_of_entries (table1_entries ())
+
+(* The pattern Section 5's refinement run discovers. *)
+let expected_pattern () : Prima_core.Rule.t =
+  Prima_core.Rule.of_assoc
+    [ (data, "referral"); (purpose, "registration"); (authorized, "nurse") ]

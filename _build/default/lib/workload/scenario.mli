@@ -1,0 +1,22 @@
+(** The paper's running example, as executable fixtures: the Figure 1
+    vocabulary, the Figure 3(a) policy store, the Figure 3(b) audit log
+    (coverage 3/6) and the Table 1 trail (coverage 3/10, refinement finds
+    Referral:Registration:Nurse at f = 5). *)
+
+val vocab : unit -> Vocabulary.Vocab.t
+
+val policy_store : unit -> Prima_core.Policy.t
+(** Figure 3(a): three composite rules — (routine, treatment, nurse),
+    (psychiatry, treatment, psychiatrist), (demographic, billing, clerk). *)
+
+val figure3_entries : unit -> Hdb.Audit_schema.entry list
+(** Six entries; 1, 2, 5 covered; 3, 4, 6 are the exception scenarios. *)
+
+val table1_entries : unit -> Hdb.Audit_schema.entry list
+(** The ten-entry trail of Table 1, verbatim. *)
+
+val figure3_audit_policy : unit -> Prima_core.Policy.t
+val table1_audit_policy : unit -> Prima_core.Policy.t
+
+val expected_pattern : unit -> Prima_core.Rule.t
+(** (referral, registration, nurse) — what Section 5's run discovers. *)

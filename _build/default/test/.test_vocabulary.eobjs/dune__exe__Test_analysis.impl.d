@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Hdb List Prima_core Vocabulary Workload

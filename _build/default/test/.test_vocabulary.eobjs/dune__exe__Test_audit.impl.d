@@ -1,0 +1,1 @@
+test/test_audit.ml: Alcotest Audit_mgmt Federation Hdb List Mapping Option Prima_core Site To_policy Workload

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest List Prima_core String Vocabulary Workload

@@ -1,0 +1,1 @@
+test/test_hdb.ml: Alcotest Audit_logger Audit_query Audit_schema Audit_store Consent Control_center Enforcement Hdb List Printf Privacy_rules Relational Result String Vocabulary

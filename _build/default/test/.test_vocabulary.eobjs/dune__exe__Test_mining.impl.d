@@ -1,0 +1,1 @@
+test/test_mining.ml: Alcotest Apriori Assoc_rules Fp_growth Fun Itemset List Mining Option Printf Transactions

@@ -1,0 +1,1 @@
+test/test_persistence.ml: Alcotest Filename Fun Hdb List Prima_core Sys Workload

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Audit_mgmt Engine Executor Fmt Hdb Int List Mining Prima_core Printf QCheck2 QCheck_alcotest Relational String Table Treedata Value Vocabulary

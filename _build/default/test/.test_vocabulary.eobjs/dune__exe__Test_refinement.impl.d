@@ -1,0 +1,1 @@
+test/test_refinement.ml: Alcotest List Prima_core String Vocabulary Workload

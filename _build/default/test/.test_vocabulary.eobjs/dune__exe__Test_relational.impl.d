@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Csv Database Errors Index Option Relational Result Row Schema Table Value Vec

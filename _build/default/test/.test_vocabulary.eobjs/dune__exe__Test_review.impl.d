@@ -1,0 +1,1 @@
+test/test_review.ml: Alcotest Fmt List Prima_core String Workload

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Engine Errors Executor Hdb List Option Relational Row Schema Sql_ast Sql_lexer Sql_parser Value Vocabulary

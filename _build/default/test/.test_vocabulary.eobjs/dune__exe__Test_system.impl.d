@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Audit_mgmt Hdb List Prima_core Prima_system Vocabulary Workload

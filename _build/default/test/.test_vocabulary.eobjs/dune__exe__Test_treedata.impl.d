@@ -1,0 +1,1 @@
+test/test_treedata.ml: Alcotest Audit_mgmt Hdb List Option Path Prima_core Tree_enforcement Tree_store Treedata Vocabulary Xml

@@ -1,0 +1,1 @@
+test/test_trend.ml: Alcotest Audit_mgmt Hdb List Prima_core Prima_system Printf Workload

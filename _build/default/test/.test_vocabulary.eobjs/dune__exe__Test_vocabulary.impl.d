@@ -1,0 +1,1 @@
+test/test_vocabulary.ml: Alcotest Fmt List String Vocabulary

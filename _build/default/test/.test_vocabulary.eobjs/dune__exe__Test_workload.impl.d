@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float Fun Generator Hdb Hospital List Prima_core Prng String Vocabulary Workload

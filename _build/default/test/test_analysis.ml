@@ -1,0 +1,196 @@
+(* Tests for policy analysis (redundancy, minimization, generalization) and
+   privacy-rule conflict detection. *)
+
+module A = Prima_core.Analysis
+module P = Prima_core.Policy
+module R = Prima_core.Rule
+module Range = Prima_core.Range
+
+let vocab = Vocabulary.Samples.figure1 ()
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let rule triple = R.of_assoc triple
+
+(* --- redundancy --- *)
+
+let test_redundant_ground_under_composite () =
+  let p =
+    P.of_assoc_list
+      [ [ ("data", "routine"); ("purpose", "treatment"); ("authorized", "nurse") ];
+        [ ("data", "referral"); ("purpose", "treatment"); ("authorized", "nurse") ];
+      ]
+  in
+  let redundant = A.redundant_rules vocab p in
+  check_int "one redundant" 1 (List.length redundant);
+  Alcotest.(check (option string)) "the ground one" (Some "referral")
+    (R.find_attr (List.hd redundant) "data")
+
+let test_no_redundancy () =
+  let p = Workload.Scenario.policy_store () in
+  check_int "store is tight" 0 (List.length (A.redundant_rules vocab p))
+
+let test_duplicate_rules_redundant () =
+  let r = [ ("data", "gender") ] in
+  let p = P.of_assoc_list [ r; r ] in
+  (* Each copy is covered by the other. *)
+  check_int "both flagged" 2 (List.length (A.redundant_rules vocab p))
+
+(* --- minimize --- *)
+
+let test_minimize_preserves_range () =
+  let p =
+    P.of_assoc_list
+      [ [ ("data", "routine") ]; [ ("data", "referral") ]; [ ("data", "prescription") ];
+        [ ("data", "gender") ] ]
+  in
+  let minimized = A.minimize vocab p in
+  check_int "two rules left" 2 (P.cardinality minimized);
+  check_bool "range preserved" true
+    (Range.cardinality (Range.of_policy vocab p)
+    = Range.cardinality (Range.of_policy vocab minimized))
+
+let test_minimize_keeps_duplicates_once () =
+  let r = [ ("data", "gender") ] in
+  let p = P.of_assoc_list [ r; r; r ] in
+  check_int "one copy survives" 1 (P.cardinality (A.minimize vocab p))
+
+let test_minimize_idempotent () =
+  let p =
+    P.of_assoc_list [ [ ("data", "demographic") ]; [ ("data", "address") ] ]
+  in
+  let once = A.minimize vocab p in
+  let twice = A.minimize vocab once in
+  check_int "stable" (P.cardinality once) (P.cardinality twice)
+
+(* --- generalize --- *)
+
+let test_generalize_collapses_siblings () =
+  (* All three routine leaves present -> one (routine, ...) rule. *)
+  let template = [ ("purpose", "treatment"); ("authorized", "nurse") ] in
+  let p =
+    P.of_assoc_list
+      [ ("data", "prescription") :: template;
+        ("data", "referral") :: template;
+        ("data", "lab-results") :: template;
+      ]
+  in
+  let generalized, summary = A.summarize_generalization vocab p in
+  check_int "one rule" 1 (P.cardinality generalized);
+  Alcotest.(check (option string)) "the composite" (Some "routine")
+    (R.find_attr (List.hd (P.rules generalized)) "data");
+  check_bool "range preserved" true summary.A.range_preserved
+
+let test_generalize_partial_siblings_untouched () =
+  let template = [ ("purpose", "treatment"); ("authorized", "nurse") ] in
+  let p =
+    P.of_assoc_list
+      [ ("data", "prescription") :: template; ("data", "referral") :: template ]
+  in
+  (* lab-results missing: nothing to collapse. *)
+  check_int "unchanged" 2 (P.cardinality (A.generalize vocab p))
+
+let test_generalize_multi_level () =
+  (* routine + sensitive -> clinical (two levels of climbing). *)
+  let p =
+    P.of_assoc_list
+      [ [ ("data", "prescription") ]; [ ("data", "referral") ]; [ ("data", "lab-results") ];
+        [ ("data", "psychiatry") ]; [ ("data", "hiv-status") ]; [ ("data", "genetic") ];
+      ]
+  in
+  let generalized = A.generalize vocab p in
+  check_int "single clinical rule" 1 (P.cardinality generalized);
+  Alcotest.(check (option string)) "clinical" (Some "clinical")
+    (R.find_attr (List.hd (P.rules generalized)) "data")
+
+let test_generalize_across_attrs () =
+  (* treatment+registration+billing collapse on the purpose attribute. *)
+  let template = [ ("data", "referral"); ("authorized", "nurse") ] in
+  let p =
+    P.of_assoc_list
+      [ ("purpose", "treatment") :: template;
+        ("purpose", "registration") :: template;
+        ("purpose", "billing") :: template;
+      ]
+  in
+  let generalized = A.generalize vocab p in
+  check_int "one rule" 1 (P.cardinality generalized);
+  Alcotest.(check (option string)) "administering-healthcare"
+    (Some "administering-healthcare")
+    (R.find_attr (List.hd (P.rules generalized)) "purpose")
+
+let test_generalize_respects_differing_templates () =
+  (* Same data leaves but different roles: no collapse. *)
+  let p =
+    P.of_assoc_list
+      [ [ ("data", "prescription"); ("authorized", "nurse") ];
+        [ ("data", "referral"); ("authorized", "clerk") ];
+        [ ("data", "lab-results"); ("authorized", "nurse") ];
+      ]
+  in
+  check_int "unchanged" 3 (P.cardinality (A.generalize vocab p))
+
+let test_generalize_after_refinement_story () =
+  (* The refinement loop adopts ground patterns; generalization recovers the
+     abstract rule. *)
+  let adopted =
+    [ rule [ ("data", "prescription"); ("purpose", "registration"); ("authorized", "nurse") ];
+      rule [ ("data", "referral"); ("purpose", "registration"); ("authorized", "nurse") ];
+      rule [ ("data", "lab-results"); ("purpose", "registration"); ("authorized", "nurse") ];
+    ]
+  in
+  let p = P.add_rules (Workload.Scenario.policy_store ()) adopted in
+  let generalized, summary = A.summarize_generalization vocab p in
+  check_bool "fewer rules" true (P.cardinality generalized < P.cardinality p);
+  check_bool "range preserved" true summary.A.range_preserved;
+  check_bool "routine:registration:nurse present" true
+    (P.mem_syntactic generalized
+       (rule [ ("data", "routine"); ("purpose", "registration"); ("authorized", "nurse") ]))
+
+(* --- conflicts (hdb) --- *)
+
+let test_conflicts_detected () =
+  let rules = Hdb.Privacy_rules.create ~vocab in
+  Hdb.Privacy_rules.add rules ~data:"clinical" ~purpose:"treatment" ~authorized:"nurse" ();
+  Hdb.Privacy_rules.add rules ~effect:Hdb.Privacy_rules.Forbid ~data:"psychiatry"
+    ~purpose:"treatment" ~authorized:"clinical-staff" ();
+  let conflicts = Hdb.Privacy_rules.conflicts rules in
+  check_int "one conflict" 1 (List.length conflicts)
+
+let test_no_conflicts_when_disjoint () =
+  let rules = Hdb.Privacy_rules.create ~vocab in
+  Hdb.Privacy_rules.add rules ~data:"routine" ~purpose:"treatment" ~authorized:"nurse" ();
+  Hdb.Privacy_rules.add rules ~effect:Hdb.Privacy_rules.Forbid ~data:"psychiatry"
+    ~purpose:"treatment" ~authorized:"nurse" ();
+  check_int "disjoint data subtrees" 0 (List.length (Hdb.Privacy_rules.conflicts rules))
+
+let () =
+  Alcotest.run "analysis"
+    [ ( "redundancy",
+        [ Alcotest.test_case "ground under composite" `Quick
+            test_redundant_ground_under_composite;
+          Alcotest.test_case "tight store" `Quick test_no_redundancy;
+          Alcotest.test_case "duplicates" `Quick test_duplicate_rules_redundant;
+        ] );
+      ( "minimize",
+        [ Alcotest.test_case "preserves range" `Quick test_minimize_preserves_range;
+          Alcotest.test_case "duplicates once" `Quick test_minimize_keeps_duplicates_once;
+          Alcotest.test_case "idempotent" `Quick test_minimize_idempotent;
+        ] );
+      ( "generalize",
+        [ Alcotest.test_case "collapses siblings" `Quick test_generalize_collapses_siblings;
+          Alcotest.test_case "partial siblings untouched" `Quick
+            test_generalize_partial_siblings_untouched;
+          Alcotest.test_case "multi-level" `Quick test_generalize_multi_level;
+          Alcotest.test_case "across attributes" `Quick test_generalize_across_attrs;
+          Alcotest.test_case "differing templates" `Quick
+            test_generalize_respects_differing_templates;
+          Alcotest.test_case "post-refinement story" `Quick
+            test_generalize_after_refinement_story;
+        ] );
+      ( "conflicts",
+        [ Alcotest.test_case "detected" `Quick test_conflicts_detected;
+          Alcotest.test_case "disjoint" `Quick test_no_conflicts_when_disjoint;
+        ] );
+    ]

@@ -1,0 +1,214 @@
+(* Tests for Audit Management: schema mappings, sites, the consolidated
+   federation view and the audit-to-policy bridge. *)
+
+open Audit_mgmt
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let entry ?(time = 1) ?(op = Hdb.Audit_schema.Allow) ?(user = "u") ?(data = "referral")
+    ?(purpose = "treatment") ?(authorized = "nurse")
+    ?(status = Hdb.Audit_schema.Regular) () =
+  Hdb.Audit_schema.entry ~time ~op ~user ~data ~purpose ~authorized ~status
+
+(* --- to_policy --- *)
+
+let test_rule_of_entry () =
+  let rule = To_policy.rule_of_entry (entry ~time:3 ~status:Hdb.Audit_schema.Exception_based ()) in
+  check_int "seven terms" 7 (Prima_core.Rule.cardinality rule);
+  Alcotest.(check (option string)) "status" (Some "0")
+    (Prima_core.Rule.find_attr rule "status")
+
+let test_entry_of_rule_roundtrip () =
+  let e = entry ~time:9 ~op:Hdb.Audit_schema.Disallow () in
+  let rule = To_policy.rule_of_entry e in
+  match To_policy.entry_of_rule rule with
+  | Some e' -> check_bool "roundtrip" true (Hdb.Audit_schema.equal e e')
+  | None -> Alcotest.fail "roundtrip failed"
+
+let test_entry_of_rule_partial () =
+  let rule = Prima_core.Rule.of_assoc [ ("data", "x") ] in
+  check_bool "partial rejected" true (To_policy.entry_of_rule rule = None)
+
+let test_pattern_rule_projection () =
+  let rule = To_policy.pattern_rule_of_entry (entry ()) in
+  check_int "three terms" 3 (Prima_core.Rule.cardinality rule)
+
+(* --- mapping --- *)
+
+let legacy_mapping () =
+  Mapping.create
+    ~column_aliases:[ ("ts", "time"); ("action", "op"); ("who", "user"); ("category", "data");
+                      ("reason", "purpose"); ("role", "authorized"); ("mode", "status") ]
+    ~value_synonyms:[ (("authorized", "rn"), "nurse"); (("data", "xray"), "x-ray") ]
+    ()
+
+let legacy_row =
+  [ ("ts", "17"); ("action", "GRANTED"); ("who", "Olga"); ("category", "XRAY");
+    ("reason", "Treatment"); ("role", "RN"); ("mode", "BTG") ]
+
+let test_mapping_normalises () =
+  let e = Mapping.apply (legacy_mapping ()) legacy_row in
+  check_int "time" 17 e.Hdb.Audit_schema.time;
+  check_bool "granted is allow" true (e.Hdb.Audit_schema.op = Hdb.Audit_schema.Allow);
+  check_string "user lowercased" "olga" e.Hdb.Audit_schema.user;
+  check_string "synonym applied" "x-ray" e.Hdb.Audit_schema.data;
+  check_string "role synonym" "nurse" e.Hdb.Audit_schema.authorized;
+  check_bool "btg is exception" true
+    (e.Hdb.Audit_schema.status = Hdb.Audit_schema.Exception_based)
+
+let test_mapping_missing_attribute () =
+  let incomplete = List.filter (fun (k, _) -> k <> "who") legacy_row in
+  Alcotest.check_raises "missing" (Mapping.Unmappable "missing attribute user") (fun () ->
+      ignore (Mapping.apply (legacy_mapping ()) incomplete))
+
+let test_mapping_bad_time () =
+  let bad = ("ts", "yesterday") :: List.remove_assoc "ts" legacy_row in
+  Alcotest.check_raises "bad time" (Mapping.Unmappable "cannot read time value \"yesterday\"")
+    (fun () -> ignore (Mapping.apply (legacy_mapping ()) bad))
+
+let test_mapping_identity () =
+  let raw =
+    [ ("time", "5"); ("op", "1"); ("user", "u"); ("data", "referral");
+      ("purpose", "treatment"); ("authorized", "nurse"); ("status", "1") ]
+  in
+  let e = Mapping.apply Mapping.identity raw in
+  check_int "time" 5 e.Hdb.Audit_schema.time
+
+(* --- site --- *)
+
+let test_site_ingest () =
+  let site = Site.create ~name:"icu" () in
+  Site.ingest_entries site [ entry ~time:1 (); entry ~time:2 () ];
+  check_int "two" 2 (Site.length site);
+  check_string "name" "icu" (Site.name site)
+
+let test_site_legacy_raw () =
+  let site = Site.create ~mapping:(legacy_mapping ()) ~name:"legacy" () in
+  Site.ingest_raw site legacy_row;
+  check_int "ingested" 1 (Site.length site);
+  check_string "normalised" "nurse" (List.hd (Site.entries site)).Hdb.Audit_schema.authorized
+
+(* --- federation --- *)
+
+let test_federation_merges_by_time () =
+  let a = Site.create ~name:"a" () in
+  let b = Site.create ~name:"b" () in
+  Site.ingest_entries a [ entry ~time:1 ~user:"a1" (); entry ~time:5 ~user:"a5" () ];
+  Site.ingest_entries b [ entry ~time:2 ~user:"b2" (); entry ~time:4 ~user:"b4" () ];
+  let fed = Federation.of_sites [ a; b ] in
+  let merged = Federation.consolidated fed in
+  Alcotest.(check (list string)) "time order" [ "a1"; "b2"; "b4"; "a5" ]
+    (List.map (fun e -> e.Hdb.Audit_schema.user) merged)
+
+let test_federation_tie_stability () =
+  let a = Site.create ~name:"a" () in
+  let b = Site.create ~name:"b" () in
+  Site.ingest_entries a [ entry ~time:3 ~user:"first" () ];
+  Site.ingest_entries b [ entry ~time:3 ~user:"second" () ];
+  let merged = Federation.consolidated (Federation.of_sites [ a; b ]) in
+  Alcotest.(check (list string)) "site order on ties" [ "first"; "second" ]
+    (List.map (fun e -> e.Hdb.Audit_schema.user) merged)
+
+let test_federation_unsorted_site () =
+  let a = Site.create ~name:"a" () in
+  Site.ingest_entries a [ entry ~time:9 (); entry ~time:1 (); entry ~time:5 () ];
+  let merged = Federation.consolidated (Federation.of_sites [ a ]) in
+  Alcotest.(check (list int)) "sorted defensively" [ 1; 5; 9 ]
+    (List.map (fun e -> e.Hdb.Audit_schema.time) merged)
+
+let test_federation_window () =
+  let a = Site.create ~name:"a" () in
+  Site.ingest_entries a (List.init 10 (fun i -> entry ~time:(i + 1) ()));
+  let fed = Federation.of_sites [ a ] in
+  check_int "window" 4 (List.length (Federation.window fed ~time_from:3 ~time_to:6))
+
+let test_federation_empty () =
+  let fed = Federation.create () in
+  check_int "no entries" 0 (List.length (Federation.consolidated fed));
+  check_int "empty policy" 0 (Prima_core.Policy.cardinality (Federation.to_policy fed))
+
+let test_federation_window_boundaries () =
+  let a = Site.create ~name:"a" () in
+  Site.ingest_entries a [ entry ~time:1 (); entry ~time:5 (); entry ~time:9 () ];
+  let fed = Federation.of_sites [ a ] in
+  check_int "inclusive both ends" 3 (List.length (Federation.window fed ~time_from:1 ~time_to:9));
+  check_int "point window" 1 (List.length (Federation.window fed ~time_from:5 ~time_to:5));
+  check_int "empty window" 0 (List.length (Federation.window fed ~time_from:6 ~time_to:4))
+
+let test_federation_to_policy () =
+  let a = Site.create ~name:"a" () in
+  Site.ingest_entries a [ entry ~time:1 (); entry ~time:2 () ];
+  let p = Federation.to_policy (Federation.of_sites [ a ]) in
+  check_int "two rules" 2 (Prima_core.Policy.cardinality p);
+  check_bool "audit source" true (Prima_core.Policy.source p = Prima_core.Policy.Audit_log)
+
+let test_federation_totals () =
+  let a = Site.create ~name:"a" () in
+  let b = Site.create ~name:"b" () in
+  Site.ingest_entries a [ entry () ];
+  Site.ingest_entries b [ entry (); entry ~time:2 () ];
+  let fed = Federation.create () in
+  Federation.add_site fed a;
+  Federation.add_site fed b;
+  check_int "three total" 3 (Federation.total_entries fed);
+  check_bool "lookup" true (Option.is_some (Federation.site fed "b"));
+  check_bool "missing" true (Federation.site fed "zzz" = None)
+
+(* The legacy-site end-to-end: raw rows through mapping, federation, policy,
+   refinement sees them like native entries. *)
+let test_federation_heterogeneous_end_to_end () =
+  let modern = Site.create ~name:"modern" () in
+  Site.ingest_entries modern
+    (List.filteri (fun i _ -> i < 5) (Workload.Scenario.table1_entries ()));
+  let legacy = Site.create ~mapping:(legacy_mapping ()) ~name:"legacy" () in
+  List.iteri
+    (fun i e ->
+      Site.ingest_raw legacy
+        [ ("ts", string_of_int e.Hdb.Audit_schema.time);
+          ("action", if e.Hdb.Audit_schema.op = Hdb.Audit_schema.Allow then "granted" else "denied");
+          ("who", e.Hdb.Audit_schema.user);
+          ("category", e.Hdb.Audit_schema.data);
+          ("reason", e.Hdb.Audit_schema.purpose);
+          ("role", if i mod 2 = 0 then "RN" else e.Hdb.Audit_schema.authorized);
+          ("mode",
+           if e.Hdb.Audit_schema.status = Hdb.Audit_schema.Regular then "regular" else "btg");
+        ])
+    (List.filteri (fun i _ -> i >= 5) (Workload.Scenario.table1_entries ()));
+  let fed = Federation.of_sites [ modern; legacy ] in
+  check_int "all ten consolidated" 10 (List.length (Federation.consolidated fed));
+  let p_al = Federation.to_policy fed in
+  check_int "ten rules" 10 (Prima_core.Policy.cardinality p_al)
+
+let () =
+  Alcotest.run "audit"
+    [ ( "to-policy",
+        [ Alcotest.test_case "rule of entry" `Quick test_rule_of_entry;
+          Alcotest.test_case "roundtrip" `Quick test_entry_of_rule_roundtrip;
+          Alcotest.test_case "partial rejected" `Quick test_entry_of_rule_partial;
+          Alcotest.test_case "pattern projection" `Quick test_pattern_rule_projection;
+        ] );
+      ( "mapping",
+        [ Alcotest.test_case "normalises" `Quick test_mapping_normalises;
+          Alcotest.test_case "missing attribute" `Quick test_mapping_missing_attribute;
+          Alcotest.test_case "bad time" `Quick test_mapping_bad_time;
+          Alcotest.test_case "identity" `Quick test_mapping_identity;
+        ] );
+      ( "site",
+        [ Alcotest.test_case "ingest" `Quick test_site_ingest;
+          Alcotest.test_case "legacy raw" `Quick test_site_legacy_raw;
+        ] );
+      ( "federation",
+        [ Alcotest.test_case "merge by time" `Quick test_federation_merges_by_time;
+          Alcotest.test_case "tie stability" `Quick test_federation_tie_stability;
+          Alcotest.test_case "unsorted site" `Quick test_federation_unsorted_site;
+          Alcotest.test_case "window" `Quick test_federation_window;
+          Alcotest.test_case "empty" `Quick test_federation_empty;
+          Alcotest.test_case "window boundaries" `Quick test_federation_window_boundaries;
+          Alcotest.test_case "to policy" `Quick test_federation_to_policy;
+          Alcotest.test_case "totals/lookup" `Quick test_federation_totals;
+          Alcotest.test_case "heterogeneous end-to-end" `Quick
+            test_federation_heterogeneous_end_to_end;
+        ] );
+    ]

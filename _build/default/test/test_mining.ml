@@ -1,0 +1,219 @@
+(* Tests for the mining substrate: itemsets, transactions, Apriori,
+   FP-growth (including agreement between the two) and association rules. *)
+
+open Mining
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let item attr value = { Itemset.attr; value }
+
+(* The canonical toy dataset (a,b,c over 5 baskets). *)
+let toy () =
+  Transactions.of_item_lists
+    [ [ item "i" "a"; item "i" "b" ];
+      [ item "i" "b"; item "i" "c" ];
+      [ item "i" "a"; item "i" "b"; item "i" "c" ];
+      [ item "i" "a"; item "i" "b" ];
+      [ item "i" "b" ];
+    ]
+
+let find_support tx frequents items =
+  let interner = Transactions.interner tx in
+  let target = Itemset.of_list (List.map (Itemset.intern interner) items) in
+  List.find_map
+    (fun (f : Apriori.frequent) ->
+      if Itemset.equal f.itemset target then Some f.support else None)
+    frequents
+
+(* --- itemsets --- *)
+
+let test_itemset_basics () =
+  let s1 = Itemset.of_list [ 3; 1; 2; 1 ] in
+  check_int "dedup+sort" 3 (Itemset.size s1);
+  check_bool "subset" true (Itemset.subset (Itemset.of_list [ 1; 3 ]) s1);
+  check_bool "not subset" false (Itemset.subset (Itemset.of_list [ 1; 4 ]) s1);
+  check_bool "union" true
+    (Itemset.equal (Itemset.union (Itemset.of_list [ 1 ]) (Itemset.of_list [ 2 ]))
+       (Itemset.of_list [ 1; 2 ]));
+  check_bool "diff" true
+    (Itemset.equal (Itemset.diff s1 (Itemset.of_list [ 2 ])) (Itemset.of_list [ 1; 3 ]))
+
+let test_itemset_immediate_subsets () =
+  let subs = Itemset.immediate_subsets (Itemset.of_list [ 1; 2; 3 ]) in
+  check_int "three subsets" 3 (List.length subs);
+  check_bool "all size 2" true (List.for_all (fun s -> Itemset.size s = 2) subs)
+
+let test_interner () =
+  let i = Itemset.create_interner () in
+  let a = Itemset.intern i (item "x" "1") in
+  let b = Itemset.intern i (item "x" "2") in
+  let a' = Itemset.intern i (item "x" "1") in
+  check_int "stable" a a';
+  check_bool "distinct" true (a <> b);
+  check_int "universe" 2 (Itemset.universe_size i)
+
+(* --- transactions --- *)
+
+let test_transaction_support () =
+  let tx = toy () in
+  let interner = Transactions.interner tx in
+  let b = Itemset.of_list [ Itemset.intern interner (item "i" "b") ] in
+  check_int "support b" 5 (Transactions.support tx b);
+  Alcotest.(check (float 1e-9)) "relative" 1.0 (Transactions.relative_support tx b)
+
+(* --- apriori --- *)
+
+let test_apriori_toy () =
+  let tx = toy () in
+  let frequents = Apriori.mine tx ~min_support:3 in
+  check_bool "a freq 3" true (find_support tx frequents [ item "i" "a" ] = Some 3);
+  check_bool "b freq 5" true (find_support tx frequents [ item "i" "b" ] = Some 5);
+  check_bool "c below threshold" true (find_support tx frequents [ item "i" "c" ] = None);
+  check_bool "ab freq 3" true
+    (find_support tx frequents [ item "i" "a"; item "i" "b" ] = Some 3);
+  check_bool "bc infrequent" true
+    (find_support tx frequents [ item "i" "b"; item "i" "c" ] = None)
+
+let test_apriori_min_support_validation () =
+  Alcotest.check_raises "bad support"
+    (Invalid_argument "Apriori.mine: min_support must be positive") (fun () ->
+      ignore (Apriori.mine (toy ()) ~min_support:0))
+
+let test_apriori_max_size () =
+  let tx = toy () in
+  let frequents = Apriori.mine tx ~min_support:1 ~max_size:1 in
+  check_bool "only singletons" true
+    (List.for_all (fun (f : Apriori.frequent) -> Itemset.size f.itemset = 1) frequents)
+
+let test_apriori_maximal () =
+  let tx = toy () in
+  let frequents = Apriori.mine tx ~min_support:3 in
+  let maximal = Apriori.maximal frequents in
+  (* At support 3 the frequents are {a}, {b}, {a,b}; only {a,b} is maximal. *)
+  check_int "single maximal" 1 (List.length maximal);
+  check_int "of size two" 2 (Itemset.size (List.hd maximal).Apriori.itemset)
+
+let test_apriori_join_prune () =
+  (* join only on shared prefix *)
+  check_bool "join ok" true (Apriori.join [| 1; 2 |] [| 1; 3 |] = Some [| 1; 2; 3 |]);
+  check_bool "join refused" true (Apriori.join [| 1; 2 |] [| 2; 3 |] = None);
+  check_bool "join ordered" true (Apriori.join [| 1; 3 |] [| 1; 2 |] = None)
+
+(* --- fp-growth --- *)
+
+let test_fp_growth_matches_apriori_toy () =
+  let tx = toy () in
+  let a = Fp_growth.normalize (Apriori.mine tx ~min_support:2) in
+  let f = Fp_growth.normalize (Fp_growth.mine tx ~min_support:2) in
+  check_int "same count" (List.length a) (List.length f);
+  List.iter2
+    (fun (x : Apriori.frequent) (y : Apriori.frequent) ->
+      check_bool "same itemset" true (Itemset.equal x.itemset y.itemset);
+      check_int "same support" x.support y.support)
+    a f
+
+let test_fp_growth_matches_apriori_random () =
+  (* Deterministic pseudo-random transactions over 8 items. *)
+  let state = ref 12345 in
+  let next () =
+    state := (!state * 1103515245) + 121007;
+    abs !state
+  in
+  let lists =
+    List.init 120 (fun _ ->
+        List.filter_map
+          (fun i -> if next () mod 3 = 0 then Some (item "x" (string_of_int i)) else None)
+          (List.init 8 Fun.id))
+    |> List.filter (fun l -> l <> [])
+  in
+  let tx = Transactions.of_item_lists lists in
+  List.iter
+    (fun min_support ->
+      let a = Fp_growth.normalize (Apriori.mine tx ~min_support) in
+      let f = Fp_growth.normalize (Fp_growth.mine tx ~min_support) in
+      check_int
+        (Printf.sprintf "count at support %d" min_support)
+        (List.length a) (List.length f);
+      List.iter2
+        (fun (x : Apriori.frequent) (y : Apriori.frequent) ->
+          check_bool "itemset" true (Itemset.equal x.itemset y.itemset);
+          check_int "support" x.support y.support)
+        a f)
+    [ 5; 10; 20 ]
+
+let test_fp_growth_empty () =
+  let tx = Transactions.of_item_lists [] in
+  check_int "no frequents" 0 (List.length (Fp_growth.mine tx ~min_support:1))
+
+(* --- association rules --- *)
+
+let test_assoc_rules_confidence () =
+  let tx = toy () in
+  let frequents = Apriori.mine tx ~min_support:3 in
+  let rules = Assoc_rules.derive tx frequents ~min_confidence:0.9 in
+  (* a -> b has confidence 3/3 = 1.0; b -> a has 3/5 = 0.6 < 0.9. *)
+  let interner = Transactions.interner tx in
+  let a = Itemset.of_list [ Itemset.intern interner (item "i" "a") ] in
+  let b = Itemset.of_list [ Itemset.intern interner (item "i" "b") ] in
+  let a_to_b =
+    List.find_opt
+      (fun r -> Itemset.equal r.Assoc_rules.antecedent a && Itemset.equal r.Assoc_rules.consequent b)
+      rules
+  in
+  check_bool "a->b present" true (Option.is_some a_to_b);
+  Alcotest.(check (float 1e-9)) "confidence 1.0" 1.0 (Option.get a_to_b).Assoc_rules.confidence;
+  check_bool "b->a absent" true
+    (not
+       (List.exists
+          (fun r ->
+            Itemset.equal r.Assoc_rules.antecedent b && Itemset.equal r.Assoc_rules.consequent a)
+          rules))
+
+let test_assoc_rules_lift () =
+  let tx = toy () in
+  let frequents = Apriori.mine tx ~min_support:3 in
+  let rules = Assoc_rules.derive tx frequents ~min_confidence:0.5 in
+  List.iter
+    (fun r -> check_bool "lift positive" true (r.Assoc_rules.lift > 0.))
+    rules
+
+let test_assoc_rules_sorting () =
+  let tx = toy () in
+  let frequents = Apriori.mine tx ~min_support:2 in
+  let rules = Assoc_rules.sort_by_confidence (Assoc_rules.derive tx frequents ~min_confidence:0.1) in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) ->
+      a.Assoc_rules.confidence >= b.Assoc_rules.confidence && non_increasing rest
+    | _ -> true
+  in
+  check_bool "sorted" true (non_increasing rules)
+
+let () =
+  Alcotest.run "mining"
+    [ ( "itemset",
+        [ Alcotest.test_case "basics" `Quick test_itemset_basics;
+          Alcotest.test_case "immediate subsets" `Quick test_itemset_immediate_subsets;
+          Alcotest.test_case "interner" `Quick test_interner;
+        ] );
+      ("transactions", [ Alcotest.test_case "support" `Quick test_transaction_support ]);
+      ( "apriori",
+        [ Alcotest.test_case "toy dataset" `Quick test_apriori_toy;
+          Alcotest.test_case "min_support validation" `Quick test_apriori_min_support_validation;
+          Alcotest.test_case "max size" `Quick test_apriori_max_size;
+          Alcotest.test_case "maximal" `Quick test_apriori_maximal;
+          Alcotest.test_case "join/prune" `Quick test_apriori_join_prune;
+        ] );
+      ( "fp-growth",
+        [ Alcotest.test_case "agrees with apriori (toy)" `Quick
+            test_fp_growth_matches_apriori_toy;
+          Alcotest.test_case "agrees with apriori (random)" `Quick
+            test_fp_growth_matches_apriori_random;
+          Alcotest.test_case "empty" `Quick test_fp_growth_empty;
+        ] );
+      ( "assoc-rules",
+        [ Alcotest.test_case "confidence filter" `Quick test_assoc_rules_confidence;
+          Alcotest.test_case "lift" `Quick test_assoc_rules_lift;
+          Alcotest.test_case "sorting" `Quick test_assoc_rules_sorting;
+        ] );
+    ]

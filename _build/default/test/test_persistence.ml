@@ -1,0 +1,121 @@
+(* Tests for the on-disk interchange formats: policy files and audit CSV. *)
+
+module PF = Prima_core.Policy_file
+module P = Prima_core.Policy
+module R = Prima_core.Rule
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- policy files --- *)
+
+let test_policy_triple_shorthand () =
+  let p = PF.of_string "# comment\nroutine:treatment:nurse\n\npsychiatry:treatment:psychiatrist\n" in
+  check_int "two rules" 2 (P.cardinality p);
+  Alcotest.(check (option string)) "data" (Some "routine")
+    (R.find_attr (List.hd (P.rules p)) "data")
+
+let test_policy_general_notation () =
+  let p = PF.of_string "data=routine, purpose=treatment\nuser=mark, time=3\n" in
+  check_int "two rules" 2 (P.cardinality p);
+  Alcotest.(check (option string)) "user kept" (Some "mark")
+    (R.find_attr (List.nth (P.rules p) 1) "user")
+
+let test_policy_mixed_and_inline_comment () =
+  let p = PF.of_string "routine:treatment:nurse  # the ward rule\ndata=gender\n" in
+  check_int "two rules" 2 (P.cardinality p)
+
+let test_policy_bad_lines () =
+  let expect_bad s =
+    match PF.of_string s with
+    | exception PF.Bad_line _ -> ()
+    | _ -> Alcotest.failf "expected Bad_line: %s" s
+  in
+  expect_bad "just-one-field\n";
+  expect_bad "a:b\n";
+  expect_bad "a=b=c\n"
+
+let test_policy_roundtrip () =
+  let p =
+    P.make ~source:P.Policy_store
+      [ R.of_assoc [ ("data", "routine"); ("purpose", "treatment"); ("authorized", "nurse") ];
+        R.of_assoc [ ("data", "gender") ];
+        R.of_assoc [ ("time", "3"); ("user", "mark"); ("data", "referral") ];
+      ]
+  in
+  let p' = PF.of_string (PF.to_string p) in
+  check_int "same cardinality" (P.cardinality p) (P.cardinality p');
+  List.iter2
+    (fun a b -> check_bool "same rule" true (R.equal_syntactic a b))
+    (P.rules p) (P.rules p')
+
+let test_policy_file_io () =
+  let path = Filename.temp_file "prima_policy" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let p = Workload.Scenario.policy_store () in
+      PF.save path p;
+      let p' = PF.load path in
+      check_int "loaded" (P.cardinality p) (P.cardinality p'))
+
+(* --- audit CSV --- *)
+
+let entry ?(time = 1) ?(user = "u") ?(data = "referral") () =
+  Hdb.Audit_schema.entry ~time ~op:Hdb.Audit_schema.Allow ~user ~data ~purpose:"treatment"
+    ~authorized:"nurse" ~status:Hdb.Audit_schema.Regular
+
+let test_audit_csv_roundtrip () =
+  let entries = Workload.Scenario.table1_entries () in
+  let entries' = Hdb.Audit_csv.of_string (Hdb.Audit_csv.to_string entries) in
+  check_bool "identical" true (entries = entries')
+
+let test_audit_csv_quoting () =
+  let nasty = entry ~user:"o'brien, \"rn\"" ~data:"multi\nline" () in
+  let back = Hdb.Audit_csv.of_string (Hdb.Audit_csv.to_string [ nasty ]) in
+  check_bool "nasty fields survive" true (back = [ nasty ])
+
+let test_audit_csv_errors () =
+  (match Hdb.Audit_csv.of_string "wrong,header\n1,2\n" with
+  | exception Hdb.Audit_csv.Bad_csv _ -> ()
+  | _ -> Alcotest.fail "expected header error");
+  (match Hdb.Audit_csv.of_string (Hdb.Audit_csv.header ^ "\n1,1,u\n") with
+  | exception Hdb.Audit_csv.Bad_csv _ -> ()
+  | _ -> Alcotest.fail "expected arity error");
+  match Hdb.Audit_csv.of_string (Hdb.Audit_csv.header ^ "\nxx,1,u,d,p,a,1\n") with
+  | exception Hdb.Audit_csv.Bad_csv _ -> ()
+  | _ -> Alcotest.fail "expected numeric error"
+
+let test_audit_csv_store_io () =
+  let path = Filename.temp_file "prima_audit" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let store = Hdb.Audit_store.of_entries (Workload.Scenario.table1_entries ()) in
+      Hdb.Audit_csv.save_store path store;
+      let store' = Hdb.Audit_csv.load_store path in
+      check_bool "store roundtrip" true
+        (Hdb.Audit_store.to_list store = Hdb.Audit_store.to_list store'))
+
+let test_audit_csv_empty () =
+  check_bool "empty text" true (Hdb.Audit_csv.of_string "" = [])
+
+let () =
+  Alcotest.run "persistence"
+    [ ( "policy-file",
+        [ Alcotest.test_case "triple shorthand" `Quick test_policy_triple_shorthand;
+          Alcotest.test_case "general notation" `Quick test_policy_general_notation;
+          Alcotest.test_case "mixed + inline comment" `Quick
+            test_policy_mixed_and_inline_comment;
+          Alcotest.test_case "bad lines" `Quick test_policy_bad_lines;
+          Alcotest.test_case "roundtrip" `Quick test_policy_roundtrip;
+          Alcotest.test_case "file io" `Quick test_policy_file_io;
+        ] );
+      ( "audit-csv",
+        [ Alcotest.test_case "roundtrip" `Quick test_audit_csv_roundtrip;
+          Alcotest.test_case "quoting" `Quick test_audit_csv_quoting;
+          Alcotest.test_case "errors" `Quick test_audit_csv_errors;
+          Alcotest.test_case "store io" `Quick test_audit_csv_store_io;
+          Alcotest.test_case "empty" `Quick test_audit_csv_empty;
+        ] );
+    ]

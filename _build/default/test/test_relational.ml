@@ -1,0 +1,260 @@
+(* Tests for the relational substrate below the SQL layer: values, schemas,
+   rows, tables, indexes, the growable vector and CSV I/O. *)
+
+open Relational
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* --- Value --- *)
+
+let test_value_compare_numeric () =
+  check_bool "int/float mix" true (Value.compare (Value.Int 2) (Value.Float 2.5) < 0);
+  check_bool "equal across types" true (Value.equal (Value.Int 2) (Value.Float 2.0));
+  check_bool "null first" true (Value.compare Value.Null (Value.Int min_int) < 0)
+
+let test_value_compare_strings () =
+  check_bool "lexicographic" true (Value.compare (Value.Str "abc") (Value.Str "abd") < 0);
+  check_bool "bool order" true (Value.compare (Value.Bool false) (Value.Bool true) < 0)
+
+let test_value_to_sql_literal () =
+  check_string "string quoting" "'it''s'" (Value.to_sql_literal (Value.Str "it's"));
+  check_string "null" "NULL" (Value.to_sql_literal Value.Null);
+  check_string "int" "42" (Value.to_sql_literal (Value.Int 42));
+  check_string "bool" "TRUE" (Value.to_sql_literal (Value.Bool true))
+
+let test_value_coerce () =
+  check_bool "int into float widens" true
+    (Value.coerce Value.T_float (Value.Int 3) = Some (Value.Float 3.));
+  check_bool "integral float narrows" true
+    (Value.coerce Value.T_int (Value.Float 3.0) = Some (Value.Int 3));
+  check_bool "fractional float rejected" true
+    (Value.coerce Value.T_int (Value.Float 3.5) = None);
+  check_bool "null always fits" true (Value.coerce Value.T_int Value.Null = Some Value.Null);
+  check_bool "string into int rejected" true
+    (Value.coerce Value.T_int (Value.Str "3") = None)
+
+let test_value_ty_of_string () =
+  check_bool "timestamp is int" true (Value.ty_of_string "TIMESTAMP" = Some Value.T_int);
+  check_bool "varchar" true (Value.ty_of_string "varchar" = Some Value.T_string);
+  check_bool "unknown" true (Value.ty_of_string "BLOB" = None)
+
+(* --- Vec --- *)
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  check_int "len" 100 (Vec.length v);
+  check_int "first" 0 (Vec.get v 0);
+  check_int "last" 99 (Vec.get v 99)
+
+let test_vec_bounds () =
+  let v = Vec.create () in
+  Vec.push v 1;
+  Alcotest.check_raises "oob" (Invalid_argument "Vec.get: index out of bounds") (fun () ->
+      ignore (Vec.get v 1))
+
+let test_vec_pop_filter_map () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  check_int "pop" 4 (Vec.pop v);
+  check_int "len after pop" 3 (Vec.length v);
+  let evens = Vec.filter (fun x -> x mod 2 = 0) v in
+  check_int "filtered" 1 (Vec.length evens);
+  let doubled = Vec.map (fun x -> 2 * x) v in
+  Alcotest.(check (list int)) "map" [ 2; 4; 6 ] (Vec.to_list doubled)
+
+(* --- Schema --- *)
+
+let sample_schema () =
+  Schema.of_list
+    [ Schema.column "id" Value.T_int;
+      Schema.column "name" Value.T_string;
+      Schema.column "age" Value.T_int;
+    ]
+
+let test_schema_find () =
+  let s = sample_schema () in
+  check_bool "found" true (Schema.find s "name" = Ok 1);
+  check_bool "case insensitive" true (Schema.find s "NAME" = Ok 1);
+  check_bool "missing" true (Result.is_error (Schema.find s "salary"))
+
+let test_schema_qualified () =
+  let s = Schema.with_qualifier (sample_schema ()) "t" in
+  check_bool "qualified" true (Schema.find s ~qualifier:"t" "id" = Ok 0);
+  check_bool "wrong qualifier" true (Result.is_error (Schema.find s ~qualifier:"u" "id"))
+
+let test_schema_ambiguity () =
+  let s =
+    Schema.concat
+      (Schema.with_qualifier (sample_schema ()) "a")
+      (Schema.with_qualifier (sample_schema ()) "b")
+  in
+  check_bool "ambiguous unqualified" true (Result.is_error (Schema.find s "id"));
+  check_bool "qualified resolves" true (Schema.find s ~qualifier:"b" "id" = Ok 3)
+
+(* --- Row --- *)
+
+let test_row_ops () =
+  let r1 = Row.of_list [ Value.Int 1; Value.Str "a" ] in
+  let r2 = Row.of_list [ Value.Int 1; Value.Str "a" ] in
+  let r3 = Row.of_list [ Value.Int 1; Value.Str "b" ] in
+  check_bool "equal" true (Row.equal r1 r2);
+  check_bool "not equal" false (Row.equal r1 r3);
+  check_bool "hash agrees" true (Row.hash r1 = Row.hash r2);
+  check_bool "compare" true (Row.compare r1 r3 < 0);
+  check_bool "project" true
+    (Row.equal (Row.project r3 [| 1 |]) (Row.of_list [ Value.Str "b" ]))
+
+(* --- Table --- *)
+
+let make_table () =
+  let t = Table.create ~name:"people" ~schema:(sample_schema ()) in
+  Table.insert_values t [ Value.Int 1; Value.Str "ann"; Value.Int 34 ];
+  Table.insert_values t [ Value.Int 2; Value.Str "bob"; Value.Int 28 ];
+  Table.insert_values t [ Value.Int 3; Value.Str "cyd"; Value.Int 41 ];
+  t
+
+let test_table_insert_count () =
+  let t = make_table () in
+  check_int "rows" 3 (Table.row_count t)
+
+let test_table_type_check () =
+  let t = make_table () in
+  Alcotest.check_raises "bad type"
+    (Errors.Sql_error (Errors.Execute, "table people: column id expects INTEGER, got x"))
+    (fun () -> Table.insert_values t [ Value.Str "x"; Value.Str "y"; Value.Int 1 ])
+
+let test_table_arity_check () =
+  let t = make_table () in
+  Alcotest.check_raises "bad arity"
+    (Errors.Sql_error (Errors.Execute, "table people: row arity 1, schema arity 3"))
+    (fun () -> Table.insert_values t [ Value.Int 9 ])
+
+let test_table_delete () =
+  let t = make_table () in
+  let removed = Table.delete_where t (fun row -> Row.get row 2 <> Value.Int 28) in
+  check_int "removed" 1 removed;
+  check_int "left" 2 (Table.row_count t)
+
+let test_table_update () =
+  let t = make_table () in
+  let changed =
+    Table.update_where t
+      ~pred:(fun row -> Row.get row 1 = Value.Str "ann")
+      ~transform:(fun row ->
+        let r = Array.copy row in
+        r.(2) <- Value.Int 35;
+        r)
+  in
+  check_int "changed" 1 changed;
+  check_bool "value updated" true (Row.get (Table.get t 0) 2 = Value.Int 35)
+
+let test_table_index () =
+  let t = make_table () in
+  Table.create_index t ~column_name:"name";
+  let idx = Option.get (Table.index_on t ~column:1) in
+  Alcotest.(check (list int)) "lookup bob" [ 1 ] (Index.lookup idx (Value.Str "bob"));
+  Alcotest.(check (list int)) "lookup none" [] (Index.lookup idx (Value.Str "zed"));
+  (* Index stays consistent across deletes. *)
+  ignore (Table.delete_where t (fun row -> Row.get row 1 <> Value.Str "bob"));
+  let idx = Option.get (Table.index_on t ~column:1) in
+  Alcotest.(check (list int)) "after delete" [] (Index.lookup idx (Value.Str "bob"))
+
+let test_index_duplicates () =
+  let schema = Schema.of_list [ Schema.column "k" Value.T_string ] in
+  let t = Table.create ~name:"dup" ~schema in
+  Table.create_index t ~column_name:"k";
+  Table.insert_values t [ Value.Str "a" ];
+  Table.insert_values t [ Value.Str "a" ];
+  Table.insert_values t [ Value.Str "b" ];
+  let idx = Option.get (Table.index_on t ~column:0) in
+  Alcotest.(check (list int)) "dup rows" [ 0; 1 ] (Index.lookup idx (Value.Str "a"));
+  check_int "distinct keys" 2 (Index.cardinality idx)
+
+(* --- Database --- *)
+
+let test_database_catalog () =
+  let db = Database.create () in
+  let _ = Database.create_table db ~name:"t" ~schema:(sample_schema ()) in
+  check_bool "exists" true (Database.table_exists db "T");
+  Alcotest.check_raises "dup" (Errors.Sql_error (Errors.Catalog, "table t already exists"))
+    (fun () -> ignore (Database.create_table db ~name:"t" ~schema:(sample_schema ())));
+  Database.drop_table db "t";
+  check_bool "dropped" false (Database.table_exists db "t");
+  Alcotest.check_raises "missing" (Errors.Sql_error (Errors.Catalog, "no such table: t"))
+    (fun () -> Database.drop_table db "t")
+
+(* --- CSV --- *)
+
+let test_csv_roundtrip () =
+  let t = make_table () in
+  let csv = Csv.result_to_csv (Table.schema t) (Table.to_list t) in
+  let t2 = Table.create ~name:"copy" ~schema:(sample_schema ()) in
+  let n = Csv.load_into t2 csv ~has_header:true in
+  check_int "loaded" 3 n;
+  check_bool "same first row" true (Row.equal (Table.get t 0) (Table.get t2 0))
+
+let test_csv_quoting () =
+  let schema = Schema.of_list [ Schema.column "s" Value.T_string ] in
+  let t = Table.create ~name:"q" ~schema in
+  Table.insert_values t [ Value.Str "a,b" ];
+  Table.insert_values t [ Value.Str "say \"hi\"" ];
+  Table.insert_values t [ Value.Str "line1\nline2" ];
+  let csv = Csv.result_to_csv schema (Table.to_list t) in
+  let t2 = Table.create ~name:"q2" ~schema in
+  let n = Csv.load_into t2 csv ~has_header:true in
+  check_int "loaded" 3 n;
+  check_bool "comma kept" true (Row.get (Table.get t2 0) 0 = Value.Str "a,b");
+  check_bool "quotes kept" true (Row.get (Table.get t2 1) 0 = Value.Str "say \"hi\"");
+  check_bool "newline kept" true (Row.get (Table.get t2 2) 0 = Value.Str "line1\nline2")
+
+let test_csv_null_roundtrip () =
+  let schema =
+    Schema.of_list [ Schema.column "a" Value.T_string; Schema.column "n" Value.T_int ]
+  in
+  let t = Table.create ~name:"n" ~schema in
+  Table.insert_values t [ Value.Null; Value.Int 7 ];
+  let csv = Csv.result_to_csv schema (Table.to_list t) in
+  let t2 = Table.create ~name:"n2" ~schema in
+  ignore (Csv.load_into t2 csv ~has_header:true);
+  check_bool "null back" true (Row.get (Table.get t2 0) 0 = Value.Null)
+
+let () =
+  Alcotest.run "relational"
+    [ ( "value",
+        [ Alcotest.test_case "numeric compare" `Quick test_value_compare_numeric;
+          Alcotest.test_case "string/bool compare" `Quick test_value_compare_strings;
+          Alcotest.test_case "sql literal" `Quick test_value_to_sql_literal;
+          Alcotest.test_case "coerce" `Quick test_value_coerce;
+          Alcotest.test_case "ty_of_string" `Quick test_value_ty_of_string;
+        ] );
+      ( "vec",
+        [ Alcotest.test_case "push/get" `Quick test_vec_push_get;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "pop/filter/map" `Quick test_vec_pop_filter_map;
+        ] );
+      ( "schema",
+        [ Alcotest.test_case "find" `Quick test_schema_find;
+          Alcotest.test_case "qualified" `Quick test_schema_qualified;
+          Alcotest.test_case "ambiguity" `Quick test_schema_ambiguity;
+        ] );
+      ("row", [ Alcotest.test_case "ops" `Quick test_row_ops ]);
+      ( "table",
+        [ Alcotest.test_case "insert/count" `Quick test_table_insert_count;
+          Alcotest.test_case "type check" `Quick test_table_type_check;
+          Alcotest.test_case "arity check" `Quick test_table_arity_check;
+          Alcotest.test_case "delete" `Quick test_table_delete;
+          Alcotest.test_case "update" `Quick test_table_update;
+          Alcotest.test_case "index" `Quick test_table_index;
+          Alcotest.test_case "index duplicates" `Quick test_index_duplicates;
+        ] );
+      ("database", [ Alcotest.test_case "catalog" `Quick test_database_catalog ]);
+      ( "csv",
+        [ Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "quoting" `Quick test_csv_quoting;
+          Alcotest.test_case "null" `Quick test_csv_null_roundtrip;
+        ] );
+    ]

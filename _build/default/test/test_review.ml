@@ -1,0 +1,116 @@
+(* Tests for the human-review queue between Prune and adoption. *)
+
+module Rev = Prima_core.Review
+module Ref = Prima_core.Refinement
+module P = Prima_core.Policy
+module R = Prima_core.Rule
+module S = Workload.Scenario
+
+let vocab = S.vocab ()
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let practice () = Prima_core.Filter.run (S.table1_audit_policy ())
+
+let report () =
+  Ref.run_epoch
+    ~config:{ Ref.default_config with Ref.acceptance = Ref.Reject_all }
+    ~vocab ~p_ps:(S.policy_store ()) ~p_al:(S.table1_audit_policy ()) ()
+
+let test_submit_collects_evidence () =
+  let queue = Rev.create () in
+  let item = Rev.submit queue ~practice:(practice ()) (S.expected_pattern ()) in
+  check_int "five occurrences" 5 item.Rev.evidence.Rev.occurrences;
+  check_int "three users" 3 (List.length item.Rev.evidence.Rev.distinct_users);
+  check_bool "time span" true
+    (item.Rev.evidence.Rev.first_seen = Some 3 && item.Rev.evidence.Rev.last_seen = Some 10);
+  check_bool "pending" true (item.Rev.state = Rev.Pending)
+
+let test_submit_dedupes () =
+  let queue = Rev.create () in
+  let a = Rev.submit queue ~practice:(practice ()) (S.expected_pattern ()) in
+  let b = Rev.submit queue ~practice:(practice ()) (S.expected_pattern ()) in
+  check_int "same item" a.Rev.id b.Rev.id;
+  check_int "one item total" 1 (List.length (Rev.items queue))
+
+let test_submit_epoch () =
+  let queue = Rev.create () in
+  let items = Rev.submit_epoch queue ~practice:(practice ()) (report ()) in
+  check_int "one useful pattern queued" 1 (List.length items);
+  check_int "pending" 1 (List.length (Rev.pending queue))
+
+let test_decide_lifecycle () =
+  let queue = Rev.create () in
+  let item = Rev.submit queue ~practice:(practice ()) (S.expected_pattern ()) in
+  (match Rev.decide queue ~id:item.Rev.id ~by:"privacy-officer" Rev.Approved with
+  | Ok decided -> check_bool "decided" true (decided.Rev.state <> Rev.Pending)
+  | Error e -> Alcotest.fail e);
+  (* second decision is refused *)
+  (match Rev.decide queue ~id:item.Rev.id ~by:"someone-else" (Rev.Rejected "changed mind") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "re-decision allowed");
+  (* unknown id *)
+  match Rev.decide queue ~id:999 ~by:"x" Rev.Approved with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown id decided"
+
+let test_partitions () =
+  let queue = Rev.create () in
+  let practice = practice () in
+  let p1 = S.expected_pattern () in
+  let p2 = R.of_assoc [ ("data", "psychiatry"); ("purpose", "treatment"); ("authorized", "doctor") ] in
+  let p3 = R.of_assoc [ ("data", "prescription"); ("purpose", "billing"); ("authorized", "clerk") ] in
+  let i1 = Rev.submit queue ~practice p1 in
+  let i2 = Rev.submit queue ~practice p2 in
+  let i3 = Rev.submit queue ~practice p3 in
+  ignore (Rev.decide queue ~id:i1.Rev.id ~by:"po" Rev.Approved);
+  ignore (Rev.decide queue ~id:i2.Rev.id ~by:"po" (Rev.Rejected "reserved to psychiatrists"));
+  ignore (Rev.decide queue ~id:i3.Rev.id ~by:"po" (Rev.Investigate "check with billing"));
+  check_int "approved" 1 (List.length (Rev.approved_patterns queue));
+  check_int "rejected" 1 (List.length (Rev.rejected_patterns queue));
+  check_int "investigating" 1 (List.length (Rev.under_investigation queue));
+  check_int "none pending" 0 (List.length (Rev.pending queue))
+
+let test_acceptance_integration () =
+  (* Round 1: refinement proposes, nothing adopted; officer approves; round
+     2 adopts exactly the approved pattern. *)
+  let queue = Rev.create () in
+  let p_ps = S.policy_store () in
+  let p_al = S.table1_audit_policy () in
+  let review_config acceptance = { Ref.default_config with Ref.acceptance } in
+  let round1 = Ref.run_epoch ~config:(review_config (Rev.acceptance queue)) ~vocab ~p_ps ~p_al () in
+  check_int "round 1 adopts nothing" 0 (List.length round1.Ref.accepted);
+  let items = Rev.submit_epoch queue ~practice:(Prima_core.Filter.run p_al) round1 in
+  List.iter
+    (fun (i : Rev.item) -> ignore (Rev.decide queue ~id:i.Rev.id ~by:"po" Rev.Approved))
+    items;
+  let round2 = Ref.run_epoch ~config:(review_config (Rev.acceptance queue)) ~vocab ~p_ps ~p_al () in
+  check_int "round 2 adopts the approved pattern" 1 (List.length round2.Ref.accepted);
+  check_bool "the right one" true
+    (R.equal_syntactic (List.hd round2.Ref.accepted) (S.expected_pattern ()))
+
+let test_pp_smoke () =
+  let queue = Rev.create () in
+  let item = Rev.submit queue ~practice:(practice ()) (S.expected_pattern ()) in
+  ignore (Rev.decide queue ~id:item.Rev.id ~by:"po" Rev.Approved);
+  let s = Fmt.str "%a" Rev.pp queue in
+  check_bool "mentions approval" true
+    (let nh = String.length s in
+     let needle = "approved by po" in
+     let nn = String.length needle in
+     let rec go i = i + nn <= nh && (String.sub s i nn = needle || go (i + 1)) in
+     go 0)
+
+let () =
+  Alcotest.run "review"
+    [ ( "queue",
+        [ Alcotest.test_case "evidence" `Quick test_submit_collects_evidence;
+          Alcotest.test_case "dedupes" `Quick test_submit_dedupes;
+          Alcotest.test_case "submit epoch" `Quick test_submit_epoch;
+          Alcotest.test_case "decide lifecycle" `Quick test_decide_lifecycle;
+          Alcotest.test_case "partitions" `Quick test_partitions;
+          Alcotest.test_case "acceptance integration" `Quick test_acceptance_integration;
+          Alcotest.test_case "pp" `Quick test_pp_smoke;
+        ] );
+    ]

@@ -1,0 +1,180 @@
+(* Integration tests: the assembled PRIMA system of Figure 4 — enforcement
+   generating real audit entries, federation consolidating them, refinement
+   adopting patterns, and the closed loop converting exception-based access
+   into regular access. *)
+
+module Sys_ = Prima_system.System
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let vocab () = Vocabulary.Samples.figure1 ()
+
+let setup_clinical control =
+  List.iter
+    (fun sql -> ignore (Hdb.Control_center.admin_exec control sql))
+    [ "CREATE TABLE records (patient TEXT, referral TEXT, prescription TEXT, address TEXT)";
+      "INSERT INTO records VALUES ('p1', 'r1', 'rx1', 'a1'), ('p2', 'r2', 'rx2', 'a2')";
+    ];
+  Hdb.Control_center.set_patient_column control ~table:"records" ~column:"patient";
+  Hdb.Control_center.map_column control ~table:"records" ~column:"referral"
+    ~category:"referral";
+  Hdb.Control_center.map_column control ~table:"records" ~column:"prescription"
+    ~category:"prescription";
+  Hdb.Control_center.map_column control ~table:"records" ~column:"address"
+    ~category:"address"
+
+let make_system () =
+  let system =
+    Sys_.create ~vocab:(vocab ()) ~p_ps:(Workload.Scenario.policy_store ()) ()
+  in
+  setup_clinical (Sys_.control system);
+  system
+
+let test_system_seeds_enforcement_from_store () =
+  let system = make_system () in
+  let rules = Hdb.Control_center.rules (Sys_.control system) in
+  check_int "three seeded rules" 3 (Hdb.Privacy_rules.count rules);
+  check_bool "nurse referral treatment permitted" true
+    (Hdb.Privacy_rules.permits rules ~data:"referral" ~purpose:"treatment" ~authorized:"nurse")
+
+let query ?break_glass system ~user ~role ~purpose sql =
+  Hdb.Control_center.query ?break_glass (Sys_.control system) ~user ~role ~purpose sql
+
+let btg_registration system user =
+  match
+    query ~break_glass:true system ~user ~role:"nurse" ~purpose:"registration"
+      "SELECT referral FROM records"
+  with
+  | Ok outcome -> check_bool "was break-glass" true outcome.Hdb.Enforcement.break_glass
+  | Error e -> Alcotest.failf "btg failed: %s" (Hdb.Enforcement.error_to_string e)
+
+let test_closed_loop_exception_becomes_regular () =
+  let system = make_system () in
+  (* Nurses repeatedly need referral data for registration: denied by the
+     seeded policy, so they break the glass.  5+ times, several users. *)
+  List.iter (btg_registration system) [ "mark"; "tim"; "bob"; "mark"; "olga"; "mark" ];
+  let before = Sys_.coverage system in
+  check_bool "coverage below 1" true
+    (before.Prima_core.Prima.bag_semantics.Prima_core.Coverage.coverage < 1.0);
+  (match Sys_.refine system with
+  | Ok report ->
+    check_int "pattern adopted" 1 (List.length report.Prima_core.Refinement.accepted)
+  | Error e -> Alcotest.fail e);
+  (* The same access is now regular: no break-glass needed. *)
+  (match
+     query system ~user:"mark" ~role:"nurse" ~purpose:"registration"
+       "SELECT referral FROM records"
+   with
+  | Ok outcome ->
+    check_bool "regular now" false outcome.Hdb.Enforcement.break_glass;
+    check_bool "nothing masked" true (outcome.Hdb.Enforcement.masked_columns = [])
+  | Error e -> Alcotest.failf "still denied: %s" (Hdb.Enforcement.error_to_string e));
+  let after = Sys_.coverage system in
+  check_bool "coverage improved" true
+    (after.Prima_core.Prima.bag_semantics.Prima_core.Coverage.coverage
+    > before.Prima_core.Prima.bag_semantics.Prima_core.Coverage.coverage)
+
+let test_refinement_ignores_rare_exceptions () =
+  let system = make_system () in
+  (* Below the f = 5 threshold: nothing should be adopted. *)
+  List.iter (btg_registration system) [ "mark"; "tim" ];
+  match Sys_.refine system with
+  | Ok report -> check_int "no adoption" 0 (List.length report.Prima_core.Refinement.accepted)
+  | Error e -> Alcotest.fail e
+
+let test_refinement_single_user_not_adopted () =
+  let system = make_system () in
+  (* One user spamming BTG: COUNT(DISTINCT user) > 1 must reject it. *)
+  List.iter (btg_registration system) [ "mark"; "mark"; "mark"; "mark"; "mark"; "mark" ];
+  match Sys_.refine system with
+  | Ok report -> check_int "no adoption" 0 (List.length report.Prima_core.Refinement.accepted)
+  | Error e -> Alcotest.fail e
+
+let test_extra_site_feeds_refinement () =
+  let system = make_system () in
+  let icu = Audit_mgmt.Site.create ~name:"icu" () in
+  Audit_mgmt.Site.ingest_entries icu (Workload.Scenario.table1_entries ());
+  Sys_.add_site system icu;
+  match Sys_.refine system with
+  | Ok report ->
+    check_bool "pattern from remote site" true
+      (List.exists
+         (Prima_core.Rule.equal_syntactic (Workload.Scenario.expected_pattern ()))
+         report.Prima_core.Refinement.accepted)
+  | Error e -> Alcotest.fail e
+
+let test_training_minimum_blocks () =
+  let system =
+    Sys_.create ~training_minimum:100 ~vocab:(vocab ())
+      ~p_ps:(Workload.Scenario.policy_store ()) ()
+  in
+  setup_clinical (Sys_.control system);
+  btg_registration system "mark";
+  match Sys_.refine system with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "training period not enforced"
+
+(* End-to-end on the synthetic hospital: oracle-guided refinement adopts
+   informal practices and never violations; coverage improves epoch over
+   epoch. *)
+let test_synthetic_hospital_epochs () =
+  let config =
+    { (Workload.Hospital.default_config ()) with
+      Workload.Hospital.total_accesses = 2000;
+      epoch_size = 500;
+    }
+  in
+  let p_ps = Workload.Hospital.policy_store config in
+  let trail = Workload.Generator.generate config in
+  let batches =
+    List.map
+      (fun batch ->
+        Audit_mgmt.To_policy.policy_of_entries (Workload.Generator.entries batch))
+      (Workload.Generator.epochs config trail)
+  in
+  let oracle = Workload.Generator.oracle config in
+  let ref_config =
+    { Prima_core.Refinement.default_config with
+      Prima_core.Refinement.acceptance = Prima_core.Refinement.Oracle oracle;
+    }
+  in
+  let reports, final =
+    Prima_core.Refinement.run_epochs ~config:ref_config ~vocab:config.Workload.Hospital.vocab
+      ~p_ps ~batches ()
+  in
+  check_int "four epochs" 4 (List.length reports);
+  (* Every adopted pattern is a genuine informal practice. *)
+  List.iter
+    (fun r ->
+      List.iter
+        (fun pattern ->
+          check_bool "no violation adopted" true
+            (Workload.Hospital.is_informal_pattern config pattern))
+        r.Prima_core.Refinement.accepted)
+    reports;
+  (* Refinement discovered at least half of the informal practices. *)
+  let covered = Workload.Generator.practices_covered config final in
+  check_bool "recall >= 1/2" true
+    (2 * List.length covered >= List.length config.Workload.Hospital.informal);
+  (* Coverage on the last batch improved against the refined store. *)
+  let last = List.nth reports 3 in
+  check_bool "coverage improves within epoch" true
+    (last.Prima_core.Refinement.coverage_after.Prima_core.Coverage.coverage
+    >= last.Prima_core.Refinement.coverage_before.Prima_core.Coverage.coverage)
+
+let () =
+  Alcotest.run "system"
+    [ ( "prima-system",
+        [ Alcotest.test_case "seeds enforcement" `Quick test_system_seeds_enforcement_from_store;
+          Alcotest.test_case "closed loop" `Quick test_closed_loop_exception_becomes_regular;
+          Alcotest.test_case "rare exceptions ignored" `Quick
+            test_refinement_ignores_rare_exceptions;
+          Alcotest.test_case "single user not adopted" `Quick
+            test_refinement_single_user_not_adopted;
+          Alcotest.test_case "extra site" `Quick test_extra_site_feeds_refinement;
+          Alcotest.test_case "training minimum" `Quick test_training_minimum_blocks;
+        ] );
+      ( "synthetic-hospital",
+        [ Alcotest.test_case "oracle-guided epochs" `Slow test_synthetic_hospital_epochs ] );
+    ]

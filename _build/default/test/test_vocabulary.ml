@@ -1,0 +1,237 @@
+(* Tests for the vocabulary substrate: taxonomies, grounding, subsumption,
+   equivalence, and the Figure 1 sample vocabulary. *)
+
+module T = Vocabulary.Taxonomy
+module V = Vocabulary.Vocab
+module S = Vocabulary.Samples
+
+let check = Alcotest.check
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_strings = Alcotest.(check (list string))
+
+let small_tax () =
+  T.create ~attr:"data"
+    (T.node "data"
+       [ T.node "demographic" [ T.leaf "name"; T.leaf "address" ];
+         T.leaf "insurance";
+       ])
+
+(* --- Taxonomy --- *)
+
+let test_create_and_attr () =
+  let t = small_tax () in
+  check Alcotest.string "attr" "data" (T.attr t);
+  check Alcotest.string "root" "data" (T.root_value t)
+
+let test_duplicate_value_rejected () =
+  Alcotest.check_raises "duplicate" (T.Duplicate_value "name") (fun () ->
+      ignore (T.create ~attr:"x" (T.node "root" [ T.leaf "name"; T.leaf "name" ])))
+
+let test_mem () =
+  let t = small_tax () in
+  check_bool "root" true (T.mem t "data");
+  check_bool "leaf" true (T.mem t "address");
+  check_bool "foreign" false (T.mem t "telephone")
+
+let test_is_ground () =
+  let t = small_tax () in
+  check_bool "leaf ground" true (T.is_ground t "name");
+  check_bool "interior composite" false (T.is_ground t "demographic");
+  check_bool "root composite" false (T.is_ground t "data");
+  check_bool "single leaf sibling" true (T.is_ground t "insurance")
+
+let test_unknown_value_raises () =
+  let t = small_tax () in
+  Alcotest.check_raises "unknown" (T.Unknown_value "zz") (fun () ->
+      ignore (T.is_ground t "zz"))
+
+let test_children () =
+  let t = small_tax () in
+  check_strings "children of demographic" [ "name"; "address" ] (T.children t "demographic");
+  check_strings "children of leaf" [] (T.children t "insurance")
+
+let test_leaves_under () =
+  let t = small_tax () in
+  check_strings "under demographic" [ "name"; "address" ] (T.leaves_under t "demographic");
+  check_strings "under root" [ "name"; "address"; "insurance" ] (T.leaves_under t "data");
+  check_strings "leaf grounds to itself" [ "insurance" ] (T.leaves_under t "insurance")
+
+let test_subsumes () =
+  let t = small_tax () in
+  check_bool "ancestor" true (T.subsumes t ~ancestor:"demographic" ~descendant:"name");
+  check_bool "reflexive" true (T.subsumes t ~ancestor:"name" ~descendant:"name");
+  check_bool "reversed" false (T.subsumes t ~ancestor:"name" ~descendant:"demographic");
+  check_bool "siblings" false (T.subsumes t ~ancestor:"insurance" ~descendant:"name");
+  check_bool "root subsumes all" true (T.subsumes t ~ancestor:"data" ~descendant:"address")
+
+let test_equivalent () =
+  let t = small_tax () in
+  check_bool "descendant equivalent" true (T.equivalent t "demographic" "address");
+  check_bool "symmetric" true (T.equivalent t "address" "demographic");
+  check_bool "distinct leaves" false (T.equivalent t "name" "address");
+  check_bool "self" true (T.equivalent t "name" "name")
+
+let test_all_and_ground_values () =
+  let t = small_tax () in
+  check_strings "all preorder" [ "data"; "demographic"; "name"; "address"; "insurance" ]
+    (T.all_values t);
+  check_strings "ground values" [ "name"; "address"; "insurance" ] (T.ground_values t)
+
+let test_size_depth () =
+  let t = small_tax () in
+  check_int "size" 5 (T.size t);
+  check_int "depth" 3 (T.depth t)
+
+let test_parent_and_path () =
+  let t = small_tax () in
+  check Alcotest.(option string) "parent of name" (Some "demographic") (T.parent t "name");
+  check Alcotest.(option string) "parent of root" None (T.parent t "data");
+  check_strings "path" [ "data"; "demographic"; "address" ] (T.path_to t "address")
+
+(* --- Vocab --- *)
+
+let test_vocab_add_duplicate () =
+  let v = V.add V.empty (small_tax ()) in
+  Alcotest.check_raises "dup attr" (V.Duplicate_attribute "data") (fun () ->
+      ignore (V.add v (small_tax ())))
+
+let test_vocab_attributes () =
+  let v = S.figure1 () in
+  check_strings "attrs sorted" [ "authorized"; "data"; "purpose" ] (V.attributes v)
+
+let test_vocab_unknown_attr () =
+  let v = S.figure1 () in
+  Alcotest.check_raises "unknown" (V.Unknown_attribute "location") (fun () ->
+      ignore (V.taxonomy v "location"))
+
+let test_vocab_foreign_values_are_ground () =
+  let v = S.figure1 () in
+  (* user names / timestamps are outside the vocabulary: ground by fiat *)
+  check_bool "foreign attr" true (V.is_ground v ~attr:"user" ~value:"mark");
+  check_bool "foreign value" true (V.is_ground v ~attr:"data" ~value:"not-in-tree");
+  check_strings "foreign ground set" [ "mark" ] (V.ground_set v ~attr:"user" ~value:"mark")
+
+let test_vocab_equivalence_foreign () =
+  let v = S.figure1 () in
+  check_bool "foreign equal" true (V.equivalent_values v ~attr:"user" "tim" "tim");
+  check_bool "foreign distinct" false (V.equivalent_values v ~attr:"user" "tim" "bob")
+
+let test_vocab_cardinality () =
+  let v = V.add V.empty (small_tax ()) in
+  check_int "cardinality" 5 (V.cardinality v)
+
+(* --- Figure 1 sample --- *)
+
+let test_figure1_demographic_ground_set () =
+  let v = S.figure1 () in
+  (* The paper: RT'_1 for (data, demographic) has four ground terms,
+     including address and gender. *)
+  let ground = V.ground_set v ~attr:"data" ~value:"demographic" in
+  check_int "four ground terms" 4 (List.length ground);
+  check_bool "address in" true (List.mem "address" ground);
+  check_bool "gender in" true (List.mem "gender" ground)
+
+let test_figure1_gender_is_ground () =
+  let v = S.figure1 () in
+  check_bool "gender ground" true (V.is_ground v ~attr:"data" ~value:"gender");
+  check_bool "demographic composite" false (V.is_ground v ~attr:"data" ~value:"demographic")
+
+let test_figure1_equivalences () =
+  let v = S.figure1 () in
+  (* RT2=(data,address) and RT3=(data,gender) are equivalent to RT1. *)
+  check_bool "address ~ demographic" true
+    (V.equivalent_values v ~attr:"data" "address" "demographic");
+  check_bool "gender ~ demographic" true
+    (V.equivalent_values v ~attr:"data" "gender" "demographic");
+  check_bool "address !~ gender" false (V.equivalent_values v ~attr:"data" "address" "gender")
+
+let test_figure1_routine_covers_prescription_referral () =
+  let v = S.figure1 () in
+  let ground = V.ground_set v ~attr:"data" ~value:"routine" in
+  check_bool "prescription" true (List.mem "prescription" ground);
+  check_bool "referral" true (List.mem "referral" ground);
+  check_bool "psychiatry outside routine" false (List.mem "psychiatry" ground)
+
+let test_figure1_psychiatrist_under_physician () =
+  let v = S.figure1 () in
+  check_bool "psychiatrist is a physician" true
+    (V.subsumes_value v ~attr:"authorized" ~ancestor:"physician" ~descendant:"psychiatrist");
+  check_bool "doctor distinct from psychiatrist" false
+    (V.equivalent_values v ~attr:"authorized" "doctor" "psychiatrist")
+
+let test_figure1_purposes () =
+  let v = S.figure1 () in
+  let ground = V.ground_set v ~attr:"purpose" ~value:"administering-healthcare" in
+  check_strings "broad purpose grounds" [ "treatment"; "registration"; "billing" ] ground
+
+let test_hospital_vocab_sane () =
+  let v = S.hospital () in
+  check_strings "attrs" [ "authorized"; "data"; "purpose" ] (V.attributes v);
+  check_bool "deep role" true
+    (V.subsumes_value v ~attr:"authorized" ~ancestor:"clinical-staff" ~descendant:"head-nurse");
+  check_bool "x-ray under imaging" true
+    (V.subsumes_value v ~attr:"data" ~ancestor:"imaging" ~descendant:"x-ray")
+
+let test_hospital_vocab_structure () =
+  let v = S.hospital () in
+  let data = V.taxonomy v "data" in
+  check_bool "deeper than figure1" true (T.depth data >= 4);
+  check_int "imaging has 3 leaves" 3 (List.length (T.leaves_under data "imaging"));
+  let purpose = V.taxonomy v "purpose" in
+  check_bool "treatment under care-delivery" true
+    (T.subsumes purpose ~ancestor:"care-delivery" ~descendant:"treatment");
+  check_bool "billing under payment" true
+    (T.subsumes purpose ~ancestor:"payment" ~descendant:"billing");
+  let roles = V.taxonomy v "authorized" in
+  check_bool "auditor in oversight" true
+    (T.subsumes roles ~ancestor:"oversight" ~descendant:"auditor")
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_pp_smoke () =
+  let v = S.figure1 () in
+  let s = Fmt.str "%a" V.pp v in
+  check_bool "pp mentions demographic" true (contains s "demographic")
+
+let () =
+  Alcotest.run "vocabulary"
+    [ ( "taxonomy",
+        [ Alcotest.test_case "create/attr" `Quick test_create_and_attr;
+          Alcotest.test_case "duplicate rejected" `Quick test_duplicate_value_rejected;
+          Alcotest.test_case "mem" `Quick test_mem;
+          Alcotest.test_case "is_ground" `Quick test_is_ground;
+          Alcotest.test_case "unknown raises" `Quick test_unknown_value_raises;
+          Alcotest.test_case "children" `Quick test_children;
+          Alcotest.test_case "leaves_under" `Quick test_leaves_under;
+          Alcotest.test_case "subsumes" `Quick test_subsumes;
+          Alcotest.test_case "equivalent" `Quick test_equivalent;
+          Alcotest.test_case "all/ground values" `Quick test_all_and_ground_values;
+          Alcotest.test_case "size/depth" `Quick test_size_depth;
+          Alcotest.test_case "parent/path" `Quick test_parent_and_path;
+        ] );
+      ( "vocab",
+        [ Alcotest.test_case "duplicate attribute" `Quick test_vocab_add_duplicate;
+          Alcotest.test_case "attributes" `Quick test_vocab_attributes;
+          Alcotest.test_case "unknown attribute" `Quick test_vocab_unknown_attr;
+          Alcotest.test_case "foreign values ground" `Quick test_vocab_foreign_values_are_ground;
+          Alcotest.test_case "foreign equivalence" `Quick test_vocab_equivalence_foreign;
+          Alcotest.test_case "cardinality" `Quick test_vocab_cardinality;
+        ] );
+      ( "figure1",
+        [ Alcotest.test_case "demographic ground set" `Quick test_figure1_demographic_ground_set;
+          Alcotest.test_case "gender ground" `Quick test_figure1_gender_is_ground;
+          Alcotest.test_case "equivalences" `Quick test_figure1_equivalences;
+          Alcotest.test_case "routine covers rx+referral" `Quick
+            test_figure1_routine_covers_prescription_referral;
+          Alcotest.test_case "psychiatrist under physician" `Quick
+            test_figure1_psychiatrist_under_physician;
+          Alcotest.test_case "broad purpose" `Quick test_figure1_purposes;
+          Alcotest.test_case "hospital vocab" `Quick test_hospital_vocab_sane;
+          Alcotest.test_case "hospital structure" `Quick test_hospital_vocab_structure;
+          Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+        ] );
+    ]
