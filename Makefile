@@ -1,0 +1,19 @@
+.PHONY: build test bench bench-quick bench-coverage
+
+build:
+	dune build
+
+test:
+	dune build && dune runtest
+
+# All experiments + Bechamel microbenchmarks.
+bench:
+	dune exec bench/main.exe
+
+# Experiments only (skips Bechamel); regenerates BENCH_coverage.json.
+bench-quick:
+	dune exec bench/main.exe -- quick
+
+# Only the coverage-scaling sweep; fastest way to refresh BENCH_coverage.json.
+bench-coverage:
+	dune exec bench/main.exe -- coverage

@@ -13,8 +13,11 @@
       the refinement pipeline, SQL analysis, miners, enforcement, audit
       store).
 
-     dune exec bench/main.exe             -- everything
-     dune exec bench/main.exe -- quick    -- experiments only, skip Bechamel *)
+     dune exec bench/main.exe              -- everything
+     dune exec bench/main.exe -- quick     -- experiments only, skip Bechamel
+     dune exec bench/main.exe -- coverage  -- only E11, regenerating BENCH_coverage.json
+
+   (or `make bench` / `make bench-quick` / `make bench-coverage`). *)
 
 module C = Prima_core.Coverage
 module P = Prima_core.Policy
@@ -481,6 +484,146 @@ let e10 () =
       | other -> Printf.sprintf "%d patterns" (List.length other))
 
 (* ------------------------------------------------------------------ *)
+(* E11: coverage scaling — seed set-based Range vs hash-based Range.    *)
+(* ------------------------------------------------------------------ *)
+
+(* Algorithm 1 on the preserved seed implementation
+   (Prima_core.Range_reference): materialise both ranges as balanced sets
+   with memo-free grounding, intersect, count. *)
+let set_coverage vocab ~p_x ~p_y =
+  let module RR = Prima_core.Range_reference in
+  let range_x = RR.of_policy vocab p_x in
+  let range_y = RR.of_policy vocab p_y in
+  (RR.cardinality (RR.inter range_x range_y), RR.cardinality range_y)
+
+let time_per_call ~iterations f =
+  ignore (f ());
+  (* warm-up: populates the grounding memo, as in steady-state epochs *)
+  let t0 = Sys.time () in
+  for _ = 1 to iterations do
+    ignore (f ())
+  done;
+  1000. *. (Sys.time () -. t0) /. float_of_int iterations
+
+(* A complete [branching]-ary taxonomy of the given depth per pattern
+   attribute, for the vocabulary axis of the sweep. *)
+let synthetic_vocab ~depth ~branching =
+  let tax attr =
+    let counter = ref 0 in
+    let fresh () =
+      let v = Printf.sprintf "%s%d" attr !counter in
+      incr counter;
+      v
+    in
+    let rec build d =
+      let value = fresh () in
+      if d >= depth then Vocabulary.Taxonomy.leaf value
+      else Vocabulary.Taxonomy.node value (List.init branching (fun _ -> build (d + 1)))
+    in
+    Vocabulary.Taxonomy.create ~attr (build 1)
+  in
+  Vocabulary.Vocab.of_taxonomies (List.map tax attrs)
+
+let synthetic_policies prng vocab ~store_rules ~audit_rules =
+  let values attr = Vocabulary.Taxonomy.all_values (Vocabulary.Vocab.taxonomy vocab attr) in
+  let leaves attr =
+    Vocabulary.Taxonomy.ground_values (Vocabulary.Vocab.taxonomy vocab attr)
+  in
+  let rule pick =
+    R.of_assoc (List.map (fun attr -> (attr, Workload.Prng.pick prng (pick attr))) attrs)
+  in
+  ( P.make (List.init store_rules (fun _ -> rule values)),
+    P.make (List.init audit_rules (fun _ -> rule leaves)) )
+
+let e11 () =
+  header "E11" "Coverage scaling — hash-based Range vs the seed set-based Range";
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer "{\n  \"experiment\": \"coverage-scaling\",\n";
+  Buffer.add_string buffer "  \"baseline\": \"seed set-based Range (Range_reference)\",\n";
+  Buffer.add_string buffer "  \"candidate\": \"hash-based Range + memoized grounding\",\n";
+  (* --- axis 1: audit-log size, realistic hospital trails --- *)
+  let config = Workload.Hospital.default_config () in
+  let vocab = config.Workload.Hospital.vocab in
+  let p_ps = P.project (Workload.Hospital.policy_store config) ~attrs in
+  Fmt.pr "@.Audit-log size sweep (hospital vocabulary):@.";
+  Fmt.pr "%-10s %-12s %-12s %-14s %-10s@." "log size" "set (ms)" "hash (ms)" "hash-fast (ms)"
+    "speedup";
+  Buffer.add_string buffer "  \"policy_size_sweep\": [\n";
+  let size_speedups =
+    List.map
+      (fun n ->
+        let p_al = P.project (synthetic_policy config n) ~attrs in
+        let iterations = if n >= 16000 then 3 else 5 in
+        let t_set =
+          time_per_call ~iterations:1 (fun () -> set_coverage vocab ~p_x:p_ps ~p_y:p_al)
+        in
+        let t_hash =
+          time_per_call ~iterations (fun () -> C.compute vocab ~p_x:p_ps ~p_y:p_al)
+        in
+        let t_fast =
+          time_per_call ~iterations (fun () ->
+              C.compute ~uncovered:false vocab ~p_x:p_ps ~p_y:p_al)
+        in
+        let speedup = t_set /. t_hash in
+        Fmt.pr "%-10d %-12.2f %-12.2f %-14.2f %-10.1f@." n t_set t_hash t_fast speedup;
+        Buffer.add_string buffer
+          (Printf.sprintf
+             "    {\"log_size\": %d, \"set_ms\": %.3f, \"hash_ms\": %.3f, \
+              \"hash_fast_ms\": %.3f, \"speedup\": %.1f}%s\n"
+             n t_set t_hash t_fast speedup
+             (if n = 16000 then "" else ","));
+        (n, speedup))
+      [ 1000; 4000; 16000 ]
+  in
+  Buffer.add_string buffer "  ],\n";
+  (* --- axis 2: vocabulary depth, synthetic complete taxonomies --- *)
+  Fmt.pr "@.Vocabulary depth sweep (branching 3, 400 store rules, 4000 audit rules):@.";
+  Fmt.pr "%-8s %-8s %-12s %-12s %-12s %-10s@." "depth" "values" "range" "set (ms)"
+    "hash (ms)" "speedup";
+  Buffer.add_string buffer "  \"vocab_depth_sweep\": [\n";
+  let depth_speedups =
+    List.map
+      (fun depth ->
+        let svocab = synthetic_vocab ~depth ~branching:3 in
+        let prng = Workload.Prng.create ~seed:(1000 + depth) in
+        let p_x, p_y = synthetic_policies prng svocab ~store_rules:400 ~audit_rules:4000 in
+        let range_card = Prima_core.Range.cardinality (Prima_core.Range.of_policy svocab p_x) in
+        let t_set =
+          time_per_call ~iterations:1 (fun () -> set_coverage svocab ~p_x ~p_y)
+        in
+        let t_hash =
+          time_per_call ~iterations:3 (fun () -> C.compute svocab ~p_x ~p_y)
+        in
+        let speedup = t_set /. t_hash in
+        Fmt.pr "%-8d %-8d %-12d %-12.2f %-12.2f %-10.1f@." depth
+          (Vocabulary.Vocab.cardinality svocab) range_card t_set t_hash speedup;
+        Buffer.add_string buffer
+          (Printf.sprintf
+             "    {\"depth\": %d, \"vocab_values\": %d, \"range_cardinality\": %d, \
+              \"set_ms\": %.3f, \"hash_ms\": %.3f, \"speedup\": %.1f}%s\n"
+             depth
+             (Vocabulary.Vocab.cardinality svocab)
+             range_card t_set t_hash speedup
+             (if depth = 5 then "" else ","));
+        (depth, speedup))
+      [ 2; 3; 4; 5 ]
+  in
+  Buffer.add_string buffer "  ],\n";
+  let largest_size = List.assoc 16000 size_speedups in
+  let largest_depth = List.assoc 5 depth_speedups in
+  Buffer.add_string buffer
+    (Printf.sprintf
+       "  \"largest_point\": {\"log_size_16000_speedup\": %.1f, \
+        \"vocab_depth_5_speedup\": %.1f}\n}\n"
+       largest_size largest_depth);
+  let oc = open_out "BENCH_coverage.json" in
+  output_string oc (Buffer.contents buffer);
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_coverage.json@.";
+  check "hash-based coverage >= 5x faster on the largest sweep point" ~paper:">= 5x"
+    ~measured:(if largest_size >= 5.0 then ">= 5x" else Printf.sprintf "%.1fx" largest_size)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks.                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -601,17 +744,22 @@ let bechamel_suite () =
 
 let () =
   let quick = Array.exists (String.equal "quick") Sys.argv in
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e9 ();
-  e10 ();
-  if not quick then bechamel_suite ();
+  (* `coverage` regenerates BENCH_coverage.json alone (see `make bench-quick`). *)
+  let coverage_only = Array.exists (String.equal "coverage") Sys.argv in
+  if not coverage_only then begin
+    e1 ();
+    e2 ();
+    e3 ();
+    e4 ();
+    e5 ();
+    e6 ();
+    e7 ();
+    e8 ();
+    e9 ();
+    e10 ()
+  end;
+  e11 ();
+  if (not quick) && not coverage_only then bechamel_suite ();
   Fmt.pr "@.============================================================@.";
   if !all_ok then Fmt.pr "All experiment checks PASSED.@."
   else begin

@@ -15,10 +15,16 @@ type stats = {
   uncovered : Rule.t list;  (** the rules of P_y driving the gap *)
 }
 
-val compute : Vocabulary.Vocab.t -> p_x:Policy.t -> p_y:Policy.t -> stats
+val compute : ?uncovered:bool -> Vocabulary.Vocab.t -> p_x:Policy.t -> p_y:Policy.t -> stats
 (** Algorithm 1, set semantics.  Policies over different attribute sets
     never intersect (Definition 6 compares cardinalities) — align them with
-    {!Policy.project} or use {!aligned}. *)
+    {!Policy.project} or use {!aligned}.
+
+    [uncovered] (default [true]) controls whether the uncovered listing is
+    produced.  With [~uncovered:false] the [uncovered] field is [[]] and
+    Range(P_y) is only counted, never materialised
+    ({!Range.cardinality_of_rules}) — the fast path for monitoring loops
+    that only read the ratio. *)
 
 val compute_bag : Vocabulary.Vocab.t -> p_x:Policy.t -> p_y:Policy.t -> stats
 (** Bag semantics over P_y's rule sequence: a rule occurrence is covered
@@ -26,13 +32,15 @@ val compute_bag : Vocabulary.Vocab.t -> p_x:Policy.t -> p_y:Policy.t -> stats
 
 val aligned :
   ?bag:bool ->
+  ?uncovered:bool ->
   Vocabulary.Vocab.t ->
   attrs:string list ->
   p_x:Policy.t ->
   p_y:Policy.t ->
   stats
 (** Projects both policies onto [attrs] first, then computes coverage
-    ([bag] defaults to false). *)
+    ([bag] defaults to false; [uncovered] as in {!compute}, ignored under
+    bag semantics where the partition is a by-product). *)
 
 val complete : Vocabulary.Vocab.t -> p_x:Policy.t -> p_y:Policy.t -> bool
 (** Definition 10: Range(P_y) ⊆ Range(P_x). *)

@@ -5,17 +5,21 @@
    ranges are taken over the pattern attributes, so the store's composite
    rules cover their whole subtrees.  The result deliberately stops short
    of auto-adoption — "human input is prudent at this stage" — which is the
-   acceptance step in Refinement. *)
+   acceptance step in Refinement.
+
+   The store's range is built once per call on the hash-backed Range, and
+   grounding the patterns hits the per-rule memo (extraction emits the same
+   pattern shapes epoch after epoch), so pruning stays cheap inside the
+   refinement loop. *)
+
+let pattern_attrs (patterns : Rule.t list) =
+  List.sort_uniq String.compare
+    (List.concat_map (fun rule -> List.map Rule_term.attr (Rule.terms rule)) patterns)
 
 let run vocab ~(patterns : Rule.t list) ~(p_ps : Policy.t) : Rule.t list =
   if patterns = [] then []
   else begin
-    let attrs =
-      List.sort_uniq String.compare
-        (List.concat_map
-           (fun rule -> List.map Rule_term.attr (Rule.terms rule))
-           patterns)
-    in
+    let attrs = pattern_attrs patterns in
     let range_ps = Range.of_policy vocab (Policy.project p_ps ~attrs) in
     (* A pattern survives when some ground instance of it is uncovered. *)
     List.filter (fun pattern -> not (Range.covers vocab range_ps pattern)) patterns
@@ -26,12 +30,7 @@ let run vocab ~(patterns : Rule.t list) ~(p_ps : Policy.t) : Rule.t list =
 let ground_complement vocab ~(patterns : Rule.t list) ~(p_ps : Policy.t) : Rule.t list =
   if patterns = [] then []
   else begin
-    let attrs =
-      List.sort_uniq String.compare
-        (List.concat_map
-           (fun rule -> List.map Rule_term.attr (Rule.terms rule))
-           patterns)
-    in
+    let attrs = pattern_attrs patterns in
     let range_ps = Range.of_policy vocab (Policy.project p_ps ~attrs) in
     let range_patterns = Range.of_rules vocab patterns in
     Range.elements (Range.diff range_patterns range_ps)

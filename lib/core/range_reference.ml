@@ -1,0 +1,52 @@
+(* The seed's Definition 8 implementation, kept verbatim as the oracle for
+   differential testing and benchmark baselines: a balanced set of
+   canonicalised ground rules ordered by structural comparison, built with
+   memo-free grounding.  [Range] reimplements the same surface on a hash
+   set; the property suite asserts the two agree exactly. *)
+
+module Rule_set = Set.Make (struct
+  type t = Rule.t
+
+  let compare = Rule.compare
+end)
+
+type t = Rule_set.t
+
+let empty = Rule_set.empty
+
+let of_rules vocab rules : t =
+  List.fold_left
+    (fun acc rule ->
+      List.fold_left (fun acc g -> Rule_set.add g acc) acc (Rule.ground_rules_uncached vocab rule))
+    Rule_set.empty rules
+
+let of_policy vocab policy : t = of_rules vocab (Policy.rules policy)
+
+let cardinality = Rule_set.cardinal
+
+let mem rule t = Rule_set.mem rule t
+
+let inter = Rule_set.inter
+
+let diff = Rule_set.diff
+
+let union = Rule_set.union
+
+let subset = Rule_set.subset
+
+let elements = Rule_set.elements
+
+let is_empty = Rule_set.is_empty
+
+(* Is every ground instance of [rule] inside the range?  Membership test
+   lifted to possibly-composite rules. *)
+let covers vocab t rule =
+  List.for_all (fun g -> mem g t) (Rule.ground_rules_uncached vocab rule)
+
+(* Does any ground instance of [rule] fall inside the range? *)
+let intersects vocab t rule =
+  List.exists (fun g -> mem g t) (Rule.ground_rules_uncached vocab rule)
+
+let pp ppf t =
+  Fmt.pf ppf "range (%d ground rules):@." (cardinality t);
+  List.iteri (fun i rule -> Fmt.pf ppf "  %d. %a@." (i + 1) Rule.pp rule) (elements t)

@@ -1,0 +1,33 @@
+(** The seed's set-based Range (Definition 8), kept as the oracle.
+
+    Same surface and semantics as {!Range}, but represented as a
+    [Set.Make(Rule)] built with memo-free grounding.  Used by the parity
+    property tests and the coverage-scaling benchmark baseline; production
+    code should use {!Range}. *)
+
+type t
+
+val empty : t
+val of_rules : Vocabulary.Vocab.t -> Rule.t list -> t
+val of_policy : Vocabulary.Vocab.t -> Policy.t -> t
+
+val cardinality : t -> int
+(** #Range of Definition 8. *)
+
+val mem : Rule.t -> t -> bool
+(** Membership of a (canonical, ground) rule. *)
+
+val inter : t -> t -> t
+val diff : t -> t -> t
+val union : t -> t -> t
+val subset : t -> t -> bool
+val elements : t -> Rule.t list
+val is_empty : t -> bool
+
+val covers : Vocabulary.Vocab.t -> t -> Rule.t -> bool
+(** Every ground instance of the rule lies in the range. *)
+
+val intersects : Vocabulary.Vocab.t -> t -> Rule.t -> bool
+(** Some ground instance of the rule lies in the range. *)
+
+val pp : Format.formatter -> t -> unit

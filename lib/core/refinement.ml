@@ -54,7 +54,10 @@ type epoch_report = {
 
 (* One refinement epoch: run the pipeline, apply the acceptance policy,
    extend the store, and report coverage (bag semantics over the audit
-   entries, per Section 5) before and after. *)
+   entries, per Section 5) before and after.  The audit policy is projected
+   onto the pattern attributes once and shared by both coverage calls; the
+   second call grounds the same rules as the first plus the accepted
+   patterns, so it runs almost entirely out of the grounding memo. *)
 let run_epoch ?(config = default_config) ~vocab ~p_ps ~p_al () : epoch_report =
   let attrs = Vocabulary.Audit_attrs.pattern in
   let practice = Filter.run ~keep_prohibitions:config.keep_prohibitions p_al in
@@ -62,8 +65,13 @@ let run_epoch ?(config = default_config) ~vocab ~p_ps ~p_al () : epoch_report =
   let useful = Prune.run vocab ~patterns ~p_ps in
   let accepted = accept config.acceptance useful in
   let p_ps' = Policy.add_rules p_ps accepted in
-  let coverage_before = Coverage.aligned ~bag:true vocab ~attrs ~p_x:p_ps ~p_y:p_al in
-  let coverage_after = Coverage.aligned ~bag:true vocab ~attrs ~p_x:p_ps' ~p_y:p_al in
+  let p_al_proj = Policy.project p_al ~attrs in
+  let coverage_before =
+    Coverage.compute_bag vocab ~p_x:(Policy.project p_ps ~attrs) ~p_y:p_al_proj
+  in
+  let coverage_after =
+    Coverage.compute_bag vocab ~p_x:(Policy.project p_ps' ~attrs) ~p_y:p_al_proj
+  in
   Log.info (fun m ->
       m "epoch: %d practice entries, %d patterns, %d useful, %d accepted, coverage %.0f%% -> %.0f%%"
         (Policy.cardinality practice) (List.length patterns) (List.length useful)

@@ -19,7 +19,18 @@ val cardinality : t -> int
 (** #R of Definition 5. *)
 
 val compare : t -> t -> int
+(** Lexicographic over the sorted terms — the total order range sets and
+    deterministic listings rely on. *)
+
+val equal : t -> t -> bool
+(** Structural equality, O(1) on the fast path: pointer equality accepts
+    and precomputed-hash inequality rejects. *)
+
 val equal_syntactic : t -> t -> bool
+(** Alias of {!equal}. *)
+
+val hash : t -> int
+(** Precomputed structural hash, O(1).  Consistent with {!equal}. *)
 
 val find_attr : t -> string -> string option
 (** The value this rule assigns to [attr], if any. *)
@@ -30,7 +41,13 @@ val project : t -> attrs:string list -> t option
 val is_ground : Vocabulary.Vocab.t -> t -> bool
 
 val ground_rules : Vocabulary.Vocab.t -> t -> t list
-(** Corollary 1: the cartesian product of the terms' ground sets. *)
+(** Corollary 1: the cartesian product of the terms' ground sets.
+    Memoized per (vocabulary stamp, rule); vocabularies are immutable and
+    freshly stamped on every construction, so entries never go stale. *)
+
+val ground_rules_uncached : Vocabulary.Vocab.t -> t -> t list
+(** The memo-free grounding path — the seed implementation, kept as the
+    oracle for differential tests and benchmark baselines. *)
 
 val equivalent : Vocabulary.Vocab.t -> t -> t -> bool
 (** Definition 6: same cardinality and termwise equivalence. *)

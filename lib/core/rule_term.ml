@@ -1,23 +1,60 @@
 (* Definition 1: a RuleTerm is an (attr, value) pair — the atomic unit every
-   policy notation maps onto. *)
+   policy notation maps onto.
+
+   Terms are the unit of work in grounding and range algebra, so they carry
+   a precomputed structural hash, and their strings are interned: every
+   attr/value string that enters through [make] is replaced by a canonical
+   copy.  Equal strings are then physically equal, which turns the common
+   case of term comparison and equality into pointer checks. *)
 
 type t = {
   attr : string;
   value : string;
+  hash : int;
 }
 
-let make ~attr ~value = { attr; value }
+(* The intern table only ever grows with *distinct* strings that appear in
+   rules; vocabularies and audit attributes draw from small fixed alphabets,
+   so this stays proportional to the vocabulary, not the audit volume. *)
+let intern_table : (string, string) Hashtbl.t = Hashtbl.create 1024
+
+let intern s =
+  match Hashtbl.find_opt intern_table s with
+  | Some canonical -> canonical
+  | None ->
+    Hashtbl.add intern_table s s;
+    s
+
+let combine_hash h1 h2 = (h1 * 0x01000193) lxor h2
+
+let make ~attr ~value =
+  let attr = intern attr in
+  let value = intern value in
+  { attr; value; hash = combine_hash (Hashtbl.hash attr) (Hashtbl.hash value) }
 
 let attr t = t.attr
 
 let value t = t.value
 
-(* Syntactic identity, used to canonicalise ground rules. *)
-let equal_syntactic a b = String.equal a.attr b.attr && String.equal a.value b.value
+let hash t = t.hash
+
+(* Syntactic identity, used to canonicalise ground rules.  Interning makes
+   the [==] checks decisive for terms built through [make]; the [String.equal]
+   fallback keeps the function correct regardless. *)
+let equal_syntactic a b =
+  a == b
+  || (a.hash = b.hash
+     && (a.attr == b.attr || String.equal a.attr b.attr)
+     && (a.value == b.value || String.equal a.value b.value))
 
 let compare a b =
-  let c = String.compare a.attr b.attr in
-  if c <> 0 then c else String.compare a.value b.value
+  if a == b then 0
+  else begin
+    let c = if a.attr == b.attr then 0 else String.compare a.attr b.attr in
+    if c <> 0 then c
+    else if a.value == b.value then 0
+    else String.compare a.value b.value
+  end
 
 (* Definition 2: ground iff the value is atomic w.r.t. the vocabulary. *)
 let is_ground vocab t = Vocabulary.Vocab.is_ground vocab ~attr:t.attr ~value:t.value
@@ -25,7 +62,7 @@ let is_ground vocab t = Vocabulary.Vocab.is_ground vocab ~attr:t.attr ~value:t.v
 (* Definition 3: the set RT' of ground terms derivable from this term. *)
 let ground_set vocab t =
   List.map
-    (fun value -> { t with value })
+    (fun value -> make ~attr:t.attr ~value)
     (Vocabulary.Vocab.ground_set vocab ~attr:t.attr ~value:t.value)
 
 (* Definition 4: terms are equivalent iff their ground sets share a member

@@ -8,10 +8,15 @@ val attr : t -> string
 val value : t -> string
 
 val equal_syntactic : t -> t -> bool
-(** Structural identity (no vocabulary involved). *)
+(** Structural identity (no vocabulary involved).  O(1) on the fast path:
+    strings are interned and the hash is precomputed, so distinct terms are
+    rejected by hash and equal terms accepted by pointer comparison. *)
 
 val compare : t -> t -> int
 (** Total order by attribute then value; canonicalises rules. *)
+
+val hash : t -> int
+(** Precomputed structural hash, O(1). *)
 
 val is_ground : Vocabulary.Vocab.t -> t -> bool
 (** Definition 2: the value is atomic w.r.t. the vocabulary.  Values (or

@@ -1,15 +1,27 @@
 (* Minimal RFC-4180-style CSV reader/writer for loading fixture data and
    exporting experiment results.  Quoted fields may contain commas, quotes
-   ("" escape) and newlines. *)
+   ("" escape) and newlines.
 
-let parse_line_seq (input : string) : string list list =
+   The lexer records whether each field was quoted: an unquoted empty field
+   is the NULL spelling, while a quoted empty field [""] is a genuine empty
+   string on STRING columns — the writer emits [Str ""] as [""] so the two
+   round-trip distinguishably. *)
+
+type field = {
+  text : string;
+  quoted : bool;
+}
+
+let parse_field_seq (input : string) : field list list =
   let n = String.length input in
   let records = ref [] in
   let fields = ref [] in
   let buffer = Buffer.create 32 in
+  let field_quoted = ref false in
   let flush_field () =
-    fields := Buffer.contents buffer :: !fields;
-    Buffer.clear buffer
+    fields := { text = Buffer.contents buffer; quoted = !field_quoted } :: !fields;
+    Buffer.clear buffer;
+    field_quoted := false
   in
   let flush_record () =
     flush_field ();
@@ -18,14 +30,16 @@ let parse_line_seq (input : string) : string list list =
   in
   let rec plain i =
     if i >= n then begin
-      if Buffer.length buffer > 0 || !fields <> [] then flush_record ()
+      if Buffer.length buffer > 0 || !field_quoted || !fields <> [] then flush_record ()
     end
     else
       match input.[i] with
       | ',' -> flush_field (); plain (i + 1)
       | '\r' when i + 1 < n && input.[i + 1] = '\n' -> flush_record (); plain (i + 2)
       | '\n' -> flush_record (); plain (i + 1)
-      | '"' when Buffer.length buffer = 0 -> quoted (i + 1)
+      | '"' when Buffer.length buffer = 0 ->
+        field_quoted := true;
+        quoted (i + 1)
       | c ->
         Buffer.add_char buffer c;
         plain (i + 1)
@@ -44,8 +58,17 @@ let parse_line_seq (input : string) : string list list =
   plain 0;
   List.rev !records
 
-let parse_value ty text =
-  if String.equal text "" then Value.Null
+let parse_line_seq (input : string) : string list list =
+  List.map (List.map (fun f -> f.text)) (parse_field_seq input)
+
+let parse_value ?(quoted = false) ty text =
+  if String.equal text "" then begin
+    (* Only a *quoted* empty field on a STRING column is the empty string;
+       everywhere else emptiness means absence. *)
+    match (ty : Value.ty) with
+    | Value.T_string when quoted -> Value.Str ""
+    | _ -> Value.Null
+  end
   else
     match (ty : Value.ty) with
     | Value.T_int ->
@@ -66,7 +89,7 @@ let parse_value ty text =
 (* [load_into table csv ~has_header] appends parsed rows; column order must
    match the table schema. *)
 let load_into table csv ~has_header =
-  let records = parse_line_seq csv in
+  let records = parse_field_seq csv in
   let records =
     if has_header then (match records with _ :: r -> r | [] -> []) else records
   in
@@ -77,7 +100,9 @@ let load_into table csv ~has_header =
         Errors.fail Errors.Parse "CSV: row arity %d does not match schema arity %d"
           (List.length fields) (Schema.arity schema);
       let row =
-        List.mapi (fun i text -> parse_value (Schema.ty_at schema i) text) fields
+        List.mapi
+          (fun i f -> parse_value ~quoted:f.quoted (Schema.ty_at schema i) f.text)
+          fields
       in
       Table.insert table (Row.of_list row))
     records;
@@ -100,6 +125,7 @@ let escape_field s =
 
 let value_to_field = function
   | Value.Null -> ""
+  | Value.Str "" -> "\"\"" (* distinguishable from NULL's bare empty field *)
   | v -> escape_field (Value.to_string v)
 
 let result_to_csv (schema : Schema.t) rows =

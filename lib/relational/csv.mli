@@ -1,14 +1,27 @@
 (** Minimal RFC-4180-style CSV for fixtures and result export.
 
     Quoted fields may contain commas, quotes ([""] escape) and newlines.
-    Empty fields read as NULL; NULL writes as the empty field. *)
+    An {e unquoted} empty field reads as NULL; a {e quoted} empty field
+    ([""]) reads as the empty string on STRING columns.  The writer emits
+    NULL as the bare empty field and [Str ""] as [""], so the two
+    round-trip distinguishably. *)
 
-val parse_line_seq : string -> string list list
-(** Raw records (no header handling).
+type field = {
+  text : string;
+  quoted : bool;  (** the field was written in double quotes *)
+}
+
+val parse_field_seq : string -> field list list
+(** Raw records with quoting information (no header handling).
     @raise Errors.Sql_error (Parse) on unterminated quotes. *)
 
-val parse_value : Value.ty -> string -> Value.t
-(** One field under a column type; [""] is NULL.
+val parse_line_seq : string -> string list list
+(** {!parse_field_seq} with the quoting information dropped. *)
+
+val parse_value : ?quoted:bool -> Value.ty -> string -> Value.t
+(** One field under a column type; an empty field is NULL unless [quoted]
+    (default [false]) and the column is STRING, in which case it is
+    [Str ""].
     @raise Errors.Sql_error (Parse) on unreadable fields. *)
 
 val load_into : Table.t -> string -> has_header:bool -> int

@@ -74,6 +74,25 @@ type sort_key =
   | By_output of int
   | By_expr of Expr.compiled
 
+(* OFFSET/LIMIT stop walking the row list as soon as they can: LIMIT k on a
+   large result touches only the first offset+k rows. *)
+let rec drop n rows =
+  if n <= 0 then rows
+  else
+    match rows with
+    | [] -> []
+    | _ :: rest -> drop (n - 1) rest
+
+let take n rows =
+  let rec go n acc rows =
+    if n <= 0 then List.rev acc
+    else
+      match rows with
+      | [] -> List.rev acc
+      | row :: rest -> go (n - 1) (row :: acc) rest
+  in
+  if n <= 0 then [] else go n [] rows
+
 
 (* Predicate pushdown for single-table scans: an equality conjunct
    [col = literal] over an indexed column turns the scan into an index
@@ -407,12 +426,12 @@ and exec_select db (q : Sql_ast.select) : result_set =
   let rows = List.map fst produced in
   let rows =
     match q.offset with
-    | Some n when n > 0 -> List.filteri (fun i _ -> i >= n) rows
+    | Some n when n > 0 -> drop n rows
     | Some _ | None -> rows
   in
   let rows =
     match q.limit with
-    | Some n -> List.filteri (fun i _ -> i < n) rows
+    | Some n -> take n rows
     | None -> rows
   in
   let out_schema =
@@ -465,15 +484,19 @@ let compile_table_pred t where =
    Plain UNION deduplicates the combined rows; UNION ALL concatenates. *)
 let exec_compound db (c : Sql_ast.compound) : result_set =
   let first = exec_select db c.Sql_ast.first in
-  let combined, needs_dedup =
+  (* Accumulate branches in reverse and flip once at the end: appending with
+     [@] re-copies the accumulator per branch, going quadratic in both the
+     branch count and the row count. *)
+  let rev_combined, needs_dedup =
     List.fold_left
       (fun (acc, dedup) (all, select) ->
         let branch = exec_select db select in
         if Schema.arity branch.schema <> Schema.arity first.schema then
           Errors.fail Errors.Plan "UNION branches must have the same number of columns";
-        (acc @ branch.rows, dedup || not all))
-      (first.rows, false) c.Sql_ast.rest
+        (List.rev_append branch.rows acc, dedup || not all))
+      (List.rev first.rows, false) c.Sql_ast.rest
   in
+  let combined = List.rev rev_combined in
   let rows =
     if not needs_dedup then combined
     else begin

@@ -3,7 +3,12 @@
 
     Attributes that are not described by the vocabulary — the audit log's
     [user], [time], [op] and [status] fields — are treated as flat domains:
-    every value is its own ground set and equivalence is string equality. *)
+    every value is its own ground set and equivalence is string equality.
+
+    {!ground_set} and {!is_ground} are memoized per [(attr, value)].
+    Vocabulary values are immutable — {!add} returns a fresh vocabulary with
+    empty caches and a fresh {!stamp} — so cached answers can never go
+    stale. *)
 
 type t
 
@@ -11,6 +16,11 @@ exception Unknown_attribute of string
 exception Duplicate_attribute of string
 
 val empty : t
+
+val stamp : t -> int
+(** Process-unique identity of this vocabulary value.  Every construction
+    ({!empty}, {!add}, {!of_taxonomies}) yields a fresh stamp; downstream
+    caches key memoized grounding results by it. *)
 
 val add : t -> Taxonomy.t -> t
 (** @raise Duplicate_attribute when the taxonomy's attribute is present. *)
@@ -35,7 +45,13 @@ val is_ground : t -> attr:string -> value:string -> bool
     outside the vocabulary are ground by convention. *)
 
 val ground_set : t -> attr:string -> value:string -> string list
-(** The set [RT'] of Definition 2 for one attribute value. *)
+(** The set [RT'] of Definition 2 for one attribute value.  Memoized. *)
+
+val is_ground_uncached : t -> attr:string -> value:string -> bool
+val ground_set_uncached : t -> attr:string -> value:string -> string list
+(** Memo-free variants that re-walk the taxonomy per call — the seed's
+    behaviour, kept for the differential-testing oracle
+    ([Prima_core.Range_reference]) and benchmark baselines. *)
 
 val equivalent_values : t -> attr:string -> string -> string -> bool
 (** Definition 4 for one attribute: ground sets intersect. *)
