@@ -1,10 +1,16 @@
-.PHONY: build test bench bench-quick bench-coverage
+.PHONY: build test faults bench bench-quick bench-coverage
 
 build:
 	dune build
 
 test:
 	dune build && dune runtest
+
+# Fault-matrix suite: deterministic fault injection across the 3 fixed
+# seeds baked into test/test_faults.ml (101, 202, 303) — accounting
+# invariant, breaker transitions, and the convergence oracle.
+faults:
+	dune build && dune exec test/test_faults.exe
 
 # All experiments + Bechamel microbenchmarks.
 bench:

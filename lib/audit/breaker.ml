@@ -1,0 +1,83 @@
+(* Per-site circuit breaker: a dead site must not stall consolidation.
+
+     Closed     -- normal; consecutive failures counted
+     Open       -- site skipped until the cooldown elapses
+     Half_open  -- cooldown over; probe attempts allowed, one success short
+                   of [success_threshold] closes, any failure re-opens
+
+   Time is the same simulated millisecond clock the retry layer advances,
+   so breaker trajectories replay deterministically with the fault
+   schedule. *)
+
+type state = Closed | Open | Half_open
+
+type config = {
+  failure_threshold : int; (* consecutive failures that trip Closed -> Open *)
+  cooldown : int; (* ms in Open before probing *)
+  success_threshold : int; (* consecutive probe successes to close again *)
+}
+
+let default_config = { failure_threshold = 3; cooldown = 5_000; success_threshold = 1 }
+
+type t = {
+  config : config;
+  mutable state : state;
+  mutable failures : int; (* consecutive, while Closed *)
+  mutable successes : int; (* consecutive, while Half_open *)
+  mutable opened_at : int; (* clock value of the last trip *)
+}
+
+let create ?(config = default_config) () =
+  { config; state = Closed; failures = 0; successes = 0; opened_at = 0 }
+
+let state t = t.state
+
+let config t = t.config
+
+(* May a request proceed at simulated time [now]?  Open transitions to
+   Half_open here once the cooldown has elapsed. *)
+let allow t ~now =
+  match t.state with
+  | Closed -> true
+  | Half_open -> true
+  | Open ->
+    if now - t.opened_at >= t.config.cooldown then begin
+      t.state <- Half_open;
+      t.successes <- 0;
+      true
+    end
+    else false
+
+let trip t ~now =
+  t.state <- Open;
+  t.opened_at <- now;
+  t.failures <- 0;
+  t.successes <- 0
+
+let record_success t =
+  match t.state with
+  | Closed -> t.failures <- 0
+  | Open -> () (* success without permission: ignore *)
+  | Half_open ->
+    t.successes <- t.successes + 1;
+    if t.successes >= t.config.success_threshold then begin
+      t.state <- Closed;
+      t.failures <- 0;
+      t.successes <- 0
+    end
+
+let record_failure t ~now =
+  match t.state with
+  | Closed ->
+    t.failures <- t.failures + 1;
+    if t.failures >= t.config.failure_threshold then trip t ~now
+  | Half_open -> trip t ~now
+  | Open -> ()
+
+let pp_state ppf = function
+  | Closed -> Fmt.string ppf "closed"
+  | Open -> Fmt.string ppf "open"
+  | Half_open -> Fmt.string ppf "half-open"
+
+let pp ppf t =
+  Fmt.pf ppf "%a (failures %d, successes %d)" pp_state t.state t.failures t.successes

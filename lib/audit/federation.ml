@@ -1,25 +1,89 @@
 (* The PRIMA Audit Management component: a consolidated virtual view over
    every site's audit trail (the role DB2 Information Integrator plays in
    the paper's first instantiation).  Entries are merged by timestamp with
-   a k-way merge; per-site logs are append-ordered so each is already
-   sorted, and out-of-order sites are sorted defensively. *)
+   a k-way min-heap merge; per-site logs are append-ordered so each is
+   already sorted, and out-of-order sites are sorted defensively.
 
-type t = {
-  mutable sites : Site.t list;
+   Two consolidation paths coexist:
+
+   - [consolidated] is the trusted direct view — it reads every site's
+     store in-process and cannot fail; it is also the fault-free baseline
+     the fault-matrix suite compares against;
+   - [consolidated_result] is the production path: each site is fetched
+     through its fault wrapper (if any) under retry/backoff, gated by a
+     per-site circuit breaker, with corrupted records quarantined — and the
+     result carries a health report accounting for 100% of input records
+     (delivered + quarantined + stranded at skipped sites) plus the
+     completeness fraction downstream coverage must surface. *)
+
+type member = {
+  msite : Site.t;
+  mutable fault : Fault.t option; (* None = perfectly reliable transport *)
+  breaker : Breaker.t;
 }
 
-let create () = { sites = [] }
+type t = {
+  mutable members : member list;
+  clock : int ref; (* simulated ms; advanced by retries and fetch latency *)
+  mutable retry : Retry.policy;
+  prng : Splitmix.t; (* jitter stream for retry backoff *)
+  transit : Quarantine.t; (* records corrupted in transit, latest fetch *)
+}
 
-let of_sites sites = { sites }
+let create ?(retry = Retry.default) ?(seed = 0) () =
+  { members = [];
+    clock = ref 0;
+    retry;
+    prng = Splitmix.create ~seed;
+    transit = Quarantine.create ();
+  }
 
-let add_site t site = t.sites <- t.sites @ [ site ]
+let member ?fault ?breaker site =
+  { msite = site; fault; breaker = Breaker.create ?config:breaker () }
 
-let sites t = t.sites
+let add_member t m = t.members <- t.members @ [ m ]
 
-let site t name = List.find_opt (fun s -> String.equal (Site.name s) name) t.sites
+let add_site t site = add_member t (member site)
+
+let add_faulty_site ?breaker t fault = add_member t (member ~fault ?breaker (Fault.site fault))
+
+let of_sites sites =
+  let t = create () in
+  List.iter (add_site t) sites;
+  t
+
+let sites t = List.map (fun m -> m.msite) t.members
+
+let site t name =
+  List.find_opt (fun s -> String.equal (Site.name s) name) (sites t)
+
+let find_member t name =
+  List.find_opt (fun m -> String.equal (Site.name m.msite) name) t.members
+
+let fault t name = Option.bind (find_member t name) (fun m -> m.fault)
+
+let breaker t name = Option.map (fun m -> m.breaker) (find_member t name)
+
+let set_fault t name fault =
+  match find_member t name with
+  | Some m -> m.fault <- fault
+  | None -> invalid_arg (Printf.sprintf "Federation.set_fault: unknown site %s" name)
+
+let heal_all t =
+  List.iter (fun m -> Option.iter Fault.heal m.fault) t.members
+
+let clock t = !(t.clock)
+
+let advance_clock t ms = t.clock := !(t.clock) + ms
+
+let retry_policy t = t.retry
+
+let set_retry_policy t policy = t.retry <- policy
+
+let transit_quarantine t = t.transit
 
 let total_entries t =
-  List.fold_left (fun acc site -> acc + Site.length site) 0 t.sites
+  List.fold_left (fun acc site -> acc + Site.length site) 0 (sites t)
 
 let is_sorted entries =
   let rec go = function
@@ -29,49 +93,191 @@ let is_sorted entries =
   in
   go entries
 
-let sorted_entries site =
-  let entries = Site.entries site in
+let sort_defensively entries =
   if is_sorted entries then entries
   else
     List.stable_sort
       (fun a b -> Int.compare a.Hdb.Audit_schema.time b.Hdb.Audit_schema.time)
       entries
 
-(* K-way merge of the per-site streams; ties resolve in site order, keeping
-   the merge stable and deterministic. *)
-let consolidated t : Hdb.Audit_schema.entry list =
-  let streams = List.map sorted_entries t.sites in
-  let rec merge streams acc =
-    let heads =
-      List.filter_map (function [] -> None | e :: rest -> Some (e, rest)) streams
-    in
-    match heads with
-    | [] -> List.rev acc
-    | _ ->
-      let best, _ =
-        List.fold_left
-          (fun (best, best_time) (e, _) ->
-            let time = e.Hdb.Audit_schema.time in
-            if time < best_time then (Some e, time) else (best, best_time))
-          (None, max_int) heads
-      in
-      let best = Option.get best in
-      (* Remove exactly one occurrence of [best], from the first stream
-         whose head it is. *)
-      let consumed = ref false in
-      let streams' =
-        List.map
-          (fun stream ->
-            match stream with
-            | e :: rest when (not !consumed) && e == best ->
-              consumed := true;
-              rest
-            | _ -> stream)
-          streams
-      in
-      merge streams' (best :: acc)
+let sorted_entries site = sort_defensively (Site.entries site)
+
+(* K-way merge on a binary min-heap keyed by (time, site index): ties
+   resolve in site order, and within a site the next head is only pushed
+   after its predecessor pops, so the merge is stable and deterministic.
+   O(N log k) against the former per-element scan over all heads. *)
+module Heap = struct
+  type node = {
+    time : int;
+    site : int;
+    entry : Hdb.Audit_schema.entry;
+    rest : Hdb.Audit_schema.entry list;
+  }
+
+  type h = {
+    mutable nodes : node array;
+    mutable size : int;
+  }
+
+  let lt a b = a.time < b.time || (a.time = b.time && a.site < b.site)
+
+  let create capacity node = { nodes = Array.make (max 1 capacity) node; size = 0 }
+
+  let swap h i j =
+    let tmp = h.nodes.(i) in
+    h.nodes.(i) <- h.nodes.(j);
+    h.nodes.(j) <- tmp
+
+  let rec sift_up h i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if lt h.nodes.(i) h.nodes.(parent) then begin
+        swap h i parent;
+        sift_up h parent
+      end
+    end
+
+  let rec sift_down h i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < h.size && lt h.nodes.(l) h.nodes.(!smallest) then smallest := l;
+    if r < h.size && lt h.nodes.(r) h.nodes.(!smallest) then smallest := r;
+    if !smallest <> i then begin
+      swap h i !smallest;
+      sift_down h !smallest
+    end
+
+  let push h node =
+    if h.size >= Array.length h.nodes then begin
+      let nodes = Array.make (2 * Array.length h.nodes) node in
+      Array.blit h.nodes 0 nodes 0 h.size;
+      h.nodes <- nodes
+    end;
+    h.nodes.(h.size) <- node;
+    h.size <- h.size + 1;
+    sift_up h (h.size - 1)
+
+  let pop h =
+    let top = h.nodes.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.nodes.(0) <- h.nodes.(h.size);
+      sift_down h 0
+    end;
+    top
+end
+
+(* Merge per-site streams (already sorted) into one time-ordered list. *)
+let merge_streams (streams : Hdb.Audit_schema.entry list list) :
+    Hdb.Audit_schema.entry list =
+  let heads =
+    List.filter_map
+      (fun (i, stream) ->
+        match stream with
+        | [] -> None
+        | e :: rest ->
+          Some { Heap.time = e.Hdb.Audit_schema.time; site = i; entry = e; rest })
+      (List.mapi (fun i stream -> (i, stream)) streams)
   in
-  merge streams []
+  match heads with
+  | [] -> []
+  | first :: _ ->
+    let heap = Heap.create (List.length heads) first in
+    List.iter (Heap.push heap) heads;
+    let acc = ref [] in
+    while heap.Heap.size > 0 do
+      let node = Heap.pop heap in
+      acc := node.Heap.entry :: !acc;
+      match node.Heap.rest with
+      | [] -> ()
+      | e :: rest ->
+        Heap.push heap
+          { Heap.time = e.Hdb.Audit_schema.time; site = node.Heap.site; entry = e; rest }
+    done;
+    List.rev !acc
+
+(* The trusted direct view: reads every store in-process, never fails.
+   Also the fault-free baseline for the fault-matrix suite. *)
+let consolidated t : Hdb.Audit_schema.entry list =
+  merge_streams (List.map sorted_entries (sites t))
+
+(* One site through its fault wrapper under retry; [None] fault is a
+   perfect in-process transport. *)
+let fetch_member t m : (Fault.fetched * int, string) result =
+  match m.fault with
+  | None ->
+    Ok ({ Fault.delivered = Site.entries m.msite; corrupted = [] }, 0)
+  | Some f ->
+    let result, stats =
+      Retry.run ~policy:t.retry ~prng:t.prng ~clock:t.clock (fun ~attempt:_ ->
+          Fault.fetch f ~clock:t.clock)
+    in
+    (match result with
+    | Ok fetched -> Ok (fetched, stats.Retry.attempts - 1)
+    | Error failure -> Error (Fault.failure_to_string failure))
+
+type result_t = {
+  entries : Hdb.Audit_schema.entry list;
+  health : Health.t;
+}
+
+(* The production path: breaker-gated, retried fetches; corrupted records
+   quarantined; a health report accounting for every input record. *)
+let consolidated_result t : result_t =
+  let streams_rev, healths_rev =
+    List.fold_left
+      (fun (streams, healths) m ->
+        let name = Site.name m.msite in
+        let store_len = Site.length m.msite in
+        let ingest_q = Site.quarantined_count m.msite in
+        if not (Breaker.allow m.breaker ~now:!(t.clock)) then
+          let h =
+            { Health.site = name;
+              status = Health.Skipped Health.Breaker_open;
+              entries = 0;
+              quarantined = ingest_q;
+              skipped_entries = store_len;
+              breaker = Breaker.state m.breaker;
+            }
+          in
+          (streams, h :: healths)
+        else
+          match fetch_member t m with
+          | Ok (fetched, retries) ->
+            Breaker.record_success m.breaker;
+            (* Latest fetch supersedes the site's transit quarantine. *)
+            ignore (Quarantine.take_site t.transit ~site:name);
+            List.iter
+              (fun (seq, raw, reason) -> Quarantine.add t.transit ~site:name ~seq ~raw ~reason)
+              fetched.Fault.corrupted;
+            let corrupted = List.length fetched.Fault.corrupted in
+            let h =
+              { Health.site = name;
+                status = Health.Delivered { retries };
+                entries = store_len - corrupted;
+                quarantined = ingest_q + corrupted;
+                skipped_entries = 0;
+                breaker = Breaker.state m.breaker;
+              }
+            in
+            (sort_defensively fetched.Fault.delivered :: streams, h :: healths)
+          | Error why ->
+            Breaker.record_failure m.breaker ~now:!(t.clock);
+            let h =
+              { Health.site = name;
+                status = Health.Skipped (Health.Fetch_failed why);
+                entries = 0;
+                quarantined = ingest_q;
+                skipped_entries = store_len;
+                breaker = Breaker.state m.breaker;
+              }
+            in
+            (streams, h :: healths))
+      ([], []) t.members
+  in
+  { entries = merge_streams (List.rev streams_rev);
+    health = Health.of_sites (List.rev healths_rev);
+  }
 
 (* The consolidated view as P_AL. *)
 let to_policy t : Prima_core.Policy.t = To_policy.policy_of_entries (consolidated t)
@@ -83,5 +289,15 @@ let window t ~time_from ~time_to =
     (consolidated t)
 
 let pp ppf t =
-  Fmt.pf ppf "federation of %d sites, %d entries@." (List.length t.sites) (total_entries t);
-  List.iter (fun s -> Fmt.pf ppf "  %s: %d entries@." (Site.name s) (Site.length s)) t.sites
+  Fmt.pf ppf "federation of %d sites, %d entries@." (List.length t.members)
+    (total_entries t);
+  List.iter
+    (fun m ->
+      Fmt.pf ppf "  %s: %d entries%s, breaker %a@." (Site.name m.msite)
+        (Site.length m.msite)
+        (match m.fault with
+        | Some f when Fault.is_down f -> " (down)"
+        | Some _ -> " (fault-injected)"
+        | None -> "")
+        Breaker.pp_state (Breaker.state m.breaker))
+    t.members

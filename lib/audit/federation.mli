@@ -1,20 +1,70 @@
 (** The PRIMA Audit Management component: a consolidated virtual view over
     every site's audit trail — the role DB2 Information Integrator plays in
-    the paper's first instantiation. *)
+    the paper's first instantiation.
+
+    Two consolidation paths coexist: {!consolidated} is the trusted direct
+    view (in-process reads, cannot fail — also the fault-free baseline for
+    the fault-matrix suite), while {!consolidated_result} is the production
+    path — breaker-gated, retried fetches through each site's fault wrapper,
+    corrupted records quarantined, and a {!Health.t} report accounting for
+    100% of input records. *)
 
 type t
 
-val create : unit -> t
+val create : ?retry:Retry.policy -> ?seed:int -> unit -> t
+(** [seed] feeds the retry-jitter PRNG; fault schedules have their own
+    per-site seeds (see {!Fault.wrap}). *)
+
 val of_sites : Site.t list -> t
+
 val add_site : t -> Site.t -> unit
+(** A member with perfect in-process transport. *)
+
+val add_faulty_site : ?breaker:Breaker.config -> t -> Fault.t -> unit
+(** A member reached through a fault-injection wrapper, gated by its own
+    circuit breaker. *)
+
 val sites : t -> Site.t list
 val site : t -> string -> Site.t option
+val fault : t -> string -> Fault.t option
+val breaker : t -> string -> Breaker.t option
+
+val set_fault : t -> string -> Fault.t option -> unit
+(** Replace (or clear) a member's fault wrapper.
+    @raise Invalid_argument on an unknown site. *)
+
+val heal_all : t -> unit
+(** {!Fault.heal} every member — the recovery step of the convergence
+    oracle. *)
+
+val clock : t -> int
+(** The simulated millisecond clock retries and breaker cooldowns run on. *)
+
+val advance_clock : t -> int -> unit
+val retry_policy : t -> Retry.policy
+val set_retry_policy : t -> Retry.policy -> unit
+
+val transit_quarantine : t -> Quarantine.t
+(** Records corrupted in transit during the latest fetch of each site; a
+    later clean fetch of the site clears its items. *)
+
 val total_entries : t -> int
 
 val consolidated : t -> Hdb.Audit_schema.entry list
-(** K-way merge of the per-site streams by timestamp; ties resolve in site
-    order (stable and deterministic).  Out-of-order site logs are sorted
-    defensively. *)
+(** K-way min-heap merge of the per-site streams by timestamp; ties resolve
+    in site order (stable and deterministic).  Out-of-order site logs are
+    sorted defensively.  Direct in-process reads: never fails. *)
+
+type result_t = {
+  entries : Hdb.Audit_schema.entry list;
+  health : Health.t;
+}
+
+val consolidated_result : t -> result_t
+(** The production path: each site fetched through its fault wrapper (if
+    any) under retry/backoff, gated by its circuit breaker; corrupted
+    records quarantined.  Never raises — failures degrade the health report
+    instead: delivered + quarantined + stranded = 100% of known input. *)
 
 val to_policy : t -> Prima_core.Policy.t
 (** The consolidated view as P_AL. *)

@@ -1,0 +1,73 @@
+(* The health report a fault-aware consolidation returns alongside its
+   merged entries.  Accounting invariant: every input record known to the
+   federation is exactly one of delivered, quarantined, or at a skipped
+   site — delivered + quarantined + skipped_entries = total — and the
+   completeness fraction is delivered / total.  Downstream, coverage over a
+   partial trail is labelled a lower bound carrying this fraction. *)
+
+type skip_reason =
+  | Breaker_open
+  | Fetch_failed of string (* retries exhausted; the last failure *)
+
+type site_status =
+  | Delivered of { retries : int } (* fetched, possibly after retries *)
+  | Skipped of skip_reason
+
+type site_health = {
+  site : string;
+  status : site_status;
+  entries : int; (* entries this site contributed to the merge *)
+  quarantined : int; (* ingest-quarantined + corrupted-in-transit *)
+  skipped_entries : int; (* entries stranded when the site was skipped *)
+  breaker : Breaker.state;
+}
+
+type t = {
+  sites : site_health list;
+  delivered : int;
+  quarantined : int;
+  skipped_entries : int;
+  total : int;
+  completeness : float; (* delivered / total; 1.0 on an empty federation *)
+}
+
+let site_ok s = match s.status with Delivered _ -> true | Skipped _ -> false
+
+let of_sites (sites : site_health list) =
+  let sum f = List.fold_left (fun acc (s : site_health) -> acc + f s) 0 sites in
+  let delivered = sum (fun s -> s.entries) in
+  let quarantined = sum (fun s -> s.quarantined) in
+  let skipped_entries = sum (fun s -> s.skipped_entries) in
+  let total = delivered + quarantined + skipped_entries in
+  { sites;
+    delivered;
+    quarantined;
+    skipped_entries;
+    total;
+    completeness = (if total = 0 then 1.0 else float_of_int delivered /. float_of_int total);
+  }
+
+let complete t = t.completeness >= 1.0
+
+let skipped_sites t = List.filter (fun s -> not (site_ok s)) t.sites
+
+let skip_reason_to_string = function
+  | Breaker_open -> "breaker open"
+  | Fetch_failed why -> Printf.sprintf "fetch failed (%s)" why
+
+let pp_status ppf = function
+  | Delivered { retries = 0 } -> Fmt.string ppf "ok"
+  | Delivered { retries } -> Fmt.pf ppf "ok after %d retr%s" retries (if retries = 1 then "y" else "ies")
+  | Skipped reason -> Fmt.string ppf (skip_reason_to_string reason)
+
+let pp_site ppf s =
+  Fmt.pf ppf "%-16s %-24s entries=%d quarantined=%d stranded=%d breaker=%a" s.site
+    (Fmt.str "%a" pp_status s.status)
+    s.entries s.quarantined s.skipped_entries Breaker.pp_state s.breaker
+
+let pp ppf t =
+  Fmt.pf ppf "federation health: %d/%d records delivered (completeness %.1f%%)@."
+    t.delivered t.total (100. *. t.completeness);
+  Fmt.pf ppf "  delivered=%d quarantined=%d stranded-at-skipped-sites=%d@." t.delivered
+    t.quarantined t.skipped_entries;
+  List.iter (fun s -> Fmt.pf ppf "  %a@." pp_site s) t.sites

@@ -1,0 +1,43 @@
+(** The health report a fault-aware consolidation returns alongside its
+    merged entries.
+
+    Accounting invariant: every input record known to the federation is
+    exactly one of delivered, quarantined, or stranded at a skipped site —
+    [delivered + quarantined + skipped_entries = total] — and
+    [completeness = delivered / total].  Coverage computed over a partial
+    trail must be labelled a lower bound carrying this fraction. *)
+
+type skip_reason =
+  | Breaker_open
+  | Fetch_failed of string  (** retries exhausted; the last failure *)
+
+type site_status =
+  | Delivered of { retries : int }
+  | Skipped of skip_reason
+
+type site_health = {
+  site : string;
+  status : site_status;
+  entries : int;
+  quarantined : int;
+  skipped_entries : int;
+  breaker : Breaker.state;
+}
+
+type t = {
+  sites : site_health list;
+  delivered : int;
+  quarantined : int;
+  skipped_entries : int;
+  total : int;
+  completeness : float;
+}
+
+val of_sites : site_health list -> t
+val complete : t -> bool
+val site_ok : site_health -> bool
+val skipped_sites : t -> site_health list
+val skip_reason_to_string : skip_reason -> string
+val pp_status : Format.formatter -> site_status -> unit
+val pp_site : Format.formatter -> site_health -> unit
+val pp : Format.formatter -> t -> unit

@@ -13,10 +13,17 @@ type t = {
 
 let identity = { column_aliases = []; value_synonyms = [] }
 
+(* Synonym keys are normalised the same way [apply] normalises raw input —
+   lowercased — so ("RN" -> "nurse") matches the raw value "RN" even though
+   raw values are lowercased before lookup. *)
 let create ?(column_aliases = []) ?(value_synonyms = []) () =
   { column_aliases =
       List.map (fun (f, s) -> (String.lowercase_ascii f, s)) column_aliases;
-    value_synonyms;
+    value_synonyms =
+      List.map
+        (fun ((attr, foreign), standard) ->
+          ((String.lowercase_ascii attr, String.lowercase_ascii foreign), standard))
+        value_synonyms;
   }
 
 let standard_attr t foreign =
@@ -26,7 +33,7 @@ let standard_attr t foreign =
   | None -> foreign
 
 let standard_value t ~attr value =
-  match List.assoc_opt (attr, value) t.value_synonyms with
+  match List.assoc_opt (String.lowercase_ascii attr, value) t.value_synonyms with
   | Some standard -> standard
   | None -> value
 

@@ -18,7 +18,9 @@ val create :
   t
 (** [column_aliases]: foreign column name -> standard attribute.
     [value_synonyms]: ((standard attribute, foreign value) -> standard
-    value); foreign values are matched after lowercasing. *)
+    value); matching is case-insensitive — both the registered foreign value
+    and the raw value are lowercased before comparison, so a synonym
+    registered as [("RN" -> "nurse")] matches the raw value ["RN"]. *)
 
 val standard_attr : t -> string -> string
 val standard_value : t -> attr:string -> string -> string

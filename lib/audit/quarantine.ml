@@ -1,0 +1,70 @@
+(* Holding area for audit records the federation could not take in: raw
+   records a site's mapping rejected (Mapping.Unmappable) and records that
+   arrived corrupted from a remote fetch.  Each item keeps the offending raw
+   record, its site-local sequence number and a reason, so the record can be
+   reprocessed — after a mapping fix, or a clean re-fetch — without losing
+   the audit trail's accounting: every input record is either ingested,
+   quarantined, or at a skipped site. *)
+
+type item = {
+  site : string;
+  seq : int; (* site-local sequence number; the exactly-once key *)
+  raw : (string * string) list;
+  reason : string;
+}
+
+type t = {
+  (* (site, seq) -> item; insertion order retained for reporting *)
+  index : (string * int, item) Hashtbl.t;
+  mutable order : (string * int) list; (* newest first *)
+}
+
+let create () = { index = Hashtbl.create 16; order = [] }
+
+let length t = Hashtbl.length t.index
+
+let mem t ~site ~seq = Hashtbl.mem t.index (site, seq)
+
+(* Idempotent: re-adding a (site, seq) already held replaces the reason but
+   does not duplicate the item. *)
+let add t ~site ~seq ~raw ~reason =
+  let key = (site, seq) in
+  if not (Hashtbl.mem t.index key) then t.order <- key :: t.order;
+  Hashtbl.replace t.index key { site; seq; raw; reason }
+
+let remove t ~site ~seq =
+  let key = (site, seq) in
+  if Hashtbl.mem t.index key then begin
+    Hashtbl.remove t.index key;
+    t.order <- List.filter (fun k -> k <> key) t.order
+  end
+
+let items t =
+  List.rev_map (fun key -> Hashtbl.find t.index key) t.order
+
+let site_items t ~site =
+  List.filter (fun item -> String.equal item.site site) (items t)
+
+let site_count t ~site = List.length (site_items t ~site)
+
+(* Remove and return every item of [site] — the reprocessing entry point:
+   the caller re-applies the (possibly fixed) mapping and re-adds whatever
+   still fails. *)
+let take_site t ~site =
+  let taken = site_items t ~site in
+  List.iter (fun item -> remove t ~site ~seq:item.seq) taken;
+  taken
+
+let clear t =
+  Hashtbl.reset t.index;
+  t.order <- []
+
+let pp_item ppf item =
+  Fmt.pf ppf "%s#%d: %s" item.site item.seq item.reason
+
+let pp ppf t =
+  match items t with
+  | [] -> Fmt.pf ppf "quarantine empty@."
+  | items ->
+    Fmt.pf ppf "quarantine (%d):@." (List.length items);
+    List.iter (fun item -> Fmt.pf ppf "  %a@." pp_item item) items

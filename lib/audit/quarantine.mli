@@ -1,0 +1,40 @@
+(** Holding area for audit records the federation could not take in.
+
+    Raw records a site's mapping rejected, or records that arrived corrupted
+    from a remote fetch, are parked here — with the offending raw record,
+    the site-local sequence number (the exactly-once key) and a reason — so
+    they can be reprocessed after a mapping fix or a clean re-fetch.  With
+    quarantine in the accounting, every input record is either ingested,
+    quarantined, or at a skipped site: nothing is silently dropped. *)
+
+type item = {
+  site : string;
+  seq : int;
+  raw : (string * string) list;
+  reason : string;
+}
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val mem : t -> site:string -> seq:int -> bool
+
+val add :
+  t -> site:string -> seq:int -> raw:(string * string) list -> reason:string -> unit
+(** Idempotent on [(site, seq)]: re-adding replaces the reason without
+    duplicating the item. *)
+
+val remove : t -> site:string -> seq:int -> unit
+val items : t -> item list
+val site_items : t -> site:string -> item list
+val site_count : t -> site:string -> int
+
+val take_site : t -> site:string -> item list
+(** Remove and return every item of [site] — the reprocessing entry point;
+    the caller re-applies the (possibly fixed) mapping and re-adds whatever
+    still fails. *)
+
+val clear : t -> unit
+val pp_item : Format.formatter -> item -> unit
+val pp : Format.formatter -> t -> unit

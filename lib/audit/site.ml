@@ -1,22 +1,60 @@
 (* One audited system in the clinical environment: a named audit store plus
    the mapping that normalises its raw records.  A modern HDB-instrumented
    site ingests standard entries directly; a legacy site ingests raw
-   records through its mapping. *)
+   records through its mapping.
+
+   Raw ingestion is atomic per record: a malformed record is routed to the
+   site's quarantine (with its raw form and the mapping failure) instead of
+   aborting the batch mid-way, and every raw record carries a site-local
+   sequence number so re-submitted batches are idempotent — a record is
+   ingested exactly once no matter how many times its batch is retried. *)
 
 type t = {
   name : string;
   store : Hdb.Audit_store.t;
-  mapping : Mapping.t;
+  mutable mapping : Mapping.t;
+  quarantine : Quarantine.t;
+  (* seqs successfully ingested; the exactly-once ledger *)
+  processed : (int, unit) Hashtbl.t;
+  mutable next_seq : int;
 }
 
 let create ?(mapping = Mapping.identity) ~name () =
-  { name; store = Hdb.Audit_store.create (); mapping }
+  { name;
+    store = Hdb.Audit_store.create ();
+    mapping;
+    quarantine = Quarantine.create ();
+    processed = Hashtbl.create 64;
+    next_seq = 0;
+  }
+
+(* Attach an existing store (e.g. an enforcement logger's). *)
+let of_store ?(mapping = Mapping.identity) ~name store =
+  { name;
+    store;
+    mapping;
+    quarantine = Quarantine.create ();
+    processed = Hashtbl.create 64;
+    next_seq = 0;
+  }
 
 let name t = t.name
 
 let store t = t.store
 
+let mapping t = t.mapping
+
+(* e.g. after a privacy officer fixes a synonym; quarantined records can
+   then be pushed back through [reprocess_quarantined]. *)
+let set_mapping t mapping = t.mapping <- mapping
+
+let quarantine t = t.quarantine
+
+let quarantined_count t = Quarantine.site_count t.quarantine ~site:t.name
+
 let length t = Hdb.Audit_store.length t.store
+
+let next_seq t = t.next_seq
 
 let ingest_entry t entry = Hdb.Audit_store.append t.store entry
 
@@ -25,9 +63,58 @@ let ingest_entries t entries = List.iter (ingest_entry t) entries
 (* @raise Mapping.Unmappable on malformed raw records. *)
 let ingest_raw t raw = ingest_entry t (Mapping.apply t.mapping raw)
 
-let ingest_raw_all t raws = List.iter (ingest_raw t) raws
+type ingest_summary = {
+  ingested : int;
+  quarantined : int;
+  duplicates : int; (* seqs already ingested or already quarantined *)
+}
+
+let empty_summary = { ingested = 0; quarantined = 0; duplicates = 0 }
+
+let summary_total s = s.ingested + s.quarantined + s.duplicates
+
+(* One raw record at a known sequence number.  Atomic: either the record is
+   ingested, or it lands in quarantine with the mapping failure — the store
+   is never left half-updated, and a seq seen before is a no-op. *)
+let ingest_raw_seq t ~seq raw summary =
+  if Hashtbl.mem t.processed seq || Quarantine.mem t.quarantine ~site:t.name ~seq then
+    { summary with duplicates = summary.duplicates + 1 }
+  else
+    match Mapping.apply t.mapping raw with
+    | entry ->
+      ingest_entry t entry;
+      Hashtbl.replace t.processed seq ();
+      { summary with ingested = summary.ingested + 1 }
+    | exception Mapping.Unmappable reason ->
+      Quarantine.add t.quarantine ~site:t.name ~seq ~raw ~reason;
+      { summary with quarantined = summary.quarantined + 1 }
+
+(* A batch whose records occupy seqs [first_seq, first_seq + length).  A
+   retried batch re-sends the same [first_seq]; its already-processed
+   records count as duplicates and are skipped. *)
+let ingest_raw_batch ?first_seq t raws =
+  let first = Option.value first_seq ~default:t.next_seq in
+  t.next_seq <- max t.next_seq (first + List.length raws);
+  let summary, _ =
+    List.fold_left
+      (fun (summary, seq) raw -> (ingest_raw_seq t ~seq raw summary, seq + 1))
+      (empty_summary, first) raws
+  in
+  summary
+
+(* Fresh records at the next sequence numbers; never raises — failures are
+   quarantined per record. *)
+let ingest_raw_all t raws = ingest_raw_batch t raws
+
+(* Push the site's quarantined records back through the (possibly fixed)
+   mapping; records that still fail return to quarantine.  Original seqs are
+   kept, so reprocessing composes with batch retries without double
+   ingestion. *)
+let reprocess_quarantined t =
+  let stuck = Quarantine.take_site t.quarantine ~site:t.name in
+  List.fold_left
+    (fun summary (item : Quarantine.item) ->
+      ingest_raw_seq t ~seq:item.Quarantine.seq item.Quarantine.raw summary)
+    empty_summary stuck
 
 let entries t = Hdb.Audit_store.to_list t.store
-
-(* Attach an existing store (e.g. an enforcement logger's). *)
-let of_store ?(mapping = Mapping.identity) ~name store = { name; store; mapping }

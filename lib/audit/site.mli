@@ -1,10 +1,15 @@
 (** One audited system in the clinical environment: a named audit store
-    plus the mapping that normalises its raw records. *)
+    plus the mapping that normalises its raw records.
+
+    Raw ingestion is atomic per record: malformed records are routed to the
+    site's quarantine instead of aborting the batch, and every raw record
+    carries a site-local sequence number so retried batches are idempotent
+    (exactly-once ingestion). *)
 
 type t
 
 val create : ?mapping:Mapping.t -> name:string -> unit -> t
-(** A fresh site with its own store; [mapping] defaults to
+(** A fresh site with its own store and quarantine; [mapping] defaults to
     {!Mapping.identity}. *)
 
 val of_store : ?mapping:Mapping.t -> name:string -> Hdb.Audit_store.t -> t
@@ -12,13 +17,50 @@ val of_store : ?mapping:Mapping.t -> name:string -> Hdb.Audit_store.t -> t
 
 val name : t -> string
 val store : t -> Hdb.Audit_store.t
+val mapping : t -> Mapping.t
+
+val set_mapping : t -> Mapping.t -> unit
+(** Replace the mapping — e.g. after a synonym fix; quarantined records can
+    then be pushed back through {!reprocess_quarantined}. *)
+
+val quarantine : t -> Quarantine.t
+val quarantined_count : t -> int
 val length : t -> int
+
+val next_seq : t -> int
+(** The sequence number the next fresh raw record will receive. *)
+
 val ingest_entry : t -> Hdb.Audit_schema.entry -> unit
 val ingest_entries : t -> Hdb.Audit_schema.entry list -> unit
 
 val ingest_raw : t -> (string * string) list -> unit
-(** Legacy path: a raw record through the site's mapping.
+(** Legacy single-record path: a raw record through the site's mapping,
+    bypassing sequence accounting.
     @raise Mapping.Unmappable on malformed records. *)
 
-val ingest_raw_all : t -> (string * string) list list -> unit
+type ingest_summary = {
+  ingested : int;
+  quarantined : int;
+  duplicates : int;
+}
+
+val summary_total : ingest_summary -> int
+
+val ingest_raw_batch :
+  ?first_seq:int -> t -> (string * string) list list -> ingest_summary
+(** A batch whose records occupy seqs [first_seq, first_seq + length);
+    defaults to the next fresh seqs.  A retried batch re-sends the same
+    [first_seq]: already-ingested (or already-quarantined) records count as
+    duplicates and are skipped, giving exactly-once ingestion across
+    retries.  Never raises — malformed records are quarantined per record,
+    leaving the rest of the batch ingested. *)
+
+val ingest_raw_all : t -> (string * string) list list -> ingest_summary
+(** [ingest_raw_batch] at the next fresh sequence numbers. *)
+
+val reprocess_quarantined : t -> ingest_summary
+(** Push quarantined records back through the (possibly fixed) mapping;
+    records that still fail return to quarantine.  Original seqs are kept,
+    so reprocessing never double-ingests. *)
+
 val entries : t -> Hdb.Audit_schema.entry list

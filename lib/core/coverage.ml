@@ -85,3 +85,36 @@ let complete vocab ~p_x ~p_y =
 
 let pp_stats ppf s =
   Fmt.pf ppf "coverage = %d/%d = %.0f%%" s.overlap s.denominator (100. *. s.coverage)
+
+(* Degraded-mode qualifier.  A measurement over a complete P_AL is [Exact];
+   one computed from a partial trail (sites skipped, records quarantined)
+   is only a statement about the entries that arrived, so it is labelled
+   [Lower_bound] with the completeness fraction of the window it was
+   computed from.  A lower bound must never drive pruning decisions: a
+   pattern can look "already covered" only because its counter-evidence is
+   missing. *)
+type qualifier =
+  | Exact
+  | Lower_bound of float (* completeness of the audit window, in [0, 1) *)
+
+type qualified = {
+  stats : stats;
+  qualifier : qualifier;
+}
+
+let qualify ~completeness stats =
+  if completeness >= 1.0 then { stats; qualifier = Exact }
+  else { stats; qualifier = Lower_bound completeness }
+
+let is_exact = function { qualifier = Exact; _ } -> true | _ -> false
+
+let pp_qualifier ppf = function
+  | Exact -> Fmt.string ppf "exact"
+  | Lower_bound c -> Fmt.pf ppf "lower bound (completeness %.1f%%)" (100. *. c)
+
+let pp_qualified ppf q =
+  match q.qualifier with
+  | Exact -> pp_stats ppf q.stats
+  | Lower_bound c ->
+    Fmt.pf ppf "coverage >= %d/%d = %.0f%% (partial trail, completeness %.1f%%)"
+      q.stats.overlap q.stats.denominator (100. *. q.stats.coverage) (100. *. c)

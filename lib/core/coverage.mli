@@ -47,3 +47,29 @@ val complete : Vocabulary.Vocab.t -> p_x:Policy.t -> p_y:Policy.t -> bool
 
 val pp_stats : Format.formatter -> stats -> unit
 (** e.g. ["coverage = 3/10 = 30%"]. *)
+
+type qualifier =
+  | Exact
+  | Lower_bound of float
+      (** the completeness fraction of the audit window, in [0, 1) *)
+
+type qualified = {
+  stats : stats;
+  qualifier : qualifier;
+}
+(** A coverage measurement together with how much of the audit trail it was
+    computed from.  A measurement over a partial P_AL (sites skipped,
+    records quarantined) is only a statement about the entries that
+    arrived: it is a lower bound, and must never drive pruning decisions —
+    a pattern can look "already covered" only because its counter-evidence
+    is missing. *)
+
+val qualify : completeness:float -> stats -> qualified
+(** [Exact] when [completeness >= 1.0], [Lower_bound completeness]
+    otherwise. *)
+
+val is_exact : qualified -> bool
+val pp_qualifier : Format.formatter -> qualifier -> unit
+
+val pp_qualified : Format.formatter -> qualified -> unit
+(** e.g. ["coverage >= 3/10 = 30% (partial trail, completeness 83.3%)"]. *)

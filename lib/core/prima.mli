@@ -45,9 +45,11 @@ val coverage : t -> coverage_report
 
 val in_training : t -> bool
 
-val refine : t -> (Refinement.epoch_report, string) result
+val refine : ?completeness:float -> t -> (Refinement.epoch_report, string) result
 (** One refinement pass over everything collected so far; accepted patterns
-    extend the store in place.  [Error] during the training period. *)
+    extend the store in place.  [Error] during the training period.
+    [completeness] (default 1.0) qualifies the epoch's coverage readings
+    when P_AL came from a partial consolidation. *)
 
 val reset_audit : t -> unit
 (** Drop consumed audit entries (sliding-window refinement). *)

@@ -41,11 +41,22 @@ type epoch_report = {
   p_ps' : Policy.t;  (** the store extended with the accepted patterns *)
   coverage_before : Coverage.stats;  (** bag semantics, pattern attributes *)
   coverage_after : Coverage.stats;
+  qualifier : Coverage.qualifier;
+      (** [Exact] when the epoch saw the whole consolidated trail;
+          [Lower_bound] with the window's completeness otherwise *)
 }
 
 val run_epoch :
-  ?config:config -> vocab:Vocabulary.Vocab.t -> p_ps:Policy.t -> p_al:Policy.t -> unit ->
+  ?config:config ->
+  ?completeness:float ->
+  vocab:Vocabulary.Vocab.t ->
+  p_ps:Policy.t ->
+  p_al:Policy.t ->
+  unit ->
   epoch_report
+(** [completeness] (default 1.0) is the fraction of the audit window that
+    was actually consolidated; below 1.0 the report's coverage readings are
+    labelled {!Coverage.Lower_bound}. *)
 
 val run_epochs :
   ?config:config ->

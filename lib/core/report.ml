@@ -21,7 +21,12 @@ let pp_epoch ppf (r : Refinement.epoch_report) =
   Fmt.pf ppf "accepted         :@.";
   pp_patterns ppf r.Refinement.accepted;
   Fmt.pf ppf "coverage         : %a -> %a@." Coverage.pp_stats r.Refinement.coverage_before
-    Coverage.pp_stats r.Refinement.coverage_after
+    Coverage.pp_stats r.Refinement.coverage_after;
+  match r.Refinement.qualifier with
+  | Coverage.Exact -> ()
+  | Coverage.Lower_bound _ as q ->
+    Fmt.pf ppf "qualifier        : %a — figures are floors, not measurements@."
+      Coverage.pp_qualifier q
 
 (* A row-per-epoch series, e.g.
      epoch  1 |############............| 48.0%

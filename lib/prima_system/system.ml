@@ -9,15 +9,25 @@
    patterns accepted during refinement are installed both in the formal
    policy store P_PS and as Active Enforcement permit rules, so the
    corresponding accesses stop needing Break-The-Glass — privacy controls
-   are "gradually and seamlessly" embedded into the clinical workflow. *)
+   are "gradually and seamlessly" embedded into the clinical workflow.
+
+   The loop is degraded-mode aware: consolidation runs through the
+   fault-tolerant federation path and carries a health report; a coverage
+   measurement from a partial trail is labelled a lower bound; and
+   refinement patterns mined from a window whose completeness falls below
+   the configured threshold are never auto-accepted — the evidence that
+   would have rejected them may simply not have arrived. *)
 
 type t = {
   control : Hdb.Control_center.t;
   federation : Audit_mgmt.Federation.t;
   prima : Prima_core.Prima.t;
+  mutable completeness_threshold : float;
+  mutable last_health : Audit_mgmt.Health.t option;
 }
 
-let create ?(training_minimum = 0) ?config ~vocab ~p_ps () =
+let create ?(training_minimum = 0) ?(completeness_threshold = 0.9) ?config ~vocab ~p_ps ()
+    =
   let control = Hdb.Control_center.create ~vocab () in
   (* Seed the enforcement rule base from the initial policy store. *)
   List.iter
@@ -35,23 +45,58 @@ let create ?(training_minimum = 0) ?config ~vocab ~p_ps () =
   Audit_mgmt.Federation.add_site federation
     (Audit_mgmt.Site.of_store ~name:"clinical-db" (Hdb.Control_center.audit_store control));
   let prima = Prima_core.Prima.create ~training_minimum ?config ~vocab ~p_ps () in
-  { control; federation; prima }
+  { control; federation; prima; completeness_threshold; last_health = None }
 
 let control t = t.control
 let federation t = t.federation
 let prima t = t.prima
 
+let completeness_threshold t = t.completeness_threshold
+let set_completeness_threshold t x = t.completeness_threshold <- x
+
+let last_health t = t.last_health
+
 let add_site t site = Audit_mgmt.Federation.add_site t.federation site
 
-(* Pull the consolidated audit view into the refinement component's P_AL. *)
+(* Pull the fault-aware consolidated view into the refinement component's
+   P_AL; the health report of this consolidation is retained and its
+   completeness qualifies everything computed from the window. *)
 let sync_audit t =
+  let result = Audit_mgmt.Federation.consolidated_result t.federation in
+  t.last_health <- Some result.Audit_mgmt.Federation.health;
   Prima_core.Prima.reset_audit t.prima;
   Prima_core.Prima.ingest_rules t.prima
-    (Prima_core.Policy.rules (Audit_mgmt.Federation.to_policy t.federation))
+    (Prima_core.Policy.rules
+       (Audit_mgmt.To_policy.policy_of_entries result.Audit_mgmt.Federation.entries));
+  result.Audit_mgmt.Federation.health
+
+let completeness t =
+  match t.last_health with
+  | Some h -> h.Audit_mgmt.Health.completeness
+  | None -> 1.0
 
 let coverage t =
-  sync_audit t;
+  ignore (sync_audit t);
   Prima_core.Prima.coverage t.prima
+
+(* Both coverage readings, each labelled with how much of the trail they
+   were computed from. *)
+type qualified_coverage = {
+  set_semantics : Prima_core.Coverage.qualified;
+  bag_semantics : Prima_core.Coverage.qualified;
+  health : Audit_mgmt.Health.t;
+}
+
+let coverage_qualified t : qualified_coverage =
+  let health = sync_audit t in
+  let c = health.Audit_mgmt.Health.completeness in
+  let report = Prima_core.Prima.coverage t.prima in
+  { set_semantics =
+      Prima_core.Coverage.qualify ~completeness:c report.Prima_core.Prima.set_semantics;
+    bag_semantics =
+      Prima_core.Coverage.qualify ~completeness:c report.Prima_core.Prima.bag_semantics;
+    health;
+  }
 
 (* Install an adopted pattern as an enforcement rule so subsequent accesses
    matching it are regular, not exception-based. *)
@@ -68,7 +113,7 @@ let install_pattern t rule =
 (* Coverage trend over the consolidated trail, judged against the current
    store; [drifting] on its result signals a refinement run is due. *)
 let trend t ~window =
-  sync_audit t;
+  ignore (sync_audit t);
   Prima_core.Trend.compute
     (Prima_core.Prima.vocab t.prima)
     ~p_ps:(Prima_core.Prima.policy_store t.prima)
@@ -76,11 +121,26 @@ let trend t ~window =
     ~window ()
 
 (* One full refinement cycle: consolidate logs, run Algorithm 2 with the
-   configured acceptance, embed accepted patterns into enforcement. *)
+   configured acceptance, embed accepted patterns into enforcement.
+
+   Refuses to run when the consolidation completeness is below the
+   threshold: patterns mined from a partial window would be folded into
+   P_PS and enforcement on evidence that may be contradicted by the
+   missing records.  Recover the sites (or reprocess the quarantine) and
+   retry, or lower the threshold deliberately. *)
 let refine t : (Prima_core.Refinement.epoch_report, string) result =
-  sync_audit t;
-  match Prima_core.Prima.refine t.prima with
-  | Error _ as e -> e
-  | Ok report ->
-    List.iter (install_pattern t) report.Prima_core.Refinement.accepted;
-    Ok report
+  let health = sync_audit t in
+  let c = health.Audit_mgmt.Health.completeness in
+  if c < t.completeness_threshold then
+    Error
+      (Printf.sprintf
+         "degraded audit window: completeness %.1f%% below threshold %.1f%%; refusing to \
+          auto-accept patterns mined from a partial trail"
+         (100. *. c)
+         (100. *. t.completeness_threshold))
+  else
+    match Prima_core.Prima.refine ~completeness:c t.prima with
+    | Error _ as e -> e
+    | Ok report ->
+      List.iter (install_pattern t) report.Prima_core.Refinement.accepted;
+      Ok report

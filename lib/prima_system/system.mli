@@ -5,32 +5,61 @@
     the loop: patterns accepted during refinement are installed both in the
     formal policy store P_PS and as Active Enforcement permit rules, so the
     corresponding accesses stop needing Break-The-Glass — privacy controls
-    are "gradually and seamlessly" embedded into the clinical workflow. *)
+    are "gradually and seamlessly" embedded into the clinical workflow.
+
+    The loop is degraded-mode aware: consolidation runs through the
+    fault-tolerant federation path and carries a {!Audit_mgmt.Health.t}
+    report; coverage over a partial trail is labelled a lower bound; and
+    {!refine} refuses to auto-accept patterns mined from a window whose
+    completeness falls below the configured threshold. *)
 
 type t
 
 val create :
   ?training_minimum:int ->
+  ?completeness_threshold:float ->
   ?config:Prima_core.Refinement.config ->
   vocab:Vocabulary.Vocab.t ->
   p_ps:Prima_core.Policy.t ->
   unit ->
   t
 (** Seeds the enforcement rule base from [p_ps] and registers the clinical
-    database's audit store as the federation's first site. *)
+    database's audit store as the federation's first site.
+    [completeness_threshold] (default 0.9) is the minimum consolidation
+    completeness {!refine} accepts. *)
 
 val control : t -> Hdb.Control_center.t
 val federation : t -> Audit_mgmt.Federation.t
 val prima : t -> Prima_core.Prima.t
 
+val completeness_threshold : t -> float
+val set_completeness_threshold : t -> float -> unit
+
+val last_health : t -> Audit_mgmt.Health.t option
+(** The health report of the most recent consolidation, if any. *)
+
+val completeness : t -> float
+(** Completeness of the most recent consolidation (1.0 before any). *)
+
 val add_site : t -> Audit_mgmt.Site.t -> unit
 (** Bring another system's audit trail into the consolidated view. *)
 
-val sync_audit : t -> unit
-(** Pull the consolidated view into the refinement component's P_AL. *)
+val sync_audit : t -> Audit_mgmt.Health.t
+(** Pull the fault-aware consolidated view into the refinement component's
+    P_AL; returns (and retains) the consolidation's health report. *)
 
 val coverage : t -> Prima_core.Prima.coverage_report
-(** Syncs, then reports both coverage readings. *)
+(** Syncs, then reports both coverage readings (unqualified). *)
+
+type qualified_coverage = {
+  set_semantics : Prima_core.Coverage.qualified;
+  bag_semantics : Prima_core.Coverage.qualified;
+  health : Audit_mgmt.Health.t;
+}
+
+val coverage_qualified : t -> qualified_coverage
+(** Syncs, then reports both coverage readings labelled [Exact] or
+    [Lower_bound] by the consolidation's completeness. *)
 
 val install_pattern : t -> Prima_core.Rule.t -> unit
 (** Install a pattern as an enforcement permit rule (no-op for rules
@@ -44,4 +73,7 @@ val trend : t -> window:int -> Prima_core.Trend.point list
 val refine : t -> (Prima_core.Refinement.epoch_report, string) result
 (** One full cycle: consolidate logs, run Algorithm 2 with the configured
     acceptance, embed accepted patterns into enforcement.  [Error] during
-    the training period. *)
+    the training period — and [Error] when consolidation completeness is
+    below {!completeness_threshold}: patterns mined from a partial window
+    are never auto-accepted, because the evidence that would have rejected
+    them may simply not have arrived. *)

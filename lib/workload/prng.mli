@@ -1,29 +1,8 @@
-(** SplitMix64: a tiny, fast, high-quality deterministic PRNG.
+(** Alias for the shared {!Splitmix} deterministic PRNG (SplitMix64).
 
-    Experiments must be reproducible bit-for-bit across runs and machines,
-    so the generator never touches the stdlib's global [Random] state. *)
+    Kept under [Workload] for compatibility; the implementation lives in the
+    base [splitmix] library so audit-layer fault injection can reuse it. *)
 
-type t
-
-val create : seed:int -> t
-val copy : t -> t
-val next_int64 : t -> int64
-
-val int : t -> int -> int
-(** Uniform in [0, bound).
-    @raise Invalid_argument when the bound is not positive. *)
-
-val float : t -> float
-(** Uniform in [0, 1). *)
-
-val bool : t -> probability:float -> bool
-
-val pick : t -> 'a list -> 'a
-(** @raise Invalid_argument on the empty list. *)
-
-val pick_weighted : t -> ('a * int) list -> 'a
-(** Integer-weighted choice.
-    @raise Invalid_argument when weights sum to 0 or less. *)
-
-val shuffle : t -> 'a list -> 'a list
-(** Fisher-Yates. *)
+include module type of struct
+  include Splitmix
+end

@@ -68,6 +68,26 @@ let test_mapping_bad_time () =
   Alcotest.check_raises "bad time" (Mapping.Unmappable "cannot read time value \"yesterday\"")
     (fun () -> ignore (Mapping.apply (legacy_mapping ()) bad))
 
+(* Regression: synonym keys are matched case-insensitively.  Before the
+   fix, [create] stored keys verbatim while [apply] lowercased raw values
+   first, so a synonym registered as ("RN" -> "nurse") never matched. *)
+let test_mapping_synonym_case_insensitive () =
+  let mapping =
+    Mapping.create
+      ~value_synonyms:[ (("authorized", "RN"), "nurse"); (("Data", "XRAY"), "x-ray") ]
+      ()
+  in
+  check_string "uppercase synonym key matches" "nurse"
+    (Mapping.standard_value mapping ~attr:"authorized" "rn");
+  check_string "attr case irrelevant" "x-ray" (Mapping.standard_value mapping ~attr:"data" "xray");
+  let raw =
+    [ ("time", "3"); ("op", "1"); ("user", "u"); ("data", "XRAY");
+      ("purpose", "treatment"); ("authorized", "RN"); ("status", "1") ]
+  in
+  let e = Mapping.apply mapping raw in
+  check_string "synonym applied end-to-end" "nurse" e.Hdb.Audit_schema.authorized;
+  check_string "data synonym applied end-to-end" "x-ray" e.Hdb.Audit_schema.data
+
 let test_mapping_identity () =
   let raw =
     [ ("time", "5"); ("op", "1"); ("user", "u"); ("data", "referral");
@@ -89,6 +109,67 @@ let test_site_legacy_raw () =
   Site.ingest_raw site legacy_row;
   check_int "ingested" 1 (Site.length site);
   check_string "normalised" "nurse" (List.hd (Site.entries site)).Hdb.Audit_schema.authorized
+
+(* A raw row in the standard schema; [broken] fields are unreadable. *)
+let raw_row ?(time = "1") ?(op = "1") ?(user = "u") () =
+  [ ("time", time); ("op", op); ("user", user); ("data", "referral");
+    ("purpose", "treatment"); ("authorized", "nurse"); ("status", "1") ]
+
+(* Atomic-per-record: a malformed record mid-batch no longer aborts after
+   partial ingestion — records before AND after it are ingested, the bad
+   one is quarantined. *)
+let test_site_batch_atomic_per_record () =
+  let site = Site.create ~name:"icu" () in
+  let summary =
+    Site.ingest_raw_all site
+      [ raw_row ~time:"1" (); raw_row ~time:"bogus" (); raw_row ~time:"3" () ]
+  in
+  check_int "two ingested" 2 summary.Site.ingested;
+  check_int "one quarantined" 1 summary.Site.quarantined;
+  check_int "no duplicates" 0 summary.Site.duplicates;
+  check_int "store has both good records" 2 (Site.length site);
+  check_int "quarantine holds the bad one" 1 (Site.quarantined_count site);
+  Alcotest.(check (list int)) "good records on both sides of the failure" [ 1; 3 ]
+    (List.map (fun e -> e.Hdb.Audit_schema.time) (Site.entries site))
+
+(* Exactly-once: re-submitting a batch at the same first_seq is a no-op for
+   records already ingested or quarantined. *)
+let test_site_batch_exactly_once () =
+  let site = Site.create ~name:"icu" () in
+  let batch = [ raw_row ~time:"1" (); raw_row ~time:"bogus" (); raw_row ~time:"3" () ] in
+  let first = Site.ingest_raw_batch ~first_seq:0 site batch in
+  check_int "first pass ingests" 2 first.Site.ingested;
+  let retry = Site.ingest_raw_batch ~first_seq:0 site batch in
+  check_int "retry ingests nothing" 0 retry.Site.ingested;
+  check_int "retry quarantines nothing new" 0 retry.Site.quarantined;
+  check_int "all three are duplicates" 3 retry.Site.duplicates;
+  check_int "store unchanged" 2 (Site.length site);
+  check_int "quarantine unchanged" 1 (Site.quarantined_count site)
+
+(* Quarantine lifecycle: a mapping fix lets quarantined records reprocess,
+   with their original seqs, and without double ingestion. *)
+let test_site_reprocess_after_mapping_fix () =
+  let site = Site.create ~name:"legacy" () in
+  let bad = [ raw_row ~op:"granted-maybe" () ] in
+  let summary = Site.ingest_raw_all site bad in
+  check_int "quarantined" 1 summary.Site.quarantined;
+  (* Still broken: reprocessing returns it to quarantine. *)
+  let stuck = Site.reprocess_quarantined site in
+  check_int "still quarantined" 1 stuck.Site.quarantined;
+  check_int "store still empty" 0 (Site.length site);
+  (* Fix the mapping, then reprocess. *)
+  Site.set_mapping site
+    (Mapping.create ~value_synonyms:[ (("op", "granted-maybe"), "granted") ] ());
+  let fixed = Site.reprocess_quarantined site in
+  check_int "reprocessed" 1 fixed.Site.ingested;
+  check_int "quarantine drained" 0 (Site.quarantined_count site);
+  check_int "ingested once" 1 (Site.length site);
+  (* A second reprocess or batch retry cannot double-ingest. *)
+  let again = Site.reprocess_quarantined site in
+  check_int "nothing left" 0 (Site.summary_total again);
+  let replay = Site.ingest_raw_batch ~first_seq:0 site bad in
+  check_int "replay is a duplicate" 1 replay.Site.duplicates;
+  check_int "still ingested once" 1 (Site.length site)
 
 (* --- federation --- *)
 
@@ -181,6 +262,73 @@ let test_federation_heterogeneous_end_to_end () =
   let p_al = Federation.to_policy fed in
   check_int "ten rules" 10 (Prima_core.Policy.cardinality p_al)
 
+(* --- heap merge parity --- *)
+
+(* The min-heap k-way merge must agree exactly — order included — with
+   stable_sort over the site-order concatenation: same timestamps merge in
+   site order, and each site's own order is preserved. *)
+let prop_heap_merge_parity =
+  QCheck2.Test.make ~name:"heap merge = stable sort of concatenation" ~count:200
+    ~print:(fun sites -> Printf.sprintf "<%d sites>" (List.length sites))
+    QCheck2.Gen.(list_size (int_range 0 5) (list_size (int_range 0 20) (int_range 0 8)))
+    (fun site_times ->
+      let sites =
+        List.mapi
+          (fun i times ->
+            let site = Site.create ~name:(Printf.sprintf "s%d" i) () in
+            List.iteri
+              (fun j time ->
+                (* The user tags (site, position) so order is observable. *)
+                Site.ingest_entry site (entry ~time ~user:(Printf.sprintf "u%d-%d" i j) ()))
+              times;
+            site)
+          site_times
+      in
+      let merged = Federation.consolidated (Federation.of_sites sites) in
+      let expected =
+        List.stable_sort
+          (fun a b -> Int.compare a.Hdb.Audit_schema.time b.Hdb.Audit_schema.time)
+          (List.concat_map
+             (fun site ->
+               List.stable_sort
+                 (fun a b -> Int.compare a.Hdb.Audit_schema.time b.Hdb.Audit_schema.time)
+                 (Site.entries site))
+             sites)
+      in
+      List.map (fun e -> e.Hdb.Audit_schema.user) merged
+      = List.map (fun e -> e.Hdb.Audit_schema.user) expected)
+
+(* --- consolidated_result health --- *)
+
+(* Reliable sites: the production path is equivalent to the direct view and
+   the health report accounts for every record with completeness 1. *)
+let test_consolidated_result_reliable () =
+  let a = Site.create ~name:"a" () in
+  let b = Site.create ~name:"b" () in
+  Site.ingest_entries a [ entry ~time:1 (); entry ~time:4 () ];
+  Site.ingest_entries b [ entry ~time:2 (); entry ~time:3 () ];
+  let fed = Federation.of_sites [ a; b ] in
+  let result = Federation.consolidated_result fed in
+  check_int "all delivered" 4 (List.length result.Federation.entries);
+  let h = result.Federation.health in
+  check_bool "complete" true (Audit_mgmt.Health.complete h);
+  check_int "total accounts for input" 4 h.Audit_mgmt.Health.total;
+  check_int "nothing quarantined" 0 h.Audit_mgmt.Health.quarantined;
+  check_int "nothing stranded" 0 h.Audit_mgmt.Health.skipped_entries;
+  check_bool "same as direct view" true
+    (List.for_all2 Hdb.Audit_schema.equal result.Federation.entries (Federation.consolidated fed))
+
+(* A site's ingest quarantine shows up in the health accounting. *)
+let test_consolidated_result_counts_ingest_quarantine () =
+  let a = Site.create ~name:"a" () in
+  ignore (Site.ingest_raw_all a [ raw_row ~time:"1" (); raw_row ~time:"nope" () ]);
+  let fed = Federation.of_sites [ a ] in
+  let h = (Federation.consolidated_result fed).Federation.health in
+  check_int "delivered" 1 h.Audit_mgmt.Health.delivered;
+  check_int "quarantined counted" 1 h.Audit_mgmt.Health.quarantined;
+  check_int "total = delivered + quarantined" 2 h.Audit_mgmt.Health.total;
+  check_bool "partial" true (h.Audit_mgmt.Health.completeness < 1.0)
+
 let () =
   Alcotest.run "audit"
     [ ( "to-policy",
@@ -194,10 +342,16 @@ let () =
           Alcotest.test_case "missing attribute" `Quick test_mapping_missing_attribute;
           Alcotest.test_case "bad time" `Quick test_mapping_bad_time;
           Alcotest.test_case "identity" `Quick test_mapping_identity;
+          Alcotest.test_case "synonym case-insensitive" `Quick
+            test_mapping_synonym_case_insensitive;
         ] );
       ( "site",
         [ Alcotest.test_case "ingest" `Quick test_site_ingest;
           Alcotest.test_case "legacy raw" `Quick test_site_legacy_raw;
+          Alcotest.test_case "batch atomic per record" `Quick test_site_batch_atomic_per_record;
+          Alcotest.test_case "batch exactly once" `Quick test_site_batch_exactly_once;
+          Alcotest.test_case "reprocess after mapping fix" `Quick
+            test_site_reprocess_after_mapping_fix;
         ] );
       ( "federation",
         [ Alcotest.test_case "merge by time" `Quick test_federation_merges_by_time;
@@ -210,5 +364,11 @@ let () =
           Alcotest.test_case "totals/lookup" `Quick test_federation_totals;
           Alcotest.test_case "heterogeneous end-to-end" `Quick
             test_federation_heterogeneous_end_to_end;
+          QCheck_alcotest.to_alcotest ~long:false prop_heap_merge_parity;
+        ] );
+      ( "consolidated-result",
+        [ Alcotest.test_case "reliable sites" `Quick test_consolidated_result_reliable;
+          Alcotest.test_case "ingest quarantine counted" `Quick
+            test_consolidated_result_counts_ingest_quarantine;
         ] );
     ]

@@ -1,0 +1,306 @@
+(* Fault-matrix suite: deterministic fault injection over the federation.
+
+   For seeded fault schedules, consolidation must never raise, the health
+   report must account for 100% of input records (delivered + quarantined +
+   stranded at skipped sites), runs must be reproducible bit-for-bit from
+   the seed, and — the convergence oracle — once every site recovers and
+   quarantined records are reprocessed, the refinement loop must accept
+   exactly the same rules as the fault-free run.
+
+   `make faults` runs this binary; the three fixed seeds of the matrix are
+   baked in below. *)
+
+open Audit_mgmt
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let matrix_seeds = [ 101; 202; 303 ]
+
+let entry ?(time = 1) ?(op = Hdb.Audit_schema.Allow) ?(user = "u") ?(data = "referral")
+    ?(purpose = "treatment") ?(authorized = "nurse")
+    ?(status = Hdb.Audit_schema.Regular) () =
+  Hdb.Audit_schema.entry ~time ~op ~user ~data ~purpose ~authorized ~status
+
+(* --- retry --- *)
+
+let test_retry_flaky_then_success () =
+  let prng = Splitmix.create ~seed:1 in
+  let clock = ref 0 in
+  let calls = ref 0 in
+  let result, stats =
+    Retry.run ~policy:{ Retry.default with max_attempts = 5 } ~prng ~clock (fun ~attempt ->
+        incr calls;
+        if attempt < 3 then Error "flaky" else Ok attempt)
+  in
+  check_bool "succeeded" true (result = Ok 3);
+  check_int "three calls" 3 !calls;
+  check_int "attempts reported" 3 stats.Retry.attempts;
+  check_bool "backoff advanced the clock" true (!clock > 0)
+
+let test_retry_exhaustion_and_deadline () =
+  let prng = Splitmix.create ~seed:1 in
+  let clock = ref 0 in
+  let result, stats =
+    Retry.run ~policy:{ Retry.default with max_attempts = 3 } ~prng ~clock (fun ~attempt:_ ->
+        Error "down")
+  in
+  check_bool "exhausted" true (result = Error "down");
+  check_int "bounded attempts" 3 stats.Retry.attempts;
+  (* A tight deadline cuts retries short regardless of max_attempts. *)
+  let clock = ref 0 in
+  let _, stats =
+    Retry.run
+      ~policy:{ Retry.default with max_attempts = 100; base_delay = 600; deadline = 1_000 }
+      ~prng ~clock
+      (fun ~attempt:_ -> Error "down")
+  in
+  check_bool "deadline bounds attempts" true (stats.Retry.attempts < 100)
+
+(* --- breaker transitions --- *)
+
+let breaker_config = { Breaker.failure_threshold = 2; cooldown = 100; success_threshold = 1 }
+
+let breaker_state fed name =
+  match Federation.breaker fed name with
+  | Some b -> Breaker.state b
+  | None -> Alcotest.fail "no breaker"
+
+let test_breaker_transitions () =
+  let site = Site.create ~name:"icu" () in
+  Site.ingest_entries site [ entry ~time:1 (); entry ~time:2 () ];
+  let fault = Fault.wrap ~seed:7 site in
+  Fault.take_down fault;
+  let fed = Federation.create ~retry:Retry.no_retry () in
+  Federation.add_faulty_site ~breaker:breaker_config fed fault;
+  (* First failure: still closed. *)
+  let r1 = Federation.consolidated_result fed in
+  check_bool "closed after 1 failure" true (breaker_state fed "icu" = Breaker.Closed);
+  check_bool "skipped for unavailability" true
+    (match (List.hd r1.Federation.health.Health.sites).Health.status with
+    | Health.Skipped (Health.Fetch_failed _) -> true
+    | _ -> false);
+  check_int "entries stranded" 2 r1.Federation.health.Health.skipped_entries;
+  (* Second failure trips the breaker. *)
+  ignore (Federation.consolidated_result fed);
+  check_bool "open after threshold" true (breaker_state fed "icu" = Breaker.Open);
+  (* While open and before cooldown, the site is skipped without a fetch. *)
+  let r3 = Federation.consolidated_result fed in
+  check_bool "skipped by breaker" true
+    (match (List.hd r3.Federation.health.Health.sites).Health.status with
+    | Health.Skipped Health.Breaker_open -> true
+    | _ -> false);
+  check_bool "still open" true (breaker_state fed "icu" = Breaker.Open);
+  (* Cooldown elapses; the site has recovered; the probe closes it. *)
+  Federation.advance_clock fed breaker_config.Breaker.cooldown;
+  Fault.restore fault;
+  let r4 = Federation.consolidated_result fed in
+  check_bool "closed after successful probe" true (breaker_state fed "icu" = Breaker.Closed);
+  check_int "entries delivered again" 2 (List.length r4.Federation.entries);
+  check_bool "complete again" true (Health.complete r4.Federation.health)
+
+let test_breaker_halfopen_failure_reopens () =
+  let b = Breaker.create ~config:breaker_config () in
+  Breaker.record_failure b ~now:0;
+  Breaker.record_failure b ~now:0;
+  check_bool "open" true (Breaker.state b = Breaker.Open);
+  check_bool "denied before cooldown" false (Breaker.allow b ~now:50);
+  check_bool "probe allowed after cooldown" true (Breaker.allow b ~now:100);
+  check_bool "half-open" true (Breaker.state b = Breaker.Half_open);
+  Breaker.record_failure b ~now:100;
+  check_bool "failed probe reopens" true (Breaker.state b = Breaker.Open)
+
+(* --- the fault matrix --- *)
+
+let matrix_config =
+  { Fault.no_faults with
+    Fault.p_unavailable = 0.25;
+    p_timeout = 0.15;
+    p_flaky = 0.25;
+    p_corrupt = 0.1;
+  }
+
+(* The paper's Table 1 trail, split round-robin across [nsites] sites,
+   each behind a fault wrapper seeded from [seed]. *)
+let build_matrix_federation ~seed ~nsites ~faulty =
+  let sites =
+    List.init nsites (fun i -> Site.create ~name:(Printf.sprintf "site-%d" i) ())
+  in
+  List.iteri
+    (fun i e -> Site.ingest_entry (List.nth sites (i mod nsites)) e)
+    (Workload.Scenario.table1_entries ());
+  let fed = Federation.create ~seed () in
+  List.iteri
+    (fun i site ->
+      if faulty then
+        Federation.add_faulty_site fed
+          (Fault.wrap ~config:matrix_config ~seed:((seed * 10) + i) site)
+      else Federation.add_site fed site)
+    sites;
+  fed
+
+let health_site_total (s : Health.site_health) =
+  s.Health.entries + s.Health.quarantined + s.Health.skipped_entries
+
+let health_fingerprint (h : Health.t) =
+  ( h.Health.delivered,
+    h.Health.quarantined,
+    h.Health.skipped_entries,
+    List.map
+      (fun (s : Health.site_health) ->
+        (s.Health.site, s.Health.entries, s.Health.quarantined, s.Health.skipped_entries))
+      h.Health.sites )
+
+(* Invariant: every record a site holds is delivered, quarantined or
+   stranded — the report accounts for 100% of input. *)
+let assert_accounts_for_all_input fed (h : Health.t) =
+  let known =
+    List.fold_left
+      (fun acc site -> acc + Site.length site + Site.quarantined_count site)
+      0 (Federation.sites fed)
+  in
+  check_int "total = known input" known h.Health.total;
+  check_int "delivered + quarantined + stranded = total"
+    h.Health.total
+    (h.Health.delivered + h.Health.quarantined + h.Health.skipped_entries);
+  List.iter
+    (fun (s : Health.site_health) ->
+      match Federation.site fed s.Health.site with
+      | Some site ->
+        check_int
+          (Printf.sprintf "site %s accounts for its records" s.Health.site)
+          (Site.length site + Site.quarantined_count site)
+          (health_site_total s)
+      | None -> Alcotest.fail "health names an unknown site")
+    h.Health.sites
+
+let test_matrix_accounting_and_determinism seed () =
+  let run () =
+    let fed = build_matrix_federation ~seed ~nsites:3 ~faulty:true in
+    let result = Federation.consolidated_result fed in
+    assert_accounts_for_all_input fed result.Federation.health;
+    (result, fed)
+  in
+  let r1, _ = run () in
+  let r2, _ = run () in
+  check_bool "same health, bit for bit" true
+    (health_fingerprint r1.Federation.health = health_fingerprint r2.Federation.health);
+  check_bool "same entries, bit for bit" true
+    (List.for_all2 Hdb.Audit_schema.equal r1.Federation.entries r2.Federation.entries)
+
+(* The convergence oracle: after heal + reprocess, consolidation is
+   complete and refinement accepts exactly the fault-free baseline. *)
+let test_matrix_convergence seed () =
+  let vocab = Workload.Scenario.vocab () in
+  let p_ps = Workload.Scenario.policy_store () in
+  let epoch entries =
+    Prima_core.Refinement.run_epoch ~vocab ~p_ps
+      ~p_al:(To_policy.policy_of_entries entries) ()
+  in
+  let baseline_fed = build_matrix_federation ~seed ~nsites:3 ~faulty:false in
+  let baseline = Federation.consolidated baseline_fed in
+  let baseline_report = epoch baseline in
+  check_int "baseline adopts the Table 1 pattern" 1
+    (List.length baseline_report.Prima_core.Refinement.accepted);
+  let fed = build_matrix_federation ~seed ~nsites:3 ~faulty:true in
+  let degraded = Federation.consolidated_result fed in
+  assert_accounts_for_all_input fed degraded.Federation.health;
+  (* The matrix seeds are chosen to actually degrade consolidation —
+     otherwise this oracle proves nothing. *)
+  check_bool "schedule degrades the window" true
+    (degraded.Federation.health.Health.completeness < 1.0);
+  (* Recovery: heal every site; a clean fetch supersedes transit
+     corruption, so consolidation is complete again. *)
+  Federation.heal_all fed;
+  let recovered = Federation.consolidated_result fed in
+  check_bool "complete after recovery" true (Health.complete recovered.Federation.health);
+  check_bool "recovered view = fault-free view" true
+    (List.for_all2 Hdb.Audit_schema.equal recovered.Federation.entries baseline);
+  let recovered_report = epoch recovered.Federation.entries in
+  check_bool "same accepted rules as the fault-free run" true
+    (List.for_all2 Prima_core.Rule.equal_syntactic
+       (List.sort Prima_core.Rule.compare recovered_report.Prima_core.Refinement.accepted)
+       (List.sort Prima_core.Rule.compare baseline_report.Prima_core.Refinement.accepted))
+
+(* Ingest-path convergence: a site whose mapping is broken quarantines its
+   batch; after the mapping fix and reprocessing, refinement matches the
+   run whose mapping was correct from the start. *)
+let test_matrix_convergence_through_quarantine () =
+  let raws =
+    List.map
+      (fun e ->
+        List.map
+          (fun (k, v) ->
+            if String.equal k Vocabulary.Audit_attrs.op then
+              (k, if String.equal v "1" then "ok" else "nope")
+            else (k, v))
+          (Hdb.Audit_schema.to_assoc e))
+      (Workload.Scenario.table1_entries ())
+  in
+  let good_mapping =
+    Mapping.create
+      ~value_synonyms:[ (("op", "ok"), "granted"); (("op", "nope"), "denied") ]
+      ()
+  in
+  let vocab = Workload.Scenario.vocab () in
+  let p_ps = Workload.Scenario.policy_store () in
+  let epoch fed =
+    Prima_core.Refinement.run_epoch ~vocab ~p_ps ~p_al:(Federation.to_policy fed) ()
+  in
+  (* Baseline: correct mapping from the start. *)
+  let clean = Site.create ~mapping:good_mapping ~name:"legacy" () in
+  let s = Site.ingest_raw_all clean raws in
+  check_int "baseline ingests all" (List.length raws) s.Site.ingested;
+  let baseline_report = epoch (Federation.of_sites [ clean ]) in
+  (* Degraded: broken mapping quarantines every record... *)
+  let broken = Site.create ~name:"legacy" () in
+  let s = Site.ingest_raw_all broken raws in
+  check_int "all quarantined" (List.length raws) s.Site.quarantined;
+  let fed = Federation.of_sites [ broken ] in
+  let degraded = Federation.consolidated_result fed in
+  check_bool "nothing delivered" true
+    (degraded.Federation.health.Health.completeness = 0.0);
+  (* ...until the mapping fix lets the quarantine drain. *)
+  Site.set_mapping broken good_mapping;
+  let s = Site.reprocess_quarantined broken in
+  check_int "all reprocessed" (List.length raws) s.Site.ingested;
+  let recovered = Federation.consolidated_result fed in
+  check_bool "complete after reprocess" true (Health.complete recovered.Federation.health);
+  let recovered_report = epoch fed in
+  check_bool "same accepted rules as the clean-mapping run" true
+    (List.for_all2 Prima_core.Rule.equal_syntactic
+       (List.sort Prima_core.Rule.compare recovered_report.Prima_core.Refinement.accepted)
+       (List.sort Prima_core.Rule.compare baseline_report.Prima_core.Refinement.accepted))
+
+let matrix_cases =
+  List.concat_map
+    (fun seed ->
+      [ Alcotest.test_case
+          (Printf.sprintf "accounting + determinism (seed %d)" seed)
+          `Quick
+          (test_matrix_accounting_and_determinism seed);
+        Alcotest.test_case
+          (Printf.sprintf "convergence oracle (seed %d)" seed)
+          `Quick (test_matrix_convergence seed);
+      ])
+    matrix_seeds
+
+let () =
+  Alcotest.run "faults"
+    [ ( "retry",
+        [ Alcotest.test_case "flaky then success" `Quick test_retry_flaky_then_success;
+          Alcotest.test_case "exhaustion and deadline" `Quick
+            test_retry_exhaustion_and_deadline;
+        ] );
+      ( "breaker",
+        [ Alcotest.test_case "transitions through the federation" `Quick
+            test_breaker_transitions;
+          Alcotest.test_case "half-open failure reopens" `Quick
+            test_breaker_halfopen_failure_reopens;
+        ] );
+      ("fault-matrix", matrix_cases);
+      ( "quarantine-convergence",
+        [ Alcotest.test_case "mapping fix converges" `Quick
+            test_matrix_convergence_through_quarantine;
+        ] );
+    ]

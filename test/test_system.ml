@@ -115,6 +115,69 @@ let test_training_minimum_blocks () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "training period not enforced"
 
+(* Degraded-mode gating: a system whose federation consolidates a partial
+   window must refuse to auto-accept patterns until completeness recovers
+   above the threshold. *)
+let test_completeness_threshold_blocks_auto_acceptance () =
+  let system =
+    Sys_.create ~completeness_threshold:0.9 ~vocab:(vocab ())
+      ~p_ps:(Workload.Scenario.policy_store ()) ()
+  in
+  let icu = Audit_mgmt.Site.create ~name:"icu" () in
+  Audit_mgmt.Site.ingest_entries icu (Workload.Scenario.table1_entries ());
+  let fault = Audit_mgmt.Fault.wrap ~seed:5 icu in
+  Audit_mgmt.Fault.take_down fault;
+  Audit_mgmt.Federation.add_faulty_site (Sys_.federation system) fault;
+  (* The only populated site is unreachable: completeness 0, refine blocked. *)
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  (match Sys_.refine system with
+  | Error e -> check_bool "error names completeness" true (contains e "completeness")
+  | Ok _ -> Alcotest.fail "refine must refuse a degraded window");
+  check_bool "completeness recorded" true (Sys_.completeness system < 0.9);
+  (* Coverage is still measurable, but only as a lower bound. *)
+  let q = Sys_.coverage_qualified system in
+  check_bool "lower bound label" true
+    (match q.Sys_.bag_semantics.Prima_core.Coverage.qualifier with
+    | Prima_core.Coverage.Lower_bound c -> c < 0.9
+    | Prima_core.Coverage.Exact -> false);
+  (* Recovery: heal the site; refine runs and adopts the pattern, exact. *)
+  Audit_mgmt.Federation.heal_all (Sys_.federation system);
+  match Sys_.refine system with
+  | Ok report ->
+    check_int "pattern adopted after recovery" 1
+      (List.length report.Prima_core.Refinement.accepted);
+    check_bool "exact qualifier" true
+      (report.Prima_core.Refinement.qualifier = Prima_core.Coverage.Exact)
+  | Error e -> Alcotest.fail e
+
+(* Lowering the threshold deliberately lets a degraded refine run, and its
+   report is labelled with the window's completeness. *)
+let test_lowered_threshold_labels_lower_bound () =
+  let system =
+    Sys_.create ~completeness_threshold:0.0 ~vocab:(vocab ())
+      ~p_ps:(Workload.Scenario.policy_store ()) ()
+  in
+  let icu = Audit_mgmt.Site.create ~name:"icu" () in
+  Audit_mgmt.Site.ingest_entries icu (Workload.Scenario.table1_entries ());
+  Sys_.add_site system icu;
+  (* A second site that never answers drags completeness below 1. *)
+  let flaky_site = Audit_mgmt.Site.create ~name:"flaky" () in
+  Audit_mgmt.Site.ingest_entries flaky_site [ Audit_mgmt.Site.entries icu |> List.hd ];
+  let fault = Audit_mgmt.Fault.wrap ~seed:5 flaky_site in
+  Audit_mgmt.Fault.take_down fault;
+  Audit_mgmt.Federation.add_faulty_site (Sys_.federation system) fault;
+  match Sys_.refine system with
+  | Ok report ->
+    check_bool "report labelled lower bound" true
+      (match report.Prima_core.Refinement.qualifier with
+      | Prima_core.Coverage.Lower_bound c -> c < 1.0
+      | Prima_core.Coverage.Exact -> false)
+  | Error e -> Alcotest.fail e
+
 (* End-to-end on the synthetic hospital: oracle-guided refinement adopts
    informal practices and never violations; coverage improves epoch over
    epoch. *)
@@ -174,6 +237,12 @@ let () =
             test_refinement_single_user_not_adopted;
           Alcotest.test_case "extra site" `Quick test_extra_site_feeds_refinement;
           Alcotest.test_case "training minimum" `Quick test_training_minimum_blocks;
+        ] );
+      ( "degraded-mode",
+        [ Alcotest.test_case "completeness threshold blocks auto-acceptance" `Quick
+            test_completeness_threshold_blocks_auto_acceptance;
+          Alcotest.test_case "lowered threshold labels lower bound" `Quick
+            test_lowered_threshold_labels_lower_bound;
         ] );
       ( "synthetic-hospital",
         [ Alcotest.test_case "oracle-guided epochs" `Slow test_synthetic_hospital_epochs ] );
