@@ -1,4 +1,4 @@
-.PHONY: build test faults bench bench-quick bench-coverage
+.PHONY: build test faults crash bench bench-quick bench-coverage bench-wal
 
 build:
 	dune build
@@ -12,6 +12,12 @@ test:
 faults:
 	dune build && dune exec test/test_faults.exe
 
+# Crash-point matrix: every Durable.Device crash point x the 3 fixed
+# seeds baked into test/test_durable.ml (11, 22, 33) — verified-prefix
+# recovery, WAL/snapshot round-trips, and the QCheck oracle parity suite.
+crash:
+	dune build && dune exec test/test_durable.exe
+
 # All experiments + Bechamel microbenchmarks.
 bench:
 	dune exec bench/main.exe
@@ -23,3 +29,7 @@ bench-quick:
 # Only the coverage-scaling sweep; fastest way to refresh BENCH_coverage.json.
 bench-coverage:
 	dune exec bench/main.exe -- coverage
+
+# Only the WAL replay-throughput sweep; fastest way to refresh BENCH_wal.json.
+bench-wal:
+	dune exec bench/main.exe -- wal

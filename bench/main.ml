@@ -16,6 +16,7 @@
      dune exec bench/main.exe              -- everything
      dune exec bench/main.exe -- quick     -- experiments only, skip Bechamel
      dune exec bench/main.exe -- coverage  -- only E11, regenerating BENCH_coverage.json
+     dune exec bench/main.exe -- wal       -- only E12, regenerating BENCH_wal.json
 
    (or `make bench` / `make bench-quick` / `make bench-coverage`). *)
 
@@ -624,6 +625,102 @@ let e11 () =
     ~measured:(if largest_size >= 5.0 then ">= 5x" else Printf.sprintf "%.1fx" largest_size)
 
 (* ------------------------------------------------------------------ *)
+(* E12: WAL durability — append/sync and recovery-replay throughput.   *)
+(* ------------------------------------------------------------------ *)
+
+let e12 () =
+  header "E12" "WAL durability — append/sync and recovery-replay throughput";
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer "{\n  \"experiment\": \"wal-replay\",\n";
+  Buffer.add_string buffer
+    "  \"store\": \"Hdb.Audit_store over Durable.Log (simulated device)\",\n";
+  let hospital = Workload.Hospital.default_config () in
+  let entries_for n =
+    Workload.Generator.entries
+      (Workload.Generator.generate { hospital with Workload.Hospital.total_accesses = n })
+  in
+  (* A log whose WAL holds [entries] synced; replay calls wrap the same
+     surviving media in a fresh Log via of_devices, as a restart would. *)
+  let populated_log entries =
+    let log = Durable.Log.create ~seed:7 () in
+    ignore (Durable.Log.open_or_recover log);
+    List.iter (fun e -> ignore (Durable.Log.append log (Hdb.Audit_schema.to_wire e))) entries;
+    Durable.Log.sync log;
+    log
+  in
+  let reopen log =
+    Durable.Log.of_devices ~wal:(Durable.Log.wal_device log)
+      ~snapshot:(Durable.Log.snapshot_device log)
+  in
+  Fmt.pr "@.Replay throughput sweep (hospital audit entries, wire-framed WAL):@.";
+  Fmt.pr "%-10s %-13s %-13s %-13s %-16s@." "entries" "append (ms)" "replay (ms)" "snap (ms)"
+    "replay (ev/s)";
+  Buffer.add_string buffer "  \"replay_sweep\": [\n";
+  let results =
+    List.map
+      (fun n ->
+        let entries = entries_for n in
+        let iterations = if n >= 16000 then 3 else 5 in
+        (* append+sync: frame every entry into a fresh WAL, one fsync *)
+        let t_append =
+          time_per_call ~iterations (fun () ->
+              let log = Durable.Log.create ~seed:7 () in
+              ignore (Durable.Log.open_or_recover log);
+              let store, _, _ = Hdb.Audit_store.open_durable log in
+              List.iter (Hdb.Audit_store.append store) entries;
+              Hdb.Audit_store.sync store)
+        in
+        (* replay: CRC-verify the whole WAL and decode it back into a store *)
+        let wal_log = populated_log entries in
+        let t_replay =
+          time_per_call ~iterations (fun () ->
+              let store, recovery, undecodable =
+                Hdb.Audit_store.open_durable (reopen wal_log)
+              in
+              if
+                Hdb.Audit_store.length store <> n
+                || undecodable > 0
+                || not (Durable.Recovery.clean recovery)
+              then failwith "replay lost records")
+        in
+        (* snapshot: the same image compacted by a checkpoint, replayed
+           from the snapshot path instead of the record-by-record WAL *)
+        let snap_log = populated_log entries in
+        let () =
+          let store, _, _ = Hdb.Audit_store.open_durable (reopen snap_log) in
+          Hdb.Audit_store.checkpoint store
+        in
+        let t_snap =
+          time_per_call ~iterations (fun () ->
+              let store, _, _ = Hdb.Audit_store.open_durable (reopen snap_log) in
+              if Hdb.Audit_store.length store <> n then failwith "snapshot lost records")
+        in
+        let rate t = float_of_int n /. (t /. 1000.) in
+        Fmt.pr "%-10d %-13.2f %-13.2f %-13.2f %-16.0f@." n t_append t_replay t_snap
+          (rate t_replay);
+        Buffer.add_string buffer
+          (Printf.sprintf
+             "    {\"entries\": %d, \"append_ms\": %.3f, \"wal_replay_ms\": %.3f, \
+              \"snapshot_replay_ms\": %.3f, \"append_per_sec\": %.0f, \
+              \"replay_per_sec\": %.0f}%s\n"
+             n t_append t_replay t_snap (rate t_append) (rate t_replay)
+             (if n = 16000 then "" else ","));
+        (n, rate t_replay))
+      [ 1000; 4000; 16000 ]
+  in
+  Buffer.add_string buffer "  ],\n";
+  let largest = List.assoc 16000 results in
+  Buffer.add_string buffer
+    (Printf.sprintf "  \"largest_point\": {\"entries\": 16000, \"replay_per_sec\": %.0f}\n}\n"
+       largest);
+  let oc = open_out "BENCH_wal.json" in
+  output_string oc (Buffer.contents buffer);
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_wal.json@.";
+  check "WAL replay >= 10k entries/s at the largest sweep point" ~paper:">= 10k/s"
+    ~measured:(if largest >= 10_000. then ">= 10k/s" else Printf.sprintf "%.0f/s" largest)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks.                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -744,9 +841,11 @@ let bechamel_suite () =
 
 let () =
   let quick = Array.exists (String.equal "quick") Sys.argv in
-  (* `coverage` regenerates BENCH_coverage.json alone (see `make bench-quick`). *)
+  (* `coverage` regenerates BENCH_coverage.json alone; `wal` regenerates
+     BENCH_wal.json alone (see `make bench-coverage` / `make bench-wal`). *)
   let coverage_only = Array.exists (String.equal "coverage") Sys.argv in
-  if not coverage_only then begin
+  let wal_only = Array.exists (String.equal "wal") Sys.argv in
+  if not (coverage_only || wal_only) then begin
     e1 ();
     e2 ();
     e3 ();
@@ -758,8 +857,9 @@ let () =
     e9 ();
     e10 ()
   end;
-  e11 ();
-  if (not quick) && not coverage_only then bechamel_suite ();
+  if not wal_only then e11 ();
+  if not coverage_only then e12 ();
+  if (not quick) && (not coverage_only) && not wal_only then bechamel_suite ();
   Fmt.pr "@.============================================================@.";
   if !all_ok then Fmt.pr "All experiment checks PASSED.@."
   else begin

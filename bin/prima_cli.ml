@@ -6,6 +6,7 @@
      prima refine   --policy F --audit F [options]
      prima mine     --audit F [--min-support N] [--min-confidence X]
      prima federation-health --audit F [--sites N --seed N ...]
+     prima recover  --wal F [--snapshot F --kind audit|quarantine --out F]
 
    File formats:
    - policy files: one rule per line, "data:purpose:authorized"; '#' comments;
@@ -152,21 +153,72 @@ let run_simulate seed accesses epoch_size violation_rate acceptance_name =
 
 (* --- generate --- *)
 
-let run_generate seed accesses audit_out policy_out =
+let run_generate seed accesses audit_out policy_out wal_out =
   let config =
     { (Workload.Hospital.default_config ~seed ()) with
       Workload.Hospital.total_accesses = accesses;
     }
   in
   let trail = Workload.Generator.generate config in
-  Hdb.Audit_csv.save audit_out (Workload.Generator.entries trail);
+  let entries = Workload.Generator.entries trail in
+  Hdb.Audit_csv.save audit_out entries;
   Prima_core.Policy_file.save policy_out (Workload.Hospital.policy_store config);
   Fmt.pr "wrote %d audit entries to %s and %d policy rules to %s@."
     (List.length trail) audit_out
     (List.length config.Workload.Hospital.documented)
     policy_out;
+  (match wal_out with
+  | None -> ()
+  | Some path ->
+    let log = Durable.Log.create ~seed () in
+    ignore (Durable.Log.open_or_recover log);
+    List.iter (fun e -> ignore (Durable.Log.append log (Hdb.Audit_schema.to_wire e))) entries;
+    Durable.Log.sync log;
+    Durable.Device.save (Durable.Log.wal_device log) path;
+    Fmt.pr "wrote the same trail as a WAL to %s (next LSN %d)@." path
+      (Durable.Log.next_lsn log);
+    Fmt.pr "try:  prima recover --wal %s --out recovered.csv@." path);
   Fmt.pr "try:  prima refine --vocab hospital --policy %s --audit %s@." policy_out audit_out;
   0
+
+(* --- recover --- *)
+
+(* Offline inspection of durable state: load the WAL (and snapshot, if
+   any), run recovery, and print the report — what verified, what was
+   dropped, where appends would resume.  Decoding happens above the
+   durable layer: --kind picks the payload codec. *)
+let run_recover wal_path snapshot_path kind out =
+  let wal = Durable.Device.load wal_path in
+  let snapshot =
+    match snapshot_path with
+    | Some path -> Durable.Device.load path
+    | None -> Durable.Device.create ()
+  in
+  let log = Durable.Log.of_devices ~wal ~snapshot in
+  match kind with
+  | "audit" ->
+    let store, recovery, undecodable = Hdb.Audit_store.open_durable log in
+    Fmt.pr "%a" Durable.Recovery.pp recovery;
+    if undecodable > 0 then
+      Fmt.pr "warning: %d CRC-valid records did not decode as audit entries@." undecodable;
+    Fmt.pr "recovered %d audit entries (next LSN %d)@." (Hdb.Audit_store.length store)
+      (Hdb.Audit_store.lsn store);
+    (match out with
+    | Some path ->
+      Hdb.Audit_csv.save_store path store;
+      Fmt.pr "wrote %s@." path
+    | None -> ());
+    0
+  | "quarantine" ->
+    let q, recovery, undecodable = Audit_mgmt.Quarantine.open_durable log in
+    Fmt.pr "%a" Durable.Recovery.pp recovery;
+    if undecodable > 0 then
+      Fmt.pr "warning: %d CRC-valid records did not decode as quarantine ops@." undecodable;
+    Fmt.pr "%a" Audit_mgmt.Quarantine.pp q;
+    0
+  | other ->
+    Fmt.epr "unknown --kind %S (use audit or quarantine)@." other;
+    2
 
 (* --- analyze --- *)
 
@@ -186,27 +238,13 @@ let run_analyze vocab_name policy_path =
   Fmt.pr "%a" Prima_core.Policy.pp generalized;
   0
 
-(* --- trend --- *)
+(* --- faulty federations (trend, federation-health) --- *)
 
-let run_trend vocab_name policy_path audit_path window =
-  let vocab = vocab_of_name vocab_name in
-  let p_ps = parse_policy_file policy_path in
-  let p_al = Audit_mgmt.To_policy.policy_of_entries (parse_audit_file audit_path) in
-  let points = Prima_core.Trend.compute vocab ~p_ps ~p_al ~window () in
-  Prima_core.Trend.pp Fmt.stdout points;
-  if Prima_core.Trend.drifting points then
-    Fmt.pr "@.warning: coverage is drifting; a refinement run is due@.";
-  0
-
-(* --- federation-health --- *)
-
-(* Degraded-mode drill: split an audit trail round-robin across N sites,
-   wrap every site in a seeded fault injector, consolidate through the
-   fault-tolerant path and print the health report.  The same seed replays
-   the same failure schedule, so a report is reproducible evidence. *)
-let run_federation_health audit_path nsites seed p_unavailable p_timeout p_flaky p_corrupt
-    heal =
-  let entries = parse_audit_file audit_path in
+(* Split an audit trail round-robin across N sites and wrap every site in
+   a seeded fault injector.  The same seed replays the same failure
+   schedule, so every report printed from it is reproducible evidence. *)
+let build_faulty_federation ~entries ~nsites ~seed ~p_unavailable ~p_timeout ~p_flaky
+    ~p_corrupt =
   let nsites = max 1 nsites in
   let sites =
     List.init nsites (fun i ->
@@ -229,6 +267,50 @@ let run_federation_health audit_path nsites seed p_unavailable p_timeout p_flaky
       Audit_mgmt.Federation.add_faulty_site fed
         (Audit_mgmt.Fault.wrap ~config ~seed:(seed + i + 1) site))
     sites;
+  fed
+
+(* --- trend --- *)
+
+(* With --sites N, the trail is consolidated through a fault-injected
+   federation first, so the trend carries the health report — per-site
+   breaker state and trip counts included — and a partial window is
+   labelled as such. *)
+let run_trend vocab_name policy_path audit_path window nsites seed p_unavailable p_timeout
+    p_flaky p_corrupt =
+  let vocab = vocab_of_name vocab_name in
+  let p_ps = parse_policy_file policy_path in
+  let entries = parse_audit_file audit_path in
+  let p_al =
+    if nsites <= 0 then Audit_mgmt.To_policy.policy_of_entries entries
+    else begin
+      let fed =
+        build_faulty_federation ~entries ~nsites ~seed ~p_unavailable ~p_timeout ~p_flaky
+          ~p_corrupt
+      in
+      let result = Audit_mgmt.Federation.consolidated_result fed in
+      let health = result.Audit_mgmt.Federation.health in
+      Fmt.pr "%a@." Audit_mgmt.Health.pp health;
+      if health.Audit_mgmt.Health.completeness < 1.0 then
+        Fmt.pr "note: this trend is computed from a partial window (completeness %.1f%%)@."
+          (100. *. health.Audit_mgmt.Health.completeness);
+      Audit_mgmt.To_policy.policy_of_entries result.Audit_mgmt.Federation.entries
+    end
+  in
+  let points = Prima_core.Trend.compute vocab ~p_ps ~p_al ~window () in
+  Prima_core.Trend.pp Fmt.stdout points;
+  if Prima_core.Trend.drifting points then
+    Fmt.pr "@.warning: coverage is drifting; a refinement run is due@.";
+  0
+
+(* --- federation-health --- *)
+
+let run_federation_health audit_path nsites seed p_unavailable p_timeout p_flaky p_corrupt
+    heal =
+  let entries = parse_audit_file audit_path in
+  let fed =
+    build_faulty_federation ~entries ~nsites ~seed ~p_unavailable ~p_timeout ~p_flaky
+      ~p_corrupt
+  in
   let result = Audit_mgmt.Federation.consolidated_result fed in
   Fmt.pr "%a" Audit_mgmt.Health.pp result.Audit_mgmt.Federation.health;
   let q = Audit_mgmt.Federation.transit_quarantine fed in
@@ -327,8 +409,34 @@ let generate_cmd =
     Arg.(value & opt string "policy.txt" & info [ "policy-out" ] ~docv:"FILE"
            ~doc:"Policy file output path.")
   in
+  let wal_out =
+    Arg.(value & opt (some string) None & info [ "wal-out" ] ~docv:"FILE"
+           ~doc:"Also write the trail as a checksummed write-ahead log.")
+  in
   Cmd.v (Cmd.info "generate" ~doc:"Write a synthetic hospital audit trail and policy to disk")
-    Term.(const run_generate $ seed $ accesses $ audit_out $ policy_out)
+    Term.(const run_generate $ seed $ accesses $ audit_out $ policy_out $ wal_out)
+
+let recover_cmd =
+  let wal =
+    Arg.(required & opt (some file) None & info [ "wal" ] ~docv:"FILE"
+           ~doc:"Write-ahead log file to recover.")
+  in
+  let snapshot =
+    Arg.(value & opt (some file) None & info [ "snapshot" ] ~docv:"FILE"
+           ~doc:"Companion snapshot image, if one was checkpointed.")
+  in
+  let kind =
+    Arg.(value & opt string "audit" & info [ "kind" ] ~docv:"KIND"
+           ~doc:"Payload codec: audit or quarantine.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+           ~doc:"Export the recovered audit entries as CSV (audit kind only).")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Verify a WAL (+ snapshot), print the recovery report and the surviving state")
+    Term.(const run_recover $ wal $ snapshot $ kind $ out)
 
 let analyze_cmd =
   Cmd.v
@@ -336,34 +444,44 @@ let analyze_cmd =
        ~doc:"Redundancy and generalization analysis of a policy store")
     Term.(const run_analyze $ vocab_arg $ policy_arg)
 
+(* Fault-schedule options shared by every command that builds a
+   fault-injected federation. *)
+let fault_seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Fault-schedule seed.")
+
+let unavailable_arg =
+  Arg.(value & opt float 0.2 & info [ "unavailable" ] ~docv:"X"
+         ~doc:"Probability a site is down for the whole run.")
+
+let timeout_arg =
+  Arg.(value & opt float 0.1 & info [ "timeout" ] ~docv:"X"
+         ~doc:"Per-attempt probability of a timeout.")
+
+let flaky_arg =
+  Arg.(value & opt float 0.2 & info [ "flaky" ] ~docv:"X"
+         ~doc:"Per-attempt probability of a transient failure.")
+
+let corrupt_arg =
+  Arg.(value & opt float 0.05 & info [ "corrupt" ] ~docv:"X"
+         ~doc:"Per-record probability of corruption in transit.")
+
 let trend_cmd =
   let window =
     Arg.(value & opt int 100 & info [ "window" ] ~docv:"N" ~doc:"Window size in time ticks.")
   in
+  let sites =
+    Arg.(value & opt int 0 & info [ "sites" ] ~docv:"N"
+           ~doc:"Consolidate through N fault-injected sites first and print their health \
+                 (0: read the trail directly).")
+  in
   Cmd.v (Cmd.info "trend" ~doc:"Windowed coverage trend of an audit trail")
-    Term.(const run_trend $ vocab_arg $ policy_arg $ audit_arg $ window)
+    Term.(const run_trend $ vocab_arg $ policy_arg $ audit_arg $ window $ sites
+          $ fault_seed_arg $ unavailable_arg $ timeout_arg $ flaky_arg $ corrupt_arg)
 
 let federation_health_cmd =
   let sites =
     Arg.(value & opt int 3 & info [ "sites" ] ~docv:"N"
            ~doc:"Number of sites to spread the trail across.")
-  in
-  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Fault-schedule seed.") in
-  let unavailable =
-    Arg.(value & opt float 0.2 & info [ "unavailable" ] ~docv:"X"
-           ~doc:"Probability a site is down for the whole run.")
-  in
-  let timeout =
-    Arg.(value & opt float 0.1 & info [ "timeout" ] ~docv:"X"
-           ~doc:"Per-attempt probability of a timeout.")
-  in
-  let flaky =
-    Arg.(value & opt float 0.2 & info [ "flaky" ] ~docv:"X"
-           ~doc:"Per-attempt probability of a transient failure.")
-  in
-  let corrupt =
-    Arg.(value & opt float 0.05 & info [ "corrupt" ] ~docv:"X"
-           ~doc:"Per-record probability of corruption in transit.")
   in
   let heal =
     Arg.(value & flag & info [ "heal" ] ~doc:"Also show the report after healing all sites.")
@@ -371,15 +489,15 @@ let federation_health_cmd =
   Cmd.v
     (Cmd.info "federation-health"
        ~doc:"Consolidate a trail across fault-injected sites and print the health report")
-    Term.(const run_federation_health $ audit_arg $ sites $ seed $ unavailable $ timeout
-          $ flaky $ corrupt $ heal)
+    Term.(const run_federation_health $ audit_arg $ sites $ fault_seed_arg $ unavailable_arg
+          $ timeout_arg $ flaky_arg $ corrupt_arg $ heal)
 
 let main_cmd =
   Cmd.group
     (Cmd.info "prima" ~version:"1.0.0"
        ~doc:"PRIMA: privacy policy coverage and refinement for healthcare")
     [ paper_cmd; coverage_cmd; refine_cmd; mine_cmd; simulate_cmd; generate_cmd; analyze_cmd;
-      trend_cmd; federation_health_cmd ]
+      trend_cmd; federation_health_cmd; recover_cmd ]
 
 let () =
   (* PRIMA_VERBOSE=1 surfaces refinement and enforcement decision logs. *)

@@ -25,14 +25,17 @@ type t = {
   mutable failures : int; (* consecutive, while Closed *)
   mutable successes : int; (* consecutive, while Half_open *)
   mutable opened_at : int; (* clock value of the last trip *)
+  mutable trips : int; (* lifetime Closed/Half_open -> Open transitions *)
 }
 
 let create ?(config = default_config) () =
-  { config; state = Closed; failures = 0; successes = 0; opened_at = 0 }
+  { config; state = Closed; failures = 0; successes = 0; opened_at = 0; trips = 0 }
 
 let state t = t.state
 
 let config t = t.config
+
+let trips t = t.trips
 
 (* May a request proceed at simulated time [now]?  Open transitions to
    Half_open here once the cooldown has elapsed. *)
@@ -52,7 +55,8 @@ let trip t ~now =
   t.state <- Open;
   t.opened_at <- now;
   t.failures <- 0;
-  t.successes <- 0
+  t.successes <- 0;
+  t.trips <- t.trips + 1
 
 let record_success t =
   match t.state with
@@ -80,4 +84,5 @@ let pp_state ppf = function
   | Half_open -> Fmt.string ppf "half-open"
 
 let pp ppf t =
-  Fmt.pf ppf "%a (failures %d, successes %d)" pp_state t.state t.failures t.successes
+  Fmt.pf ppf "%a (failures %d, successes %d, trips %d)" pp_state t.state t.failures
+    t.successes t.trips

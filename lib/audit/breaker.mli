@@ -23,6 +23,9 @@ val create : ?config:config -> unit -> t
 val state : t -> state
 val config : t -> config
 
+val trips : t -> int
+(** Lifetime count of trips to [Open] — how often this site has flapped. *)
+
 val allow : t -> now:int -> bool
 (** May a request proceed at simulated time [now]?  [Open] transitions to
     [Half_open] here once the cooldown has elapsed. *)

@@ -238,6 +238,7 @@ let consolidated_result t : result_t =
               quarantined = ingest_q;
               skipped_entries = store_len;
               breaker = Breaker.state m.breaker;
+              trips = Breaker.trips m.breaker;
             }
           in
           (streams, h :: healths)
@@ -258,6 +259,7 @@ let consolidated_result t : result_t =
                 quarantined = ingest_q + corrupted;
                 skipped_entries = 0;
                 breaker = Breaker.state m.breaker;
+                trips = Breaker.trips m.breaker;
               }
             in
             (sort_defensively fetched.Fault.delivered :: streams, h :: healths)
@@ -270,6 +272,7 @@ let consolidated_result t : result_t =
                 quarantined = ingest_q;
                 skipped_entries = store_len;
                 breaker = Breaker.state m.breaker;
+                trips = Breaker.trips m.breaker;
               }
             in
             (streams, h :: healths))

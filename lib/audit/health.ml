@@ -20,6 +20,7 @@ type site_health = {
   quarantined : int; (* ingest-quarantined + corrupted-in-transit *)
   skipped_entries : int; (* entries stranded when the site was skipped *)
   breaker : Breaker.state;
+  trips : int; (* lifetime breaker trips for this site *)
 }
 
 type t = {
@@ -61,9 +62,10 @@ let pp_status ppf = function
   | Skipped reason -> Fmt.string ppf (skip_reason_to_string reason)
 
 let pp_site ppf s =
-  Fmt.pf ppf "%-16s %-24s entries=%d quarantined=%d stranded=%d breaker=%a" s.site
+  Fmt.pf ppf "%-16s %-24s entries=%d quarantined=%d stranded=%d breaker=%a trips=%d"
+    s.site
     (Fmt.str "%a" pp_status s.status)
-    s.entries s.quarantined s.skipped_entries Breaker.pp_state s.breaker
+    s.entries s.quarantined s.skipped_entries Breaker.pp_state s.breaker s.trips
 
 let pp ppf t =
   Fmt.pf ppf "federation health: %d/%d records delivered (completeness %.1f%%)@."

@@ -22,6 +22,7 @@ type site_health = {
   quarantined : int;
   skipped_entries : int;
   breaker : Breaker.state;
+  trips : int;  (** lifetime breaker trips for this site *)
 }
 
 type t = {

@@ -36,5 +36,35 @@ val take_site : t -> site:string -> item list
     still fails. *)
 
 val clear : t -> unit
+
+(** {2 Durability}
+
+    A quarantine may sit on a {!Durable.Log.t}: every mutation ({!add},
+    {!remove}, {!clear}) is then framed as an op record into the
+    write-ahead log {e before} the tables change, so quarantined items —
+    and their resolution — survive a restart.  Mutations are durable once
+    {!sync}ed; {!checkpoint} compacts the op history into a snapshot of
+    the live items. *)
+
+val attach_log : t -> Durable.Log.t -> unit
+(** Future mutations are write-ahead logged.  Items already held are
+    {e not} retro-logged — attach at creation or via {!restore}. *)
+
+val log : t -> Durable.Log.t option
+
+val sync : t -> unit
+(** fsync the attached log (no-op without one). *)
+
+val checkpoint : t -> unit
+(** Write the live items as a snapshot image and truncate the WAL. *)
+
+val restore : t -> Durable.Log.t -> Durable.Recovery.t * int
+(** Open-or-recover [log], replay the verified ops into [t] (assumed
+    fresh), attach the log, and return the recovery report plus the count
+    of ops that no longer decode (0 unless the codec changed). *)
+
+val open_durable : Durable.Log.t -> t * Durable.Recovery.t * int
+(** [create] + {!restore}. *)
+
 val pp_item : Format.formatter -> item -> unit
 val pp : Format.formatter -> t -> unit

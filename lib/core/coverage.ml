@@ -102,9 +102,12 @@ type qualified = {
   qualifier : qualifier;
 }
 
-let qualify ~completeness stats =
-  if completeness >= 1.0 then { stats; qualifier = Exact }
-  else { stats; qualifier = Lower_bound completeness }
+(* [verified:false] means the trail itself is suspect — typically a crash
+   recovery dropped an unverifiable WAL tail — so even a nominally complete
+   window only bounds coverage from below. *)
+let qualify ?(verified = true) ~completeness stats =
+  if verified && completeness >= 1.0 then { stats; qualifier = Exact }
+  else { stats; qualifier = Lower_bound (Float.min completeness 1.0) }
 
 let is_exact = function { qualifier = Exact; _ } -> true | _ -> false
 

@@ -64,9 +64,12 @@ type qualified = {
     a pattern can look "already covered" only because its counter-evidence
     is missing. *)
 
-val qualify : completeness:float -> stats -> qualified
-(** [Exact] when [completeness >= 1.0], [Lower_bound completeness]
-    otherwise. *)
+val qualify : ?verified:bool -> completeness:float -> stats -> qualified
+(** [Exact] when [completeness >= 1.0] and the trail is [verified]
+    (default); [Lower_bound completeness] otherwise.  Pass
+    [~verified:false] when the trail itself is suspect — e.g. crash
+    recovery dropped an unverifiable WAL tail — to force the lower-bound
+    label even over a nominally complete window. *)
 
 val is_exact : qualified -> bool
 val pp_qualifier : Format.formatter -> qualifier -> unit

@@ -55,15 +55,16 @@ let in_training t = Policy.cardinality t.p_al < t.training_minimum
    patterns extend the policy store in place.  [Error] while the training
    period has not accumulated enough log.  [completeness] qualifies the
    epoch's coverage readings when P_AL came from a partial consolidation. *)
-let refine ?(completeness = 1.0) t : (Refinement.epoch_report, string) result =
+let refine ?(completeness = 1.0) ?(verified = true) t :
+    (Refinement.epoch_report, string) result =
   if in_training t then
     Error
       (Printf.sprintf "training period: %d/%d audit entries collected"
          (Policy.cardinality t.p_al) t.training_minimum)
   else begin
     let report =
-      Refinement.run_epoch ~config:t.refinement_config ~completeness ~vocab:t.vocab
-        ~p_ps:t.p_ps ~p_al:t.p_al ()
+      Refinement.run_epoch ~config:t.refinement_config ~completeness ~verified
+        ~vocab:t.vocab ~p_ps:t.p_ps ~p_al:t.p_al ()
     in
     t.p_ps <- report.Refinement.p_ps';
     t.history <- report :: t.history;

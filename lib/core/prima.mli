@@ -45,7 +45,8 @@ val coverage : t -> coverage_report
 
 val in_training : t -> bool
 
-val refine : ?completeness:float -> t -> (Refinement.epoch_report, string) result
+val refine :
+  ?completeness:float -> ?verified:bool -> t -> (Refinement.epoch_report, string) result
 (** One refinement pass over everything collected so far; accepted patterns
     extend the store in place.  [Error] during the training period.
     [completeness] (default 1.0) qualifies the epoch's coverage readings

@@ -62,8 +62,8 @@ type epoch_report = {
    onto the pattern attributes once and shared by both coverage calls; the
    second call grounds the same rules as the first plus the accepted
    patterns, so it runs almost entirely out of the grounding memo. *)
-let run_epoch ?(config = default_config) ?(completeness = 1.0) ~vocab ~p_ps ~p_al () :
-    epoch_report =
+let run_epoch ?(config = default_config) ?(completeness = 1.0) ?(verified = true) ~vocab
+    ~p_ps ~p_al () : epoch_report =
   let attrs = Vocabulary.Audit_attrs.pattern in
   let practice = Filter.run ~keep_prohibitions:config.keep_prohibitions p_al in
   let patterns = Extract_patterns.run ~backend:config.backend practice in
@@ -90,8 +90,7 @@ let run_epoch ?(config = default_config) ?(completeness = 1.0) ~vocab ~p_ps ~p_a
     p_ps';
     coverage_before;
     coverage_after;
-    qualifier =
-      (if completeness >= 1.0 then Coverage.Exact else Coverage.Lower_bound completeness);
+    qualifier = (Coverage.qualify ~verified ~completeness coverage_after).Coverage.qualifier;
   }
 
 (* Iterated refinement over a stream of audit batches: each epoch sees one

@@ -49,6 +49,7 @@ type epoch_report = {
 val run_epoch :
   ?config:config ->
   ?completeness:float ->
+  ?verified:bool ->
   vocab:Vocabulary.Vocab.t ->
   p_ps:Policy.t ->
   p_al:Policy.t ->
@@ -56,7 +57,10 @@ val run_epoch :
   epoch_report
 (** [completeness] (default 1.0) is the fraction of the audit window that
     was actually consolidated; below 1.0 the report's coverage readings are
-    labelled {!Coverage.Lower_bound}. *)
+    labelled {!Coverage.Lower_bound}.  [verified] (default [true]) states
+    whether the trail itself is trustworthy; [false] — e.g. crash recovery
+    dropped an unverifiable WAL tail — forces the lower-bound label even at
+    completeness 1.0. *)
 
 val run_epochs :
   ?config:config ->

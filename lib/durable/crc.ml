@@ -1,0 +1,26 @@
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320): the checksum
+   every WAL and snapshot record carries.  Detects all single-bit flips and
+   all burst errors up to 32 bits, which covers the fault injector's
+   corruption repertoire.  Values are 32-bit and therefore always fit a
+   native OCaml int. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1) else c := !c lsr 1
+         done;
+         !c))
+
+let update crc s ~pos ~len =
+  let table = Lazy.force table in
+  let crc = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    crc := table.((!crc lxor Char.code s.[i]) land 0xFF) lxor (!crc lsr 8)
+  done;
+  !crc lxor 0xFFFFFFFF
+
+let string s = update 0 s ~pos:0 ~len:(String.length s)
+
+let strings parts = List.fold_left (fun crc s -> update crc s ~pos:0 ~len:(String.length s)) 0 parts

@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+
+    The checksum every WAL and snapshot record carries.  Detects all
+    single-bit flips and all burst errors up to 32 bits — the fault
+    injector's corruption repertoire.  Results are 32-bit values in a
+    native int. *)
+
+val string : string -> int
+
+val strings : string list -> int
+(** CRC of the concatenation, without concatenating. *)
+
+val update : int -> string -> pos:int -> len:int -> int
+(** Extend a running checksum over a substring. *)

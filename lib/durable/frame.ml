@@ -1,0 +1,83 @@
+(* Length-prefixed, checksummed record framing shared by the WAL and the
+   snapshot image:
+
+     [length : u32 LE] [crc32 : u32 LE] [payload bytes]
+
+   The CRC covers the length bytes *and* the payload, so a flipped length
+   field fails verification even when the corrupted length happens to stay
+   in bounds.  [scan] distinguishes a clean end of log from a tail that
+   cannot be verified — the distinction recovery reports. *)
+
+let header_size = 8
+
+(* Generous but bounded: a corrupted length field must not convince the
+   scanner to allocate gigabytes. *)
+let max_payload = 1 lsl 28
+
+let put_u32 buffer n =
+  for shift = 0 to 3 do
+    Buffer.add_char buffer (Char.chr ((n lsr (8 * shift)) land 0xFF))
+  done
+
+let get_u32 s pos =
+  let byte i = Char.code s.[pos + i] in
+  byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24)
+
+let put_u64 buffer n =
+  for shift = 0 to 7 do
+    Buffer.add_char buffer (Char.chr ((n lsr (8 * shift)) land 0xFF))
+  done
+
+let get_u64 s pos =
+  let n = ref 0 in
+  for i = 7 downto 0 do
+    n := (!n lsl 8) lor Char.code s.[pos + i]
+  done;
+  !n
+
+let length_bytes n =
+  let buffer = Buffer.create 4 in
+  put_u32 buffer n;
+  Buffer.contents buffer
+
+let add buffer payload =
+  let len = String.length payload in
+  if len > max_payload then invalid_arg "Frame.add: payload too large";
+  let len_bytes = length_bytes len in
+  Buffer.add_string buffer len_bytes;
+  put_u32 buffer (Crc.strings [ len_bytes; payload ]);
+  Buffer.add_string buffer payload
+
+let encode payload =
+  let buffer = Buffer.create (header_size + String.length payload) in
+  add buffer payload;
+  Buffer.contents buffer
+
+type scan_result =
+  | Record of { payload : string; next : int }
+  | End (* exactly at the end of the image: a clean boundary *)
+  | Bad of string (* the remaining tail cannot be verified *)
+
+let scan image ~pos =
+  let n = String.length image in
+  if pos = n then End
+  else if pos + header_size > n then Bad "truncated record header"
+  else begin
+    let len = get_u32 image pos in
+    if len > max_payload then Bad "implausible record length"
+    else if pos + header_size + len > n then Bad "record extends past end of log"
+    else begin
+      let stored = get_u32 image (pos + 4) in
+      let computed =
+        Crc.update
+          (Crc.update 0 image ~pos ~len:4)
+          image ~pos:(pos + header_size) ~len
+      in
+      if stored <> computed then Bad "record checksum mismatch"
+      else
+        Record
+          { payload = String.sub image (pos + header_size) len;
+            next = pos + header_size + len;
+          }
+    end
+  end

@@ -1,0 +1,29 @@
+(** Length-prefixed, checksummed record framing shared by the WAL and the
+    snapshot image: [[length : u32 LE] [crc32 : u32 LE] [payload]].  The
+    CRC covers the length bytes and the payload, so a flipped length field
+    fails verification even when it stays in bounds. *)
+
+val header_size : int
+val max_payload : int
+
+val add : Buffer.t -> string -> unit
+(** Append one framed record.
+    @raise Invalid_argument when the payload exceeds {!max_payload}. *)
+
+val encode : string -> string
+
+type scan_result =
+  | Record of { payload : string; next : int }
+  | End  (** exactly at the end of the image: a clean boundary *)
+  | Bad of string  (** the remaining tail cannot be verified *)
+
+val scan : string -> pos:int -> scan_result
+(** Verify the record starting at [pos] of a stable image. *)
+
+(** Little-endian integer plumbing, shared with the WAL/snapshot headers
+    and the wire codecs of the stores built on top. *)
+
+val put_u32 : Buffer.t -> int -> unit
+val get_u32 : string -> int -> int
+val put_u64 : Buffer.t -> int -> unit
+val get_u64 : string -> int -> int

@@ -1,0 +1,35 @@
+(** The durable pair a store sits on: one WAL device and one snapshot
+    device, with the open-or-recover and checkpoint protocols in one
+    place.
+
+    Checkpoint ordering: the snapshot image is written and synced {e
+    before} the WAL is reformatted, so a crash anywhere in between loses
+    no verified record and duplicates none (recovery skips the overlap). *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** A fresh in-memory pair; [seed] feeds the devices' crash-damage PRNGs. *)
+
+val of_devices : wal:Device.t -> snapshot:Device.t -> t
+(** Wrap existing devices — e.g. the surviving media of a "crashed"
+    process, or images loaded from real files. *)
+
+val wal_device : t -> Device.t
+val snapshot_device : t -> Device.t
+
+val open_or_recover : t -> Recovery.t
+(** Run recovery over both devices, adopt the verified WAL prefix (or
+    format a fresh WAL when the file is virgin or unusable), and return
+    the report. *)
+
+val append : t -> string -> int
+(** Append one record, returning its LSN; opens the log first if nobody
+    did.  Not durable until {!sync}. *)
+
+val sync : t -> unit
+val next_lsn : t -> int
+
+val checkpoint : t -> entries:string list -> unit
+(** Sync, write [entries] as the new snapshot image, then truncate the
+    WAL to empty at the snapshot's LSN. *)

@@ -1,0 +1,35 @@
+(** Crash recovery: scan a snapshot device and a WAL device, verify every
+    checksum, stop at the first record that does not verify.
+
+    Contract: {!run} returns a {e verified prefix} of what was appended —
+    never reordered, never a corrupted record surfaced — and reports
+    whatever it had to drop, so downstream coverage can be downgraded to a
+    lower bound.  Reconciliation handles every state the checkpoint
+    protocol can crash in (overlapping WAL after an interrupted
+    truncation, missing or invalid snapshot, LSN gaps). *)
+
+type t = {
+  entries : string list;  (** the verified logical log, in append order *)
+  snapshot_lsn : int;  (** 0 when no snapshot image contributed *)
+  snapshot_entries : int;
+  wal_entries : int;  (** records the WAL contributed after overlap skip *)
+  dropped_tail : int;  (** unverifiable trailing WAL bytes discarded *)
+  tail_error : string option;  (** why the WAL scan stopped early *)
+  snapshot_error : string option;
+  next_lsn : int;  (** where appends resume *)
+  wal_ok : bool;  (** the WAL file is adoptable as-is (see {!Log}) *)
+  wal_base_lsn : int;
+  wal_records : int;
+  wal_verified_bytes : int;
+}
+
+val run : wal:Device.t -> snapshot:Device.t -> t
+
+val clean : t -> bool
+(** Nothing was dropped and both images verified. *)
+
+val dropped_tail : t -> bool
+(** Some appended bytes did not survive: coverage over the recovered trail
+    is a lower bound. *)
+
+val pp : Format.formatter -> t -> unit

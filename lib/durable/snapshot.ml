@@ -1,0 +1,59 @@
+(* A compact point-in-time image of a store, written at a checkpoint so the
+   WAL can be truncated:
+
+     [magic "PSNP0001" : 8] [lsn : u64 LE] [count : u32 LE]  -- header
+     [Frame]*                                                -- count records
+
+   [lsn] is the LSN the image covers up to (exclusive): replay resumes at
+   a WAL whose base_lsn equals it.  The image is all-or-nothing — it is
+   written to its device and synced *before* the WAL is truncated, and a
+   reader rejects any image whose record count or framing does not verify,
+   falling back to the WAL that still holds everything. *)
+
+let magic = "PSNP0001"
+
+let header_size = String.length magic + 8 + 4
+
+type t = {
+  lsn : int;
+  entries : string list;
+}
+
+(* Replace the device's contents with a fresh image and sync it. *)
+let write device ~lsn ~entries =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer magic;
+  Frame.put_u64 buffer lsn;
+  Frame.put_u32 buffer (List.length entries);
+  List.iter (Frame.add buffer) entries;
+  Device.truncate device 0;
+  Device.append device (Buffer.contents buffer);
+  Device.sync device
+
+(* [Ok None] on an empty device (no checkpoint yet); [Error] on an image
+   that does not verify end-to-end. *)
+let read device =
+  let image = Device.contents device in
+  if image = "" then Ok None
+  else if String.length image < header_size then Error "truncated snapshot header"
+  else if String.sub image 0 (String.length magic) <> magic then Error "bad snapshot magic"
+  else begin
+    let lsn = Frame.get_u64 image (String.length magic) in
+    let count = Frame.get_u32 image (String.length magic + 8) in
+    if lsn < 0 then Error "implausible snapshot LSN"
+    else begin
+      let rec records acc pos remaining =
+        if remaining = 0 then
+          if pos = String.length image then Ok (List.rev acc)
+          else Error "snapshot has trailing bytes"
+        else
+          match Frame.scan image ~pos with
+          | Frame.Record { payload; next } -> records (payload :: acc) next (remaining - 1)
+          | Frame.End -> Error "snapshot missing records"
+          | Frame.Bad why -> Error (Printf.sprintf "snapshot record invalid: %s" why)
+      in
+      match records [] header_size count with
+      | Ok entries -> Ok (Some { lsn; entries })
+      | Error _ as e -> e
+    end
+  end

@@ -1,0 +1,21 @@
+(** A compact point-in-time image of a store, written at a checkpoint so
+    the WAL can be truncated.
+
+    [lsn] is the LSN the image covers up to (exclusive): replay resumes at
+    a WAL whose [base_lsn] equals it.  The image is all-or-nothing: written
+    and synced {e before} the WAL is truncated, and rejected wholesale when
+    any part fails to verify — the WAL then still holds everything. *)
+
+val magic : string
+
+type t = {
+  lsn : int;
+  entries : string list;
+}
+
+val write : Device.t -> lsn:int -> entries:string list -> unit
+(** Replace the device's contents with a fresh image and sync it. *)
+
+val read : Device.t -> (t option, string) result
+(** [Ok None] on an empty device (no checkpoint yet); [Error] when the
+    image does not verify end-to-end. *)

@@ -1,0 +1,69 @@
+(* The write-ahead log: an append-only sequence of framed records behind a
+   fixed header.
+
+     [magic "PWAL0001" : 8 bytes] [base_lsn : u64 LE]  -- header
+     [Frame]*                                          -- records
+
+   LSNs are global record indexes: the record at LSN [l] is the [l]-th
+   entry ever appended to the logical log, across snapshot truncations.
+   [base_lsn] is the LSN of this file's first record — 0 for a virgin log,
+   the snapshot's LSN after a checkpoint truncated the file.
+
+   Appends go to the device's page cache; [sync] is the fsync point.  A
+   record is durable only once synced — the crash-point suite is built on
+   exactly that boundary. *)
+
+let magic = "PWAL0001"
+
+let header_size = String.length magic + 8
+
+let header_bytes ~base_lsn =
+  let buffer = Buffer.create header_size in
+  Buffer.add_string buffer magic;
+  Frame.put_u64 buffer base_lsn;
+  Buffer.contents buffer
+
+(* Parse the header of a stable image.  [Ok base_lsn] or why not. *)
+let read_header image =
+  if String.length image < header_size then Error "missing or truncated WAL header"
+  else if String.sub image 0 (String.length magic) <> magic then Error "bad WAL magic"
+  else begin
+    let base_lsn = Frame.get_u64 image (String.length magic) in
+    if base_lsn < 0 then Error "implausible WAL base LSN" else Ok base_lsn
+  end
+
+type t = {
+  device : Device.t;
+  base_lsn : int;
+  mutable next_lsn : int;
+}
+
+(* Initialise (or re-initialise after a checkpoint) the device as an empty
+   log starting at [base_lsn].  The header is synced immediately: an
+   unreadable header is indistinguishable from data loss, so it is never
+   left in the page cache. *)
+let format device ~base_lsn =
+  Device.truncate device 0;
+  Device.append device (header_bytes ~base_lsn);
+  Device.sync device;
+  { device; base_lsn; next_lsn = base_lsn }
+
+(* Adopt a device whose image recovery has already verified: the stable
+   image is cut back to the verified prefix ([verified_bytes]) so the
+   unverifiable tail can never resurface, and appends continue at the
+   next LSN. *)
+let reopen device ~base_lsn ~entries ~verified_bytes =
+  Device.truncate device verified_bytes;
+  { device; base_lsn; next_lsn = base_lsn + entries }
+
+let device t = t.device
+let base_lsn t = t.base_lsn
+let next_lsn t = t.next_lsn
+
+let append t payload =
+  let lsn = t.next_lsn in
+  Device.append t.device (Frame.encode payload);
+  t.next_lsn <- lsn + 1;
+  lsn
+
+let sync t = Device.sync t.device

@@ -1,0 +1,36 @@
+(** The write-ahead log: framed records behind a fixed header
+    ([magic "PWAL0001"], [base_lsn : u64 LE]).
+
+    LSNs are global record indexes across snapshot truncations; [base_lsn]
+    is the LSN of the file's first record.  Appends land in the device's
+    page cache; {!sync} is the fsync point — a record is durable only once
+    synced. *)
+
+val magic : string
+val header_size : int
+
+val read_header : string -> (int, string) result
+(** The [base_lsn] of a stable image, or why it has no readable header. *)
+
+type t
+
+val format : Device.t -> base_lsn:int -> t
+(** Initialise the device as an empty log at [base_lsn]; the header is
+    synced immediately. *)
+
+val reopen : Device.t -> base_lsn:int -> entries:int -> verified_bytes:int -> t
+(** Adopt a recovered device: the stable image is truncated to the
+    verified prefix so an unverifiable tail can never resurface, and
+    appends continue at [base_lsn + entries]. *)
+
+val device : t -> Device.t
+val base_lsn : t -> int
+
+val next_lsn : t -> int
+(** The LSN the next {!append} will receive. *)
+
+val append : t -> string -> int
+(** Write one record into the page cache; returns its LSN.  Not durable
+    until {!sync}. *)
+
+val sync : t -> unit

@@ -21,27 +21,39 @@ let to_string entries =
   String.concat "\n" (header :: List.map entry_to_line entries) ^ "\n"
 
 let of_string text : Audit_schema.entry list =
-  match Relational.Csv.parse_line_seq text with
+  match Relational.Csv.parse_line_seq_numbered text with
   | [] -> []
-  | got_header :: rows ->
+  | (_, got_header) :: rows ->
     if List.map String.lowercase_ascii got_header <> expected_columns then
       raise
         (Bad_csv (Printf.sprintf "header must be %S, got %S" header
                     (String.concat "," got_header)));
     (* Blank lines parse as a single empty field; skip them. *)
-    let rows = List.filter (fun row -> row <> [] && row <> [ "" ]) rows in
+    let rows = List.filter (fun (_, row) -> row <> [] && row <> [ "" ]) rows in
     List.map
-      (fun row ->
+      (fun (line, row) ->
         match row with
         | [ time; op; user; data; purpose; authorized; status ] -> begin
           match int_of_string_opt time, int_of_string_opt op, int_of_string_opt status with
-          | Some time, Some op, Some status ->
-            Audit_schema.entry ~time ~op:(Audit_schema.op_of_int op) ~user ~data ~purpose
-              ~authorized
-              ~status:(Audit_schema.status_of_int status)
-          | _ -> raise (Bad_csv ("unreadable numeric field in: " ^ String.concat "," row))
+          | Some time, Some op, Some status -> begin
+            try
+              Audit_schema.entry ~time ~op:(Audit_schema.op_of_int op) ~user ~data ~purpose
+                ~authorized
+                ~status:(Audit_schema.status_of_int status)
+            with Invalid_argument why ->
+              raise (Bad_csv (Printf.sprintf "line %d: %s" line why))
+          end
+          | _ ->
+            raise
+              (Bad_csv
+                 (Printf.sprintf "line %d: unreadable numeric field in: %s" line
+                    (String.concat "," row)))
         end
-        | _ -> raise (Bad_csv ("wrong arity in row: " ^ String.concat "," row)))
+        | _ ->
+          raise
+            (Bad_csv
+               (Printf.sprintf "line %d: expected %d columns, got %d: %s" line
+                  (List.length expected_columns) (List.length row) (String.concat "," row))))
       rows
 
 let save path entries =

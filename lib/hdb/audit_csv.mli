@@ -10,8 +10,10 @@ val entry_to_line : Audit_schema.entry -> string
 val to_string : Audit_schema.entry list -> string
 
 val of_string : string -> Audit_schema.entry list
-(** @raise Bad_csv on a wrong header, wrong arity, or unreadable numeric
-    fields. *)
+(** @raise Bad_csv on a wrong header — and, with the offending 1-based
+    line number in the message ["line N: ..."], on a row with the wrong
+    column count, an unreadable numeric field, or an out-of-range
+    op/status value. *)
 
 val save : string -> Audit_schema.entry list -> unit
 val load : string -> Audit_schema.entry list

@@ -112,6 +112,80 @@ let to_assoc e =
     (attr_status, string_of_int (status_to_int e.status));
   ]
 
+(* Binary wire codec for durable storage (the WAL payload format).  CSV is
+   the human interchange; the WAL needs something that round-trips any
+   byte sequence a corrupted upstream might have handed us, so fields are
+   length-prefixed rather than delimited:
+
+     [op : 1] [status : 1] ([len : u16 LE] [bytes]) x5
+                            for time (decimal), user, data, purpose, authorized *)
+
+let add_field buffer s =
+  let len = String.length s in
+  if len > 0xFFFF then invalid_arg "Audit_schema.to_wire: field longer than 65535 bytes";
+  Buffer.add_char buffer (Char.chr (len land 0xFF));
+  Buffer.add_char buffer (Char.chr (len lsr 8));
+  Buffer.add_string buffer s
+
+let to_wire e =
+  let buffer = Buffer.create 64 in
+  Buffer.add_char buffer (Char.chr (op_to_int e.op));
+  Buffer.add_char buffer (Char.chr (status_to_int e.status));
+  add_field buffer (string_of_int e.time);
+  add_field buffer e.user;
+  add_field buffer e.data;
+  add_field buffer e.purpose;
+  add_field buffer e.authorized;
+  Buffer.contents buffer
+
+(* Total parser: a WAL payload has already passed its CRC, so a [None]
+   here means a codec mismatch, not bit rot — the caller decides whether
+   that is fatal. *)
+let of_wire s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let byte () =
+    if !pos >= n then None
+    else begin
+      let b = Char.code s.[!pos] in
+      incr pos;
+      Some b
+    end
+  in
+  let field () =
+    if !pos + 2 > n then None
+    else begin
+      let len = Char.code s.[!pos] lor (Char.code s.[!pos + 1] lsl 8) in
+      pos := !pos + 2;
+      if !pos + len > n then None
+      else begin
+        let f = String.sub s !pos len in
+        pos := !pos + len;
+        Some f
+      end
+    end
+  in
+  let ( let* ) = Option.bind in
+  let* op = byte () in
+  let* status = byte () in
+  let* time = field () in
+  let* user = field () in
+  let* data = field () in
+  let* purpose = field () in
+  let* authorized = field () in
+  let* time = int_of_string_opt time in
+  if !pos <> n || op > 1 || status > 1 then None
+  else
+    Some
+      { time;
+        op = op_of_int op;
+        user;
+        data;
+        purpose;
+        authorized;
+        status = status_of_int status;
+      }
+
 let equal (a : entry) (b : entry) = a = b
 
 let pp ppf e =

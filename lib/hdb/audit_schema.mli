@@ -68,5 +68,13 @@ val to_assoc : entry -> (string * string) list
 (** The entry as the paper's rule of seven RuleTerms (ints rendered as
     strings). *)
 
+val to_wire : entry -> string
+(** Binary WAL payload: length-prefixed fields, round-trips any bytes.
+    @raise Invalid_argument on a field longer than 65535 bytes. *)
+
+val of_wire : string -> entry option
+(** Total inverse of {!to_wire}.  [None] is a codec mismatch: the payload
+    already passed its checksum when it reached this parser. *)
+
 val equal : entry -> entry -> bool
 val pp : Format.formatter -> entry -> unit

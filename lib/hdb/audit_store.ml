@@ -84,6 +84,10 @@ type t = {
   authorized_ids : int_vec;
   ops : bitvec;
   statuses : bitvec;
+  (* Write-ahead durability (optional): every append is framed into the
+     log before touching the columns, so after a crash the recovered WAL
+     prefix is always a prefix of what this store held. *)
+  mutable log : Durable.Log.t option;
 }
 
 let create () =
@@ -98,11 +102,14 @@ let create () =
     authorized_ids = vec_create ();
     ops = bitvec_create ();
     statuses = bitvec_create ();
+    log = None;
   }
 
 let length t = t.times.len
 
-let append t (e : Audit_schema.entry) =
+(* Column update alone — shared by the public append (which logs first)
+   and recovery replay (whose entries are already in the log). *)
+let append_mem t (e : Audit_schema.entry) =
   vec_push t.times e.time;
   vec_push t.user_ids (dict_intern t.users e.user);
   vec_push t.data_ids (dict_intern t.datas e.data);
@@ -110,6 +117,12 @@ let append t (e : Audit_schema.entry) =
   vec_push t.authorized_ids (dict_intern t.authorizeds e.authorized);
   bitvec_push t.ops (e.op = Audit_schema.Allow);
   bitvec_push t.statuses (e.status = Audit_schema.Regular)
+
+let append t (e : Audit_schema.entry) =
+  (match t.log with
+  | Some log -> ignore (Durable.Log.append log (Audit_schema.to_wire e))
+  | None -> ());
+  append_mem t e
 
 let get t i : Audit_schema.entry =
   if i < 0 || i >= length t then invalid_arg "Audit_store.get: index out of bounds";
@@ -140,6 +153,52 @@ let of_entries entries =
   let t = create () in
   append_all t entries;
   t
+
+(* --- durability --- *)
+
+let log t = t.log
+
+let attach_log t log = t.log <- Some log
+
+(* Base LSN of the attached log (0 without one): the store's first entry
+   sits at this LSN, so entry [i] is LSN [base + i]. *)
+let base_lsn t =
+  match t.log with
+  | Some log -> Durable.Log.next_lsn log - length t
+  | None -> 0
+
+let lsn t = base_lsn t + length t
+
+let sync t = Option.iter Durable.Log.sync t.log
+
+(* Replay a recovered log into [t] (assumed fresh), then attach it so new
+   appends are write-ahead.  Payloads that fail to decode are counted —
+   they passed their CRC, so a non-zero count means a codec mismatch, and
+   the caller should treat the trail as degraded. *)
+let restore t log =
+  let recovery = Durable.Log.open_or_recover log in
+  let undecodable = ref 0 in
+  List.iter
+    (fun payload ->
+      match Audit_schema.of_wire payload with
+      | Some e -> append_mem t e
+      | None -> incr undecodable)
+    recovery.Durable.Recovery.entries;
+  t.log <- Some log;
+  (recovery, !undecodable)
+
+let open_durable log =
+  let t = create () in
+  let recovery, undecodable = restore t log in
+  (t, recovery, undecodable)
+
+(* Fold the whole store into a snapshot image and truncate the WAL. *)
+let checkpoint t =
+  match t.log with
+  | None -> ()
+  | Some log ->
+    let entries = fold (fun acc e -> Audit_schema.to_wire e :: acc) [] t in
+    Durable.Log.checkpoint log ~entries:(List.rev entries)
 
 (* Size of the flat row-store equivalent: every string stored inline. *)
 let naive_bytes t =

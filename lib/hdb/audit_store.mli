@@ -21,6 +21,38 @@ val to_list : t -> Audit_schema.entry list
 val append_all : t -> Audit_schema.entry list -> unit
 val of_entries : Audit_schema.entry list -> t
 
+(** {2 Durability}
+
+    A store may sit on a {!Durable.Log.t}: every {!append} is then framed
+    into the write-ahead log {e before} the columns are touched, so the
+    recovered WAL prefix is always a prefix of what the store held.
+    Appends are durable once {!sync}ed; {!checkpoint} compacts the log
+    into a snapshot image. *)
+
+val attach_log : t -> Durable.Log.t -> unit
+(** Future appends are write-ahead logged.  Entries already in the store
+    are {e not} retro-logged — attach at creation or via {!restore}. *)
+
+val log : t -> Durable.Log.t option
+
+val lsn : t -> int
+(** LSN the next append will receive ([base + length]); equals {!length}
+    for a store with no log. *)
+
+val sync : t -> unit
+(** fsync the attached log (no-op without one). *)
+
+val checkpoint : t -> unit
+(** Write the whole store as a snapshot image and truncate the WAL. *)
+
+val restore : t -> Durable.Log.t -> Durable.Recovery.t * int
+(** Open-or-recover [log], replay the verified entries into [t] (assumed
+    fresh), attach the log, and return the recovery report plus the count
+    of payloads that no longer decode (0 unless the codec changed). *)
+
+val open_durable : Durable.Log.t -> t * Durable.Recovery.t * int
+(** [create] + {!restore}. *)
+
 val naive_bytes : t -> int
 (** Estimated size of the flat row-store equivalent (strings inline). *)
 

@@ -18,16 +18,31 @@
    the configured threshold are never auto-accepted — the evidence that
    would have rejected them may simply not have arrived. *)
 
+(* Durable backing for the two stateful components that must survive a
+   crash: the clinical database's audit store and the federation's transit
+   quarantine.  Each gets its own WAL + snapshot pair. *)
+type storage = {
+  audit_log : Durable.Log.t;
+  quarantine_log : Durable.Log.t;
+}
+
+type recovery_report = {
+  audit : Durable.Recovery.t;
+  quarantine : Durable.Recovery.t;
+  undecodable : int; (* CRC-valid payloads that no longer decode *)
+}
+
 type t = {
   control : Hdb.Control_center.t;
   federation : Audit_mgmt.Federation.t;
   prima : Prima_core.Prima.t;
   mutable completeness_threshold : float;
   mutable last_health : Audit_mgmt.Health.t option;
+  recovery : recovery_report option; (* Some iff created with ~storage *)
 }
 
-let create ?(training_minimum = 0) ?(completeness_threshold = 0.9) ?config ~vocab ~p_ps ()
-    =
+let create ?(training_minimum = 0) ?(completeness_threshold = 0.9) ?config ?storage ~vocab
+    ~p_ps () =
   let control = Hdb.Control_center.create ~vocab () in
   (* Seed the enforcement rule base from the initial policy store. *)
   List.iter
@@ -42,10 +57,55 @@ let create ?(training_minimum = 0) ?(completeness_threshold = 0.9) ?config ~voca
       | _ -> ())
     (Prima_core.Policy.rules p_ps);
   let federation = Audit_mgmt.Federation.create () in
+  (* Open-or-recover the durable state before anything writes: the audit
+     store replays its WAL into the control center's (still empty) columns,
+     the quarantine replays its op log into the federation's transit
+     quarantine, and both logs stay attached so new writes are
+     write-ahead. *)
+  let recovery =
+    match storage with
+    | None -> None
+    | Some { audit_log; quarantine_log } ->
+      let audit_recovery, audit_bad =
+        Hdb.Audit_store.restore (Hdb.Control_center.audit_store control) audit_log
+      in
+      let quarantine_recovery, quarantine_bad =
+        Audit_mgmt.Quarantine.restore
+          (Audit_mgmt.Federation.transit_quarantine federation)
+          quarantine_log
+      in
+      Some
+        { audit = audit_recovery;
+          quarantine = quarantine_recovery;
+          undecodable = audit_bad + quarantine_bad;
+        }
+  in
   Audit_mgmt.Federation.add_site federation
     (Audit_mgmt.Site.of_store ~name:"clinical-db" (Hdb.Control_center.audit_store control));
   let prima = Prima_core.Prima.create ~training_minimum ?config ~vocab ~p_ps () in
-  { control; federation; prima; completeness_threshold; last_health = None }
+  { control; federation; prima; completeness_threshold; last_health = None; recovery }
+
+let recovery t = t.recovery
+
+(* Did opening the durable state lose anything?  A dropped WAL tail (or a
+   CRC-valid record that no longer decodes) means the trail on disk is a
+   verified prefix, not necessarily the whole history: every coverage
+   statement over it is only a lower bound. *)
+let durably_degraded t =
+  match t.recovery with
+  | None -> false
+  | Some r ->
+    Durable.Recovery.dropped_tail r.audit
+    || Durable.Recovery.dropped_tail r.quarantine
+    || r.undecodable > 0
+
+let sync_durable t =
+  Hdb.Audit_store.sync (Hdb.Control_center.audit_store t.control);
+  Audit_mgmt.Quarantine.sync (Audit_mgmt.Federation.transit_quarantine t.federation)
+
+let checkpoint_durable t =
+  Hdb.Audit_store.checkpoint (Hdb.Control_center.audit_store t.control);
+  Audit_mgmt.Quarantine.checkpoint (Audit_mgmt.Federation.transit_quarantine t.federation)
 
 let control t = t.control
 let federation t = t.federation
@@ -53,6 +113,24 @@ let prima t = t.prima
 
 let completeness_threshold t = t.completeness_threshold
 let set_completeness_threshold t x = t.completeness_threshold <- x
+
+(* Adaptive completeness gate: the configured threshold is what we demand
+   of a large window, but insisting on it for a handful of records blocks
+   refinement on windows where a single stranded site swings completeness
+   by tens of points.  Pseudo-count smoothing scales the floor with window
+   size — at [n = adaptive_pivot] records the effective threshold is half
+   the configured one, converging to it as the window grows. *)
+let adaptive_pivot = 25
+
+let effective_threshold_for t ~window =
+  t.completeness_threshold *. float_of_int window
+  /. float_of_int (window + adaptive_pivot)
+
+let effective_threshold t =
+  let window =
+    match t.last_health with Some h -> h.Audit_mgmt.Health.total | None -> 0
+  in
+  effective_threshold_for t ~window
 
 let last_health t = t.last_health
 
@@ -90,11 +168,14 @@ type qualified_coverage = {
 let coverage_qualified t : qualified_coverage =
   let health = sync_audit t in
   let c = health.Audit_mgmt.Health.completeness in
+  let verified = not (durably_degraded t) in
   let report = Prima_core.Prima.coverage t.prima in
   { set_semantics =
-      Prima_core.Coverage.qualify ~completeness:c report.Prima_core.Prima.set_semantics;
+      Prima_core.Coverage.qualify ~verified ~completeness:c
+        report.Prima_core.Prima.set_semantics;
     bag_semantics =
-      Prima_core.Coverage.qualify ~completeness:c report.Prima_core.Prima.bag_semantics;
+      Prima_core.Coverage.qualify ~verified ~completeness:c
+        report.Prima_core.Prima.bag_semantics;
     health;
   }
 
@@ -131,15 +212,20 @@ let trend t ~window =
 let refine t : (Prima_core.Refinement.epoch_report, string) result =
   let health = sync_audit t in
   let c = health.Audit_mgmt.Health.completeness in
-  if c < t.completeness_threshold then
+  let floor = effective_threshold_for t ~window:health.Audit_mgmt.Health.total in
+  if c < floor then
     Error
       (Printf.sprintf
-         "degraded audit window: completeness %.1f%% below threshold %.1f%%; refusing to \
-          auto-accept patterns mined from a partial trail"
-         (100. *. c)
-         (100. *. t.completeness_threshold))
+         "degraded audit window: completeness %.1f%% below threshold %.1f%% (configured \
+          %.1f%%, scaled to a %d-record window); refusing to auto-accept patterns mined \
+          from a partial trail"
+         (100. *. c) (100. *. floor)
+         (100. *. t.completeness_threshold)
+         health.Audit_mgmt.Health.total)
   else
-    match Prima_core.Prima.refine ~completeness:c t.prima with
+    match
+      Prima_core.Prima.refine ~completeness:c ~verified:(not (durably_degraded t)) t.prima
+    with
     | Error _ as e -> e
     | Ok report ->
       List.iter (install_pattern t) report.Prima_core.Refinement.accepted;

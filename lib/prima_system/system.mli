@@ -15,10 +15,25 @@
 
 type t
 
+type storage = {
+  audit_log : Durable.Log.t;
+  quarantine_log : Durable.Log.t;
+}
+(** Durable backing for the two stateful components that must survive a
+    crash: the clinical database's audit store and the federation's
+    transit quarantine.  Each is an independent WAL + snapshot pair. *)
+
+type recovery_report = {
+  audit : Durable.Recovery.t;
+  quarantine : Durable.Recovery.t;
+  undecodable : int;  (** CRC-valid payloads that no longer decode *)
+}
+
 val create :
   ?training_minimum:int ->
   ?completeness_threshold:float ->
   ?config:Prima_core.Refinement.config ->
+  ?storage:storage ->
   vocab:Vocabulary.Vocab.t ->
   p_ps:Prima_core.Policy.t ->
   unit ->
@@ -26,7 +41,10 @@ val create :
 (** Seeds the enforcement rule base from [p_ps] and registers the clinical
     database's audit store as the federation's first site.
     [completeness_threshold] (default 0.9) is the minimum consolidation
-    completeness {!refine} accepts. *)
+    completeness {!refine} accepts over a large window (see
+    {!effective_threshold}).  With [storage], the durable state is
+    opened-or-recovered before anything writes, and both logs stay
+    attached so new writes are write-ahead. *)
 
 val control : t -> Hdb.Control_center.t
 val federation : t -> Audit_mgmt.Federation.t
@@ -34,6 +52,29 @@ val prima : t -> Prima_core.Prima.t
 
 val completeness_threshold : t -> float
 val set_completeness_threshold : t -> float -> unit
+
+val effective_threshold : t -> float
+(** The adaptive completeness floor {!refine} actually enforces:
+    [threshold * n / (n + 25)] where [n] is the record count of the last
+    consolidated window.  Small windows — where one stranded site swings
+    completeness by tens of points — get a proportionally lower floor that
+    converges to the configured threshold as the window grows. *)
+
+val recovery : t -> recovery_report option
+(** The crash-recovery reports from {!create} ([Some] iff [~storage] was
+    given). *)
+
+val durably_degraded : t -> bool
+(** Did opening the durable state lose anything — a dropped WAL tail, or a
+    CRC-valid record that no longer decodes?  While true, every coverage
+    statement is labelled {!Prima_core.Coverage.Lower_bound} even over a
+    nominally complete window. *)
+
+val sync_durable : t -> unit
+(** fsync both attached logs (no-op without [~storage]). *)
+
+val checkpoint_durable : t -> unit
+(** Compact both logs: snapshot current state and truncate the WALs. *)
 
 val last_health : t -> Audit_mgmt.Health.t option
 (** The health report of the most recent consolidation, if any. *)
@@ -74,6 +115,7 @@ val refine : t -> (Prima_core.Refinement.epoch_report, string) result
 (** One full cycle: consolidate logs, run Algorithm 2 with the configured
     acceptance, embed accepted patterns into enforcement.  [Error] during
     the training period — and [Error] when consolidation completeness is
-    below {!completeness_threshold}: patterns mined from a partial window
+    below {!effective_threshold}: patterns mined from a partial window
     are never auto-accepted, because the evidence that would have rejected
-    them may simply not have arrived. *)
+    them may simply not have arrived.  After a recovery that dropped a WAL
+    tail, the epoch's coverage readings are lower bounds. *)

@@ -12,12 +12,18 @@ type field = {
   quoted : bool;
 }
 
-let parse_field_seq (input : string) : field list list =
+(* Each record is paired with the 1-based physical line its first field
+   starts on, so parse errors upstream can point at the offending line —
+   quoted fields may span lines, which is why the record index alone is
+   not enough. *)
+let parse_field_seq_numbered (input : string) : (int * field list) list =
   let n = String.length input in
   let records = ref [] in
   let fields = ref [] in
   let buffer = Buffer.create 32 in
   let field_quoted = ref false in
+  let line = ref 1 in
+  let record_start = ref 1 in
   let flush_field () =
     fields := { text = Buffer.contents buffer; quoted = !field_quoted } :: !fields;
     Buffer.clear buffer;
@@ -25,8 +31,12 @@ let parse_field_seq (input : string) : field list list =
   in
   let flush_record () =
     flush_field ();
-    records := List.rev !fields :: !records;
+    records := (!record_start, List.rev !fields) :: !records;
     fields := []
+  in
+  let newline () =
+    incr line;
+    record_start := !line
   in
   let rec plain i =
     if i >= n then begin
@@ -35,8 +45,14 @@ let parse_field_seq (input : string) : field list list =
     else
       match input.[i] with
       | ',' -> flush_field (); plain (i + 1)
-      | '\r' when i + 1 < n && input.[i + 1] = '\n' -> flush_record (); plain (i + 2)
-      | '\n' -> flush_record (); plain (i + 1)
+      | '\r' when i + 1 < n && input.[i + 1] = '\n' ->
+        flush_record ();
+        newline ();
+        plain (i + 2)
+      | '\n' ->
+        flush_record ();
+        newline ();
+        plain (i + 1)
       | '"' when Buffer.length buffer = 0 ->
         field_quoted := true;
         quoted (i + 1)
@@ -51,6 +67,12 @@ let parse_field_seq (input : string) : field list list =
         Buffer.add_char buffer '"';
         quoted (i + 2)
       | '"' -> plain (i + 1)
+      | '\n' as c ->
+        (* Inside quotes the newline is data, but it still advances the
+           physical line counter. *)
+        incr line;
+        Buffer.add_char buffer c;
+        quoted (i + 1)
       | c ->
         Buffer.add_char buffer c;
         quoted (i + 1)
@@ -58,8 +80,16 @@ let parse_field_seq (input : string) : field list list =
   plain 0;
   List.rev !records
 
+let parse_field_seq (input : string) : field list list =
+  List.map snd (parse_field_seq_numbered input)
+
 let parse_line_seq (input : string) : string list list =
   List.map (List.map (fun f -> f.text)) (parse_field_seq input)
+
+let parse_line_seq_numbered (input : string) : (int * string list) list =
+  List.map
+    (fun (line, fields) -> (line, List.map (fun f -> f.text) fields))
+    (parse_field_seq_numbered input)
 
 let parse_value ?(quoted = false) ty text =
   if String.equal text "" then begin

@@ -18,6 +18,14 @@ val parse_field_seq : string -> field list list
 val parse_line_seq : string -> string list list
 (** {!parse_field_seq} with the quoting information dropped. *)
 
+val parse_field_seq_numbered : string -> (int * field list) list
+(** Like {!parse_field_seq}, each record paired with the 1-based physical
+    line its first field starts on — quoted fields may span lines, which
+    is why the record index alone cannot locate an error. *)
+
+val parse_line_seq_numbered : string -> (int * string list) list
+(** {!parse_field_seq_numbered} with the quoting information dropped. *)
+
 val parse_value : ?quoted:bool -> Value.ty -> string -> Value.t
 (** One field under a column type; an empty field is NULL unless [quoted]
     (default [false]) and the column is STRING, in which case it is

@@ -1,0 +1,373 @@
+(* Crash-safety tests for the durable layer: for every injected crash
+   point, recovery must return a verified prefix of what was appended —
+   never a reordered, corrupted or invented record — and everything synced
+   before the crash must survive it (except a truncation that died
+   mid-fsync, which is allowed to lose stable bytes but still only ever
+   shortens the prefix).  On top of the device matrix: WAL -> snapshot ->
+   WAL round-trips, quarantine persistence across a kill/restart, and the
+   system-level downgrade of coverage to a lower bound after a dropped
+   tail. *)
+
+module D = Durable.Device
+module F = Durable.Frame
+module L = Durable.Log
+module R = Durable.Recovery
+module Snap = Durable.Snapshot
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let matrix_seeds = [ 11; 22; 33 ]
+
+let payload i = Printf.sprintf "record-%04d-%s" i (String.make (i mod 7) 'x')
+
+let rec firstn n = function
+  | [] -> []
+  | x :: tl -> if n <= 0 then [] else x :: firstn (n - 1) tl
+
+let is_prefix ~of_:whole part = part = firstn (List.length part) whole
+
+(* Simulate a process restart: a fresh Log over the same (surviving)
+   devices, as if the files were reopened. *)
+let restart log = L.of_devices ~wal:(L.wal_device log) ~snapshot:(L.snapshot_device log)
+
+(* --- the crash-point matrix --- *)
+
+(* Append 30 records, sync after the 17th, crash at [point], recover.
+   Verified-prefix invariant for every point; the synced prefix survives
+   every point except Truncated_sync (which corrupts stable media by
+   design). *)
+let test_crash_matrix point seed () =
+  let appended = List.init 30 payload in
+  let synced = 17 in
+  let log = L.create ~seed () in
+  ignore (L.open_or_recover log);
+  List.iteri
+    (fun i p ->
+      ignore (L.append log p);
+      if i = synced - 1 then L.sync log)
+    appended;
+  D.crash (L.wal_device log) ~point;
+  let r = L.open_or_recover (restart log) in
+  check_bool
+    (Printf.sprintf "%s/%d: recovered a prefix" (D.crash_point_to_string point) seed)
+    true
+    (is_prefix ~of_:appended r.R.entries);
+  if point <> D.Truncated_sync then
+    check_bool
+      (Printf.sprintf "%s/%d: synced prefix survived (%d >= %d)"
+         (D.crash_point_to_string point) seed (List.length r.R.entries) synced)
+      true
+      (List.length r.R.entries >= synced);
+  check_int "next LSN = recovered count" (List.length r.R.entries) r.R.next_lsn
+
+(* After recovery, the log must accept appends again and a second restart
+   must see them — the "recover, keep going, crash again" lifecycle. *)
+let test_resume_after_crash point seed () =
+  let log = L.create ~seed () in
+  ignore (L.open_or_recover log);
+  List.iter (fun p -> ignore (L.append log p)) (List.init 12 payload);
+  L.sync log;
+  List.iter (fun p -> ignore (L.append log (p ^ "-unsynced"))) (List.init 6 payload);
+  D.crash (L.wal_device log) ~point;
+  let log2 = restart log in
+  let r = L.open_or_recover log2 in
+  let resumed_at = L.append log2 "post-crash" in
+  check_int "append resumes at the recovered LSN" r.R.next_lsn resumed_at;
+  L.sync log2;
+  let r2 = L.open_or_recover (restart log2) in
+  check_bool "second recovery is clean" true (R.clean r2);
+  check_bool "post-crash record survived" true
+    (r2.R.entries = r.R.entries @ [ "post-crash" ])
+
+(* --- QCheck parity against an in-memory oracle --- *)
+
+(* Random append/sync schedules, arbitrary payload bytes, one crash at the
+   end.  Oracle: the plain list of appended payloads and how many of them
+   had been synced.  Recovery must agree with the oracle's prefix. *)
+let gen_schedule =
+  let open QCheck2.Gen in
+  let* seed = int_range 0 1000 in
+  let* point = oneofl D.all_crash_points in
+  let* sync_every = int_range 1 9 in
+  let* payloads = list_size (int_range 1 40) (string_size ~gen:char (int_range 0 24)) in
+  return (seed, point, sync_every, payloads)
+
+let print_schedule (seed, point, sync_every, payloads) =
+  Printf.sprintf "seed=%d point=%s sync_every=%d payloads=%d" seed
+    (D.crash_point_to_string point)
+    sync_every (List.length payloads)
+
+let prop_recovery_matches_oracle =
+  QCheck2.Test.make ~name:"recovery = verified prefix of the oracle" ~count:300
+    ~print:print_schedule gen_schedule (fun (seed, point, sync_every, payloads) ->
+      let log = L.create ~seed () in
+      ignore (L.open_or_recover log);
+      let synced = ref 0 in
+      List.iteri
+        (fun i p ->
+          ignore (L.append log p);
+          if (i + 1) mod sync_every = 0 then begin
+            L.sync log;
+            synced := i + 1
+          end)
+        payloads;
+      D.crash (L.wal_device log) ~point;
+      let r = L.open_or_recover (restart log) in
+      is_prefix ~of_:payloads r.R.entries
+      && (point = D.Truncated_sync || List.length r.R.entries >= !synced)
+      && r.R.next_lsn = List.length r.R.entries)
+
+(* --- checkpoint / snapshot --- *)
+
+let test_wal_snapshot_wal_roundtrip () =
+  let all = List.init 15 payload in
+  let log = L.create ~seed:5 () in
+  ignore (L.open_or_recover log);
+  List.iter (fun p -> ignore (L.append log p)) (firstn 10 all);
+  L.sync log;
+  L.checkpoint log ~entries:(firstn 10 all);
+  check_int "WAL truncated to header" Durable.Wal.header_size
+    (D.durable_size (L.wal_device log));
+  List.iteri (fun i p -> check_int "LSN continues" (10 + i) (L.append log p))
+    (List.filteri (fun i _ -> i >= 10) all);
+  L.sync log;
+  let r = L.open_or_recover (restart log) in
+  check_bool "clean" true (R.clean r);
+  check_bool "snapshot + WAL stitch back to the full log" true (r.R.entries = all);
+  check_int "snapshot contributed 10" 10 r.R.snapshot_entries;
+  check_int "WAL contributed 5" 5 r.R.wal_entries;
+  check_int "next LSN" 15 r.R.next_lsn
+
+(* Crash in the checkpoint window: after the snapshot is written but
+   before anything else happens, both the snapshot and the (already
+   truncated) WAL must reconcile without losing or duplicating a record. *)
+let test_crash_after_checkpoint () =
+  List.iter
+    (fun point ->
+      let all = List.init 8 payload in
+      let log = L.create ~seed:9 () in
+      ignore (L.open_or_recover log);
+      List.iter (fun p -> ignore (L.append log p)) all;
+      L.sync log;
+      L.checkpoint log ~entries:all;
+      (* Nothing is unsynced here, so only stable-media damage can bite. *)
+      D.crash (L.wal_device log) ~point;
+      let r = L.open_or_recover (restart log) in
+      check_bool
+        (Printf.sprintf "%s after checkpoint: snapshot carries the log"
+           (D.crash_point_to_string point))
+        true
+        (is_prefix ~of_:all r.R.entries);
+      if point <> D.Truncated_sync then
+        check_bool "whole log survived via the snapshot" true (r.R.entries = all))
+    D.all_crash_points
+
+(* A WAL overlapping its snapshot (the crash landed between snapshot sync
+   and WAL reformat) must not duplicate the overlap. *)
+let test_overlapping_wal_not_duplicated () =
+  let all = List.init 12 payload in
+  let wal = D.create ~seed:3 () in
+  let snapshot = D.create ~seed:4 () in
+  let log = L.of_devices ~wal ~snapshot in
+  ignore (L.open_or_recover log);
+  List.iter (fun p -> ignore (L.append log p)) all;
+  L.sync log;
+  (* Hand-write the snapshot as the checkpoint would, then "crash" before
+     the WAL reformat: the WAL still holds all 12 from LSN 0. *)
+  Snap.write snapshot ~lsn:7 ~entries:(firstn 7 all);
+  let r = L.open_or_recover (L.of_devices ~wal ~snapshot) in
+  check_bool "clean" true (R.clean r);
+  check_bool "no duplication across the overlap" true (r.R.entries = all);
+  check_int "snapshot 7" 7 r.R.snapshot_entries;
+  check_int "wal contributes only the suffix" 5 r.R.wal_entries
+
+(* --- quarantine persistence --- *)
+
+let raw_of i = [ ("user", Printf.sprintf "u%d" i); ("data", "referral") ]
+
+let test_quarantine_survives_restart () =
+  let log = L.create ~seed:21 () in
+  let q = Audit_mgmt.Quarantine.create () in
+  ignore (Audit_mgmt.Quarantine.restore q log);
+  Audit_mgmt.Quarantine.add q ~site:"icu" ~seq:1 ~raw:(raw_of 1) ~reason:"unmappable";
+  Audit_mgmt.Quarantine.add q ~site:"icu" ~seq:2 ~raw:(raw_of 2) ~reason:"corrupt";
+  Audit_mgmt.Quarantine.add q ~site:"lab" ~seq:1 ~raw:(raw_of 3) ~reason:"unmappable";
+  (* Resolve one: the removal must also survive the restart. *)
+  Audit_mgmt.Quarantine.remove q ~site:"icu" ~seq:1;
+  Audit_mgmt.Quarantine.sync q;
+  let q2, r, undecodable = Audit_mgmt.Quarantine.open_durable (restart log) in
+  check_bool "clean recovery" true (R.clean r);
+  check_int "no codec mismatches" 0 undecodable;
+  check_int "two items survived" 2 (Audit_mgmt.Quarantine.length q2);
+  check_bool "resolution survived" false (Audit_mgmt.Quarantine.mem q2 ~site:"icu" ~seq:1);
+  check_bool "items identical" true
+    (Audit_mgmt.Quarantine.items q = Audit_mgmt.Quarantine.items q2)
+
+let test_quarantine_checkpoint_and_crash () =
+  let log = L.create ~seed:22 () in
+  let q = Audit_mgmt.Quarantine.create () in
+  ignore (Audit_mgmt.Quarantine.restore q log);
+  Audit_mgmt.Quarantine.add q ~site:"icu" ~seq:1 ~raw:(raw_of 1) ~reason:"unmappable";
+  Audit_mgmt.Quarantine.add q ~site:"icu" ~seq:2 ~raw:(raw_of 2) ~reason:"corrupt";
+  Audit_mgmt.Quarantine.sync q;
+  Audit_mgmt.Quarantine.checkpoint q;
+  (* An unsynced mutation after the checkpoint is lost by a crash, but the
+     checkpointed state must come back intact. *)
+  Audit_mgmt.Quarantine.add q ~site:"lab" ~seq:9 ~raw:(raw_of 9) ~reason:"late";
+  D.crash (L.wal_device log) ~point:D.Clean_loss;
+  let q2, r, undecodable = Audit_mgmt.Quarantine.open_durable (restart log) in
+  check_int "no codec mismatches" 0 undecodable;
+  check_int "checkpointed items back" 2 (Audit_mgmt.Quarantine.length q2);
+  check_bool "unsynced late add lost" false (Audit_mgmt.Quarantine.mem q2 ~site:"lab" ~seq:9);
+  check_int "snapshot carried them" 2 r.R.snapshot_entries
+
+let test_quarantine_clear_is_durable () =
+  let log = L.create ~seed:23 () in
+  let q = Audit_mgmt.Quarantine.create () in
+  ignore (Audit_mgmt.Quarantine.restore q log);
+  Audit_mgmt.Quarantine.add q ~site:"icu" ~seq:1 ~raw:(raw_of 1) ~reason:"unmappable";
+  Audit_mgmt.Quarantine.clear q;
+  Audit_mgmt.Quarantine.sync q;
+  let q2, _, _ = Audit_mgmt.Quarantine.open_durable (restart log) in
+  check_int "clear survived" 0 (Audit_mgmt.Quarantine.length q2)
+
+(* --- audit store persistence --- *)
+
+let entry i =
+  Hdb.Audit_schema.entry ~time:i
+    ~op:(if i mod 5 = 0 then Hdb.Audit_schema.Disallow else Hdb.Audit_schema.Allow)
+    ~user:(Printf.sprintf "user-%d" (i mod 3))
+    ~data:"referral" ~purpose:"registration" ~authorized:"nurse"
+    ~status:(if i mod 2 = 0 then Hdb.Audit_schema.Regular else Hdb.Audit_schema.Exception_based)
+
+let test_audit_store_survives_restart () =
+  let log = L.create ~seed:31 () in
+  let store = Hdb.Audit_store.create () in
+  ignore (Hdb.Audit_store.restore store log);
+  let entries = List.init 20 entry in
+  Hdb.Audit_store.append_all store entries;
+  Hdb.Audit_store.sync store;
+  let store2, r, undecodable = Hdb.Audit_store.open_durable (restart log) in
+  check_bool "clean recovery" true (R.clean r);
+  check_int "no codec mismatches" 0 undecodable;
+  check_bool "entries identical" true (Hdb.Audit_store.to_list store2 = entries);
+  check_int "LSN continues" 20 (Hdb.Audit_store.lsn store2);
+  (* checkpoint, extend, crash the unsynced tail, restart *)
+  Hdb.Audit_store.checkpoint store2;
+  Hdb.Audit_store.append store2 (entry 20);
+  Hdb.Audit_store.sync store2;
+  Hdb.Audit_store.append store2 (entry 21);
+  (* not synced *)
+  (match Hdb.Audit_store.log store2 with
+  | Some log2 -> D.crash (L.wal_device log2) ~point:D.Torn_tail
+  | None -> Alcotest.fail "store lost its log");
+  let store3, r3, _ = Hdb.Audit_store.open_durable (restart log) in
+  check_bool "synced 21 back" true
+    (Hdb.Audit_store.to_list store3 = entries @ [ entry 20 ]
+    || Hdb.Audit_store.to_list store3 = entries @ [ entry 20; entry 21 ]);
+  check_int "snapshot carried the first 20" 20 r3.R.snapshot_entries
+
+(* --- system level: dropped tail downgrades coverage --- *)
+
+let scenario_entries () = Workload.Scenario.table1_entries ()
+
+let test_system_recovery_and_lower_bound () =
+  let audit_log = L.create ~seed:41 () in
+  let quarantine_log = L.create ~seed:42 () in
+  let storage = { Prima_system.System.audit_log; quarantine_log } in
+  let vocab = Vocabulary.Samples.figure1 () in
+  let p_ps = Workload.Scenario.policy_store () in
+  (* Run 1: a durably-backed system accumulates a trail; part of it is
+     synced, a tail is still in the page cache when the process dies. *)
+  let system = Prima_system.System.create ~storage ~vocab ~p_ps () in
+  check_bool "fresh storage recovers clean" false
+    (Prima_system.System.durably_degraded system);
+  let store = Hdb.Control_center.audit_store (Prima_system.System.control system) in
+  let entries = scenario_entries () in
+  Hdb.Audit_store.append_all store entries;
+  Prima_system.System.sync_durable system;
+  Hdb.Audit_store.append_all store (List.init 4 entry);
+  D.crash (L.wal_device audit_log) ~point:D.Partial_header;
+  (* Run 2: reopen the surviving media.  Partial_header always cuts inside
+     an unsynced record's header, so the tail drop is guaranteed. *)
+  let storage2 =
+    { Prima_system.System.audit_log = restart audit_log;
+      quarantine_log = restart quarantine_log;
+    }
+  in
+  let system2 = Prima_system.System.create ~storage:storage2 ~vocab ~p_ps () in
+  let recovery =
+    match Prima_system.System.recovery system2 with
+    | Some r -> r
+    | None -> Alcotest.fail "no recovery report"
+  in
+  check_bool "audit tail dropped" true (R.dropped_tail recovery.Prima_system.System.audit);
+  check_bool "system knows it is degraded" true
+    (Prima_system.System.durably_degraded system2);
+  let store2 = Hdb.Control_center.audit_store (Prima_system.System.control system2) in
+  check_bool "synced trail survived" true
+    (firstn (List.length entries) (Hdb.Audit_store.to_list store2) = entries);
+  (* Even at completeness 1.0 the coverage label must be a lower bound:
+     the trail on disk is a verified prefix, not certainly the history. *)
+  let qc = Prima_system.System.coverage_qualified system2 in
+  check_bool "window itself is complete" true
+    (qc.Prima_system.System.health.Audit_mgmt.Health.completeness >= 1.0);
+  (match qc.Prima_system.System.bag_semantics.Prima_core.Coverage.qualifier with
+  | Prima_core.Coverage.Lower_bound _ -> ()
+  | Prima_core.Coverage.Exact -> Alcotest.fail "dropped tail must downgrade to Lower_bound");
+  match qc.Prima_system.System.set_semantics.Prima_core.Coverage.qualifier with
+  | Prima_core.Coverage.Lower_bound _ -> ()
+  | Prima_core.Coverage.Exact -> Alcotest.fail "dropped tail must downgrade to Lower_bound"
+
+(* The adaptive completeness gate: the configured floor applies in full to
+   a large window, scaled down on a small one. *)
+let test_adaptive_threshold_scales () =
+  let vocab = Vocabulary.Samples.figure1 () in
+  let p_ps = Workload.Scenario.policy_store () in
+  let system = Prima_system.System.create ~completeness_threshold:0.9 ~vocab ~p_ps () in
+  check_bool "small window floor is below the configured threshold" true
+    (Prima_system.System.effective_threshold system < 0.9);
+  (* effective = 0.9 * n / (n + 25): half the configured value at n = 25,
+     converging towards 0.9 as n grows. *)
+  let eps = 1e-9 in
+  let eff n = 0.9 *. float_of_int n /. float_of_int (n + 25) in
+  check_bool "n=25 halves the floor" true (abs_float (eff 25 -. 0.45) < eps);
+  check_bool "monotone in window size" true (eff 100 > eff 25 && eff 10_000 > eff 100);
+  check_bool "bounded by the configured threshold" true (eff 1_000_000 < 0.9)
+
+let matrix name f =
+  List.concat_map
+    (fun point ->
+      List.map
+        (fun seed ->
+          Alcotest.test_case
+            (Printf.sprintf "%s %s seed %d" name (D.crash_point_to_string point) seed)
+            `Quick (f point seed))
+        matrix_seeds)
+    D.all_crash_points
+
+let () =
+  Alcotest.run "durable"
+    [ ("crash-matrix", matrix "prefix" test_crash_matrix);
+      ("resume", matrix "resume" test_resume_after_crash);
+      ("oracle", [ QCheck_alcotest.to_alcotest ~long:false prop_recovery_matches_oracle ]);
+      ( "checkpoint",
+        [ Alcotest.test_case "wal -> snapshot -> wal" `Quick test_wal_snapshot_wal_roundtrip;
+          Alcotest.test_case "crash after checkpoint" `Quick test_crash_after_checkpoint;
+          Alcotest.test_case "overlapping wal not duplicated" `Quick
+            test_overlapping_wal_not_duplicated;
+        ] );
+      ( "quarantine",
+        [ Alcotest.test_case "survives restart" `Quick test_quarantine_survives_restart;
+          Alcotest.test_case "checkpoint + crash" `Quick test_quarantine_checkpoint_and_crash;
+          Alcotest.test_case "clear is durable" `Quick test_quarantine_clear_is_durable;
+        ] );
+      ( "audit-store",
+        [ Alcotest.test_case "survives restart" `Quick test_audit_store_survives_restart ] );
+      ( "system",
+        [ Alcotest.test_case "dropped tail -> lower bound" `Quick
+            test_system_recovery_and_lower_bound;
+          Alcotest.test_case "adaptive threshold" `Quick test_adaptive_threshold_scales;
+        ] );
+    ]

@@ -100,6 +100,44 @@ let test_audit_csv_store_io () =
 let test_audit_csv_empty () =
   check_bool "empty text" true (Hdb.Audit_csv.of_string "" = [])
 
+(* Regression: a row with the wrong column count must be rejected with the
+   offending 1-based line number in the message, not silently mis-parsed. *)
+let test_audit_csv_line_numbers () =
+  let expect_line line text =
+    match Hdb.Audit_csv.of_string text with
+    | exception Hdb.Audit_csv.Bad_csv msg ->
+      let prefix = Printf.sprintf "line %d:" line in
+      check_bool
+        (Printf.sprintf "error %S names line %d" msg line)
+        true
+        (String.length msg >= String.length prefix
+        && String.sub msg 0 (String.length prefix) = prefix)
+    | entries -> Alcotest.failf "expected Bad_csv, parsed %d entries" (List.length entries)
+  in
+  let h = Hdb.Audit_csv.header in
+  (* wrong column count, too few and too many *)
+  expect_line 3 (h ^ "\n1,1,u,d,p,a,1\n1,1,u\n");
+  expect_line 2 (h ^ "\n1,1,u,d,p,a,1,extra\n");
+  (* unreadable numeric field *)
+  expect_line 4 (h ^ "\n1,1,u,d,p,a,1\n2,1,u,d,p,a,1\nxx,1,u,d,p,a,1\n");
+  (* out-of-range op/status wrapped into Bad_csv, not Invalid_argument *)
+  expect_line 2 (h ^ "\n1,7,u,d,p,a,1\n");
+  expect_line 2 (h ^ "\n1,1,u,d,p,a,9\n");
+  (* a quoted multi-line field shifts physical lines; the error must point
+     at the row's starting line *)
+  expect_line 2 (h ^ "\n1,1,\"multi\nline\nuser\",d,p,a\n")
+
+let test_audit_csv_valid_rows_after_blank () =
+  (* Blank lines are still skipped, and line numbering stays physical. *)
+  let h = Hdb.Audit_csv.header in
+  let entries = Hdb.Audit_csv.of_string (h ^ "\n\n1,1,u,d,p,a,1\n") in
+  check_int "one entry" 1 (List.length entries);
+  match Hdb.Audit_csv.of_string (h ^ "\n\n1,1,u\n") with
+  | exception Hdb.Audit_csv.Bad_csv msg ->
+    check_bool (Printf.sprintf "blank line counted: %S" msg) true
+      (String.length msg >= 7 && String.sub msg 0 7 = "line 3:")
+  | _ -> Alcotest.fail "expected Bad_csv"
+
 let () =
   Alcotest.run "persistence"
     [ ( "policy-file",
@@ -117,5 +155,8 @@ let () =
           Alcotest.test_case "errors" `Quick test_audit_csv_errors;
           Alcotest.test_case "store io" `Quick test_audit_csv_store_io;
           Alcotest.test_case "empty" `Quick test_audit_csv_empty;
+          Alcotest.test_case "line-numbered errors" `Quick test_audit_csv_line_numbers;
+          Alcotest.test_case "blank lines keep numbering" `Quick
+            test_audit_csv_valid_rows_after_blank;
         ] );
     ]
