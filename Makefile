@@ -1,4 +1,4 @@
-.PHONY: build test faults crash bench bench-quick bench-coverage bench-wal
+.PHONY: build test faults crash fuzz bench bench-quick bench-coverage bench-wal bench-governor
 
 build:
 	dune build
@@ -18,6 +18,13 @@ faults:
 crash:
 	dune build && dune exec test/test_durable.exe
 
+# SQL fuzzing sweep: 10 seeds x 2000 statements against the resource
+# governor — no untyped exception may escape the engine, and budgeted
+# runs that complete must match ungoverned runs bitwise.  A smaller
+# 3-seed regression lives in dune runtest (test/test_fuzz.ml).
+fuzz:
+	dune build && dune exec bench/fuzz.exe
+
 # All experiments + Bechamel microbenchmarks.
 bench:
 	dune exec bench/main.exe
@@ -33,3 +40,7 @@ bench-coverage:
 # Only the WAL replay-throughput sweep; fastest way to refresh BENCH_wal.json.
 bench-wal:
 	dune exec bench/main.exe -- wal
+
+# Only the query-governance overhead sweep (E13); refreshes BENCH_governor.json.
+bench-governor:
+	dune exec bench/main.exe -- governor

@@ -17,6 +17,7 @@
      dune exec bench/main.exe -- quick     -- experiments only, skip Bechamel
      dune exec bench/main.exe -- coverage  -- only E11, regenerating BENCH_coverage.json
      dune exec bench/main.exe -- wal       -- only E12, regenerating BENCH_wal.json
+     dune exec bench/main.exe -- governor  -- only E13, regenerating BENCH_governor.json
 
    (or `make bench` / `make bench-quick` / `make bench-coverage`). *)
 
@@ -721,6 +722,109 @@ let e12 () =
     ~measured:(if largest >= 10_000. then ">= 10k/s" else Printf.sprintf "%.0f/s" largest)
 
 (* ------------------------------------------------------------------ *)
+(* E13: query governance — budgeted Algorithm 5 vs ungoverned.          *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimum over iterations, not the mean: the budget's per-operator cost
+   is a handful of integer compares, so the gate below is tight (5%) and
+   scheduler noise would otherwise dominate the measurement. *)
+let min_time ~iterations f =
+  ignore (f ());
+  let best = ref infinity in
+  for _ = 1 to iterations do
+    let t0 = Sys.time () in
+    ignore (f ());
+    let dt = Sys.time () -. t0 in
+    if dt < !best then best := dt
+  done;
+  1000. *. !best
+
+let e13 () =
+  header "E13" "Query governance — budgeted Algorithm 5 overhead vs ungoverned";
+  let module DA = Prima_core.Data_analysis in
+  let module B = Relational.Budget in
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer "{\n  \"experiment\": \"query-governance\",\n";
+  Buffer.add_string buffer "  \"baseline\": \"ungoverned Algorithm 5 (GROUP BY + HAVING)\",\n";
+  Buffer.add_string buffer
+    "  \"candidate\": \"same query under a strict, non-firing resource budget\",\n";
+  let hospital = Workload.Hospital.default_config () in
+  (* A budget with room to spare: the point is the per-check cost, not the
+     quota — quotas firing is E13's degradation section below. *)
+  let generous () = B.create (B.limits ~rows:1_000_000 ~tuples:100_000_000 ~ticks:1_000_000_000 ()) in
+  Fmt.pr "@.Governed-query overhead sweep (hospital practice tables):@.";
+  Fmt.pr "%-10s %-12s %-14s %-14s %-10s@." "log size" "practice" "plain (ms)" "governed (ms)"
+    "overhead";
+  Buffer.add_string buffer "  \"overhead_sweep\": [\n";
+  let overheads =
+    List.map
+      (fun n ->
+        let p_al = synthetic_policy hospital n in
+        let practice = Prima_core.Filter.run p_al in
+        let engine = Relational.Engine.create () in
+        ignore (DA.materialize engine ~table_name:"practice" practice);
+        let iterations = if n >= 16000 then 7 else 11 in
+        let plain_patterns = ref [] in
+        let t_plain =
+          min_time ~iterations (fun () ->
+              plain_patterns := DA.run engine ~table_name:"practice" DA.default_config)
+        in
+        let governed_patterns = ref [] in
+        let t_governed =
+          min_time ~iterations (fun () ->
+              governed_patterns :=
+                DA.run ~budget:(generous ()) engine ~table_name:"practice" DA.default_config)
+        in
+        if !plain_patterns <> !governed_patterns then
+          failwith "governed run diverged from the ungoverned run";
+        let overhead = 100. *. ((t_governed /. t_plain) -. 1.) in
+        Fmt.pr "%-10d %-12d %-14.3f %-14.3f %+.1f%%@." n (P.cardinality practice) t_plain
+          t_governed overhead;
+        Buffer.add_string buffer
+          (Printf.sprintf
+             "    {\"log_size\": %d, \"practice_rows\": %d, \"plain_ms\": %.4f, \
+              \"governed_ms\": %.4f, \"overhead_pct\": %.2f}%s\n"
+             n (P.cardinality practice) t_plain t_governed overhead
+             (if n = 16000 then "" else ","));
+        (n, overhead))
+      [ 1000; 4000; 16000 ]
+  in
+  Buffer.add_string buffer "  ],\n";
+  (* Degradation: the same analysis under a starved budget returns a
+     truncated (lower-bound) pattern set instead of failing. *)
+  let p_al = synthetic_policy hospital 4000 in
+  let practice = Prima_core.Filter.run p_al in
+  let exact = DA.analyse practice in
+  let starved =
+    DA.analyse_governed ~limits:(B.limits ~tuples:(P.cardinality practice + 100) ()) practice
+  in
+  Fmt.pr "@.Degradation under a starved budget (4000-access trail):@.";
+  Fmt.pr "exact patterns    : %d@." (List.length exact);
+  Fmt.pr "degraded patterns : %d (lower bound: %b)@."
+    (List.length starved.DA.patterns) starved.DA.degraded;
+  Fmt.pr "resources consumed: %s@."
+    (Relational.Errors.stats_to_string starved.DA.stats);
+  Buffer.add_string buffer
+    (Printf.sprintf
+       "  \"degradation\": {\"exact_patterns\": %d, \"degraded_patterns\": %d, \
+        \"degraded\": %b},\n"
+       (List.length exact) (List.length starved.DA.patterns) starved.DA.degraded);
+  let largest = List.assoc 16000 overheads in
+  Buffer.add_string buffer
+    (Printf.sprintf "  \"largest_point\": {\"log_size_16000_overhead_pct\": %.2f}\n}\n" largest);
+  let oc = open_out "BENCH_governor.json" in
+  output_string oc (Buffer.contents buffer);
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_governor.json@.";
+  check "subset under starvation" ~paper:"degraded <= exact"
+    ~measured:
+      (if List.for_all (fun rule -> List.mem rule exact) starved.DA.patterns then
+         "degraded <= exact"
+       else "NOT A SUBSET");
+  check "governor overhead <= 5% at the largest sweep point" ~paper:"<= 5%"
+    ~measured:(if largest <= 5.0 then "<= 5%" else Printf.sprintf "%.1f%%" largest)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks.                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -842,10 +946,13 @@ let bechamel_suite () =
 let () =
   let quick = Array.exists (String.equal "quick") Sys.argv in
   (* `coverage` regenerates BENCH_coverage.json alone; `wal` regenerates
-     BENCH_wal.json alone (see `make bench-coverage` / `make bench-wal`). *)
+     BENCH_wal.json alone; `governor` regenerates BENCH_governor.json alone
+     (see `make bench-coverage` / `make bench-wal` / `make bench-governor`). *)
   let coverage_only = Array.exists (String.equal "coverage") Sys.argv in
   let wal_only = Array.exists (String.equal "wal") Sys.argv in
-  if not (coverage_only || wal_only) then begin
+  let governor_only = Array.exists (String.equal "governor") Sys.argv in
+  let solo = coverage_only || wal_only || governor_only in
+  if not solo then begin
     e1 ();
     e2 ();
     e3 ();
@@ -857,9 +964,10 @@ let () =
     e9 ();
     e10 ()
   end;
-  if not wal_only then e11 ();
-  if not coverage_only then e12 ();
-  if (not quick) && (not coverage_only) && not wal_only then bechamel_suite ();
+  if coverage_only || not solo then e11 ();
+  if wal_only || not solo then e12 ();
+  if governor_only || not solo then e13 ();
+  if (not quick) && not solo then bechamel_suite ();
   Fmt.pr "@.============================================================@.";
   if !all_ok then Fmt.pr "All experiment checks PASSED.@."
   else begin

@@ -73,7 +73,8 @@ let run_coverage vocab_name policy_path audit_path bag =
 
 (* --- refine --- *)
 
-let run_refine vocab_name policy_path audit_path min_frequency use_mining =
+let run_refine vocab_name policy_path audit_path min_frequency use_mining max_rows
+    max_tuples max_ticks =
   let vocab = vocab_of_name vocab_name in
   let p_ps = parse_policy_file policy_path in
   let p_al = Audit_mgmt.To_policy.policy_of_entries (parse_audit_file audit_path) in
@@ -89,9 +90,22 @@ let run_refine vocab_name policy_path audit_path min_frequency use_mining =
           Prima_core.Data_analysis.min_frequency;
         }
   in
-  let config = { Prima_core.Refinement.default_config with Prima_core.Refinement.backend } in
+  let limits =
+    match max_rows, max_tuples, max_ticks with
+    | None, None, None -> None
+    | rows, tuples, ticks ->
+      Some (Relational.Budget.limits ?rows ?tuples ?ticks ())
+  in
+  let config =
+    { Prima_core.Refinement.default_config with Prima_core.Refinement.backend; limits }
+  in
   let report = Prima_core.Refinement.run_epoch ~config ~vocab ~p_ps ~p_al () in
   Prima_core.Report.pp_epoch Fmt.stdout report;
+  if report.Prima_core.Refinement.degraded then
+    Fmt.pr
+      "@.note: the analysis query exceeded its budget and was retried in partial mode; \
+       treat the pattern set as a LOWER BOUND and re-run with a larger budget before \
+       adopting its absence of patterns as evidence@.";
   0
 
 (* --- mine --- *)
@@ -364,8 +378,21 @@ let refine_cmd =
   let mining =
     Arg.(value & flag & info [ "mining" ] ~doc:"Use the Apriori backend instead of SQL.")
   in
+  let max_rows =
+    Arg.(value & opt (some int) None & info [ "max-rows" ] ~docv:"N"
+           ~doc:"Budget: maximum result rows of the analysis query.")
+  in
+  let max_tuples =
+    Arg.(value & opt (some int) None & info [ "max-tuples" ] ~docv:"N"
+           ~doc:"Budget: maximum intermediate tuples the analysis query may materialise.")
+  in
+  let max_ticks =
+    Arg.(value & opt (some int) None & info [ "max-ticks" ] ~docv:"N"
+           ~doc:"Budget: simulated-time deadline in executor ticks.")
+  in
   Cmd.v (Cmd.info "refine" ~doc:"Run the Refinement pipeline (Algorithms 2-6)")
-    Term.(const run_refine $ vocab_arg $ policy_arg $ audit_arg $ min_frequency $ mining)
+    Term.(const run_refine $ vocab_arg $ policy_arg $ audit_arg $ min_frequency $ mining
+          $ max_rows $ max_tuples $ max_ticks)
 
 let mine_cmd =
   let min_support =

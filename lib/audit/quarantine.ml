@@ -227,6 +227,19 @@ let checkpoint t =
     in
     Durable.Log.checkpoint durable_log ~entries
 
+(* Keep the op log bounded: compact automatically once it exceeds the
+   policy.  Mutations are write-ahead (op logged, then applied), so at
+   trigger time the live items are exactly the state the logged ops
+   produce. *)
+let enable_auto_checkpoint ?(policy = Durable.Log.checkpoint_every ~records:1024 ()) t =
+  match t.log with
+  | None -> ()
+  | Some durable_log ->
+    Durable.Log.set_auto_checkpoint durable_log policy (fun () ->
+        List.map
+          (fun { site; seq; raw; reason } -> encode_add ~site ~seq ~raw ~reason)
+          (items t))
+
 let pp_item ppf item =
   Fmt.pf ppf "%s#%d: %s" item.site item.seq item.reason
 

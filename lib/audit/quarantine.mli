@@ -58,6 +58,12 @@ val sync : t -> unit
 val checkpoint : t -> unit
 (** Write the live items as a snapshot image and truncate the WAL. *)
 
+val enable_auto_checkpoint : ?policy:Durable.Log.checkpoint_policy -> t -> unit
+(** Register a background-compaction policy (default: every 1024 WAL
+    records) on the attached log; no-op without one.  Safe because
+    mutations are write-ahead: the image taken when the trigger fires is
+    exactly the state the logged ops produce. *)
+
 val restore : t -> Durable.Log.t -> Durable.Recovery.t * int
 (** Open-or-recover [log], replay the verified ops into [t] (assumed
     fresh), attach the log, and return the recovery report plus the count

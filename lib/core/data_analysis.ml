@@ -74,9 +74,9 @@ let statement ~table_name config =
 
 (* [run engine ~table_name config] executes the generated statement and
    returns each surviving group as a rule over [config.attributes]. *)
-let run engine ~table_name config : Rule.t list =
+let run ?budget engine ~table_name config : Rule.t list =
   let sql = statement ~table_name config in
-  let result = Relational.Engine.query engine sql in
+  let result = Relational.Engine.query ?budget engine sql in
   List.map
     (fun row ->
       Rule.make
@@ -89,8 +89,46 @@ let run engine ~table_name config : Rule.t list =
 
 (* One-call variant: load the practice policy into a fresh engine and
    analyse it there. *)
-let analyse ?(config = default_config) (practice : Policy.t) : Rule.t list =
+let analyse ?(config = default_config) ?budget (practice : Policy.t) : Rule.t list =
   let engine = Relational.Engine.create () in
   let table_name = "practice" in
   let _ = materialize engine ~table_name practice in
-  run engine ~table_name config
+  run ?budget engine ~table_name config
+
+(* --- governed execution --- *)
+
+type governed = {
+  patterns : Rule.t list;
+  degraded : bool;
+  stats : Relational.Errors.budget_stats;
+}
+
+let exact patterns =
+  { patterns; degraded = false; stats = { Relational.Errors.rows_out = 0; tuples = 0; ticks = 0 } }
+
+(* Budgeted Algorithm 5 with graceful degradation: try the query under a
+   strict budget; if a quota fires, retry the same limits in partial mode.
+   The partial run computes the groups over a prefix of the practice table,
+   so the returned pattern set is a *lower bound* on the real one —
+   [degraded] tells the caller to qualify anything derived from it
+   ([Coverage.Lower_bound] in the refinement loop).  Cancellation is not a
+   degradation: [Errors.Cancelled] propagates from either attempt. *)
+let run_governed ?cancel engine ~table_name ~limits config : governed =
+  let budget = Relational.Budget.create ?cancel limits in
+  match run ~budget engine ~table_name config with
+  | patterns ->
+    { patterns; degraded = false; stats = Relational.Budget.stats budget }
+  | exception Relational.Errors.Budget_exceeded _ ->
+    let budget = Relational.Budget.create ~mode:Relational.Budget.Partial ?cancel limits in
+    let patterns = run ~budget engine ~table_name config in
+    { patterns;
+      degraded = Relational.Budget.truncated budget;
+      stats = Relational.Budget.stats budget;
+    }
+
+let analyse_governed ?(config = default_config) ?cancel ~limits (practice : Policy.t) :
+    governed =
+  let engine = Relational.Engine.create () in
+  let table_name = "practice" in
+  let _ = materialize engine ~table_name practice in
+  run_governed ?cancel engine ~table_name ~limits config

@@ -30,9 +30,45 @@ val materialize : Relational.Engine.t -> table_name:string -> Policy.t -> string
 val statement : table_name:string -> config -> string
 (** The generated SQL text (Algorithm 5, line 2). *)
 
-val run : Relational.Engine.t -> table_name:string -> config -> Rule.t list
+val run :
+  ?budget:Relational.Budget.t -> Relational.Engine.t -> table_name:string -> config ->
+  Rule.t list
 (** Executes the statement; each surviving group becomes a rule over
-    [config.attributes]. *)
+    [config.attributes].  [budget] governs the query (see
+    {!Relational.Budget}); omitted, execution is ungoverned. *)
 
-val analyse : ?config:config -> Policy.t -> Rule.t list
+val analyse : ?config:config -> ?budget:Relational.Budget.t -> Policy.t -> Rule.t list
 (** One-call variant: materialise into a fresh engine and run there. *)
+
+(** {1 Governed execution with graceful degradation} *)
+
+type governed = {
+  patterns : Rule.t list;
+  degraded : bool;
+      (** the strict run exceeded its budget and the patterns were computed
+          over a prefix of the practice table — a lower bound *)
+  stats : Relational.Errors.budget_stats;  (** resources the run consumed *)
+}
+
+val exact : Rule.t list -> governed
+(** Wraps an ungoverned result: [degraded = false], zero stats. *)
+
+val run_governed :
+  ?cancel:Relational.Budget.cancel ->
+  Relational.Engine.t ->
+  table_name:string ->
+  limits:Relational.Budget.limits ->
+  config ->
+  governed
+(** Budgeted Algorithm 5: strict attempt first; when a quota fires, the
+    same limits are retried in partial mode and the truncated pattern set
+    is returned with [degraded = true].  Cancellation propagates as
+    {!Relational.Errors.Cancelled} from either attempt. *)
+
+val analyse_governed :
+  ?config:config ->
+  ?cancel:Relational.Budget.cancel ->
+  limits:Relational.Budget.limits ->
+  Policy.t ->
+  governed
+(** {!run_governed} against a fresh engine. *)

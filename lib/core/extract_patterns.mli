@@ -33,6 +33,17 @@ val users_supporting : Policy.t -> Rule.t -> string list
 val run : ?backend:backend -> Policy.t -> Rule.t list
 (** The candidate patterns found in the practice entries. *)
 
+val run_governed :
+  ?backend:backend ->
+  ?cancel:Relational.Budget.cancel ->
+  limits:Relational.Budget.limits ->
+  Policy.t ->
+  Data_analysis.governed
+(** Budgeted {!run}: the SQL backend executes under the resource governor
+    and degrades to a lower-bound pattern set when the budget fires; the
+    in-memory mining backend is not governed and always returns an exact
+    result. *)
+
 val correlations :
   ?attributes:string list ->
   ?min_support:int ->

@@ -28,6 +28,7 @@ let audit_policy t = t.p_al
 let history t = List.rev t.history
 
 let set_training_minimum t n = t.training_minimum <- n
+let refinement_config t = t.refinement_config
 let set_refinement_config t config = t.refinement_config <- config
 
 let ingest_rule t rule = t.p_al <- Policy.add_rule t.p_al rule

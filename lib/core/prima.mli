@@ -25,6 +25,7 @@ val history : t -> Refinement.epoch_report list
 (** All completed refinement runs, oldest first. *)
 
 val set_training_minimum : t -> int -> unit
+val refinement_config : t -> Refinement.config
 val set_refinement_config : t -> Refinement.config -> unit
 
 val ingest_rule : t -> Rule.t -> unit

@@ -22,18 +22,28 @@ type config = {
   backend : Extract_patterns.backend;
   keep_prohibitions : bool;
   acceptance : acceptance;
+  limits : Relational.Budget.limits option;
+      (* resource budget for the pattern-extraction query; None = ungoverned *)
 }
 
 let default_config =
   { backend = Extract_patterns.default_backend;
     keep_prohibitions = false;
     acceptance = Accept_all;
+    limits = None;
   }
+
+(* Pattern extraction under the config's budget (if any); the ungoverned
+   path is wrapped as an exact result so the epoch logic is uniform. *)
+let extract config practice : Data_analysis.governed =
+  match config.limits with
+  | None -> Data_analysis.exact (Extract_patterns.run ~backend:config.backend practice)
+  | Some limits -> Extract_patterns.run_governed ~backend:config.backend ~limits practice
 
 (* Algorithm 2 verbatim: the useful patterns, before human review. *)
 let useful_patterns ?(config = default_config) ~vocab ~p_ps ~p_al () : Rule.t list =
   let practice = Filter.run ~keep_prohibitions:config.keep_prohibitions p_al in
-  let patterns = Extract_patterns.run ~backend:config.backend practice in
+  let patterns = (extract config practice).Data_analysis.patterns in
   Prune.run vocab ~patterns ~p_ps
 
 let accept acceptance patterns =
@@ -52,8 +62,11 @@ type epoch_report = {
   coverage_after : Coverage.stats;
   (* Exact when the epoch saw the whole consolidated trail; Lower_bound
      with the window's completeness when sites were skipped or records
-     quarantined during consolidation. *)
+     quarantined during consolidation — or when pattern extraction hit its
+     resource budget and degraded to a prefix of the practice table. *)
   qualifier : Coverage.qualifier;
+  degraded : bool; (* extraction exceeded its budget and was truncated *)
+  budget_stats : Relational.Errors.budget_stats; (* resources extraction used *)
 }
 
 (* One refinement epoch: run the pipeline, apply the acceptance policy,
@@ -66,7 +79,12 @@ let run_epoch ?(config = default_config) ?(completeness = 1.0) ?(verified = true
     ~p_ps ~p_al () : epoch_report =
   let attrs = Vocabulary.Audit_attrs.pattern in
   let practice = Filter.run ~keep_prohibitions:config.keep_prohibitions p_al in
-  let patterns = Extract_patterns.run ~backend:config.backend practice in
+  let extraction = extract config practice in
+  let patterns = extraction.Data_analysis.patterns in
+  if extraction.Data_analysis.degraded then
+    Log.warn (fun m ->
+        m "pattern extraction hit its resource budget (%s); patterns are a lower bound"
+          (Relational.Errors.stats_to_string extraction.Data_analysis.stats));
   let useful = Prune.run vocab ~patterns ~p_ps in
   let accepted = accept config.acceptance useful in
   let p_ps' = Policy.add_rules p_ps accepted in
@@ -90,7 +108,15 @@ let run_epoch ?(config = default_config) ?(completeness = 1.0) ?(verified = true
     p_ps';
     coverage_before;
     coverage_after;
-    qualifier = (Coverage.qualify ~verified ~completeness coverage_after).Coverage.qualifier;
+    (* A degraded extraction saw only a prefix of the practice table, so
+       the epoch's readings cannot be certified exact. *)
+    qualifier =
+      (Coverage.qualify
+         ~verified:(verified && not extraction.Data_analysis.degraded)
+         ~completeness coverage_after)
+        .Coverage.qualifier;
+    degraded = extraction.Data_analysis.degraded;
+    budget_stats = extraction.Data_analysis.stats;
   }
 
 (* Iterated refinement over a stream of audit batches: each epoch sees one

@@ -20,11 +20,16 @@ type config = {
   backend : Extract_patterns.backend;
   keep_prohibitions : bool;
   acceptance : acceptance;
+  limits : Relational.Budget.limits option;
+      (** resource budget for the pattern-extraction query; [None] (the
+          default) runs ungoverned.  When the budget fires, extraction
+          degrades to a lower-bound pattern set and the epoch's coverage
+          readings are labelled {!Coverage.Lower_bound}. *)
 }
 
 val default_config : config
 (** SQL backend with the paper's defaults, prohibitions dropped,
-    accept-all. *)
+    accept-all, no resource budget. *)
 
 val useful_patterns :
   ?config:config -> vocab:Vocabulary.Vocab.t -> p_ps:Policy.t -> p_al:Policy.t -> unit ->
@@ -43,7 +48,13 @@ type epoch_report = {
   coverage_after : Coverage.stats;
   qualifier : Coverage.qualifier;
       (** [Exact] when the epoch saw the whole consolidated trail;
-          [Lower_bound] with the window's completeness otherwise *)
+          [Lower_bound] with the window's completeness otherwise — also
+          forced when extraction degraded under its resource budget *)
+  degraded : bool;
+      (** pattern extraction exceeded its budget and retried in partial
+          mode: [patterns] covers a prefix of the practice table *)
+  budget_stats : Relational.Errors.budget_stats;
+      (** resources the extraction query consumed (zeros when ungoverned) *)
 }
 
 val run_epoch :

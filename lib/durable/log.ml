@@ -11,21 +11,50 @@
    A crash after (1) but before (2) leaves a WAL whose base precedes the
    snapshot; recovery skips the overlap.  A crash during (2) leaves a
    truncated or header-less WAL; recovery falls back to the snapshot.
-   Either way no verified record is lost and none is duplicated. *)
+   Either way no verified record is lost and none is duplicated.
+
+   Background checkpointing: a store can register a size/age policy plus
+   an image callback, and the log compacts itself during [append] once the
+   WAL exceeds the policy's thresholds.  The trigger is evaluated BEFORE
+   the new payload is appended: callers log first and update memory after
+   (write-ahead), so at trigger time the image callback sees exactly the
+   state the WAL covers.  Checkpointing after the append would snapshot a
+   memory state that lacks the record just logged, and the truncation
+   would silently drop it. *)
+
+type checkpoint_policy = {
+  max_records : int option;
+  max_bytes : int option;
+}
+
+let checkpoint_every ?records ?bytes () = { max_records = records; max_bytes = bytes }
 
 type t = {
   wal_device : Device.t;
   snapshot_device : Device.t;
   mutable wal : Wal.t option; (* Some once opened/recovered *)
+  mutable auto : (checkpoint_policy * (unit -> string list)) option;
+  mutable wal_payload_bytes : int; (* payload bytes appended since the last checkpoint *)
+  mutable auto_checkpoints : int;
 }
 
 let create ?(seed = 0) () =
   { wal_device = Device.create ~seed ();
     snapshot_device = Device.create ~seed:(seed + 1) ();
     wal = None;
+    auto = None;
+    wal_payload_bytes = 0;
+    auto_checkpoints = 0;
   }
 
-let of_devices ~wal ~snapshot = { wal_device = wal; snapshot_device = snapshot; wal = None }
+let of_devices ~wal ~snapshot =
+  { wal_device = wal;
+    snapshot_device = snapshot;
+    wal = None;
+    auto = None;
+    wal_payload_bytes = 0;
+    auto_checkpoints = 0;
+  }
 
 let wal_device t = t.wal_device
 let snapshot_device t = t.snapshot_device
@@ -38,6 +67,9 @@ let open_or_recover t =
         ~entries:r.Recovery.wal_records ~verified_bytes:r.Recovery.wal_verified_bytes
     else Wal.format t.wal_device ~base_lsn:r.Recovery.next_lsn
   in
+  (* Framed bytes, so slightly above the payload sum — the policy trigger
+     only needs the right order of magnitude. *)
+  t.wal_payload_bytes <- (if r.Recovery.wal_ok then r.Recovery.wal_verified_bytes else 0);
   t.wal <- Some wal;
   r
 
@@ -50,8 +82,6 @@ let wal t =
     ignore (open_or_recover t);
     Option.get t.wal
 
-let append t payload = Wal.append (wal t) payload
-
 let sync t = Wal.sync (wal t)
 
 let next_lsn t = Wal.next_lsn (wal t)
@@ -62,4 +92,27 @@ let checkpoint t ~entries =
   Wal.sync w;
   let lsn = Wal.next_lsn w in
   Snapshot.write t.snapshot_device ~lsn ~entries;
-  t.wal <- Some (Wal.format t.wal_device ~base_lsn:lsn)
+  t.wal <- Some (Wal.format t.wal_device ~base_lsn:lsn);
+  t.wal_payload_bytes <- 0
+
+let set_auto_checkpoint t policy image = t.auto <- Some (policy, image)
+let clear_auto_checkpoint t = t.auto <- None
+let auto_checkpoints t = t.auto_checkpoints
+
+let over_policy policy ~records ~bytes =
+  (match policy.max_records with Some n -> records >= n | None -> false)
+  || (match policy.max_bytes with Some n -> bytes >= n | None -> false)
+
+let append t payload =
+  let w = wal t in
+  (match t.auto with
+  | Some (policy, image)
+    when over_policy policy
+           ~records:(Wal.next_lsn w - Wal.base_lsn w)
+           ~bytes:t.wal_payload_bytes ->
+    checkpoint t ~entries:(image ());
+    t.auto_checkpoints <- t.auto_checkpoints + 1
+  | _ -> ());
+  t.wal_payload_bytes <- t.wal_payload_bytes + String.length payload;
+  (* [checkpoint] replaced the Wal.t — re-fetch. *)
+  Wal.append (wal t) payload

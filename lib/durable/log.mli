@@ -25,7 +25,11 @@ val open_or_recover : t -> Recovery.t
 
 val append : t -> string -> int
 (** Append one record, returning its LSN; opens the log first if nobody
-    did.  Not durable until {!sync}. *)
+    did.  Not durable until {!sync}.  With an auto-checkpoint policy
+    registered, the log may compact itself first — the trigger is checked
+    {e before} the new record is written, so the image callback sees
+    exactly the state the WAL covers (callers log first, then update
+    memory). *)
 
 val sync : t -> unit
 val next_lsn : t -> int
@@ -33,3 +37,24 @@ val next_lsn : t -> int
 val checkpoint : t -> entries:string list -> unit
 (** Sync, write [entries] as the new snapshot image, then truncate the
     WAL to empty at the snapshot's LSN. *)
+
+(** {1 Background checkpointing} *)
+
+type checkpoint_policy = {
+  max_records : int option;  (** checkpoint once the WAL holds this many records *)
+  max_bytes : int option;  (** … or roughly this many bytes *)
+}
+
+val checkpoint_every : ?records:int -> ?bytes:int -> unit -> checkpoint_policy
+
+val set_auto_checkpoint : t -> checkpoint_policy -> (unit -> string list) -> unit
+(** Register a policy and an image callback; when an {!append} finds the
+    WAL over a threshold, the log checkpoints itself with the callback's
+    image before admitting the new record.  The callback must return the
+    full state the WAL currently covers — for a write-ahead store, its
+    in-memory contents at call time. *)
+
+val clear_auto_checkpoint : t -> unit
+
+val auto_checkpoints : t -> int
+(** How many policy-triggered checkpoints have fired on this log. *)

@@ -200,6 +200,18 @@ let checkpoint t =
     let entries = fold (fun acc e -> Audit_schema.to_wire e :: acc) [] t in
     Durable.Log.checkpoint log ~entries:(List.rev entries)
 
+(* Keep the WAL bounded: the log compacts itself mid-append once it holds
+   [policy]-many records/bytes, snapshotting the store's contents at that
+   moment.  Safe because appends are write-ahead (log first, columns
+   after): when the trigger fires, the columns hold exactly the state the
+   WAL covers, so the image neither misses nor anticipates a record. *)
+let enable_auto_checkpoint ?(policy = Durable.Log.checkpoint_every ~records:1024 ()) t =
+  match t.log with
+  | None -> ()
+  | Some log ->
+    Durable.Log.set_auto_checkpoint log policy (fun () ->
+        List.rev (fold (fun acc e -> Audit_schema.to_wire e :: acc) [] t))
+
 (* Size of the flat row-store equivalent: every string stored inline. *)
 let naive_bytes t =
   let word = 8 in

@@ -45,6 +45,13 @@ val sync : t -> unit
 val checkpoint : t -> unit
 (** Write the whole store as a snapshot image and truncate the WAL. *)
 
+val enable_auto_checkpoint : ?policy:Durable.Log.checkpoint_policy -> t -> unit
+(** Register a background-compaction policy (default: every 1024 WAL
+    records) on the attached log; no-op without one.  The log then
+    checkpoints itself mid-append once over a threshold — safe because
+    appends are write-ahead, so the image taken at trigger time is exactly
+    the state the WAL covers. *)
+
 val restore : t -> Durable.Log.t -> Durable.Recovery.t * int
 (** Open-or-recover [log], replay the verified entries into [t] (assumed
     fresh), attach the log, and return the recovery report plus the count

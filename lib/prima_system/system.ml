@@ -39,6 +39,9 @@ type t = {
   mutable completeness_threshold : float;
   mutable last_health : Audit_mgmt.Health.t option;
   recovery : recovery_report option; (* Some iff created with ~storage *)
+  mutable governed_epochs : int; (* refinement epochs run under a budget *)
+  mutable degraded_epochs : int; (* of those, how many hit the budget *)
+  mutable last_budget_stats : Relational.Errors.budget_stats option;
 }
 
 let create ?(training_minimum = 0) ?(completeness_threshold = 0.9) ?config ?storage ~vocab
@@ -83,7 +86,16 @@ let create ?(training_minimum = 0) ?(completeness_threshold = 0.9) ?config ?stor
   Audit_mgmt.Federation.add_site federation
     (Audit_mgmt.Site.of_store ~name:"clinical-db" (Hdb.Control_center.audit_store control));
   let prima = Prima_core.Prima.create ~training_minimum ?config ~vocab ~p_ps () in
-  { control; federation; prima; completeness_threshold; last_health = None; recovery }
+  { control;
+    federation;
+    prima;
+    completeness_threshold;
+    last_health = None;
+    recovery;
+    governed_epochs = 0;
+    degraded_epochs = 0;
+    last_budget_stats = None;
+  }
 
 let recovery t = t.recovery
 
@@ -110,6 +122,32 @@ let checkpoint_durable t =
 let control t = t.control
 let federation t = t.federation
 let prima t = t.prima
+
+(* --- query governance --- *)
+
+(* Budget applied to the refinement loop's pattern-extraction query; lives
+   in the refinement config so Prima-level callers see the same limits. *)
+let query_limits t =
+  (Prima_core.Prima.refinement_config t.prima).Prima_core.Refinement.limits
+
+let set_query_limits t limits =
+  let config = Prima_core.Prima.refinement_config t.prima in
+  Prima_core.Prima.set_refinement_config t.prima
+    { config with Prima_core.Refinement.limits }
+
+type governance = {
+  limits : Relational.Budget.limits option;
+  governed_epochs : int;
+  degraded_epochs : int;
+  last_budget_stats : Relational.Errors.budget_stats option;
+}
+
+let governance t =
+  { limits = query_limits t;
+    governed_epochs = t.governed_epochs;
+    degraded_epochs = t.degraded_epochs;
+    last_budget_stats = t.last_budget_stats;
+  }
 
 let completeness_threshold t = t.completeness_threshold
 let set_completeness_threshold t x = t.completeness_threshold <- x
@@ -228,5 +266,11 @@ let refine t : (Prima_core.Refinement.epoch_report, string) result =
     with
     | Error _ as e -> e
     | Ok report ->
+      if query_limits t <> None then begin
+        t.governed_epochs <- t.governed_epochs + 1;
+        t.last_budget_stats <- Some report.Prima_core.Refinement.budget_stats
+      end;
+      if report.Prima_core.Refinement.degraded then
+        t.degraded_epochs <- t.degraded_epochs + 1;
       List.iter (install_pattern t) report.Prima_core.Refinement.accepted;
       Ok report

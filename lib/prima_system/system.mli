@@ -50,6 +50,29 @@ val control : t -> Hdb.Control_center.t
 val federation : t -> Audit_mgmt.Federation.t
 val prima : t -> Prima_core.Prima.t
 
+(** {1 Query governance}
+
+    A resource budget applied to the refinement loop's pattern-extraction
+    query (Algorithm 5).  When the budget fires, extraction degrades to a
+    lower-bound pattern set and the epoch's coverage readings are labelled
+    {!Prima_core.Coverage.Lower_bound} — the same discipline as a partial
+    consolidation window. *)
+
+val query_limits : t -> Relational.Budget.limits option
+(** The budget currently applied to refinement queries (None = ungoverned). *)
+
+val set_query_limits : t -> Relational.Budget.limits option -> unit
+
+type governance = {
+  limits : Relational.Budget.limits option;
+  governed_epochs : int;  (** refinement epochs run under a budget *)
+  degraded_epochs : int;  (** epochs whose extraction hit the budget *)
+  last_budget_stats : Relational.Errors.budget_stats option;
+      (** resources the most recent governed extraction consumed *)
+}
+
+val governance : t -> governance
+
 val completeness_threshold : t -> float
 val set_completeness_threshold : t -> float -> unit
 

@@ -26,11 +26,12 @@ type t = {
   kind : kind;
   seen : unit Value_tbl.t option; (* Some for DISTINCT *)
   counts_star : bool;
+  budget : Budget.t option; (* charged when the DISTINCT set grows *)
 }
 
 let fresh_sum () = { int_sum = 0; float_sum = 0.; saw_float = false; non_null = 0 }
 
-let create (fn : Sql_ast.agg_fn) ~distinct ~counts_star =
+let create ?budget (fn : Sql_ast.agg_fn) ~distinct ~counts_star =
   let kind =
     match fn with
     | Sql_ast.Count -> Acc_count { n = 0 }
@@ -39,7 +40,11 @@ let create (fn : Sql_ast.agg_fn) ~distinct ~counts_star =
     | Sql_ast.Min -> Acc_min { best = None }
     | Sql_ast.Max -> Acc_max { best = None }
   in
-  { kind; seen = (if distinct then Some (Value_tbl.create 64) else None); counts_star }
+  { kind;
+    seen = (if distinct then Some (Value_tbl.create 64) else None);
+    counts_star;
+    budget;
+  }
 
 let add_numeric sum v =
   match v with
@@ -65,8 +70,14 @@ let step t v =
     | Some seen ->
       if Value_tbl.mem seen v then true
       else begin
-        Value_tbl.add seen v ();
-        false
+        (* Growing the DISTINCT set materialises a tuple.  Strict budgets
+           raise out of here; a partial budget at quota skips the value —
+           the truncated count stays a lower bound. *)
+        let admitted =
+          match t.budget with Some b -> Budget.admit b | None -> true
+        in
+        if admitted then Value_tbl.add seen v ();
+        not admitted
       end
     | None -> false)
   in

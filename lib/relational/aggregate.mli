@@ -3,9 +3,11 @@
 
 type t
 
-val create : Sql_ast.agg_fn -> distinct:bool -> counts_star:bool -> t
+val create : ?budget:Budget.t -> Sql_ast.agg_fn -> distinct:bool -> counts_star:bool -> t
 (** [counts_star] marks COUNT( * ): every row counts and the fed value is
-    ignored.  Otherwise SQL semantics skip NULL inputs. *)
+    ignored.  Otherwise SQL semantics skip NULL inputs.  With [budget],
+    DISTINCT-set growth is charged as materialised tuples (hash-table
+    growth is where an adversarial COUNT(DISTINCT ...) blows memory). *)
 
 val step : t -> Value.t -> unit
 (** Feed one input value. *)

@@ -1,0 +1,79 @@
+(** Per-query resource governor: quotas, a simulated-time deadline, and a
+    cooperative cancellation token, charged at operator boundaries.
+
+    Create one {!t} per top-level statement (Engine does this for you via
+    its [?budget] arguments) and the executor charges it as it works:
+    a {e tick} per unit of work, a {e tuple} per intermediate row
+    materialised, a {e row} per top-level result row.
+
+    In {!Strict} mode (the default) a quota that fires raises
+    {!Errors.Budget_exceeded}.  In {!Partial} mode operators instead stop
+    consuming input at the quota: the result is a correct answer over a
+    prefix of the data, flagged {!truncated} so callers can qualify it as a
+    lower bound — the refinement loop's graceful-degradation path.
+    Cancellation always raises {!Errors.Cancelled}, in both modes.
+
+    A budget whose quotas never fire leaves results bitwise-identical to an
+    ungoverned run. *)
+
+type limits = {
+  max_rows : int option;  (** top-level output rows *)
+  max_tuples : int option;  (** intermediate tuples materialised *)
+  deadline : int option;  (** total work ticks (simulated time) *)
+}
+
+val unlimited : limits
+
+val limits : ?rows:int -> ?tuples:int -> ?ticks:int -> unit -> limits
+(** Omitted fields are unlimited. *)
+
+type mode =
+  | Strict  (** raise on exhaustion *)
+  | Partial  (** truncate input on exhaustion; result is a lower bound *)
+
+type cancel
+(** Cooperative cancellation token, shareable across queries. *)
+
+val cancel_token : unit -> cancel
+val cancel : cancel -> unit
+val is_cancelled : cancel -> bool
+
+type t
+
+val create : ?mode:mode -> ?cancel:cancel -> ?cancel_at:int -> limits -> t
+(** [cancel_at] is a deterministic test hook: the token trips when the
+    tick counter reaches it. *)
+
+val default : unit -> t
+(** A fresh strict budget with unlimited quotas — the ungoverned path. *)
+
+val mode : t -> mode
+
+val stats : t -> Errors.budget_stats
+(** Counters so far (also carried inside the budget exceptions). *)
+
+val exhausted : t -> Errors.resource option
+(** The first quota that fired, if any. *)
+
+val truncated : t -> bool
+(** True when a Partial-mode quota fired: the result covers only a prefix
+    of the input and any statistic over it is a lower bound. *)
+
+(** {2 Operator charge points} — used by the executor. *)
+
+val step : t -> bool
+(** Charge one work tick.  [true] to continue; [false] (Partial only) when
+    the deadline passed.  @raise Errors.Cancelled when the token is pulled.
+    @raise Errors.Budget_exceeded (Strict) when the deadline passes. *)
+
+val admit : t -> bool
+(** {!step} plus one materialised tuple against the tuple quota. *)
+
+val admit_list : t -> 'a list -> 'a list
+(** Charge a whole materialised row list.  Strict: charges each element
+    and returns the list unchanged (physically the same list).  Partial:
+    returns the admitted prefix. *)
+
+val charge_rows : t -> 'a list -> 'a list
+(** Charge the top-level result against the row quota.  Strict: raise when
+    over; Partial: truncate the result to the quota. *)

@@ -13,36 +13,39 @@ let database t = t.db
 
 let parse = Sql_parser.parse_stmt
 
-let exec t sql = Executor.exec_stmt t.db (parse sql)
+(* Each entry point threads one optional [Budget.t] through the whole
+   statement; omitted, execution is ungoverned (an unlimited strict
+   budget). *)
+let exec ?budget t sql = Executor.exec_stmt ?budget t.db (parse sql)
 
-let exec_stmt t stmt = Executor.exec_stmt t.db stmt
+let exec_stmt ?budget t stmt = Executor.exec_stmt ?budget t.db stmt
 
-let query t sql : Executor.result_set =
-  match exec t sql with
+let query ?budget t sql : Executor.result_set =
+  match exec ?budget t sql with
   | Executor.Rows rs -> rs
   | Executor.Affected _ | Executor.Table_created _ | Executor.Table_dropped _ ->
     Errors.fail Errors.Execute "statement did not produce rows: %s" sql
 
-let query_select t (select : Sql_ast.select) : Executor.result_set =
-  match exec_stmt t (Sql_ast.Select select) with
+let query_select ?budget t (select : Sql_ast.select) : Executor.result_set =
+  match exec_stmt ?budget t (Sql_ast.Select select) with
   | Executor.Rows rs -> rs
-  | _ -> assert false
+  | _ -> Errors.internal "SELECT produced a non-row outcome"
 
-let command t sql : int =
-  match exec t sql with
+let command ?budget t sql : int =
+  match exec ?budget t sql with
   | Executor.Affected n -> n
   | Executor.Table_created _ | Executor.Table_dropped _ -> 0
   | Executor.Rows _ -> Errors.fail Errors.Execute "expected a command, got a query: %s" sql
 
 (* Single-value convenience: the first column of the first row. *)
-let query_scalar t sql : Value.t =
-  let rs = query t sql in
+let query_scalar ?budget t sql : Value.t =
+  let rs = query ?budget t sql in
   match rs.Executor.rows with
   | row :: _ when Row.arity row > 0 -> Row.get row 0
   | _ -> Errors.fail Errors.Execute "query returned no rows: %s" sql
 
-let query_int t sql : int =
-  match Value.as_int (query_scalar t sql) with
+let query_int ?budget t sql : int =
+  match Value.as_int (query_scalar ?budget t sql) with
   | Some i -> i
   | None -> Errors.fail Errors.Execute "query did not return an integer: %s" sql
 

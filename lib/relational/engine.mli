@@ -12,26 +12,27 @@ val database : t -> Database.t
 val parse : string -> Sql_ast.stmt
 (** Alias of {!Sql_parser.parse_stmt}. *)
 
-val exec : t -> string -> Executor.outcome
-(** Parse and execute one statement. *)
+val exec : ?budget:Budget.t -> t -> string -> Executor.outcome
+(** Parse and execute one statement.  [budget] governs the whole
+    execution (see {!Budget}); omitted, execution is ungoverned. *)
 
-val exec_stmt : t -> Sql_ast.stmt -> Executor.outcome
+val exec_stmt : ?budget:Budget.t -> t -> Sql_ast.stmt -> Executor.outcome
 
-val query : t -> string -> Executor.result_set
+val query : ?budget:Budget.t -> t -> string -> Executor.result_set
 (** @raise Errors.Sql_error (Execute) when the statement is not a query. *)
 
-val query_select : t -> Sql_ast.select -> Executor.result_set
+val query_select : ?budget:Budget.t -> t -> Sql_ast.select -> Executor.result_set
 (** Execute an already-built SELECT (the enforcement path). *)
 
-val command : t -> string -> int
+val command : ?budget:Budget.t -> t -> string -> int
 (** Rows affected; 0 for DDL.
     @raise Errors.Sql_error (Execute) when the statement returns rows. *)
 
-val query_scalar : t -> string -> Value.t
+val query_scalar : ?budget:Budget.t -> t -> string -> Value.t
 (** First column of the first row.
     @raise Errors.Sql_error (Execute) when no rows are returned. *)
 
-val query_int : t -> string -> int
+val query_int : ?budget:Budget.t -> t -> string -> int
 (** {!query_scalar} coerced to an integer. *)
 
 val table : t -> string -> Table.t

@@ -4,7 +4,15 @@
    grouping/aggregation → HAVING → projection (with sort keys) → DISTINCT →
    ORDER BY → OFFSET/LIMIT.  Rows are materialised lists; the audit-analysis
    workloads PRIMA runs are small enough that pipelining buys nothing over
-   clarity here. *)
+   clarity here.
+
+   Every operator charges the per-query [Budget.t] at its boundary: scans
+   and join outputs as materialised tuples, filters/projections/sort entry
+   as work ticks, aggregation-group and DISTINCT-set growth as tuples, and
+   the top-level result against the row quota.  In strict mode a fired
+   quota raises out of here; in partial mode the [Stop_scan] exception
+   breaks the producing loop so the query answers over a prefix of the
+   input (the caller reads [Budget.truncated]). *)
 
 type result_set = {
   schema : Schema.t;
@@ -16,6 +24,10 @@ type outcome =
   | Affected of int
   | Table_created of string
   | Table_dropped of string
+
+(* Raised only in Partial budget mode, to stop a producing loop at the
+   point of exhaustion; never escapes this module. *)
+exception Stop_scan
 
 module Row_tbl = Hashtbl.Make (struct
   type t = Row.t
@@ -48,7 +60,7 @@ let collect_aggs exprs =
 
 let projection_name i (p : Sql_ast.projection) =
   match p with
-  | Sql_ast.All_columns -> assert false
+  | Sql_ast.All_columns -> Errors.internal "projection_name on *"
   | Sql_ast.Proj (_, Some alias) -> String.lowercase_ascii alias
   | Sql_ast.Proj (Sql_ast.Col { name; _ }, None) -> String.lowercase_ascii name
   | Sql_ast.Proj (e, None) ->
@@ -93,6 +105,25 @@ let take n rows =
   in
   if n <= 0 then [] else go n [] rows
 
+(* Filter charging one work tick per input row; stops early (Partial) when
+   the budget says so. *)
+let governed_filter budget pred rows =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | r :: rest ->
+      if not (Budget.step budget) then List.rev acc
+      else go (if pred r then r :: acc else acc) rest
+  in
+  go [] rows
+
+(* Map charging one work tick per input row. *)
+let governed_map budget f rows =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | r :: rest ->
+      if not (Budget.step budget) then List.rev acc else go (f r :: acc) rest
+  in
+  go [] rows
 
 (* Predicate pushdown for single-table scans: an equality conjunct
    [col = literal] over an indexed column turns the scan into an index
@@ -109,9 +140,9 @@ let conj_opt = function
   | [] -> None
   | e :: es -> Some (List.fold_left (fun acc x -> Sql_ast.Binop (Sql_ast.And, acc, x)) e es)
 
-let indexed_scan table ~qualifier (where : Sql_ast.expr option) =
+let indexed_scan budget table ~qualifier (where : Sql_ast.expr option) =
   let schema = Schema.with_qualifier (Table.schema table) qualifier in
-  let fallback () = (schema, Table.to_list table, where) in
+  let fallback () = (schema, Budget.admit_list budget (Table.to_list table), where) in
   match where with
   | None -> fallback ()
   | Some w when Sql_ast.contains_agg w -> fallback ()
@@ -148,15 +179,17 @@ let indexed_scan table ~qualifier (where : Sql_ast.expr option) =
         match Value.coerce (Schema.ty_at schema column) key with
         | None -> (schema, [], conj_opt residual)
         | Some key ->
-          let rows = List.map (Table.get table) (Index.lookup index key) in
+          let rows =
+            Budget.admit_list budget (List.map (Table.get table) (Index.lookup index key))
+          in
           (schema, rows, conj_opt residual)
       end)
 
 (* Uncorrelated IN (SELECT ...) subqueries are evaluated eagerly and
    replaced by literal lists before compilation; the subquery's first
    column provides the membership set. *)
-let rec resolve_subqueries db (e : Sql_ast.expr) : Sql_ast.expr =
-  let go = resolve_subqueries db in
+let rec resolve_subqueries budget db (e : Sql_ast.expr) : Sql_ast.expr =
+  let go = resolve_subqueries budget db in
   match e with
   | Sql_ast.Lit _ | Sql_ast.Col _ | Sql_ast.Star -> e
   | Sql_ast.Unop (op, x) -> Sql_ast.Unop (op, go x)
@@ -166,16 +199,16 @@ let rec resolve_subqueries db (e : Sql_ast.expr) : Sql_ast.expr =
   | Sql_ast.In_list { scrutinee; negated; items } ->
     Sql_ast.In_list { scrutinee = go scrutinee; negated; items = List.map go items }
   | Sql_ast.In_select { scrutinee; negated; select } ->
-    let sub = exec_select db select in
+    let sub = exec_select budget db select in
     if Schema.arity sub.schema <> 1 then
       Errors.fail Errors.Plan "IN subquery must return exactly one column";
     let items = List.map (fun row -> Sql_ast.Lit (Row.get row 0)) sub.rows in
     Sql_ast.In_list { scrutinee = go scrutinee; negated; items }
   | Sql_ast.Exists select ->
-    let sub = exec_select db select in
+    let sub = exec_select budget db select in
     Sql_ast.Lit (Value.Bool (sub.rows <> []))
   | Sql_ast.Scalar_select select ->
-    let sub = exec_select db select in
+    let sub = exec_select budget db select in
     if Schema.arity sub.schema <> 1 then
       Errors.fail Errors.Plan "scalar subquery must return exactly one column";
     (match sub.rows with
@@ -188,20 +221,22 @@ let rec resolve_subqueries db (e : Sql_ast.expr) : Sql_ast.expr =
   | Sql_ast.Between { scrutinee; negated; low; high } ->
     Sql_ast.Between { scrutinee = go scrutinee; negated; low = go low; high = go high }
 
-and eval_from db (ref : Sql_ast.table_ref) : Schema.t * Row.t list =
-  match ref with
+and eval_from budget db (from_ref : Sql_ast.table_ref) : Schema.t * Row.t list =
+  match from_ref with
   | Sql_ast.Table { name; alias } ->
     let table = Database.table db name in
     let qualifier = Option.value alias ~default:(Table.name table) in
-    (Schema.with_qualifier (Table.schema table) qualifier, Table.to_list table)
+    ( Schema.with_qualifier (Table.schema table) qualifier,
+      Budget.admit_list budget (Table.to_list table) )
   | Sql_ast.Derived { select; alias } ->
     (* A derived table: materialise the subquery and bring its columns into
        scope under the alias. *)
-    let sub = exec_select db select in
-    (Schema.with_qualifier sub.schema (String.lowercase_ascii alias), sub.rows)
+    let sub = exec_select budget db select in
+    ( Schema.with_qualifier sub.schema (String.lowercase_ascii alias),
+      Budget.admit_list budget sub.rows )
   | Sql_ast.Join { left; right; kind; on } ->
-    let left_schema, left_rows = eval_from db left in
-    let right_schema, right_rows = eval_from db right in
+    let left_schema, left_rows = eval_from budget db left in
+    let right_schema, right_rows = eval_from budget db right in
     let schema = Schema.concat left_schema right_schema in
     let on_pred =
       match on with
@@ -210,35 +245,49 @@ and eval_from db (ref : Sql_ast.table_ref) : Schema.t * Row.t list =
         fun row -> Expr.is_true (c row [||])
       | None -> fun _ -> true
     in
-    let rows =
-      match kind with
-      | Sql_ast.Inner | Sql_ast.Cross ->
-        List.concat_map
-          (fun lrow ->
-            List.filter_map
-              (fun rrow ->
-                let row = Row.concat lrow rrow in
-                if on_pred row then Some row else None)
-              right_rows)
-          left_rows
-      | Sql_ast.Left ->
-        let null_right = Array.make (Schema.arity right_schema) Value.Null in
-        List.concat_map
-          (fun lrow ->
-            let matches =
-              List.filter_map
-                (fun rrow ->
-                  let row = Row.concat lrow rrow in
-                  if on_pred row then Some row else None)
-                right_rows
-            in
-            if matches = [] then [ Row.concat lrow null_right ] else matches)
-          left_rows
-    in
-    (schema, rows)
+    (* Nested loops, a tick per pair considered and a tuple per row
+       produced; [Stop_scan] truncates the output in partial mode. *)
+    let acc = ref [] in
+    (try
+       match kind with
+       | Sql_ast.Inner | Sql_ast.Cross ->
+         List.iter
+           (fun lrow ->
+             List.iter
+               (fun rrow ->
+                 if not (Budget.step budget) then raise_notrace Stop_scan;
+                 let row = Row.concat lrow rrow in
+                 if on_pred row then begin
+                   if not (Budget.admit budget) then raise_notrace Stop_scan;
+                   acc := row :: !acc
+                 end)
+               right_rows)
+           left_rows
+       | Sql_ast.Left ->
+         let null_right = Array.make (Schema.arity right_schema) Value.Null in
+         List.iter
+           (fun lrow ->
+             let matched = ref false in
+             List.iter
+               (fun rrow ->
+                 if not (Budget.step budget) then raise_notrace Stop_scan;
+                 let row = Row.concat lrow rrow in
+                 if on_pred row then begin
+                   if not (Budget.admit budget) then raise_notrace Stop_scan;
+                   matched := true;
+                   acc := row :: !acc
+                 end)
+               right_rows;
+             if not !matched then begin
+               if not (Budget.admit budget) then raise_notrace Stop_scan;
+               acc := Row.concat lrow null_right :: !acc
+             end)
+           left_rows
+     with Stop_scan -> ());
+    (schema, List.rev !acc)
 
-and exec_select db (q : Sql_ast.select) : result_set =
-  let resolve = resolve_subqueries db in
+and exec_select budget db (q : Sql_ast.select) : result_set =
+  let resolve = resolve_subqueries budget db in
   let q =
     { q with
       Sql_ast.projections =
@@ -258,9 +307,9 @@ and exec_select db (q : Sql_ast.select) : result_set =
     | Some (Sql_ast.Table { name; alias }) ->
       let table = Database.table db name in
       let qualifier = Option.value alias ~default:(Table.name table) in
-      indexed_scan table ~qualifier q.where
+      indexed_scan budget table ~qualifier q.where
     | Some f ->
-      let schema, rows = eval_from db f in
+      let schema, rows = eval_from budget db f in
       (schema, rows, q.where)
     | None -> (Schema.of_list [], [ [||] ], q.where)
   in
@@ -272,7 +321,7 @@ and exec_select db (q : Sql_ast.select) : result_set =
       if Sql_ast.contains_agg e then
         Errors.fail Errors.Plan "aggregates are not allowed in WHERE";
       let c = Expr.compile (Expr.scalar_ctx input_schema) e in
-      List.filter (fun row -> Expr.is_true (c row [||])) input_rows
+      governed_filter budget (fun row -> Expr.is_true (c row [||])) input_rows
   in
   let filtered =
     (* The original WHERE may carry an aggregate even when an index probe
@@ -310,28 +359,34 @@ and exec_select db (q : Sql_ast.select) : result_set =
                   fun row -> c row [||]
                 end
               in
-              (Aggregate.create fn ~distinct ~counts_star, extract)
-            | _ -> assert false)
+              (Aggregate.create ~budget fn ~distinct ~counts_star, extract)
+            | _ -> Errors.internal "non-aggregate in aggregate list")
           agg_list
       in
       let groups : (Row.t * (Aggregate.t * (Row.t -> Value.t)) list) Row_tbl.t =
         Row_tbl.create 64
       in
       let order = ref [] in
-      List.iter
-        (fun row ->
-          let key = Array.of_list (List.map (fun f -> f row [||]) key_fns) in
-          let _, accs =
-            match Row_tbl.find_opt groups key with
-            | Some entry -> entry
-            | None ->
-              let entry = (row, make_accs ()) in
-              Row_tbl.add groups key entry;
-              order := key :: !order;
-              entry
-          in
-          List.iter (fun (acc, extract) -> Aggregate.step acc (extract row)) accs)
-        filtered;
+      (* A tick per input row; hash-table growth (a new group) is a
+         materialised tuple. *)
+      (try
+         List.iter
+           (fun row ->
+             if not (Budget.step budget) then raise_notrace Stop_scan;
+             let key = Array.of_list (List.map (fun f -> f row [||]) key_fns) in
+             let accs =
+               match Row_tbl.find_opt groups key with
+               | Some (_, accs) -> accs
+               | None ->
+                 if not (Budget.admit budget) then raise_notrace Stop_scan;
+                 let accs = make_accs () in
+                 Row_tbl.add groups key (row, accs);
+                 order := key :: !order;
+                 accs
+             in
+             List.iter (fun (acc, extract) -> Aggregate.step acc (extract row)) accs)
+           filtered
+       with Stop_scan -> ());
       let keys = List.rev !order in
       let keys =
         (* Global aggregate over an empty input still yields one group. *)
@@ -356,7 +411,7 @@ and exec_select db (q : Sql_ast.select) : result_set =
     | None -> projection_inputs
     | Some e ->
       let c = Expr.compile ctx e in
-      List.filter (fun (row, aggs) -> Expr.is_true (c row aggs)) projection_inputs
+      governed_filter budget (fun (row, aggs) -> Expr.is_true (c row aggs)) projection_inputs
   in
   (* Projection + sort keys. *)
   let compiled_outputs = List.map (Expr.compile ctx) output_exprs in
@@ -378,7 +433,7 @@ and exec_select db (q : Sql_ast.select) : result_set =
       q.order_by
   in
   let produced =
-    List.map
+    governed_map budget
       (fun (row, aggs) ->
         let out = Array.of_list (List.map (fun c -> c row aggs) compiled_outputs) in
         let keys =
@@ -395,7 +450,7 @@ and exec_select db (q : Sql_ast.select) : result_set =
     if not q.distinct then produced
     else begin
       let seen = Row_tbl.create 64 in
-      List.filter
+      governed_filter budget
         (fun (out, _) ->
           if Row_tbl.mem seen out then false
           else begin
@@ -408,6 +463,8 @@ and exec_select db (q : Sql_ast.select) : result_set =
   let produced =
     if sort_specs = [] then produced
     else begin
+      (* A tick per row entering the sort. *)
+      let produced = governed_filter budget (fun _ -> true) produced in
       let cmp (_, ka) (_, kb) =
         let rec go a b =
           match a, b with
@@ -446,7 +503,7 @@ let eval_const_expr (e : Sql_ast.expr) =
   let c = Expr.compile (Expr.scalar_ctx (Schema.of_list [])) e in
   c [||] [||]
 
-let exec_insert db ~table ~columns ~rows =
+let exec_insert budget db ~table ~columns ~rows =
   let t = Database.table db table in
   let schema = Table.schema t in
   let arrange =
@@ -467,30 +524,39 @@ let exec_insert db ~table ~columns ~rows =
         List.iter2 (fun i v -> row.(i) <- v) indices values;
         row
   in
+  (* Mutations are never truncated: a tick per row (strict budgets can
+     still deadline or cancel), but partial mode inserts everything. *)
   List.iter
-    (fun exprs -> Table.insert t (arrange (List.map eval_const_expr exprs)))
+    (fun exprs ->
+      ignore (Budget.step budget);
+      Table.insert t (arrange (List.map eval_const_expr exprs)))
     rows;
   List.length rows
 
-let compile_table_pred t where =
+let compile_table_pred budget t where =
   let schema = Schema.with_qualifier (Table.schema t) (Table.name t) in
   match where with
-  | None -> fun _ -> true
+  | None ->
+    fun _ ->
+      ignore (Budget.step budget);
+      true
   | Some e ->
     let c = Expr.compile (Expr.scalar_ctx schema) e in
-    fun row -> Expr.is_true (c row [||])
+    fun row ->
+      ignore (Budget.step budget);
+      Expr.is_true (c row [||])
 
 (* UNION: branches must agree in arity; the first branch names the output.
    Plain UNION deduplicates the combined rows; UNION ALL concatenates. *)
-let exec_compound db (c : Sql_ast.compound) : result_set =
-  let first = exec_select db c.Sql_ast.first in
+let exec_compound budget db (c : Sql_ast.compound) : result_set =
+  let first = exec_select budget db c.Sql_ast.first in
   (* Accumulate branches in reverse and flip once at the end: appending with
      [@] re-copies the accumulator per branch, going quadratic in both the
      branch count and the row count. *)
   let rev_combined, needs_dedup =
     List.fold_left
       (fun (acc, dedup) (all, select) ->
-        let branch = exec_select db select in
+        let branch = exec_select budget db select in
         if Schema.arity branch.schema <> Schema.arity first.schema then
           Errors.fail Errors.Plan "UNION branches must have the same number of columns";
         (List.rev_append branch.rows acc, dedup || not all))
@@ -501,7 +567,7 @@ let exec_compound db (c : Sql_ast.compound) : result_set =
     if not needs_dedup then combined
     else begin
       let seen = Row_tbl.create 64 in
-      List.filter
+      governed_filter budget
         (fun row ->
           if Row_tbl.mem seen row then false
           else begin
@@ -513,10 +579,14 @@ let exec_compound db (c : Sql_ast.compound) : result_set =
   in
   { schema = first.schema; rows }
 
-let exec_stmt db (stmt : Sql_ast.stmt) : outcome =
+let exec_stmt_b budget db (stmt : Sql_ast.stmt) : outcome =
   match stmt with
-  | Sql_ast.Select q -> Rows (exec_select db q)
-  | Sql_ast.Compound c -> Rows (exec_compound db c)
+  | Sql_ast.Select q ->
+    let rs = exec_select budget db q in
+    Rows { rs with rows = Budget.charge_rows budget rs.rows }
+  | Sql_ast.Compound c ->
+    let rs = exec_compound budget db c in
+    Rows { rs with rows = Budget.charge_rows budget rs.rows }
   | Sql_ast.Create_table { name; columns } ->
     let schema = Schema.of_list (List.map (fun (n, ty) -> Schema.column n ty) columns) in
     let _ = Database.create_table db ~name ~schema in
@@ -525,15 +595,15 @@ let exec_stmt db (stmt : Sql_ast.stmt) : outcome =
     Database.drop_table db name;
     Table_dropped name
   | Sql_ast.Insert { table; columns; rows } ->
-    Affected (exec_insert db ~table ~columns ~rows)
+    Affected (exec_insert budget db ~table ~columns ~rows)
   | Sql_ast.Delete { table; where } ->
     let t = Database.table db table in
-    let pred = compile_table_pred t where in
+    let pred = compile_table_pred budget t where in
     Affected (Table.delete_where t (fun row -> not (pred row)))
   | Sql_ast.Update { table; assignments; where } ->
     let t = Database.table db table in
     let schema = Schema.with_qualifier (Table.schema t) (Table.name t) in
-    let pred = compile_table_pred t where in
+    let pred = compile_table_pred budget t where in
     let compiled =
       List.map
         (fun (name, e) ->
@@ -546,3 +616,15 @@ let exec_stmt db (stmt : Sql_ast.stmt) : outcome =
       row'
     in
     Affected (Table.update_where t ~pred ~transform)
+
+(* Public entry points: an omitted budget is a fresh unlimited strict one —
+   the ungoverned path pays only the counter increments. *)
+let or_default = function Some b -> b | None -> Budget.default ()
+
+let resolve_subqueries ?budget db e = resolve_subqueries (or_default budget) db e
+
+let exec_select ?budget db q = exec_select (or_default budget) db q
+
+let exec_compound ?budget db c = exec_compound (or_default budget) db c
+
+let exec_stmt ?budget db stmt = exec_stmt_b (or_default budget) db stmt

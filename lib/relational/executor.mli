@@ -3,7 +3,14 @@
     SELECT pipeline: FROM (scans, nested-loop joins) → WHERE →
     grouping/aggregation → HAVING → projection → DISTINCT → ORDER BY →
     OFFSET/LIMIT.  Uncorrelated [IN (SELECT ...)] subqueries in WHERE and
-    HAVING are evaluated eagerly and replaced by literal lists. *)
+    HAVING are evaluated eagerly and replaced by literal lists.
+
+    Every entry point takes an optional {!Budget.t}, charged at operator
+    boundaries; omitted, a fresh unlimited strict budget is used and
+    results are identical to the ungoverned engine.  In strict mode a
+    fired quota raises {!Errors.Budget_exceeded} (or {!Errors.Cancelled});
+    in partial mode producing operators stop at the quota and the result
+    covers a prefix of the input — check [Budget.truncated]. *)
 
 type result_set = {
   schema : Schema.t;
@@ -16,17 +23,19 @@ type outcome =
   | Table_created of string
   | Table_dropped of string
 
-val resolve_subqueries : Database.t -> Sql_ast.expr -> Sql_ast.expr
+val resolve_subqueries : ?budget:Budget.t -> Database.t -> Sql_ast.expr -> Sql_ast.expr
 (** Replaces every [In_select] with an [In_list] of the subquery's first
     column.  @raise Errors.Sql_error (Plan) when a subquery is not
     single-column. *)
 
-val exec_select : Database.t -> Sql_ast.select -> result_set
+val exec_select : ?budget:Budget.t -> Database.t -> Sql_ast.select -> result_set
 (** @raise Errors.Sql_error on any planning or runtime failure. *)
 
-val exec_compound : Database.t -> Sql_ast.compound -> result_set
+val exec_compound : ?budget:Budget.t -> Database.t -> Sql_ast.compound -> result_set
 (** UNION chains: branches must agree in arity; the first branch names the
     output; plain UNION deduplicates, UNION ALL concatenates. *)
 
-val exec_stmt : Database.t -> Sql_ast.stmt -> outcome
-(** Executes any statement. *)
+val exec_stmt : ?budget:Budget.t -> Database.t -> Sql_ast.stmt -> outcome
+(** Executes any statement.  The top-level result rows are charged against
+    the budget's row quota; mutations (INSERT/DELETE/UPDATE) tick the
+    budget per row but are never truncated in partial mode. *)

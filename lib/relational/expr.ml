@@ -51,7 +51,7 @@ let arith_op op a b =
       if y = 0 then Errors.fail Errors.Execute "division by zero" else Value.Int (x / y)
     | Sql_ast.Mod ->
       if y = 0 then Errors.fail Errors.Execute "modulo by zero" else Value.Int (x mod y)
-    | _ -> assert false)
+    | _ -> Errors.internal "non-arithmetic operator in arith_op")
   | _ ->
     (match Value.as_float a, Value.as_float b with
     | Some x, Some y ->
@@ -62,7 +62,7 @@ let arith_op op a b =
       | Sql_ast.Div ->
         if y = 0. then Errors.fail Errors.Execute "division by zero" else Value.Float (x /. y)
       | Sql_ast.Mod -> Value.Float (Float.rem x y)
-      | _ -> assert false)
+      | _ -> Errors.internal "non-arithmetic operator in arith_op")
     | _ ->
       Errors.fail Errors.Execute "arithmetic on non-numeric values: %s, %s"
         (Value.to_string a) (Value.to_string b))
@@ -79,7 +79,7 @@ let compare_op op a b =
       | Sql_ast.Le -> c <= 0
       | Sql_ast.Gt -> c > 0
       | Sql_ast.Ge -> c >= 0
-      | _ -> assert false
+      | _ -> Errors.internal "non-comparison operator in compare_op"
     in
     Value.Bool result
   end

@@ -1,0 +1,416 @@
+(* Seeded SQL fuzzer: the correctness harness of the resource governor.
+
+   A SplitMix64-driven generator builds random schemas, data and queries
+   (rendered through [Sql_ast.to_sql], so every case round-trips the lexer
+   and parser too), plus deliberately mangled SQL text for the error
+   paths.  Each case is checked against the engine's safety contract:
+
+     (a) every statement either returns, raises a *typed* engine error, or
+         hits its budget — never an untyped exception ([Errors.Internal]
+         counts as a failure here: it flags an engine invariant broken);
+     (b) a strict budget generous enough never to fire leaves the result
+         bitwise-identical to the ungoverned run;
+     (c) a tight budget raises [Budget_exceeded] in strict mode and never
+         raises in partial mode.
+
+   Everything is deterministic in the seed, so a failing case's SQL can be
+   replayed exactly. *)
+
+type failure = {
+  sql : string;
+  reason : string;
+}
+
+type report = {
+  seed : int;
+  queries : int;  (* statements executed, across all checks *)
+  ok : int;
+  typed_errors : int;
+  budget_hits : int;
+  truncated_runs : int;  (* partial-mode runs that degraded *)
+  untyped : failure list;
+  mismatches : failure list;
+}
+
+let passed r = r.untyped = [] && r.mismatches = []
+
+let pp ppf r =
+  Fmt.pf ppf
+    "seed %d: %d statements — %d ok, %d typed errors, %d budget hits, %d truncated; %d \
+     untyped, %d governed/ungoverned mismatches"
+    r.seed r.queries r.ok r.typed_errors r.budget_hits r.truncated_runs
+    (List.length r.untyped) (List.length r.mismatches)
+
+(* --- generators --- *)
+
+let string_pool =
+  [ "alice"; "bob"; "carol"; "dave"; "x"; ""; "lab-results"; "billing"; "o''brien" ]
+
+let column_pool =
+  [ ("id", Value.T_int); ("n", Value.T_int); ("score", Value.T_float);
+    ("name", Value.T_string); ("grp", Value.T_string); ("flag", Value.T_bool) ]
+
+let gen_value rng ty =
+  if Splitmix.bool rng ~probability:0.08 then Value.Null
+  else
+    match ty with
+    | Value.T_int -> Value.Int (Splitmix.int rng 20 - 5)
+    | Value.T_float -> Value.Float (float_of_int (Splitmix.int rng 100) /. 4.)
+    | Value.T_string -> Value.Str (Splitmix.pick rng string_pool)
+    | Value.T_bool -> Value.Bool (Splitmix.bool rng ~probability:0.5)
+
+(* Build 2-3 tables with random column subsets and 5-30 rows each;
+   returns [(name, columns)] for the query generator. *)
+let build_schema rng engine =
+  let n_tables = 2 + Splitmix.int rng 2 in
+  List.init n_tables (fun i ->
+      let name = Printf.sprintf "t%d" i in
+      let extra =
+        List.filter (fun _ -> Splitmix.bool rng ~probability:0.6) (List.tl column_pool)
+      in
+      let columns = List.hd column_pool :: extra in
+      let _ = Engine.create_table engine ~name ~columns in
+      let n_rows = 5 + Splitmix.int rng 26 in
+      for _ = 1 to n_rows do
+        Engine.insert_row engine ~table:name
+          (List.map (fun (_, ty) -> gen_value rng ty) columns)
+      done;
+      (name, columns))
+
+let gen_literal rng =
+  match Splitmix.int rng 5 with
+  | 0 -> Sql_ast.Lit (Value.Int (Splitmix.int rng 20 - 5))
+  | 1 -> Sql_ast.Lit (Value.Float (float_of_int (Splitmix.int rng 40) /. 4.))
+  | 2 -> Sql_ast.Lit (Value.Str (Splitmix.pick rng string_pool))
+  | 3 -> Sql_ast.Lit (Value.Bool (Splitmix.bool rng ~probability:0.5))
+  | _ -> Sql_ast.Lit Value.Null
+
+(* Random scalar expression over [columns]; depth-bounded.  Deliberately
+   type-sloppy: ill-typed expressions must fail with typed errors. *)
+let rec gen_expr rng columns depth =
+  let leaf () =
+    if columns <> [] && Splitmix.bool rng ~probability:0.55 then
+      Sql_ast.col (fst (Splitmix.pick rng columns))
+    else gen_literal rng
+  in
+  if depth <= 0 then leaf ()
+  else
+    match Splitmix.int rng 10 with
+    | 0 | 1 -> leaf ()
+    | 2 ->
+      let op =
+        Splitmix.pick rng
+          [ Sql_ast.Add; Sql_ast.Sub; Sql_ast.Mul; Sql_ast.Div; Sql_ast.Mod;
+            Sql_ast.Concat ]
+      in
+      Sql_ast.Binop (op, gen_expr rng columns (depth - 1), gen_expr rng columns (depth - 1))
+    | 3 ->
+      let op =
+        Splitmix.pick rng
+          [ Sql_ast.Eq; Sql_ast.Neq; Sql_ast.Lt; Sql_ast.Le; Sql_ast.Gt; Sql_ast.Ge ]
+      in
+      Sql_ast.Binop (op, gen_expr rng columns (depth - 1), gen_expr rng columns (depth - 1))
+    | 4 ->
+      let op = Splitmix.pick rng [ Sql_ast.And; Sql_ast.Or ] in
+      Sql_ast.Binop (op, gen_pred rng columns (depth - 1), gen_pred rng columns (depth - 1))
+    | 5 -> Sql_ast.Unop (Splitmix.pick rng [ Sql_ast.Not; Sql_ast.Neg ], gen_expr rng columns (depth - 1))
+    | 6 ->
+      let fn =
+        (* Mostly real scalar functions, sometimes a bogus one. *)
+        Splitmix.pick_weighted rng
+          [ ("lower", 3); ("upper", 3); ("length", 3); ("abs", 3); ("frobnicate", 1) ]
+      in
+      Sql_ast.Call (fn, [ gen_expr rng columns (depth - 1) ])
+    | 7 ->
+      Sql_ast.In_list
+        { scrutinee = gen_expr rng columns (depth - 1);
+          negated = Splitmix.bool rng ~probability:0.3;
+          items = List.init (1 + Splitmix.int rng 3) (fun _ -> gen_literal rng);
+        }
+    | 8 ->
+      Sql_ast.Is_null
+        { scrutinee = gen_expr rng columns (depth - 1);
+          negated = Splitmix.bool rng ~probability:0.3;
+        }
+    | _ ->
+      Sql_ast.Like
+        { scrutinee = gen_expr rng columns (depth - 1);
+          negated = Splitmix.bool rng ~probability:0.3;
+          pattern = Sql_ast.Lit (Value.Str (Splitmix.pick rng [ "a%"; "%b%"; "_x"; "%" ]));
+        }
+
+and gen_pred rng columns depth =
+  match Splitmix.int rng 3 with
+  | 0 ->
+    let op = Splitmix.pick rng [ Sql_ast.Eq; Sql_ast.Neq; Sql_ast.Lt; Sql_ast.Ge ] in
+    Sql_ast.Binop (op, gen_expr rng columns depth, gen_expr rng columns depth)
+  | 1 ->
+    Sql_ast.Is_null
+      { scrutinee = gen_expr rng columns depth; negated = Splitmix.bool rng ~probability:0.3 }
+  | _ -> gen_expr rng columns depth
+
+let gen_agg rng columns =
+  let fn = Splitmix.pick rng [ Sql_ast.Count; Sql_ast.Sum; Sql_ast.Avg; Sql_ast.Min; Sql_ast.Max ] in
+  if fn = Sql_ast.Count && Splitmix.bool rng ~probability:0.4 then
+    Sql_ast.Agg { fn; distinct = false; arg = Sql_ast.Star }
+  else
+    Sql_ast.Agg
+      { fn;
+        distinct = Splitmix.bool rng ~probability:0.3;
+        arg = gen_expr rng columns 1;
+      }
+
+(* A random SELECT over the generated tables; [depth] bounds derived-table
+   nesting. *)
+let rec gen_select rng tables depth : Sql_ast.select =
+  let name, columns = Splitmix.pick rng tables in
+  let from, columns =
+    match Splitmix.int rng (if depth > 0 then 5 else 4) with
+    | 0 | 1 -> (Sql_ast.Table { name; alias = None }, columns)
+    | 2 ->
+      (* self-qualified scan *)
+      (Sql_ast.Table { name; alias = Some "s" }, columns)
+    | 3 ->
+      let rname, rcolumns = Splitmix.pick rng tables in
+      let kind = Splitmix.pick rng [ Sql_ast.Inner; Sql_ast.Left; Sql_ast.Cross ] in
+      let on =
+        if kind = Sql_ast.Cross then None
+        else
+          Some
+            (Sql_ast.eq
+               (Sql_ast.Col { qualifier = Some "a"; name = fst (Splitmix.pick rng columns) })
+               (Sql_ast.Col { qualifier = Some "b"; name = fst (Splitmix.pick rng rcolumns) }))
+      in
+      ( Sql_ast.Join
+          { left = Sql_ast.Table { name; alias = Some "a" };
+            right = Sql_ast.Table { name = rname; alias = Some "b" };
+            kind;
+            on;
+          },
+        columns @ rcolumns )
+    | _ ->
+      let sub = gen_select rng tables (depth - 1) in
+      (* The derived table's columns are whatever the subquery projects;
+         reusing the base column names is fine — unknown names must fail
+         with a typed Plan error. *)
+      (Sql_ast.Derived { select = sub; alias = "d" }, columns)
+  in
+  let grouped = Splitmix.bool rng ~probability:0.35 in
+  let projections, group_by, having =
+    if grouped then begin
+      let key = fst (Splitmix.pick rng columns) in
+      let aggs = List.init (1 + Splitmix.int rng 2) (fun _ -> gen_agg rng columns) in
+      ( Sql_ast.Proj (Sql_ast.col key, None)
+        :: List.map (fun a -> Sql_ast.Proj (a, None)) aggs,
+        [ Sql_ast.col key ],
+        (if Splitmix.bool rng ~probability:0.5 then
+           Some
+             (Sql_ast.Binop
+                ( Splitmix.pick rng [ Sql_ast.Ge; Sql_ast.Gt ],
+                  Sql_ast.Agg { fn = Sql_ast.Count; distinct = false; arg = Sql_ast.Star },
+                  Sql_ast.int_lit (Splitmix.int rng 4) ))
+         else None) )
+    end
+    else begin
+      let projections =
+        if Splitmix.bool rng ~probability:0.25 then [ Sql_ast.All_columns ]
+        else
+          List.init
+            (1 + Splitmix.int rng 3)
+            (fun _ ->
+              if Splitmix.bool rng ~probability:0.15 then
+                Sql_ast.Proj (gen_agg rng columns, None)
+              else Sql_ast.Proj (gen_expr rng columns 2, None))
+      in
+      (projections, [], None)
+    end
+  in
+  let where =
+    if Splitmix.bool rng ~probability:0.55 then Some (gen_pred rng columns 2) else None
+  in
+  let order_by =
+    if Splitmix.bool rng ~probability:0.4 && not grouped then
+      [ (Sql_ast.col (fst (Splitmix.pick rng columns)),
+         Splitmix.pick rng [ Sql_ast.Asc; Sql_ast.Desc ]) ]
+    else []
+  in
+  Sql_ast.select ~distinct:(Splitmix.bool rng ~probability:0.2) ~from ?where ~group_by
+    ?having ~order_by
+    ?limit:(if Splitmix.bool rng ~probability:0.3 then Some (Splitmix.int rng 10) else None)
+    ?offset:(if Splitmix.bool rng ~probability:0.15 then Some (Splitmix.int rng 5) else None)
+    projections
+
+let gen_stmt rng tables : Sql_ast.stmt =
+  match Splitmix.int rng 12 with
+  | 0 ->
+    let first = gen_select rng tables 0 in
+    let rest =
+      [ (Splitmix.bool rng ~probability:0.5, gen_select rng tables 0) ]
+    in
+    Sql_ast.Compound { Sql_ast.first; rest }
+  | 1 ->
+    let name, columns = Splitmix.pick rng tables in
+    (* Sometimes the wrong arity — must be a typed Execute error. *)
+    let values =
+      List.map (fun (_, ty) -> Sql_ast.Lit (gen_value rng ty)) columns
+    in
+    let values = if Splitmix.bool rng ~probability:0.2 then gen_literal rng :: values else values in
+    Sql_ast.Insert { table = name; columns = None; rows = [ values ] }
+  | 2 ->
+    let name, columns = Splitmix.pick rng tables in
+    Sql_ast.Delete { table = name; where = Some (gen_pred rng columns 1) }
+  | 3 ->
+    let name, columns = Splitmix.pick rng tables in
+    let col, ty = Splitmix.pick rng columns in
+    Sql_ast.Update
+      { table = name;
+        assignments = [ (col, Sql_ast.Lit (gen_value rng ty)) ];
+        where = Some (gen_pred rng columns 1);
+      }
+  | _ -> Sql_ast.Select (gen_select rng tables (if Splitmix.int rng 3 = 0 then 1 else 0))
+
+(* Mangle rendered SQL to exercise the lexer/parser error paths. *)
+let mangle rng sql =
+  let n = String.length sql in
+  if n = 0 then "'"
+  else
+    match Splitmix.int rng 5 with
+    | 0 -> String.sub sql 0 (Splitmix.int rng n) (* truncate *)
+    | 1 ->
+      let at = Splitmix.int rng n in
+      let junk = Splitmix.pick rng [ "'"; "\""; "!"; "|"; "$"; "@"; "#"; "\x01"; "((" ] in
+      String.sub sql 0 at ^ junk ^ String.sub sql at (n - at)
+    | 2 ->
+      (* clone a tail chunk *)
+      let at = Splitmix.int rng n in
+      sql ^ " " ^ String.sub sql at (n - at)
+    | 3 -> sql ^ " EXTRA TRAILING TOKENS" (* trailing garbage *)
+    | _ -> String.concat "" [ "SELECT FROM WHERE "; sql ]
+
+(* --- execution harness --- *)
+
+type outcome_class =
+  | C_ok of Executor.outcome option  (* Some for result comparison *)
+  | C_typed of string
+  | C_budget
+  | C_cancelled
+  | C_untyped of string
+
+let run_case f =
+  match f () with
+  | outcome -> C_ok (Some outcome)
+  | exception Errors.Budget_exceeded _ -> C_budget
+  | exception Errors.Cancelled _ -> C_cancelled
+  | exception (Errors.Sql_error _ as e) -> C_typed (Errors.to_string e)
+  | exception (Errors.Parse_error _ as e) -> C_typed (Errors.to_string e)
+  | exception Errors.Internal msg -> C_untyped ("Internal: " ^ msg)
+  | exception e -> C_untyped (Printexc.to_string e)
+
+let rows_equal (a : Executor.result_set) (b : Executor.result_set) =
+  Schema.column_names a.Executor.schema = Schema.column_names b.Executor.schema
+  && List.length a.Executor.rows = List.length b.Executor.rows
+  && List.for_all2 Row.equal a.Executor.rows b.Executor.rows
+
+let outcomes_equal a b =
+  match a, b with
+  | Executor.Rows ra, Executor.Rows rb -> rows_equal ra rb
+  | Executor.Affected x, Executor.Affected y -> x = y
+  | Executor.Table_created x, Executor.Table_created y -> x = y
+  | Executor.Table_dropped x, Executor.Table_dropped y -> x = y
+  | _ -> false
+
+let is_read_only = function
+  | Sql_ast.Select _ | Sql_ast.Compound _ -> true
+  | _ -> false
+
+let run ?(queries = 500) ~seed () =
+  let trace =
+    match Sys.getenv_opt "FUZZ_TRACE" with
+    | Some _ -> fun tag sql -> Printf.eprintf "[fuzz %s] %s\n%!" tag sql
+    | None -> fun _ _ -> ()
+  in
+  let rng = Splitmix.create ~seed in
+  let engine = Engine.create () in
+  let tables = build_schema rng engine in
+  let executed = ref 0 in
+  let ok = ref 0 in
+  let typed = ref 0 in
+  let budget_hits = ref 0 in
+  let truncated_runs = ref 0 in
+  let untyped = ref [] in
+  let mismatches = ref [] in
+  let record_class sql = function
+    | C_ok _ -> incr ok
+    | C_typed _ -> incr typed
+    | C_budget | C_cancelled -> incr budget_hits
+    | C_untyped reason -> untyped := { sql; reason } :: !untyped
+  in
+  let exec_sql ?budget sql =
+    incr executed;
+    run_case (fun () -> Engine.exec ?budget engine sql)
+  in
+  for _ = 1 to queries do
+    let stmt = gen_stmt rng tables in
+    let sql = Sql_ast.to_sql stmt in
+    if Splitmix.bool rng ~probability:0.2 then begin
+      (* Mangled text: anything but an untyped exception. *)
+      let sql = mangle rng sql in
+      trace "mangled" sql;
+      record_class sql (exec_sql sql)
+    end
+    else begin
+      trace "base" sql;
+      let base = exec_sql sql in
+      record_class sql base;
+      if is_read_only stmt then begin
+        (* (b) a generous strict budget must not change the result. *)
+        let generous =
+          Budget.create (Budget.limits ~rows:1_000_000 ~tuples:10_000_000 ~ticks:50_000_000 ())
+        in
+        trace "generous" sql;
+        let governed = exec_sql ~budget:generous sql in
+        (match base, governed with
+        | C_ok (Some a), C_ok (Some b) ->
+          if not (outcomes_equal a b) then
+            mismatches := { sql; reason = "governed result differs from ungoverned" } :: !mismatches
+        | C_ok _, (C_budget | C_cancelled) ->
+          mismatches := { sql; reason = "generous budget fired" } :: !mismatches
+        | C_typed _, C_typed _ | C_ok _, C_ok _ -> ()
+        | C_untyped reason, _ | _, C_untyped reason ->
+          untyped := { sql; reason } :: !untyped
+        | _ ->
+          mismatches :=
+            { sql; reason = "governed and ungoverned runs disagree on error class" }
+            :: !mismatches);
+        (* (c) a tight strict budget may only return or hit the budget;
+           the same budget in partial mode must never raise. *)
+        let tight () =
+          Budget.limits ~rows:(Splitmix.int rng 4)
+            ~tuples:(1 + Splitmix.int rng 30)
+            ~ticks:(1 + Splitmix.int rng 100) ()
+        in
+        trace "tight" sql;
+        record_class sql (exec_sql ~budget:(Budget.create (tight ())) sql);
+        let partial = Budget.create ~mode:Budget.Partial (tight ()) in
+        trace "partial" sql;
+        (match exec_sql ~budget:partial sql with
+        | C_ok _ ->
+          incr ok;
+          if Budget.truncated partial then incr truncated_runs
+        | C_typed _ -> incr typed
+        | C_budget ->
+          mismatches := { sql; reason = "partial-mode budget raised Budget_exceeded" } :: !mismatches
+        | C_cancelled -> incr budget_hits
+        | C_untyped reason -> untyped := { sql; reason } :: !untyped)
+      end
+    end
+  done;
+  { seed;
+    queries = !executed;
+    ok = !ok;
+    typed_errors = !typed;
+    budget_hits = !budget_hits;
+    truncated_runs = !truncated_runs;
+    untyped = List.rev !untyped;
+    mismatches = List.rev !mismatches;
+  }

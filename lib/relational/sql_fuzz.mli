@@ -1,0 +1,40 @@
+(** Seeded SQL fuzzer for the governed query path.
+
+    Deterministic in [seed]: builds a random schema and data set, then
+    generates random statements (rendered through {!Sql_ast.to_sql}, so
+    every case also round-trips the lexer and parser) plus deliberately
+    mangled SQL text, and checks the engine's safety contract:
+
+    - every statement returns, raises a typed engine error, or hits its
+      budget — never an untyped exception ({!Errors.Internal} counts as a
+      failure: it marks a broken engine invariant);
+    - a strict budget generous enough never to fire leaves results
+      bitwise-identical to the ungoverned run;
+    - a tight budget raises {!Errors.Budget_exceeded} only in strict
+      mode; the same limits in partial mode never raise. *)
+
+type failure = {
+  sql : string;  (** the offending statement, replayable verbatim *)
+  reason : string;
+}
+
+type report = {
+  seed : int;
+  queries : int;  (** statements executed, across all checks *)
+  ok : int;
+  typed_errors : int;
+  budget_hits : int;
+  truncated_runs : int;  (** partial-mode runs that degraded *)
+  untyped : failure list;
+  mismatches : failure list;
+}
+
+val run : ?queries:int -> seed:int -> unit -> report
+(** Generate and check [queries] base statements (default 500); each
+    read-only statement is additionally re-run under generous, tight and
+    partial budgets. *)
+
+val passed : report -> bool
+(** No untyped exceptions and no governed/ungoverned mismatches. *)
+
+val pp : Format.formatter -> report -> unit

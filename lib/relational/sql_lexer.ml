@@ -1,6 +1,9 @@
 (* Hand-written SQL lexer.  Keywords are not distinguished here — the parser
    matches identifiers case-insensitively, so user tables may freely use
-   names like "status" that are keywords elsewhere. *)
+   names like "status" that are keywords elsewhere.
+
+   Every token carries the byte offset of its first character, so lex and
+   parse failures can point at the offending token ([Errors.Parse_error]). *)
 
 type token =
   | Ident of string
@@ -56,14 +59,16 @@ let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
 
 let is_digit c = c >= '0' && c <= '9'
 
-(* [tokenize s] returns the token list or raises [Errors.Sql_error (Lex, _)].
-   Vocabulary values containing '-' (e.g. lab-results) must appear as string
-   literals or double-quoted identifiers, never as bare identifiers. *)
+(* [tokenize s] returns the positioned token list or raises
+   [Errors.Parse_error] with phase [Lex].  Vocabulary values containing '-'
+   (e.g. lab-results) must appear as string literals or double-quoted
+   identifiers, never as bare identifiers. *)
 let tokenize input =
   let n = String.length input in
   let tokens = ref [] in
-  let emit t = tokens := t :: !tokens in
   let pos = ref 0 in
+  let fail_lex ~start ~token fmt = Errors.fail_at Errors.Lex ~offset:start ~token fmt in
+  let emit ~start t = tokens := (t, start) :: !tokens in
   let peek () = if !pos < n then Some input.[!pos] else None in
   let advance () = incr pos in
   let read_while p =
@@ -73,11 +78,13 @@ let tokenize input =
     done;
     String.sub input start (!pos - start)
   in
-  let read_string_literal () =
+  let read_string_literal start =
     (* Opening quote consumed by caller; '' is an escaped quote. *)
     let buffer = Buffer.create 16 in
     let rec go () =
-      if !pos >= n then Errors.fail Errors.Lex "unterminated string literal"
+      if !pos >= n then
+        fail_lex ~start ~token:(String.sub input start (n - start))
+          "unterminated string literal"
       else begin
         let c = input.[!pos] in
         advance ();
@@ -97,7 +104,7 @@ let tokenize input =
     go ();
     Buffer.contents buffer
   in
-  let read_number () =
+  let read_number start =
     let integral = read_while is_digit in
     let is_float =
       !pos + 1 < n && input.[!pos] = '.' && is_digit input.[!pos + 1]
@@ -105,14 +112,22 @@ let tokenize input =
     if is_float then begin
       advance ();
       let fractional = read_while is_digit in
-      emit (Float_lit (float_of_string (integral ^ "." ^ fractional)))
+      let text = integral ^ "." ^ fractional in
+      match float_of_string_opt text with
+      | Some f -> emit ~start (Float_lit f)
+      | None -> fail_lex ~start ~token:text "malformed numeric literal"
     end
-    else emit (Int_lit (int_of_string integral))
+    else
+      match int_of_string_opt integral with
+      | Some i -> emit ~start (Int_lit i)
+      | None -> fail_lex ~start ~token:integral "integer literal out of range"
   in
   let rec loop () =
     match peek () with
     | None -> ()
     | Some c ->
+      let start = !pos in
+      let emit t = emit ~start t in
       (match c with
       | ' ' | '\t' | '\n' | '\r' -> advance ()
       | '(' -> advance (); emit Lparen
@@ -137,7 +152,7 @@ let tokenize input =
       | '!' ->
         advance ();
         if peek () = Some '=' then begin advance (); emit Neq_tok end
-        else Errors.fail Errors.Lex "unexpected character '!'"
+        else fail_lex ~start ~token:"!" "unexpected character '!'"
       | '<' ->
         advance ();
         (match peek () with
@@ -152,21 +167,22 @@ let tokenize input =
       | '|' ->
         advance ();
         if peek () = Some '|' then begin advance (); emit Concat_tok end
-        else Errors.fail Errors.Lex "unexpected character '|'"
+        else fail_lex ~start ~token:"|" "unexpected character '|'"
       | '\'' ->
         advance ();
-        emit (String_lit (read_string_literal ()))
+        emit (String_lit (read_string_literal start))
       | '"' ->
         (* Double-quoted identifier. *)
         advance ();
         let name = read_while (fun c -> c <> '"') in
-        if !pos >= n then Errors.fail Errors.Lex "unterminated quoted identifier";
+        if !pos >= n then
+          fail_lex ~start ~token:("\"" ^ name) "unterminated quoted identifier";
         advance ();
         emit (Ident name)
-      | c when is_digit c -> read_number ()
+      | c when is_digit c -> read_number start
       | c when is_ident_start c -> emit (Ident (read_while is_ident_char))
-      | c -> Errors.fail Errors.Lex "unexpected character %C" c);
+      | c -> fail_lex ~start ~token:(String.make 1 c) "unexpected character %C" c);
       loop ()
   in
   loop ();
-  List.rev (Eof :: !tokens)
+  List.rev ((Eof, n) :: !tokens)

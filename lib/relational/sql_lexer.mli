@@ -30,6 +30,8 @@ type token =
 
 val token_to_string : token -> string
 
-val tokenize : string -> token list
-(** The token stream, ending with {!Eof}.  [--] line comments are skipped.
-    @raise Errors.Sql_error (Lex) on malformed input. *)
+val tokenize : string -> (token * int) list
+(** The token stream with each token's starting byte offset, ending with
+    [(Eof, length input)].  [--] line comments are skipped.
+    @raise Errors.Parse_error (phase [Lex]) on malformed input, pointing at
+    the offending character or unterminated literal. *)

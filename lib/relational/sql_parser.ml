@@ -12,18 +12,24 @@
 
 open Sql_lexer
 
+(* The token stream keeps each token's byte offset so parse failures can
+   point at the offending token. *)
 type state = {
-  mutable tokens : token list;
+  mutable tokens : (token * int) list;
 }
 
-let peek st = match st.tokens with [] -> Eof | t :: _ -> t
+let peek st = match st.tokens with [] -> Eof | (t, _) :: _ -> t
 
-let peek2 st = match st.tokens with _ :: t :: _ -> t | _ -> Eof
+let peek_pos st = match st.tokens with [] -> 0 | (_, p) :: _ -> p
+
+let peek2 st = match st.tokens with _ :: (t, _) :: _ -> t | _ -> Eof
 
 let advance st = match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
 
 let fail_tok st expected =
-  Errors.fail Errors.Parse "expected %s, found %s" expected (token_to_string (peek st))
+  let found = peek st in
+  Errors.fail_at Errors.Parse ~offset:(peek_pos st) ~token:(token_to_string found)
+    "expected %s, found %s" expected (token_to_string found)
 
 let expect st token name =
   if peek st = token then advance st else fail_tok st name
@@ -373,7 +379,9 @@ let parse_column_defs st =
       | Some ty ->
         advance st;
         (name, ty)
-      | None -> Errors.fail Errors.Parse "unknown column type: %s" tyname)
+      | None ->
+        Errors.fail_at Errors.Parse ~offset:(peek_pos st) ~token:tyname
+          "unknown column type: %s" tyname)
     | _ -> fail_tok st "column type"
   in
   let first = one () in

@@ -7,8 +7,9 @@
 
 val parse_stmt : string -> Sql_ast.stmt
 (** Parses one statement (an optional trailing [;] is accepted).
-    @raise Errors.Sql_error (Lex or Parse) on malformed input. *)
+    @raise Errors.Parse_error (phase [Lex] or [Parse]) on malformed input,
+    pointing at the offending token. *)
 
 val parse_expr_string : string -> Sql_ast.expr
 (** Parses a standalone expression, e.g. a HAVING condition fragment.
-    @raise Errors.Sql_error (Lex or Parse) on malformed input. *)
+    @raise Errors.Parse_error (phase [Lex] or [Parse]) on malformed input. *)

@@ -15,11 +15,11 @@ let length t = t.len
 let is_empty t = t.len = 0
 
 let get t i =
-  if i < 0 || i >= t.len then invalid_arg "Vec.get: index out of bounds";
+  if i < 0 || i >= t.len then Errors.internal "Vec.get: index %d out of bounds (len %d)" i t.len;
   t.data.(i)
 
 let set t i x =
-  if i < 0 || i >= t.len then invalid_arg "Vec.set: index out of bounds";
+  if i < 0 || i >= t.len then Errors.internal "Vec.set: index %d out of bounds (len %d)" i t.len;
   t.data.(i) <- x
 
 let ensure_capacity t n x =
@@ -36,7 +36,7 @@ let push t x =
   t.len <- t.len + 1
 
 let pop t =
-  if t.len = 0 then invalid_arg "Vec.pop: empty";
+  if t.len = 0 then Errors.internal "Vec.pop: empty";
   t.len <- t.len - 1;
   t.data.(t.len)
 

@@ -15,16 +15,16 @@ val length : 'a t -> int
 val is_empty : 'a t -> bool
 
 val get : 'a t -> int -> 'a
-(** @raise Invalid_argument when out of bounds. *)
+(** @raise Errors.Internal when out of bounds. *)
 
 val set : 'a t -> int -> 'a -> unit
-(** @raise Invalid_argument when out of bounds. *)
+(** @raise Errors.Internal when out of bounds. *)
 
 val push : 'a t -> 'a -> unit
 
 val pop : 'a t -> 'a
 (** Removes and returns the last element.
-    @raise Invalid_argument when empty. *)
+    @raise Errors.Internal when empty. *)
 
 val clear : 'a t -> unit
 val iter : ('a -> unit) -> 'a t -> unit

@@ -336,6 +336,130 @@ let test_adaptive_threshold_scales () =
   check_bool "monotone in window size" true (eff 100 > eff 25 && eff 10_000 > eff 100);
   check_bool "bounded by the configured threshold" true (eff 1_000_000 < 0.9)
 
+(* --- background checkpointing --- *)
+
+(* The log compacts itself once the WAL exceeds the policy.  The image
+   callback mirrors the write-ahead discipline of the real stores: memory
+   is updated only after the append returns, so at trigger time (before
+   the new payload is logged) the image covers exactly the WAL contents. *)
+let test_auto_checkpoint_records () =
+  let log = L.create ~seed:51 () in
+  ignore (L.open_or_recover log);
+  let mem = ref [] in
+  L.set_auto_checkpoint log (L.checkpoint_every ~records:5 ()) (fun () -> !mem);
+  let appended = List.init 23 payload in
+  List.iter
+    (fun p ->
+      ignore (L.append log p);
+      mem := !mem @ [ p ])
+    appended;
+  L.sync log;
+  (* Trigger fires before appends 6, 11, 16 and 21 (WAL at 5 records). *)
+  check_int "auto checkpoints fired" 4 (L.auto_checkpoints log);
+  let r = L.open_or_recover (restart log) in
+  check_bool "clean recovery" true (R.clean r);
+  check_bool "nothing lost to compaction" true (r.R.entries = appended);
+  check_int "snapshot carries the compacted prefix" 20 r.R.snapshot_entries;
+  check_int "wal holds only the live tail" 3 r.R.wal_entries
+
+let test_auto_checkpoint_bytes () =
+  let log = L.create ~seed:52 () in
+  ignore (L.open_or_recover log);
+  let mem = ref [] in
+  L.set_auto_checkpoint log (L.checkpoint_every ~bytes:50 ()) (fun () -> !mem);
+  let appended = List.init 18 (Printf.sprintf "%010d") in
+  List.iter
+    (fun p ->
+      ignore (L.append log p);
+      mem := !mem @ [ p ])
+    appended;
+  L.sync log;
+  (* 10-byte payloads against a 50-byte budget: fires before appends 6,
+     11 and 16. *)
+  check_int "auto checkpoints fired" 3 (L.auto_checkpoints log);
+  let r = L.open_or_recover (restart log) in
+  check_bool "clean recovery" true (R.clean r);
+  check_bool "nothing lost to compaction" true (r.R.entries = appended);
+  check_int "snapshot carries the compacted prefix" 15 r.R.snapshot_entries;
+  (* clear_auto_checkpoint really detaches the policy *)
+  let log2 = restart log in
+  ignore (L.open_or_recover log2);
+  L.set_auto_checkpoint log2 (L.checkpoint_every ~records:1 ()) (fun () -> !mem);
+  L.clear_auto_checkpoint log2;
+  ignore (L.append log2 "tail");
+  check_int "cleared policy never fires" 0 (L.auto_checkpoints log2)
+
+(* Crash during the auto-checkpointed lifecycle: whatever the WAL device
+   loses, the snapshots written by the background policy sit on the other
+   device and must bound the damage. *)
+let test_crash_after_auto_checkpoint point seed () =
+  let log = L.create ~seed () in
+  ignore (L.open_or_recover log);
+  let mem = ref [] in
+  L.set_auto_checkpoint log (L.checkpoint_every ~records:4 ()) (fun () -> !mem);
+  let appended = List.init 14 payload in
+  List.iter
+    (fun p ->
+      ignore (L.append log p);
+      mem := !mem @ [ p ])
+    appended;
+  (* Triggers before appends 5, 9 and 13: snapshot covers 12, WAL holds 2
+     unsynced records.  Crash only the WAL device. *)
+  check_int "auto checkpoints fired" 3 (L.auto_checkpoints log);
+  D.crash (L.wal_device log) ~point;
+  let r = L.open_or_recover (restart log) in
+  check_bool
+    (Printf.sprintf "%s/%d: recovered a prefix" (D.crash_point_to_string point) seed)
+    true
+    (is_prefix ~of_:appended r.R.entries);
+  if point <> D.Truncated_sync then
+    check_bool
+      (Printf.sprintf "%s/%d: snapshot floor held (%d >= 12)"
+         (D.crash_point_to_string point) seed (List.length r.R.entries))
+      true
+      (List.length r.R.entries >= 12)
+
+(* The store-level wiring: an audit store and a quarantine with the policy
+   enabled compact themselves and still restart losslessly. *)
+let test_audit_store_auto_checkpoint () =
+  let log = L.create ~seed:53 () in
+  let store, _, _ = Hdb.Audit_store.open_durable log in
+  Hdb.Audit_store.enable_auto_checkpoint
+    ~policy:(Durable.Log.checkpoint_every ~records:5 ()) store;
+  let entries = List.init 17 entry in
+  Hdb.Audit_store.append_all store entries;
+  Hdb.Audit_store.sync store;
+  check_bool "policy fired" true (L.auto_checkpoints log >= 2);
+  let store2, r, undecodable = Hdb.Audit_store.open_durable (restart log) in
+  check_bool "clean recovery" true (R.clean r);
+  check_int "no codec mismatches" 0 undecodable;
+  check_bool "entries identical" true (Hdb.Audit_store.to_list store2 = entries);
+  check_int "LSN continues" 17 (Hdb.Audit_store.lsn store2);
+  check_bool "snapshot absorbed the prefix" true (r.R.snapshot_entries >= 10)
+
+let test_quarantine_auto_checkpoint () =
+  let log = L.create ~seed:54 () in
+  let q, _, _ = Audit_mgmt.Quarantine.open_durable log in
+  Audit_mgmt.Quarantine.enable_auto_checkpoint
+    ~policy:(Durable.Log.checkpoint_every ~records:4 ()) q;
+  for i = 1 to 13 do
+    Audit_mgmt.Quarantine.add q ~site:"icu" ~seq:i ~raw:(raw_of i) ~reason:"unmappable"
+  done;
+  (* Resolutions are ops too: they count against the policy and must not
+     resurrect on restart even when compaction interleaves them. *)
+  Audit_mgmt.Quarantine.remove q ~site:"icu" ~seq:2;
+  Audit_mgmt.Quarantine.remove q ~site:"icu" ~seq:7;
+  Audit_mgmt.Quarantine.sync q;
+  check_bool "policy fired" true (L.auto_checkpoints log >= 2);
+  let q2, r, undecodable = Audit_mgmt.Quarantine.open_durable (restart log) in
+  check_bool "clean recovery" true (R.clean r);
+  check_int "no codec mismatches" 0 undecodable;
+  check_int "live items back" 11 (Audit_mgmt.Quarantine.length q2);
+  check_bool "resolved item stayed resolved" false
+    (Audit_mgmt.Quarantine.mem q2 ~site:"icu" ~seq:7);
+  check_bool "items identical" true
+    (Audit_mgmt.Quarantine.items q = Audit_mgmt.Quarantine.items q2)
+
 let matrix name f =
   List.concat_map
     (fun point ->
@@ -365,6 +489,15 @@ let () =
         ] );
       ( "audit-store",
         [ Alcotest.test_case "survives restart" `Quick test_audit_store_survives_restart ] );
+      ( "auto-checkpoint",
+        [ Alcotest.test_case "records trigger" `Quick test_auto_checkpoint_records;
+          Alcotest.test_case "bytes trigger" `Quick test_auto_checkpoint_bytes;
+          Alcotest.test_case "audit store compaction" `Quick
+            test_audit_store_auto_checkpoint;
+          Alcotest.test_case "quarantine compaction" `Quick
+            test_quarantine_auto_checkpoint;
+        ] );
+      ("auto-checkpoint-crash", matrix "auto-ckpt" test_crash_after_auto_checkpoint);
       ( "system",
         [ Alcotest.test_case "dropped tail -> lower bound" `Quick
             test_system_recovery_and_lower_bound;

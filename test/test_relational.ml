@@ -54,7 +54,8 @@ let test_vec_push_get () =
 let test_vec_bounds () =
   let v = Vec.create () in
   Vec.push v 1;
-  Alcotest.check_raises "oob" (Invalid_argument "Vec.get: index out of bounds") (fun () ->
+  Alcotest.check_raises "oob"
+    (Errors.Internal "Vec.get: index 1 out of bounds (len 1)") (fun () ->
       ignore (Vec.get v 1))
 
 let test_vec_pop_filter_map () =

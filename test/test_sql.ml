@@ -28,19 +28,43 @@ let test_lexer_basic () =
 let test_lexer_operators () =
   let toks = Sql_lexer.tokenize "<> != <= >= || - -- comment" in
   check_bool "neq twice" true
-    (List.filter (fun t -> t = Sql_lexer.Neq_tok) toks |> List.length = 2);
+    (List.filter (fun (t, _) -> t = Sql_lexer.Neq_tok) toks |> List.length = 2);
   check_bool "comment swallowed" true (List.length toks = 7)
 
 let test_lexer_errors () =
-  Alcotest.check_raises "unterminated string"
-    (Errors.Sql_error (Errors.Lex, "unterminated string literal"))
-    (fun () -> ignore (Sql_lexer.tokenize "'abc"));
-  Alcotest.check_raises "stray char" (Errors.Sql_error (Errors.Lex, "unexpected character '!'"))
-    (fun () -> ignore (Sql_lexer.tokenize "a ! b"))
+  (match Sql_lexer.tokenize "'abc" with
+  | exception Errors.Parse_error { phase = Errors.Lex; message; _ } ->
+    check_string "unterminated string" "unterminated string literal" message
+  | _ -> Alcotest.fail "expected lex error");
+  match Sql_lexer.tokenize "a ! b" with
+  | exception Errors.Parse_error { phase = Errors.Lex; message; _ } ->
+    check_string "stray char" "unexpected character '!'" message
+  | _ -> Alcotest.fail "expected lex error"
+
+let test_lexer_positions () =
+  (* Every token carries the byte offset of its first character. *)
+  let toks = Sql_lexer.tokenize "SELECT ab, 'lit'" in
+  (match toks with
+  | [ (Sql_lexer.Ident "SELECT", 0); (Sql_lexer.Ident "ab", 7); (Sql_lexer.Comma, 9);
+      (Sql_lexer.String_lit "lit", 11); (Sql_lexer.Eof, 16) ] -> ()
+  | _ -> Alcotest.fail "unexpected token offsets");
+  (* Lex errors point at the offending character... *)
+  (match Sql_lexer.tokenize "ab !" with
+  | exception Errors.Parse_error { position = { offset; token }; _ } ->
+    check_int "lex error offset" 3 offset;
+    check_string "lex error token" "!" token
+  | _ -> Alcotest.fail "expected lex error");
+  (* ...and parse errors at the offending token. *)
+  let sql = "SELECT a FROM t WHERE" in
+  match Sql_parser.parse_stmt sql with
+  | exception Errors.Parse_error { phase = Errors.Parse; position = { offset; token }; _ } ->
+    check_int "parse error offset" (String.length sql) offset;
+    check_string "parse error token" "<eof>" token
+  | _ -> Alcotest.fail "expected parse error"
 
 let test_lexer_quoted_ident () =
   match Sql_lexer.tokenize "\"weird name\"" with
-  | [ Sql_lexer.Ident s; Sql_lexer.Eof ] -> check_string "quoted ident" "weird name" s
+  | [ (Sql_lexer.Ident s, _); (Sql_lexer.Eof, _) ] -> check_string "quoted ident" "weird name" s
   | _ -> Alcotest.fail "expected single identifier"
 
 (* --- parser / printer --- *)
@@ -95,7 +119,7 @@ let test_parse_qualified_and_alias () =
 let test_parse_errors () =
   let expect_parse_error sql =
     match Sql_parser.parse_stmt sql with
-    | exception Errors.Sql_error (Errors.Parse, _) -> ()
+    | exception Errors.Parse_error { phase = Errors.Parse; _ } -> ()
     | _ -> Alcotest.failf "expected parse error: %s" sql
   in
   expect_parse_error "SELECT";
@@ -442,7 +466,7 @@ let test_derived_table_join () =
 
 let test_derived_table_requires_alias () =
   match Sql_parser.parse_stmt "SELECT a FROM (SELECT a FROM t)" with
-  | exception Errors.Sql_error (Errors.Parse, _) -> ()
+  | exception Errors.Parse_error { phase = Errors.Parse; _ } -> ()
   | _ -> Alcotest.fail "expected parse error (alias required)"
 
 let test_derived_table_prints () =
@@ -537,6 +561,7 @@ let () =
         [ Alcotest.test_case "basic" `Quick test_lexer_basic;
           Alcotest.test_case "operators/comments" `Quick test_lexer_operators;
           Alcotest.test_case "errors" `Quick test_lexer_errors;
+          Alcotest.test_case "positions" `Quick test_lexer_positions;
           Alcotest.test_case "quoted ident" `Quick test_lexer_quoted_ident;
         ] );
       ( "parser",
