@@ -1,4 +1,4 @@
-.PHONY: build test faults crash fuzz bench bench-quick bench-coverage bench-wal bench-governor
+.PHONY: build test faults crash fuzz chaos bench bench-quick bench-coverage bench-wal bench-governor
 
 build:
 	dune build
@@ -24,6 +24,14 @@ crash:
 # 3-seed regression lives in dune runtest (test/test_fuzz.ml).
 fuzz:
 	dune build && dune exec bench/fuzz.exe
+
+# Whole-system chaos sweep: 20 seeds x 400-step composed fault schedules
+# (crashes, outages, corruption, budget trips) checked against the pure
+# model oracle's five invariants.  A smaller 3-seed regression lives in
+# dune runtest (test/test_chaos.ml); one schedule replays with
+# `prima chaos --seed N --steps M`.
+chaos:
+	dune build && dune exec bench/chaos_sweep.exe
 
 # All experiments + Bechamel microbenchmarks.
 bench:

@@ -26,6 +26,17 @@ let () =
     Fmt.pr "%a@." Relational.Sql_fuzz.pp report;
     if not (Relational.Sql_fuzz.passed report) then failed := true
   done;
+  Fmt.pr "@.DML round-trips vs model table: %d seeds x %d ops@." seeds (queries / 4);
+  for seed = 1 to seeds do
+    let report = Relational.Sql_fuzz.run_dml ~ops:(queries / 4) ~seed () in
+    Fmt.pr "%a@." Relational.Sql_fuzz.pp report;
+    if not (Relational.Sql_fuzz.passed report) then begin
+      failed := true;
+      List.iter
+        (fun (f : Relational.Sql_fuzz.failure) -> Fmt.pr "  %s :: %s@." f.reason f.sql)
+        (report.Relational.Sql_fuzz.untyped @ report.Relational.Sql_fuzz.mismatches)
+    end
+  done;
   if !failed then begin
     Fmt.pr "@.FUZZING FOUND VIOLATIONS.@.";
     exit 1

@@ -74,7 +74,7 @@ let run_coverage vocab_name policy_path audit_path bag =
 (* --- refine --- *)
 
 let run_refine vocab_name policy_path audit_path min_frequency use_mining max_rows
-    max_tuples max_ticks =
+    max_tuples max_ticks max_wall_ms =
   let vocab = vocab_of_name vocab_name in
   let p_ps = parse_policy_file policy_path in
   let p_al = Audit_mgmt.To_policy.policy_of_entries (parse_audit_file audit_path) in
@@ -91,10 +91,10 @@ let run_refine vocab_name policy_path audit_path min_frequency use_mining max_ro
         }
   in
   let limits =
-    match max_rows, max_tuples, max_ticks with
-    | None, None, None -> None
-    | rows, tuples, ticks ->
-      Some (Relational.Budget.limits ?rows ?tuples ?ticks ())
+    match max_rows, max_tuples, max_ticks, max_wall_ms with
+    | None, None, None, None -> None
+    | rows, tuples, ticks, wall_ms ->
+      Some (Relational.Budget.limits ?rows ?tuples ?ticks ?wall_ms ())
   in
   let config =
     { Prima_core.Refinement.default_config with Prima_core.Refinement.backend; limits }
@@ -390,9 +390,13 @@ let refine_cmd =
     Arg.(value & opt (some int) None & info [ "max-ticks" ] ~docv:"N"
            ~doc:"Budget: simulated-time deadline in executor ticks.")
   in
+  let max_wall_ms =
+    Arg.(value & opt (some int) None & info [ "max-wall-ms" ] ~docv:"MS"
+           ~doc:"Budget: wall-clock deadline in milliseconds for the analysis query.")
+  in
   Cmd.v (Cmd.info "refine" ~doc:"Run the Refinement pipeline (Algorithms 2-6)")
     Term.(const run_refine $ vocab_arg $ policy_arg $ audit_arg $ min_frequency $ mining
-          $ max_rows $ max_tuples $ max_ticks)
+          $ max_rows $ max_tuples $ max_ticks $ max_wall_ms)
 
 let mine_cmd =
   let min_support =
@@ -519,12 +523,53 @@ let federation_health_cmd =
     Term.(const run_federation_health $ audit_arg $ sites $ fault_seed_arg $ unavailable_arg
           $ timeout_arg $ flaky_arg $ corrupt_arg $ heal)
 
+(* One seeded chaos schedule through the whole system, checked against the
+   model oracle; exits non-zero on a violation, printing the step-by-step
+   fault log and the violation trace. *)
+let run_chaos seed steps sites verbose =
+  let trace = if verbose then Some (fun line -> Fmt.pr "%s@." line) else None in
+  let report = Chaos.Harness.run ~nsites:sites ?trace ~seed ~steps () in
+  Fmt.pr "%a@." Chaos.Harness.pp report;
+  match report.Chaos.Harness.violation with
+  | None -> 0
+  | Some v ->
+    if not verbose then begin
+      Fmt.pr "@.--- fault log ---@.";
+      List.iter (Fmt.pr "%s@.") report.Chaos.Harness.events
+    end;
+    Fmt.pr "@.%a@." Chaos.Harness.pp_violation v;
+    Fmt.pr "reproduce with: prima chaos --seed %d --steps %d --sites %d@." seed steps
+      sites;
+    1
+
+let chaos_cmd =
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N"
+           ~doc:"Schedule seed; a run replays exactly from its seed.")
+  in
+  let steps =
+    Arg.(value & opt int 400 & info [ "steps" ] ~docv:"N"
+           ~doc:"Number of composed fault-schedule actions.")
+  in
+  let sites =
+    Arg.(value & opt int 2 & info [ "sites" ] ~docv:"N"
+           ~doc:"Fault-injected remote sites besides the clinical DB.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Stream the fault log while running.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Drive the whole system through a seeded fault schedule and check the model \
+             oracle's five invariants")
+    Term.(const run_chaos $ seed $ steps $ sites $ verbose)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "prima" ~version:"1.0.0"
        ~doc:"PRIMA: privacy policy coverage and refinement for healthcare")
     [ paper_cmd; coverage_cmd; refine_cmd; mine_cmd; simulate_cmd; generate_cmd; analyze_cmd;
-      trend_cmd; federation_health_cmd; recover_cmd ]
+      trend_cmd; federation_health_cmd; recover_cmd; chaos_cmd ]
 
 let () =
   (* PRIMA_VERBOSE=1 surfaces refinement and enforcement decision logs. *)

@@ -19,21 +19,25 @@ type t = {
   mutable next_seq : int;
 }
 
-let create ?(mapping = Mapping.identity) ~name () =
+(* [quarantine] lets a restarted site adopt a quarantine recovered from a
+   durable op log (its items keep their original seqs, so reprocessing
+   after the restart composes with batch retries exactly as before the
+   crash); the default is a fresh empty one. *)
+let create ?(mapping = Mapping.identity) ?quarantine ~name () =
   { name;
     store = Hdb.Audit_store.create ();
     mapping;
-    quarantine = Quarantine.create ();
+    quarantine = (match quarantine with Some q -> q | None -> Quarantine.create ());
     processed = Hashtbl.create 64;
     next_seq = 0;
   }
 
 (* Attach an existing store (e.g. an enforcement logger's). *)
-let of_store ?(mapping = Mapping.identity) ~name store =
+let of_store ?(mapping = Mapping.identity) ?quarantine ~name store =
   { name;
     store;
     mapping;
-    quarantine = Quarantine.create ();
+    quarantine = (match quarantine with Some q -> q | None -> Quarantine.create ());
     processed = Hashtbl.create 64;
     next_seq = 0;
   }

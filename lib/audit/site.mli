@@ -8,11 +8,15 @@
 
 type t
 
-val create : ?mapping:Mapping.t -> name:string -> unit -> t
+val create : ?mapping:Mapping.t -> ?quarantine:Quarantine.t -> name:string -> unit -> t
 (** A fresh site with its own store and quarantine; [mapping] defaults to
-    {!Mapping.identity}. *)
+    {!Mapping.identity}.  [quarantine] lets a restarted site adopt a
+    quarantine recovered from a durable op log (items keep their original
+    seqs, so reprocessing composes with batch retries across the
+    restart). *)
 
-val of_store : ?mapping:Mapping.t -> name:string -> Hdb.Audit_store.t -> t
+val of_store :
+  ?mapping:Mapping.t -> ?quarantine:Quarantine.t -> name:string -> Hdb.Audit_store.t -> t
 (** Attach an existing store — e.g. an enforcement logger's. *)
 
 val name : t -> string

@@ -1,0 +1,648 @@
+(* Whole-system chaos harness.
+
+   Drives a full [Prima_system.System] — durable storage, fault-injected
+   federation, budgeted queries, the refinement loop — through a seeded
+   [Schedule] of composed faults, while a pure [Model] oracle receives the
+   same inputs fault-free.  After every step the harness checks five
+   invariants:
+
+   1. no-loss            — across any crash+recover, the recovered clinical
+                           store is a prefix of the model's entries and never
+                           shorter than the durable floor (except under the
+                           lying-fsync [Truncated_sync] point, which is
+                           allowed to eat below it); consolidated output is
+                           always a sub-multiset of the model trail.
+   2. quarantine-exactly-once — the health accounting identity
+                           delivered + quarantined + skipped = total holds;
+                           quarantine items are unique per (site, seq); a
+                           crash recovers exactly the synced item set.
+   3. coverage-bound     — the system's coverage numerator and denominator
+                           never exceed the model's exact readings (set and
+                           bag), and any reading computed from a partial or
+                           unverified window carries the [Lower_bound] label.
+   4. recovery-idempotent — recovering the same devices twice yields
+                           identical state, and the second pass drops
+                           nothing new.
+   5. convergence        — once faults stop, consolidation re-delivers the
+                           whole trail, coverage equals the model's exact
+                           stats, and a final refinement accepts exactly the
+                           patterns the fault-free model epoch accepts.
+
+   Everything is deterministic in the seed: the schedule, the workload, the
+   fault wrappers and the device damage all draw from seeded Splitmix
+   streams, so a violation replays from its seed alone. *)
+
+module Sys_ = Prima_system.System
+module H = Audit_mgmt.Health
+module Q = Audit_mgmt.Quarantine
+
+type violation = {
+  step : int;  (** 1-based schedule position; 0 = setup, steps+1 = epilogue *)
+  action : string;
+  invariant : string;
+  detail : string;
+}
+
+type report = {
+  seed : int;
+  steps : int;
+  actions_run : int;
+  appended : int;  (** workload entries fed to the system (and model) *)
+  crashes : int;
+  consolidations : int;
+  refines_ok : int;
+  refines_rejected : int;  (** completeness below the adaptive floor *)
+  degraded_epochs : int;  (** governed extractions that hit their budget *)
+  enforce_trips : int;  (** typed budget/cancel trips on the enforcement path *)
+  events : string list;  (** step-by-step fault log, oldest first *)
+  violation : violation option;
+}
+
+let passed r = r.violation = None
+
+exception Violation of string * string  (** (invariant, detail) *)
+
+(* ---------- internal state ---------- *)
+
+type t = {
+  seed : int;
+  vocab : Vocabulary.Vocab.t;
+  model : Model.t;
+  mutable sys : Sys_.t;
+  faults : Audit_mgmt.Fault.t array;
+  pool : Hdb.Audit_schema.entry array;  (** the pre-generated workload stream *)
+  mutable next_entry : int;
+  mutable q_floor : Q.item list;  (** sorted synced quarantine items *)
+  mutable group_commit : bool;
+  mutable events : string list;  (** newest first *)
+  mutable appended : int;
+  mutable crashes : int;
+  mutable consolidations : int;
+  mutable refines_ok : int;
+  mutable refines_rejected : int;
+  mutable degraded_epochs : int;
+  mutable enforce_trips : int;
+  trace : (string -> unit) option;
+}
+
+let site_name i = Printf.sprintf "site-%d" i
+
+let event h fmt =
+  Printf.ksprintf
+    (fun line ->
+      h.events <- line :: h.events;
+      match h.trace with Some f -> f line | None -> ())
+    fmt
+
+let violate invariant fmt = Printf.ksprintf (fun d -> raise (Violation (invariant, d))) fmt
+
+(* ---------- small helpers ---------- *)
+
+let audit_store h = Hdb.Control_center.audit_store (Sys_.control h.sys)
+let store_entries sys = Hdb.Audit_store.to_list (Hdb.Control_center.audit_store (Sys_.control sys))
+let transit sys = Audit_mgmt.Federation.transit_quarantine (Sys_.federation sys)
+let q_items sys = List.sort compare (Q.items (transit sys))
+
+let rule_key r = List.sort compare (Prima_core.Rule.to_assoc r)
+let rule_keys rules = List.sort compare (List.map rule_key rules)
+let policy_keys p = rule_keys (Prima_core.Policy.rules p)
+
+(* [a] a sub-multiset of [b]; both sorted. *)
+let rec sorted_multiset_leq a b =
+  match (a, b) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs, y :: ys ->
+    let c = compare x y in
+    if c = 0 then sorted_multiset_leq xs ys
+    else if c > 0 then sorted_multiset_leq a ys
+    else false
+
+let rec has_dup = function
+  | a :: (b :: _ as tl) -> a = b || has_dup tl
+  | _ -> false
+
+let take_pool h n =
+  let avail = Array.length h.pool - h.next_entry in
+  let n = min n avail in
+  let es = Array.to_list (Array.sub h.pool h.next_entry n) in
+  h.next_entry <- h.next_entry + n;
+  h.appended <- h.appended + n;
+  es
+
+let sync_q_floor h =
+  let q = transit h.sys in
+  Q.sync q;
+  h.q_floor <- List.sort compare (Q.items q)
+
+(* The demo table the enforcement-path budget checks query. *)
+let enforcement_rows = 40
+
+let setup_enforcement sys =
+  let control = Sys_.control sys in
+  ignore
+    (Hdb.Control_center.admin_exec control
+       "CREATE TABLE chaos_patients (id INT, name TEXT)");
+  for i = 1 to enforcement_rows do
+    ignore
+      (Hdb.Control_center.admin_exec control
+         (Printf.sprintf "INSERT INTO chaos_patients VALUES (%d, 'p%d')" i i))
+  done
+
+(* ---------- invariant checks ---------- *)
+
+(* Consolidation-time checks: accounting, exactly-once, coverage bounds and
+   the lower-bound labelling discipline (invariants 1-3). *)
+let check_consolidate h =
+  h.consolidations <- h.consolidations + 1;
+  let qc = Sys_.coverage_qualified h.sys in
+  let health = qc.Sys_.health in
+  (* invariant 2: every input record is accounted for exactly once *)
+  if health.H.delivered + health.H.quarantined + health.H.skipped_entries <> health.H.total
+  then
+    violate "quarantine-exactly-once" "accounting broken: %d + %d + %d <> %d"
+      health.H.delivered health.H.quarantined health.H.skipped_entries health.H.total;
+  let keys = List.map (fun (it : Q.item) -> (it.site, it.seq)) (Q.items (transit h.sys)) in
+  if has_dup (List.sort compare keys) then
+    violate "quarantine-exactly-once" "duplicate (site, seq) in transit quarantine";
+  (* the model mirrors the store exactly *)
+  if policy_keys (Prima_core.Prima.policy_store (Sys_.prima h.sys)) <> policy_keys (Model.p_ps h.model)
+  then violate "coverage-bound" "policy store diverged from the model mirror";
+  (* invariant 1 (partial-trail side): delivered entries, as ingested into
+     P_AL, are a sub-multiset of the model's fault-free trail *)
+  let sys_rules = policy_keys (Prima_core.Prima.audit_policy (Sys_.prima h.sys)) in
+  let model_rules = policy_keys (Model.trail_policy h.model) in
+  if not (sorted_multiset_leq sys_rules model_rules) then
+    violate "no-loss" "consolidated window is not a sub-multiset of the model trail";
+  (* invariant 3: coverage bounds + label discipline *)
+  let mset, mbag = Model.coverage h.model in
+  let check_sem name (s : Prima_core.Coverage.qualified) (m : Prima_core.Coverage.stats) =
+    let st = s.Prima_core.Coverage.stats in
+    if st.overlap > m.overlap then
+      violate "coverage-bound" "%s overlap %d exceeds model's exact %d" name st.overlap
+        m.overlap;
+    if st.denominator > m.denominator then
+      violate "coverage-bound" "%s denominator %d exceeds model's exact %d" name
+        st.denominator m.denominator
+  in
+  check_sem "set" qc.Sys_.set_semantics mset;
+  check_sem "bag" qc.Sys_.bag_semantics mbag;
+  let expect_exact = health.H.completeness >= 1.0 && not (Sys_.durably_degraded h.sys) in
+  let label_ok (q : Prima_core.Coverage.qualified) =
+    match (q.Prima_core.Coverage.qualifier, expect_exact) with
+    | Prima_core.Coverage.Exact, true -> true
+    | Prima_core.Coverage.Lower_bound _, false -> true
+    | _ -> false
+  in
+  if not (label_ok qc.Sys_.set_semantics && label_ok qc.Sys_.bag_semantics) then
+    violate "lower-bound-label"
+      "coverage over a %s window (completeness %.3f, durably_degraded %b) mislabelled"
+      (if expect_exact then "complete" else "partial")
+      health.H.completeness
+      (Sys_.durably_degraded h.sys);
+  (* consolidation mutated the quarantine: make its state the synced floor *)
+  sync_q_floor h;
+  health
+
+(* Refinement-time checks: whatever the system accepts from a faulty,
+   possibly budget-degraded window must be a subset of what the fault-free
+   ungoverned model epoch accepts; the model then mirrors the install. *)
+let check_refine h =
+  match Sys_.refine h.sys with
+  | Error reason ->
+    h.refines_rejected <- h.refines_rejected + 1;
+    sync_q_floor h;
+    Printf.sprintf "rejected (%s)" reason
+  | Ok report ->
+    h.refines_ok <- h.refines_ok + 1;
+    if report.Prima_core.Refinement.degraded then
+      h.degraded_epochs <- h.degraded_epochs + 1;
+    let model_epoch = Model.epoch h.model in
+    let accepted = report.Prima_core.Refinement.accepted in
+    if
+      not
+        (sorted_multiset_leq (rule_keys accepted)
+           (rule_keys model_epoch.Prima_core.Refinement.accepted))
+    then
+      violate "coverage-bound"
+        "refine accepted %d pattern(s) the fault-free model epoch would not"
+        (List.length accepted);
+    let c = Sys_.completeness h.sys in
+    let expect_exact =
+      c >= 1.0
+      && (not (Sys_.durably_degraded h.sys))
+      && not report.Prima_core.Refinement.degraded
+    in
+    (match (report.Prima_core.Refinement.qualifier, expect_exact) with
+    | Prima_core.Coverage.Exact, true | Prima_core.Coverage.Lower_bound _, false -> ()
+    | q, _ ->
+      violate "lower-bound-label"
+        "epoch qualifier %s but completeness %.3f, degraded %b"
+        (match q with
+        | Prima_core.Coverage.Exact -> "Exact"
+        | Prima_core.Coverage.Lower_bound _ -> "Lower_bound")
+        c report.Prima_core.Refinement.degraded);
+    Model.install h.model accepted;
+    sync_q_floor h;
+    Printf.sprintf "accepted %d pattern(s)%s" (List.length accepted)
+      (if report.Prima_core.Refinement.degraded then " [degraded extraction]" else "")
+
+(* ---------- crash + recovery (invariants 1, 2, 4) ---------- *)
+
+let crash_and_recover h point =
+  h.crashes <- h.crashes + 1;
+  let sys = h.sys in
+  let audit_log =
+    match Hdb.Audit_store.log (Hdb.Control_center.audit_store (Sys_.control sys)) with
+    | Some l -> l
+    | None -> violate "no-loss" "audit store lost its durable log"
+  in
+  let q_log =
+    match Q.log (transit sys) with
+    | Some l -> l
+    | None -> violate "quarantine-exactly-once" "transit quarantine lost its durable log"
+  in
+  let awal = Durable.Log.wal_device audit_log in
+  let asnap = Durable.Log.snapshot_device audit_log in
+  let qwal = Durable.Log.wal_device q_log in
+  let qsnap = Durable.Log.snapshot_device q_log in
+  (* Power cut: the drawn point hits the audit WAL; the other devices take
+     a clean loss of their unsynced tails (all four lose power together).
+     The quarantine WAL is synced after every mutation batch, so its
+     recovered state must equal the floor exactly. *)
+  Durable.Device.crash awal ~point;
+  Durable.Device.crash asnap ~point:Durable.Device.Clean_loss;
+  Durable.Device.crash qwal ~point:Durable.Device.Clean_loss;
+  Durable.Device.crash qsnap ~point:Durable.Device.Clean_loss;
+  let p_ps = Prima_core.Prima.policy_store (Sys_.prima sys) in
+  let rebuild () =
+    let storage =
+      {
+        Sys_.audit_log = Durable.Log.of_devices ~wal:awal ~snapshot:asnap;
+        quarantine_log = Durable.Log.of_devices ~wal:qwal ~snapshot:qsnap;
+      }
+    in
+    Sys_.create ~storage ~vocab:h.vocab ~p_ps ()
+  in
+  (* invariant 4: recovery is idempotent — run it twice over the same
+     devices and demand identical state with nothing newly dropped *)
+  let sys_a = rebuild () in
+  let entries_a = store_entries sys_a in
+  let qitems_a = q_items sys_a in
+  let sys_b = rebuild () in
+  let entries_b = store_entries sys_b in
+  let qitems_b = q_items sys_b in
+  if List.length entries_a <> List.length entries_b
+     || not (List.for_all2 Hdb.Audit_schema.equal entries_a entries_b)
+  then violate "recovery-idempotent" "second recovery produced a different store";
+  if qitems_a <> qitems_b then
+    violate "recovery-idempotent" "second recovery produced a different quarantine";
+  (match Sys_.recovery sys_b with
+  | None -> violate "recovery-idempotent" "rebuilt system reports no recovery"
+  | Some r ->
+    if Durable.Recovery.dropped_tail r.Sys_.audit
+       || Durable.Recovery.dropped_tail r.Sys_.quarantine
+    then violate "recovery-idempotent" "second recovery still dropping WAL bytes");
+  (* invariant 1: prefix + durable floor *)
+  let k = List.length entries_b in
+  let model_all = Model.clinical h.model in
+  let model_len = Model.clinical_length h.model in
+  if k > model_len then
+    violate "no-loss" "recovered %d entries but only %d were ever appended" k model_len;
+  if point <> Durable.Device.Truncated_sync && k < Model.synced h.model then
+    violate "no-loss" "recovered %d entries, below the durable floor of %d (point %s)" k
+      (Model.synced h.model)
+      (Durable.Device.crash_point_to_string point);
+  let prefix = List.filteri (fun i _ -> i < k) model_all in
+  if not (List.for_all2 Hdb.Audit_schema.equal entries_b prefix) then
+    violate "no-loss" "recovered store is not a prefix of the appended entries";
+  (* invariant 2: the quarantine comes back exactly as last synced *)
+  if qitems_b <> h.q_floor then
+    violate "quarantine-exactly-once"
+      "recovered quarantine (%d items) differs from the synced floor (%d items)"
+      (List.length qitems_b) (List.length h.q_floor);
+  (* resume: re-wire the fault plane and enforcement table, then have the
+     client replay the lost unsynced suffix (at-least-once delivery) *)
+  Array.iter (fun f -> Sys_.add_faulty_site sys_b f) h.faults;
+  Sys_.set_group_commit sys_b h.group_commit;
+  setup_enforcement sys_b;
+  h.sys <- sys_b;
+  let lost = List.filteri (fun i _ -> i >= k) model_all in
+  let store = Hdb.Control_center.audit_store (Sys_.control sys_b) in
+  List.iter (Hdb.Audit_store.append store) lost;
+  (* everything recovered sits on stable storage; the replayed tail is the
+     new unsynced region *)
+  Model.set_synced h.model k;
+  Printf.sprintf "recovered %d/%d, replayed %d" k model_len (List.length lost)
+
+(* ---------- enforcement-path budget regimes ---------- *)
+
+let run_enforce h kind =
+  let control = Sys_.control h.sys in
+  let run ?budget () =
+    Hdb.Control_center.query ?budget control ~user:"chaos" ~role:"nurse"
+      ~purpose:"treatment" "SELECT * FROM chaos_patients"
+  in
+  let full_rows label = function
+    | Ok (o : Hdb.Enforcement.outcome) ->
+      let n = List.length o.Hdb.Enforcement.result.Relational.Executor.rows in
+      if n <> enforcement_rows then
+        violate "enforce-strict" "%s returned %d/%d rows (silent truncation?)" label n
+          enforcement_rows
+    | Error e -> violate "enforce-strict" "%s denied: %s" label (Hdb.Enforcement.error_to_string e)
+  in
+  match kind with
+  | Schedule.E_plain ->
+    Sys_.set_query_limits h.sys None;
+    full_rows "plain query" (run ());
+    "full result set"
+  | Schedule.E_tight_rows -> (
+    Sys_.set_query_limits h.sys (Some (Relational.Budget.limits ~rows:3 ()));
+    let out = try `Res (run ()) with Relational.Errors.Budget_exceeded _ -> `Trip in
+    Sys_.set_query_limits h.sys None;
+    match out with
+    | `Trip ->
+      h.enforce_trips <- h.enforce_trips + 1;
+      "typed Budget_exceeded"
+    | `Res (Ok (o : Hdb.Enforcement.outcome)) ->
+      violate "enforce-strict" "over-quota query returned %d rows instead of raising"
+        (List.length o.Hdb.Enforcement.result.Relational.Executor.rows)
+    | `Res (Error e) ->
+      violate "enforce-strict" "over-quota query denied instead of budget trip: %s"
+        (Hdb.Enforcement.error_to_string e))
+  | Schedule.E_wall w -> (
+    (* drive the wall deadline off the federation's simulated clock: every
+       budget tick advances it 1ms, so the deadline trips deterministically *)
+    let fed = Sys_.federation h.sys in
+    let now () =
+      Audit_mgmt.Federation.advance_clock fed 1;
+      float_of_int (Audit_mgmt.Federation.clock fed)
+    in
+    let budget = Relational.Budget.create ~now (Relational.Budget.limits ~wall_ms:w ()) in
+    match run ~budget () with
+    | res ->
+      full_rows "wall-governed query" res;
+      "completed under wall deadline"
+    | exception Relational.Errors.Budget_exceeded (Relational.Errors.Time, _) ->
+      h.enforce_trips <- h.enforce_trips + 1;
+      "wall deadline tripped (typed)"
+    | exception Relational.Errors.Budget_exceeded (r, _) ->
+      violate "enforce-strict" "wall-governed query tripped on %s, not Time"
+        (match r with
+        | Relational.Errors.Rows -> "Rows"
+        | Relational.Errors.Tuples -> "Tuples"
+        | Relational.Errors.Time -> "Time"))
+  | Schedule.E_cancel n -> (
+    let budget = Relational.Budget.create ~cancel_at:n Relational.Budget.unlimited in
+    match run ~budget () with
+    | res ->
+      full_rows "cancellable query" res;
+      "completed before cancellation"
+    | exception Relational.Errors.Cancelled _ ->
+      h.enforce_trips <- h.enforce_trips + 1;
+      "cancelled (typed)")
+
+(* ---------- the step interpreter ---------- *)
+
+let run_action h step action =
+  let outcome =
+    match action with
+    | Schedule.Append_clinical n ->
+      let es = take_pool h n in
+      if es = [] then "pool dry"
+      else begin
+        let store = audit_store h in
+        List.iter (Hdb.Audit_store.append store) es;
+        Model.append_clinical h.model es;
+        Printf.sprintf "%d entries" (List.length es)
+      end
+    | Schedule.Append_remote (i, n) ->
+      let es = take_pool h n in
+      if es = [] then "pool dry"
+      else begin
+        Audit_mgmt.Site.ingest_entries (Audit_mgmt.Fault.site h.faults.(i)) es;
+        Model.append_remote h.model i es;
+        Printf.sprintf "%d entries" (List.length es)
+      end
+    | Schedule.Sync_durable ->
+      Sys_.sync_durable h.sys;
+      Model.mark_all_synced h.model;
+      sync_q_floor h;
+      Printf.sprintf "floor now %d" (Model.synced h.model)
+    | Schedule.Checkpoint_durable ->
+      Sys_.checkpoint_durable h.sys;
+      Model.mark_all_synced h.model;
+      sync_q_floor h;
+      "compacted"
+    | Schedule.Crash point -> crash_and_recover h point
+    | Schedule.Consolidate ->
+      let health = check_consolidate h in
+      Printf.sprintf "completeness %.3f (%d/%d, %d quarantined)" health.H.completeness
+        health.H.delivered health.H.total health.H.quarantined
+    | Schedule.Outage i ->
+      Audit_mgmt.Fault.take_down h.faults.(i);
+      "down"
+    | Schedule.Heal i ->
+      Audit_mgmt.Fault.heal h.faults.(i);
+      "healed"
+    | Schedule.Advance_clock ms ->
+      Sys_.advance_clock h.sys ms;
+      Printf.sprintf "clock %dms" (Audit_mgmt.Federation.clock (Sys_.federation h.sys))
+    | Schedule.Refine ticks ->
+      Sys_.set_query_limits h.sys
+        (Option.map (fun t -> Relational.Budget.limits ~ticks:t ()) ticks);
+      let msg = check_refine h in
+      Sys_.set_query_limits h.sys None;
+      msg
+    | Schedule.Enforce kind -> run_enforce h kind
+    | Schedule.Set_group_commit on ->
+      Sys_.set_group_commit h.sys on;
+      h.group_commit <- on;
+      if on then "batching on" else "batching off"
+  in
+  event h "%4d  %-28s  %s" step (Schedule.to_string action) outcome
+
+(* ---------- convergence epilogue (invariant 5) ---------- *)
+
+let epilogue h =
+  (* stop the faults for good: heal everything and swap each wrapper for a
+     genuinely fault-free one, so the remaining fetches are clean draws *)
+  Sys_.heal_all h.sys;
+  let fed = Sys_.federation h.sys in
+  Array.iteri
+    (fun i f ->
+      Audit_mgmt.Federation.set_fault fed (site_name i)
+        (Some
+           (Audit_mgmt.Fault.wrap ~config:Audit_mgmt.Fault.no_faults ~seed:(h.seed + i)
+              (Audit_mgmt.Fault.site f))))
+    h.faults;
+  (* let every breaker cooldown elapse, then consolidate twice: the first
+     pass closes half-open breakers, the second must see everything *)
+  Sys_.advance_clock h.sys 120_000;
+  ignore (check_consolidate h);
+  let health = check_consolidate h in
+  event h "      epilogue consolidation      completeness %.3f" health.H.completeness;
+  if health.H.completeness < 1.0 then
+    violate "convergence" "completeness %.3f after all faults healed" health.H.completeness;
+  let sys_rules = policy_keys (Prima_core.Prima.audit_policy (Sys_.prima h.sys)) in
+  let model_rules = policy_keys (Model.trail_policy h.model) in
+  if sys_rules <> model_rules then
+    violate "convergence" "fault-free consolidated trail differs from the model";
+  (* exact coverage parity on the healed trail *)
+  let check_parity () =
+    let qc = Sys_.coverage_qualified h.sys in
+    let mset, mbag = Model.coverage h.model in
+    let same (s : Prima_core.Coverage.qualified) (m : Prima_core.Coverage.stats) =
+      let st = s.Prima_core.Coverage.stats in
+      st.overlap = m.overlap && st.denominator = m.denominator
+    in
+    if not (same qc.Sys_.set_semantics mset && same qc.Sys_.bag_semantics mbag) then
+      violate "convergence" "coverage over the healed trail differs from the model";
+    let expect_exact = not (Sys_.durably_degraded h.sys) in
+    let label_ok (q : Prima_core.Coverage.qualified) =
+      match (q.Prima_core.Coverage.qualifier, expect_exact) with
+      | Prima_core.Coverage.Exact, true -> true
+      | Prima_core.Coverage.Lower_bound _, false -> true
+      | _ -> false
+    in
+    if not (label_ok qc.Sys_.set_semantics && label_ok qc.Sys_.bag_semantics) then
+      violate "convergence" "healed-trail coverage carries the wrong qualifier"
+  in
+  check_parity ();
+  (* final refinement parity: the system must accept exactly the fault-free
+     model epoch's patterns, after which the mirrored stores still agree *)
+  Sys_.set_query_limits h.sys None;
+  let model_epoch = Model.epoch h.model in
+  (match Sys_.refine h.sys with
+  | Error reason -> violate "convergence" "final refine refused on a healed trail: %s" reason
+  | Ok report ->
+    h.refines_ok <- h.refines_ok + 1;
+    let accepted = report.Prima_core.Refinement.accepted in
+    if rule_keys accepted <> rule_keys model_epoch.Prima_core.Refinement.accepted then
+      violate "convergence"
+        "final refine accepted %d pattern(s), the fault-free model epoch %d"
+        (List.length accepted)
+        (List.length model_epoch.Prima_core.Refinement.accepted);
+    Model.install h.model accepted;
+    event h "      epilogue refine             accepted %d pattern(s)"
+      (List.length accepted));
+  check_parity ()
+
+(* ---------- entry point ---------- *)
+
+let run ?(nsites = 2) ?trace ~seed ~steps () =
+  (* the workload: one globally time-ordered stream of hospital accesses,
+     split across the clinical DB and the remotes by the schedule *)
+  let config =
+    let base = Workload.Hospital.default_config ~seed:((seed * 31) + 7) () in
+    { base with Workload.Hospital.total_accesses = (steps * 3) + 120 }
+  in
+  let pool = Array.of_list (Workload.Generator.entries (Workload.Generator.generate config)) in
+  let vocab = config.Workload.Hospital.vocab in
+  let p_ps = Workload.Hospital.policy_store config in
+  let storage =
+    {
+      Sys_.audit_log = Durable.Log.create ~seed:((seed * 13) + 1) ();
+      quarantine_log = Durable.Log.create ~seed:((seed * 13) + 2) ();
+    }
+  in
+  let sys = Sys_.create ~storage ~vocab ~p_ps () in
+  setup_enforcement sys;
+  let fault_config =
+    {
+      Audit_mgmt.Fault.p_unavailable = 0.1;
+      p_timeout = 0.1;
+      p_flaky = 0.15;
+      p_corrupt = 0.08;
+      latency = 5;
+      timeout_cost = 40;
+    }
+  in
+  let faults =
+    Array.init nsites (fun i ->
+        let site = Audit_mgmt.Site.create ~name:(site_name i) () in
+        Audit_mgmt.Fault.wrap ~config:fault_config ~seed:((seed * 101) + i) site)
+  in
+  Array.iter (fun f -> Sys_.add_faulty_site sys f) faults;
+  let h =
+    {
+      seed;
+      vocab;
+      model = Model.create ~vocab ~p_ps ~nsites;
+      sys;
+      faults;
+      pool;
+      next_entry = 0;
+      q_floor = [];
+      group_commit = false;
+      events = [];
+      appended = 0;
+      crashes = 0;
+      consolidations = 0;
+      refines_ok = 0;
+      refines_rejected = 0;
+      degraded_epochs = 0;
+      enforce_trips = 0;
+      trace;
+    }
+  in
+  let schedule = Schedule.generate ~nsites ~seed ~steps in
+  let violation = ref None in
+  let actions_run = ref 0 in
+  let guard step action f =
+    try f () with
+    | Violation (invariant, detail) ->
+      violation :=
+        Some { step; action = Schedule.to_string action; invariant; detail }
+    | e ->
+      violation :=
+        Some
+          {
+            step;
+            action = Schedule.to_string action;
+            invariant = "harness-error";
+            detail = Printexc.to_string e;
+          }
+  in
+  (let rec loop step = function
+     | [] -> ()
+     | action :: rest ->
+       guard step action (fun () ->
+           run_action h step action;
+           incr actions_run);
+       if !violation = None then loop (step + 1) rest
+   in
+   loop 1 schedule);
+  if !violation = None then
+    guard (steps + 1) Schedule.Consolidate (fun () -> epilogue h);
+  {
+    seed;
+    steps;
+    actions_run = !actions_run;
+    appended = h.appended;
+    crashes = h.crashes;
+    consolidations = h.consolidations;
+    refines_ok = h.refines_ok;
+    refines_rejected = h.refines_rejected;
+    degraded_epochs = h.degraded_epochs;
+    enforce_trips = h.enforce_trips;
+    events = List.rev h.events;
+    violation = !violation;
+  }
+
+(* ---------- reporting ---------- *)
+
+let pp_violation ppf v =
+  Fmt.pf ppf "step %d (%s): invariant %S violated — %s" v.step v.action v.invariant
+    v.detail
+
+let pp ppf (r : report) =
+  Fmt.pf ppf
+    "@[<v>seed %d: %d/%d steps, %d entries, %d crashes, %d consolidations, %d+%d \
+     refines (%d degraded), %d budget trips — %a@]"
+    r.seed r.actions_run r.steps r.appended r.crashes r.consolidations r.refines_ok
+    r.refines_rejected r.degraded_epochs r.enforce_trips
+    (fun ppf -> function
+      | None -> Fmt.pf ppf "all invariants held"
+      | Some v -> pp_violation ppf v)
+    r.violation

@@ -1,0 +1,57 @@
+(** Whole-system chaos harness: composed fault schedules against a
+    model-based invariant checker.
+
+    One seeded {!Schedule} drives a full {!Prima_system.System} — durable
+    storage, fault-injected federation, budgeted queries, the refinement
+    loop — while a pure {!Model} oracle receives the same inputs
+    fault-free.  Five invariants are checked as the run unfolds:
+
+    + {b no-loss} — recovery yields a prefix of the appended entries,
+      never below the durable floor (the lying-fsync [Truncated_sync]
+      point excepted); consolidated windows are sub-multisets of the
+      model trail.
+    + {b quarantine-exactly-once} — [delivered + quarantined + skipped =
+      total]; items unique per [(site, seq)]; crash recovery restores
+      exactly the synced item set.
+    + {b coverage-bound} — the system's coverage numerator/denominator
+      never exceed the model's exact readings; nothing refinement accepts
+      falls outside the fault-free epoch's acceptance.
+    + {b recovery-idempotent} — recovering the same devices twice yields
+      identical state with nothing newly dropped.
+    + {b convergence} — after faults stop, consolidation, coverage and a
+      final refinement all agree exactly with the model.
+
+    Fully deterministic in [seed]: a violation replays from its seed. *)
+
+type violation = {
+  step : int;  (** 1-based schedule position; 0 = setup, steps+1 = epilogue *)
+  action : string;
+  invariant : string;
+  detail : string;
+}
+
+type report = {
+  seed : int;
+  steps : int;
+  actions_run : int;
+  appended : int;
+  crashes : int;
+  consolidations : int;
+  refines_ok : int;
+  refines_rejected : int;
+  degraded_epochs : int;
+  enforce_trips : int;
+  events : string list;  (** step-by-step fault log, oldest first *)
+  violation : violation option;
+}
+
+val run : ?nsites:int -> ?trace:(string -> unit) -> seed:int -> steps:int -> unit -> report
+(** Execute a [steps]-action schedule over [nsites] faulty remotes
+    (default 2) plus the clinical DB, then the convergence epilogue.
+    [trace] streams the event log as it is produced.  Stops at the first
+    violation. *)
+
+val passed : report -> bool
+
+val pp : Format.formatter -> report -> unit
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,81 @@
+(* The pure in-memory oracle the harness checks the real system against.
+
+   It sees the same inputs — every appended entry and every pattern the
+   system actually installed — but none of the faults: plain lists stand in
+   for the durable store and the remote sites, and consolidation is a
+   stable sort by timestamp over the streams in federation site order
+   (clinical first), which is exactly what the fault-free k-way heap merge
+   produces.  Everything here is a few lines of obviously-correct code; the
+   point is that it shares no machinery with the implementation under
+   test. *)
+
+type t = {
+  vocab : Vocabulary.Vocab.t;
+  mutable p_ps : Prima_core.Policy.t;
+  mutable clinical_rev : Hdb.Audit_schema.entry list;
+  mutable clinical_len : int;
+  mutable synced : int;  (** durable floor: entries guaranteed to survive a crash *)
+  remote_rev : Hdb.Audit_schema.entry list array;
+}
+
+let create ~vocab ~p_ps ~nsites =
+  {
+    vocab;
+    p_ps;
+    clinical_rev = [];
+    clinical_len = 0;
+    synced = 0;
+    remote_rev = Array.make nsites [];
+  }
+
+let append_clinical t entries =
+  List.iter
+    (fun e ->
+      t.clinical_rev <- e :: t.clinical_rev;
+      t.clinical_len <- t.clinical_len + 1)
+    entries
+
+let append_remote t i entries =
+  List.iter (fun e -> t.remote_rev.(i) <- e :: t.remote_rev.(i)) entries
+
+let clinical t = List.rev t.clinical_rev
+let clinical_length t = t.clinical_len
+let synced t = t.synced
+let set_synced t n = t.synced <- n
+let mark_all_synced t = t.synced <- t.clinical_len
+let p_ps t = t.p_ps
+
+(* The fault-free consolidated trail.  Workload timestamps are strictly
+   increasing, so a stable sort keyed on time alone reproduces the heap
+   merge (and its site-order tie-break never fires). *)
+let consolidated t =
+  let streams =
+    clinical t :: (Array.to_list t.remote_rev |> List.map List.rev)
+  in
+  List.stable_sort
+    (fun (a : Hdb.Audit_schema.entry) (b : Hdb.Audit_schema.entry) ->
+      compare a.time b.time)
+    (List.concat streams)
+
+let total_entries t =
+  t.clinical_len + Array.fold_left (fun n l -> n + List.length l) 0 t.remote_rev
+
+let trail_policy t = Audit_mgmt.To_policy.policy_of_entries (consolidated t)
+
+(* Both coverage readings over the full trail, same projection the system
+   uses (the three pattern attributes). *)
+let coverage t =
+  let attrs = Vocabulary.Audit_attrs.pattern in
+  let p_y = trail_policy t in
+  ( Prima_core.Coverage.aligned ~bag:false t.vocab ~attrs ~p_x:t.p_ps ~p_y,
+    Prima_core.Coverage.aligned ~bag:true t.vocab ~attrs ~p_x:t.p_ps ~p_y )
+
+(* The hypothetical fault-free, ungoverned refinement epoch over the full
+   trail: what the system's refine could at most accept. *)
+let epoch t =
+  Prima_core.Refinement.run_epoch ~vocab:t.vocab ~p_ps:t.p_ps
+    ~p_al:(trail_policy t) ()
+
+(* Mirror the system's store: whatever the system actually accepted and
+   installed is installed here too, keeping P_PS bitwise in step. *)
+let install t rules = t.p_ps <- Prima_core.Policy.add_rules t.p_ps rules

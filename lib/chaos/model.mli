@@ -1,0 +1,48 @@
+(** Pure in-memory oracle for the chaos harness.
+
+    Fed the same entries and the same accepted patterns as the real system
+    but subject to no faults: plain lists for the stores, a stable sort by
+    timestamp for consolidation, and the fault-free ungoverned refinement
+    epoch as the ceiling on what the system may accept.  Shares no
+    machinery with the implementation under test. *)
+
+type t
+
+val create : vocab:Vocabulary.Vocab.t -> p_ps:Prima_core.Policy.t -> nsites:int -> t
+
+val append_clinical : t -> Hdb.Audit_schema.entry list -> unit
+val append_remote : t -> int -> Hdb.Audit_schema.entry list -> unit
+
+val clinical : t -> Hdb.Audit_schema.entry list
+(** Everything ever appended to the clinical store, in append order. *)
+
+val clinical_length : t -> int
+
+val synced : t -> int
+(** The durable floor: a crash may never lose entries below this index. *)
+
+val set_synced : t -> int -> unit
+val mark_all_synced : t -> unit
+
+val p_ps : t -> Prima_core.Policy.t
+
+val consolidated : t -> Hdb.Audit_schema.entry list
+(** The fault-free consolidated trail: stable time sort across the
+    clinical and remote streams in federation site order. *)
+
+val total_entries : t -> int
+
+val trail_policy : t -> Prima_core.Policy.t
+(** P_AL over the full fault-free trail. *)
+
+val coverage : t -> Prima_core.Coverage.stats * Prima_core.Coverage.stats
+(** Exact (set, bag) coverage of the full trail against the mirrored
+    store, pattern-attribute projection — the system's readings may never
+    exceed these. *)
+
+val epoch : t -> Prima_core.Refinement.epoch_report
+(** The hypothetical fault-free, ungoverned refinement epoch: the ceiling
+    on what the system's refine may accept. *)
+
+val install : t -> Prima_core.Rule.t list -> unit
+(** Mirror patterns the system actually accepted into the model's store. *)

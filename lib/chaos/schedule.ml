@@ -1,0 +1,113 @@
+(* A composed fault schedule: one seeded stream of whole-system actions
+   interleaving the normal PRIMA loop (appends, consolidation, refinement,
+   enforcement queries) with every fault plane the stack owns — federation
+   outages and clock advances, durable-device crash points, and query-budget
+   trips.  Generation is deterministic in the seed, so any run replays from
+   its seed alone. *)
+
+type enforce =
+  | E_plain  (** ungoverned; must return the full result set *)
+  | E_tight_rows  (** row quota below the table size: must raise, not truncate *)
+  | E_wall of int  (** wall-clock deadline driven off the simulated clock *)
+  | E_cancel of int  (** cooperative cancellation after [n] ticks *)
+
+type action =
+  | Append_clinical of int  (** next [n] workload accesses hit the clinical DB *)
+  | Append_remote of int * int  (** (site index, n) accesses land at a remote *)
+  | Sync_durable  (** fsync both WALs: everything so far becomes the floor *)
+  | Checkpoint_durable  (** snapshot + truncate both logs *)
+  | Crash of Durable.Device.crash_point
+      (** power-cut the durable devices, recover, and resume on the
+          rebuilt system *)
+  | Consolidate  (** fault-aware consolidation + qualified coverage *)
+  | Outage of int  (** force the persistent outage on remote [i] *)
+  | Heal of int  (** clear every injected fault on remote [i] *)
+  | Advance_clock of int  (** simulated ms: retries, breaker cooldowns *)
+  | Refine of int option  (** one refinement cycle; [Some ticks] governs it *)
+  | Enforce of enforce  (** an enforcement query under a budget regime *)
+  | Set_group_commit of bool  (** toggle WAL group-commit batching *)
+
+let enforce_to_string = function
+  | E_plain -> "enforce(plain)"
+  | E_tight_rows -> "enforce(tight-rows)"
+  | E_wall w -> Printf.sprintf "enforce(wall %dms)" w
+  | E_cancel n -> Printf.sprintf "enforce(cancel@%d)" n
+
+let to_string = function
+  | Append_clinical n -> Printf.sprintf "append-clinical %d" n
+  | Append_remote (i, n) -> Printf.sprintf "append-remote site-%d %d" i n
+  | Sync_durable -> "sync-durable"
+  | Checkpoint_durable -> "checkpoint-durable"
+  | Crash p -> "crash " ^ Durable.Device.crash_point_to_string p
+  | Consolidate -> "consolidate"
+  | Outage i -> Printf.sprintf "outage site-%d" i
+  | Heal i -> Printf.sprintf "heal site-%d" i
+  | Advance_clock ms -> Printf.sprintf "advance-clock %dms" ms
+  | Refine None -> "refine"
+  | Refine (Some ticks) -> Printf.sprintf "refine(governed %d ticks)" ticks
+  | Enforce e -> enforce_to_string e
+  | Set_group_commit b -> Printf.sprintf "group-commit %b" b
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)
+
+(* Crash points weighted towards the recoverable ones; [Truncated_sync] —
+   the lying fsync — stays rare but present, it is the only point allowed
+   to eat below the durable floor. *)
+let gen_crash_point rng =
+  Splitmix.pick_weighted rng
+    Durable.Device.
+      [
+        (Clean_loss, 3);
+        (Torn_tail, 3);
+        (Partial_header, 2);
+        (Bit_flip, 2);
+        (Truncated_sync, 1);
+      ]
+
+let gen_action rng ~nsites =
+  match
+    Splitmix.pick_weighted rng
+      [
+        (`Append_clinical, 6);
+        (`Append_remote, 5);
+        (`Sync, 3);
+        (`Checkpoint, 1);
+        (`Crash, 2);
+        (`Consolidate, 5);
+        (`Outage, 2);
+        (`Heal, 2);
+        (`Advance, 3);
+        (`Refine, 2);
+        (`Enforce, 3);
+        (`Group_commit, 1);
+      ]
+  with
+  | `Append_clinical -> Append_clinical (1 + Splitmix.int rng 4)
+  | `Append_remote -> Append_remote (Splitmix.int rng nsites, 1 + Splitmix.int rng 4)
+  | `Sync -> Sync_durable
+  | `Checkpoint -> Checkpoint_durable
+  | `Crash -> Crash (gen_crash_point rng)
+  | `Consolidate -> Consolidate
+  | `Outage -> Outage (Splitmix.int rng nsites)
+  | `Heal -> Heal (Splitmix.int rng nsites)
+  | `Advance -> Advance_clock (50 + Splitmix.int rng 450)
+  | `Refine ->
+    Refine
+      (if Splitmix.bool rng ~probability:0.4 then
+         Some (30 + Splitmix.int rng 600)
+       else None)
+  | `Enforce ->
+    Enforce
+      (Splitmix.pick rng
+         [
+           E_plain;
+           E_tight_rows;
+           E_wall (5 + Splitmix.int rng 40);
+           E_cancel (1 + Splitmix.int rng 60);
+         ])
+  | `Group_commit -> Set_group_commit (Splitmix.bool rng ~probability:0.5)
+
+let generate ~nsites ~seed ~steps =
+  let rng = Splitmix.create ~seed in
+  let rec go acc n = if n = 0 then List.rev acc else go (gen_action rng ~nsites :: acc) (n - 1) in
+  go [] steps

@@ -1,0 +1,31 @@
+(** Seeded whole-system fault schedules.
+
+    One action stream interleaves the normal PRIMA loop with every fault
+    plane the stack owns: federation outages/heals and simulated-clock
+    advances ({!Audit_mgmt.Fault}), durable-device power cuts at each
+    {!Durable.Device.crash_point}, and query-budget regimes on the
+    enforcement path ({!Relational.Budget}).  Deterministic in [seed]. *)
+
+type enforce =
+  | E_plain  (** ungoverned; must return the full result set *)
+  | E_tight_rows  (** row quota below the table size: must raise, not truncate *)
+  | E_wall of int  (** wall-clock deadline driven off the simulated clock *)
+  | E_cancel of int  (** cooperative cancellation after [n] ticks *)
+
+type action =
+  | Append_clinical of int
+  | Append_remote of int * int  (** (site index, count) *)
+  | Sync_durable
+  | Checkpoint_durable
+  | Crash of Durable.Device.crash_point
+  | Consolidate
+  | Outage of int
+  | Heal of int
+  | Advance_clock of int
+  | Refine of int option  (** [Some ticks]: governed extraction budget *)
+  | Enforce of enforce
+  | Set_group_commit of bool
+
+val generate : nsites:int -> seed:int -> steps:int -> action list
+val to_string : action -> string
+val pp : Format.formatter -> action -> unit

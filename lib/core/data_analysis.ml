@@ -90,6 +90,12 @@ let run ?budget engine ~table_name config : Rule.t list =
 (* One-call variant: load the practice policy into a fresh engine and
    analyse it there. *)
 let analyse ?(config = default_config) ?budget (practice : Policy.t) : Rule.t list =
+  (* An empty practice materialises as a zero-column table the GROUP BY
+     cannot reference — and no pattern can meet a positive frequency
+     threshold anyway (found by the chaos harness: refining over a window
+     whose only site was down). *)
+  if Policy.cardinality practice = 0 then []
+  else
   let engine = Relational.Engine.create () in
   let table_name = "practice" in
   let _ = materialize engine ~table_name practice in
@@ -128,6 +134,8 @@ let run_governed ?cancel engine ~table_name ~limits config : governed =
 
 let analyse_governed ?(config = default_config) ?cancel ~limits (practice : Policy.t) :
     governed =
+  if Policy.cardinality practice = 0 then exact []
+  else
   let engine = Relational.Engine.create () in
   let table_name = "practice" in
   let _ = materialize engine ~table_name practice in

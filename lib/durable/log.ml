@@ -36,6 +36,8 @@ type t = {
   mutable auto : (checkpoint_policy * (unit -> string list)) option;
   mutable wal_payload_bytes : int; (* payload bytes appended since the last checkpoint *)
   mutable auto_checkpoints : int;
+  (* Re-applied whenever the Wal.t is replaced (recovery, checkpoint). *)
+  mutable group_commit : bool;
 }
 
 let create ?(seed = 0) () =
@@ -45,6 +47,7 @@ let create ?(seed = 0) () =
     auto = None;
     wal_payload_bytes = 0;
     auto_checkpoints = 0;
+    group_commit = false;
   }
 
 let of_devices ~wal ~snapshot =
@@ -54,6 +57,7 @@ let of_devices ~wal ~snapshot =
     auto = None;
     wal_payload_bytes = 0;
     auto_checkpoints = 0;
+    group_commit = false;
   }
 
 let wal_device t = t.wal_device
@@ -70,6 +74,7 @@ let open_or_recover t =
   (* Framed bytes, so slightly above the payload sum — the policy trigger
      only needs the right order of magnitude. *)
   t.wal_payload_bytes <- (if r.Recovery.wal_ok then r.Recovery.wal_verified_bytes else 0);
+  Wal.set_group_commit wal t.group_commit;
   t.wal <- Some wal;
   r
 
@@ -92,8 +97,18 @@ let checkpoint t ~entries =
   Wal.sync w;
   let lsn = Wal.next_lsn w in
   Snapshot.write t.snapshot_device ~lsn ~entries;
-  t.wal <- Some (Wal.format t.wal_device ~base_lsn:lsn);
+  let fresh = Wal.format t.wal_device ~base_lsn:lsn in
+  Wal.set_group_commit fresh t.group_commit;
+  t.wal <- Some fresh;
   t.wal_payload_bytes <- 0
+
+let set_group_commit t on =
+  t.group_commit <- on;
+  match t.wal with Some w -> Wal.set_group_commit w on | None -> ()
+
+let group_commit t = t.group_commit
+
+let pending_records t = match t.wal with Some w -> Wal.pending_records w | None -> 0
 
 let set_auto_checkpoint t policy image = t.auto <- Some (policy, image)
 let clear_auto_checkpoint t = t.auto <- None

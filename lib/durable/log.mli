@@ -34,6 +34,20 @@ val append : t -> string -> int
 val sync : t -> unit
 val next_lsn : t -> int
 
+val set_group_commit : t -> bool -> unit
+(** Group-commit batching: appends accumulate in a user-space batch and
+    reach the device as one write at the next {!sync} (or {!checkpoint},
+    which syncs first).  Survives WAL replacement on recovery and
+    checkpoint.  A crash loses the pending batch entirely — within the
+    existing contract (unsynced records carry no durability promise), and
+    the verified-prefix recovery guarantee is unchanged.  Turning it off
+    flushes the batch into the page cache. *)
+
+val group_commit : t -> bool
+
+val pending_records : t -> int
+(** Records waiting in the group-commit batch (0 with it off). *)
+
 val checkpoint : t -> entries:string list -> unit
 (** Sync, write [entries] as the new snapshot image, then truncate the
     WAL to empty at the snapshot's LSN. *)

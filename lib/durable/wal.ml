@@ -36,6 +36,15 @@ type t = {
   device : Device.t;
   base_lsn : int;
   mutable next_lsn : int;
+  (* Group commit: framed records accumulate here (user space, not even in
+     the page cache) and reach the device as ONE write at the next [sync] —
+     the batching a real WAL does to amortise the write syscall.  A crash
+     loses the pending batch entirely, which is strictly safer than losing
+     an arbitrary suffix of per-record writes: unsynced records carried no
+     durability promise either way, and the stable prefix is untouched. *)
+  mutable group_commit : bool;
+  pending : Buffer.t;
+  mutable pending_records : int;
 }
 
 (* Initialise (or re-initialise after a checkpoint) the device as an empty
@@ -46,7 +55,13 @@ let format device ~base_lsn =
   Device.truncate device 0;
   Device.append device (header_bytes ~base_lsn);
   Device.sync device;
-  { device; base_lsn; next_lsn = base_lsn }
+  { device;
+    base_lsn;
+    next_lsn = base_lsn;
+    group_commit = false;
+    pending = Buffer.create 256;
+    pending_records = 0;
+  }
 
 (* Adopt a device whose image recovery has already verified: the stable
    image is cut back to the verified prefix ([verified_bytes]) so the
@@ -54,16 +69,42 @@ let format device ~base_lsn =
    next LSN. *)
 let reopen device ~base_lsn ~entries ~verified_bytes =
   Device.truncate device verified_bytes;
-  { device; base_lsn; next_lsn = base_lsn + entries }
+  { device;
+    base_lsn;
+    next_lsn = base_lsn + entries;
+    group_commit = false;
+    pending = Buffer.create 256;
+    pending_records = 0;
+  }
 
 let device t = t.device
 let base_lsn t = t.base_lsn
 let next_lsn t = t.next_lsn
 
+let flush_pending t =
+  if Buffer.length t.pending > 0 then begin
+    Device.append t.device (Buffer.contents t.pending);
+    Buffer.clear t.pending;
+    t.pending_records <- 0
+  end
+
+let set_group_commit t on =
+  if not on then flush_pending t;
+  t.group_commit <- on
+
+let group_commit t = t.group_commit
+let pending_records t = t.pending_records
+
 let append t payload =
   let lsn = t.next_lsn in
-  Device.append t.device (Frame.encode payload);
+  (if t.group_commit then begin
+     Buffer.add_string t.pending (Frame.encode payload);
+     t.pending_records <- t.pending_records + 1
+   end
+   else Device.append t.device (Frame.encode payload));
   t.next_lsn <- lsn + 1;
   lsn
 
-let sync t = Device.sync t.device
+let sync t =
+  flush_pending t;
+  Device.sync t.device

@@ -34,3 +34,21 @@ val append : t -> string -> int
     until {!sync}. *)
 
 val sync : t -> unit
+
+(** {1 Group commit}
+
+    With group commit on, {!append} accumulates framed records in a
+    user-space batch instead of issuing one device write per record;
+    {!sync} flushes the whole batch as {e one} device write before the
+    fsync.  A crash loses the pending batch entirely — strictly within
+    the existing contract, which promises nothing for unsynced records —
+    and the verified-prefix recovery guarantee is unchanged. *)
+
+val set_group_commit : t -> bool -> unit
+(** Turning group commit {e off} flushes the pending batch into the page
+    cache (without syncing). *)
+
+val group_commit : t -> bool
+
+val pending_records : t -> int
+(** Records waiting in the group-commit batch (0 with group commit off). *)

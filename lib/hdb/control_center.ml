@@ -10,6 +10,7 @@ type t = {
   categories : Category_map.t;
   logger : Audit_logger.t;
   enforcement : Enforcement.t;
+  mutable query_limits : Relational.Budget.limits option;
 }
 
 let create ?(engine = Relational.Engine.create ()) ~vocab () =
@@ -18,7 +19,7 @@ let create ?(engine = Relational.Engine.create ()) ~vocab () =
   let categories = Category_map.create () in
   let logger = Audit_logger.create () in
   let enforcement = Enforcement.create ~engine ~rules ~consent ~categories ~logger in
-  { engine; rules; consent; categories; logger; enforcement }
+  { engine; rules; consent; categories; logger; enforcement; query_limits = None }
 
 let engine t = t.engine
 let rules t = t.rules
@@ -48,8 +49,22 @@ let opt_out t ~patient ~purpose ~data =
 let opt_in t ~patient ~purpose ~data =
   Consent.record t.consent ~patient ~purpose ~data Consent.Opt_in
 
-let query ?break_glass t ~user ~role ~purpose sql =
-  Enforcement.run_query ?break_glass t.enforcement
+let query_limits t = t.query_limits
+let set_query_limits t limits = t.query_limits <- limits
+
+(* Enforcement queries run under the configured limits as a strict budget:
+   a user query over quota fails with the typed [Budget_exceeded] instead
+   of silently returning a prefix of the rows — truncation is only a legal
+   degradation for analysis queries, never for enforcement answers.  An
+   explicit [budget] overrides the configured limits. *)
+let query ?break_glass ?budget t ~user ~role ~purpose sql =
+  let budget =
+    match budget, t.query_limits with
+    | Some _, _ -> budget
+    | None, Some limits -> Some (Relational.Budget.create limits)
+    | None, None -> None
+  in
+  Enforcement.run_query ?break_glass ?budget t.enforcement
     { Enforcement.user; role; purpose } sql
 
 let audit_entries t = Audit_logger.entries t.logger

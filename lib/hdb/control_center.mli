@@ -24,14 +24,24 @@ val set_patient_column : t -> table:string -> column:string -> unit
 val opt_out : t -> patient:string -> purpose:string -> data:string -> unit
 val opt_in : t -> patient:string -> purpose:string -> data:string -> unit
 
+val query_limits : t -> Relational.Budget.limits option
+(** The resource limits applied to enforcement queries (None = ungoverned). *)
+
+val set_query_limits : t -> Relational.Budget.limits option -> unit
+
 val query :
   ?break_glass:bool ->
+  ?budget:Relational.Budget.t ->
   t ->
   user:string ->
   role:string ->
   purpose:string ->
   string ->
   (Enforcement.outcome, Enforcement.error) result
-(** An end-user query under enforcement. *)
+(** An end-user query under enforcement.  With {!set_query_limits}
+    configured (and no explicit [budget]), the query runs under a fresh
+    {e strict} budget built from those limits: over quota it raises the
+    typed {!Relational.Errors.Budget_exceeded} rather than returning
+    silently truncated rows. *)
 
 val audit_entries : t -> Audit_schema.entry list

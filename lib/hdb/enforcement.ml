@@ -339,7 +339,7 @@ let requested_categories t (select : Sql_ast.select) =
       projections
     |> dedupe
 
-let run_query ?(break_glass = false) t ctx sql : (outcome, error) result =
+let run_query ?(break_glass = false) ?budget t ctx sql : (outcome, error) result =
   match Engine.parse sql with
   | Sql_ast.Select select -> begin
     match rewrite t ctx select with
@@ -349,7 +349,7 @@ let run_query ?(break_glass = false) t ctx sql : (outcome, error) result =
             ctx.purpose (String.concat "," disclosed)
             (String.concat "," masked_columns)
             (List.length excluded_patients));
-      let result = Engine.query_select t.engine rewritten in
+      let result = Engine.query_select ?budget t.engine rewritten in
       if disclosed <> [] then
         log_categories t ctx ~op:Audit_schema.Allow ~status:Audit_schema.Regular disclosed;
       Ok
@@ -365,7 +365,7 @@ let run_query ?(break_glass = false) t ctx sql : (outcome, error) result =
          disclosed as exception-based. *)
       Log.info (fun m -> m "break-the-glass by %s/%s/%s (%s)" ctx.user ctx.role ctx.purpose reason);
       let disclosed = requested_categories t select in
-      let result = Engine.query_select t.engine select in
+      let result = Engine.query_select ?budget t.engine select in
       log_categories t ctx ~op:Audit_schema.Allow ~status:Audit_schema.Exception_based
         disclosed;
       Ok

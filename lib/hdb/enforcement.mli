@@ -61,7 +61,17 @@ val rewrite :
     disclosed categories)] or the denial.  Queries over unmapped tables
     pass through untouched. *)
 
-val run_query : ?break_glass:bool -> t -> context -> string -> (outcome, error) result
-(** Rewrite, execute, audit.  Non-SELECT statements are [Unsupported]. *)
+val run_query :
+  ?break_glass:bool ->
+  ?budget:Relational.Budget.t ->
+  t ->
+  context ->
+  string ->
+  (outcome, error) result
+(** Rewrite, execute, audit.  Non-SELECT statements are [Unsupported].
+    [budget] governs the rewritten (or break-glass) execution; a strict
+    budget that fires raises the typed
+    {!Relational.Errors.Budget_exceeded} rather than returning silently
+    truncated rows. *)
 
 val error_to_string : error -> string

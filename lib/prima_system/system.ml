@@ -126,14 +126,17 @@ let prima t = t.prima
 (* --- query governance --- *)
 
 (* Budget applied to the refinement loop's pattern-extraction query; lives
-   in the refinement config so Prima-level callers see the same limits. *)
+   in the refinement config so Prima-level callers see the same limits.
+   The same limits govern the enforcement query path (strict budgets in
+   [Control_center.query]): one knob for the whole system's SQL. *)
 let query_limits t =
   (Prima_core.Prima.refinement_config t.prima).Prima_core.Refinement.limits
 
 let set_query_limits t limits =
   let config = Prima_core.Prima.refinement_config t.prima in
   Prima_core.Prima.set_refinement_config t.prima
-    { config with Prima_core.Refinement.limits }
+    { config with Prima_core.Refinement.limits };
+  Hdb.Control_center.set_query_limits t.control limits
 
 type governance = {
   limits : Relational.Budget.limits option;
@@ -173,6 +176,23 @@ let effective_threshold t =
 let last_health t = t.last_health
 
 let add_site t site = Audit_mgmt.Federation.add_site t.federation site
+
+(* --- chaos-harness drive hooks: step the fault plane from outside --- *)
+
+let add_faulty_site ?breaker t fault =
+  Audit_mgmt.Federation.add_faulty_site ?breaker t.federation fault
+
+let heal_all t = Audit_mgmt.Federation.heal_all t.federation
+
+let advance_clock t ms = Audit_mgmt.Federation.advance_clock t.federation ms
+
+(* Toggle group-commit batching on both attached WALs (no-op without
+   [~storage]); pending appends coalesce into one device write at the next
+   [sync_durable]. *)
+let set_group_commit t on =
+  let set = function Some log -> Durable.Log.set_group_commit log on | None -> () in
+  set (Hdb.Audit_store.log (Hdb.Control_center.audit_store t.control));
+  set (Audit_mgmt.Quarantine.log (Audit_mgmt.Federation.transit_quarantine t.federation))
 
 (* Pull the fault-aware consolidated view into the refinement component's
    P_AL; the health report of this consolidation is retained and its

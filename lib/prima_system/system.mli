@@ -62,6 +62,10 @@ val query_limits : t -> Relational.Budget.limits option
 (** The budget currently applied to refinement queries (None = ungoverned). *)
 
 val set_query_limits : t -> Relational.Budget.limits option -> unit
+(** One knob for the whole system's SQL: the limits govern both the
+    refinement extraction query (graceful degradation to a lower bound)
+    and the enforcement query path ({!Hdb.Control_center.query}, strict —
+    over quota raises the typed [Budget_exceeded]). *)
 
 type governance = {
   limits : Relational.Budget.limits option;
@@ -107,6 +111,28 @@ val completeness : t -> float
 
 val add_site : t -> Audit_mgmt.Site.t -> unit
 (** Bring another system's audit trail into the consolidated view. *)
+
+(** {1 Chaos-harness drive hooks}
+
+    Step-wise control over the fault plane, so an external orchestrator
+    (lib/chaos) can interleave outages, clock advances and durability
+    toggles with the normal loop. *)
+
+val add_faulty_site : ?breaker:Audit_mgmt.Breaker.config -> t -> Audit_mgmt.Fault.t -> unit
+(** A federation member reached through a fault-injection wrapper, gated
+    by its own circuit breaker. *)
+
+val heal_all : t -> unit
+(** {!Audit_mgmt.Fault.heal} every member. *)
+
+val advance_clock : t -> int -> unit
+(** Advance the federation's simulated millisecond clock (retries,
+    breaker cooldowns). *)
+
+val set_group_commit : t -> bool -> unit
+(** Toggle group-commit batching on both attached WALs (no-op without
+    [~storage]): pending appends coalesce into one device write at the
+    next {!sync_durable}. *)
 
 val sync_audit : t -> Audit_mgmt.Health.t
 (** Pull the fault-aware consolidated view into the refinement component's

@@ -29,11 +29,13 @@ type limits = {
   max_rows : int option;
   max_tuples : int option;
   deadline : int option;
+  max_wall_ms : int option;
 }
 
-let unlimited = { max_rows = None; max_tuples = None; deadline = None }
+let unlimited = { max_rows = None; max_tuples = None; deadline = None; max_wall_ms = None }
 
-let limits ?rows ?tuples ?ticks () = { max_rows = rows; max_tuples = tuples; deadline = ticks }
+let limits ?rows ?tuples ?ticks ?wall_ms () =
+  { max_rows = rows; max_tuples = tuples; deadline = ticks; max_wall_ms = wall_ms }
 
 type mode =
   | Strict
@@ -50,6 +52,9 @@ type t = {
   max_rows : int;
   max_tuples : int;
   deadline : int;
+  wall_limit_ms : float;  (* [infinity] when no wall deadline is set *)
+  now : unit -> float;  (* milliseconds; injectable for determinism *)
+  start_ms : float;  (* [now] at creation, 0. when no wall deadline *)
   cancel : cancel;
   trip_at : int;  (* test hook: auto-cancel when ticks reach this *)
   mutable rows_out : int;
@@ -60,11 +65,22 @@ type t = {
 
 let of_option = function Some n -> max n 0 | None -> max_int
 
-let create ?(mode = Strict) ?cancel ?(cancel_at = max_int) (limits : limits) =
+let wall_clock_ms () = Unix.gettimeofday () *. 1000.
+
+let create ?(mode = Strict) ?cancel ?(cancel_at = max_int) ?now (limits : limits) =
+  let now = match now with Some f -> f | None -> wall_clock_ms in
+  let wall_limit_ms, start_ms =
+    match limits.max_wall_ms with
+    | None -> (infinity, 0.)
+    | Some ms -> (float_of_int (max ms 0), now ())
+  in
   { mode;
     max_rows = of_option limits.max_rows;
     max_tuples = of_option limits.max_tuples;
     deadline = of_option limits.deadline;
+    wall_limit_ms;
+    now;
+    start_ms;
     cancel = (match cancel with Some c -> c | None -> cancel_token ());
     trip_at = cancel_at;
     rows_out = 0;
@@ -99,7 +115,10 @@ let step t =
     t.cancel.cancelled <- true;
     raise (Errors.Cancelled (stats t))
   end;
-  if t.ticks > t.deadline then trip t Errors.Time else true
+  if t.ticks > t.deadline then trip t Errors.Time
+  else if t.wall_limit_ms < infinity && t.now () -. t.start_ms > t.wall_limit_ms then
+    trip t Errors.Time
+  else true
 
 (* Charge one unit of work plus one materialised tuple. *)
 let admit t =

@@ -20,11 +20,12 @@ type limits = {
   max_rows : int option;  (** top-level output rows *)
   max_tuples : int option;  (** intermediate tuples materialised *)
   deadline : int option;  (** total work ticks (simulated time) *)
+  max_wall_ms : int option;  (** elapsed wall-clock milliseconds *)
 }
 
 val unlimited : limits
 
-val limits : ?rows:int -> ?tuples:int -> ?ticks:int -> unit -> limits
+val limits : ?rows:int -> ?tuples:int -> ?ticks:int -> ?wall_ms:int -> unit -> limits
 (** Omitted fields are unlimited. *)
 
 type mode =
@@ -40,9 +41,14 @@ val is_cancelled : cancel -> bool
 
 type t
 
-val create : ?mode:mode -> ?cancel:cancel -> ?cancel_at:int -> limits -> t
+val create :
+  ?mode:mode -> ?cancel:cancel -> ?cancel_at:int -> ?now:(unit -> float) -> limits -> t
 (** [cancel_at] is a deterministic test hook: the token trips when the
-    tick counter reaches it. *)
+    tick counter reaches it.  [now] supplies the wall clock in
+    milliseconds for [max_wall_ms] (default [Unix.gettimeofday]-based);
+    inject a fake clock to make wall-deadline tests deterministic.  The
+    clock is read once at creation and then on every tick while a wall
+    deadline is set; without one it is never consulted. *)
 
 val default : unit -> t
 (** A fresh strict budget with unlimited quotas — the ungoverned path. *)
@@ -63,8 +69,9 @@ val truncated : t -> bool
 
 val step : t -> bool
 (** Charge one work tick.  [true] to continue; [false] (Partial only) when
-    the deadline passed.  @raise Errors.Cancelled when the token is pulled.
-    @raise Errors.Budget_exceeded (Strict) when the deadline passes. *)
+    a deadline (simulated or wall-clock) passed.
+    @raise Errors.Cancelled when the token is pulled.
+    @raise Errors.Budget_exceeded (Strict) when a deadline passes. *)
 
 val admit : t -> bool
 (** {!step} plus one materialised tuple against the tuple quota. *)

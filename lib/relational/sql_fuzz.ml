@@ -414,3 +414,116 @@ let run ?(queries = 500) ~seed () =
     untyped = List.rev !untyped;
     mismatches = List.rev !mismatches;
   }
+
+(* --- DML round-trips against a model table ---
+
+   Two engines with identical schema and seed data.  Every generated
+   INSERT / UPDATE / DELETE runs on both: the governed engine under a
+   generous strict budget, the model engine ungoverned.  After each
+   statement the outcome classes must agree AND the full table contents
+   must be bitwise-identical — the governor must never leave a DML
+   statement half-applied or applied differently.  Mangled renderings keep
+   exercising the only-typed-errors-escape invariant on the write path. *)
+
+let dml_columns =
+  [ ("id", Value.T_int); ("n", Value.T_int); ("score", Value.T_float);
+    ("name", Value.T_string); ("flag", Value.T_bool) ]
+
+let gen_dml rng ~fresh_id : Sql_ast.stmt =
+  match Splitmix.pick_weighted rng [ (`Insert, 4); (`Update, 4); (`Delete, 2) ] with
+  | `Insert ->
+    let values =
+      List.mapi
+        (fun i (_, ty) ->
+          if i = 0 then Sql_ast.Lit (Value.Int (fresh_id ()))
+          else Sql_ast.Lit (gen_value rng ty))
+        dml_columns
+    in
+    (* Sometimes the wrong arity — must be the same typed error on both. *)
+    let values =
+      if Splitmix.bool rng ~probability:0.12 then gen_literal rng :: values else values
+    in
+    Sql_ast.Insert { table = "m0"; columns = None; rows = [ values ] }
+  | `Update ->
+    let col, ty = Splitmix.pick rng dml_columns in
+    (* Type-sloppy assignments on purpose: ill-typed expressions must fail
+       with the same typed error on both engines, leaving both unchanged. *)
+    let value =
+      if Splitmix.bool rng ~probability:0.3 then gen_expr rng dml_columns 1
+      else Sql_ast.Lit (gen_value rng ty)
+    in
+    Sql_ast.Update
+      { table = "m0";
+        assignments = [ (col, value) ];
+        where = Some (gen_pred rng dml_columns 1);
+      }
+  | `Delete -> Sql_ast.Delete { table = "m0"; where = Some (gen_pred rng dml_columns 1) }
+
+let run_dml ?(ops = 300) ~seed () =
+  let rng = Splitmix.create ~seed in
+  let governed = Engine.create () in
+  let model = Engine.create () in
+  List.iter
+    (fun e -> ignore (Engine.create_table e ~name:"m0" ~columns:dml_columns))
+    [ governed; model ];
+  for i = 0 to 19 do
+    let row =
+      Value.Int i
+      :: List.map (fun (_, ty) -> gen_value rng ty) (List.tl dml_columns)
+    in
+    List.iter (fun e -> Engine.insert_row e ~table:"m0" row) [ governed; model ]
+  done;
+  let next_id = ref 100 in
+  let fresh_id () = incr next_id; !next_id in
+  let executed = ref 0 in
+  let ok = ref 0 in
+  let typed = ref 0 in
+  let budget_hits = ref 0 in
+  let untyped = ref [] in
+  let mismatches = ref [] in
+  let generous () =
+    Budget.create (Budget.limits ~rows:1_000_000 ~tuples:10_000_000 ~ticks:50_000_000 ())
+  in
+  let table_image engine =
+    match Engine.query engine "SELECT * FROM m0" with
+    | rs -> Ok rs
+    | exception e -> Error (Printexc.to_string e)
+  in
+  for _ = 1 to ops do
+    let stmt = gen_dml rng ~fresh_id in
+    let sql = Sql_ast.to_sql stmt in
+    let sql = if Splitmix.bool rng ~probability:0.15 then mangle rng sql else sql in
+    executed := !executed + 2;
+    let on_governed = run_case (fun () -> Engine.exec ~budget:(generous ()) governed sql) in
+    let on_model = run_case (fun () -> Engine.exec model sql) in
+    (match on_governed, on_model with
+    | C_ok (Some a), C_ok (Some b) ->
+      incr ok;
+      if not (outcomes_equal a b) then
+        mismatches :=
+          { sql; reason = "governed DML outcome differs from model" } :: !mismatches
+    | C_typed _, C_typed _ -> incr typed
+    | (C_budget | C_cancelled), _ ->
+      incr budget_hits;
+      mismatches := { sql; reason = "generous budget fired on DML" } :: !mismatches
+    | C_untyped reason, _ | _, C_untyped reason -> untyped := { sql; reason } :: !untyped
+    | _ ->
+      mismatches :=
+        { sql; reason = "governed and model DML disagree on error class" } :: !mismatches);
+    match table_image governed, table_image model with
+    | Ok a, Ok b ->
+      if not (rows_equal a b) then
+        mismatches :=
+          { sql; reason = "table contents diverged after DML" } :: !mismatches
+    | _, _ ->
+      untyped := { sql; reason = "table image query failed" } :: !untyped
+  done;
+  { seed;
+    queries = !executed;
+    ok = !ok;
+    typed_errors = !typed;
+    budget_hits = !budget_hits;
+    truncated_runs = 0;
+    untyped = List.rev !untyped;
+    mismatches = List.rev !mismatches;
+  }

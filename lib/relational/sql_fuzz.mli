@@ -34,6 +34,14 @@ val run : ?queries:int -> seed:int -> unit -> report
     read-only statement is additionally re-run under generous, tight and
     partial budgets. *)
 
+val run_dml : ?ops:int -> seed:int -> unit -> report
+(** INSERT/UPDATE/DELETE round-trips against a model table: every
+    generated DML statement (default 300, some mangled) runs on a governed
+    engine (generous strict budget) and an ungoverned model engine; the
+    outcome classes must agree and the full table contents must stay
+    bitwise-identical after every statement — plus the usual
+    only-typed-errors-escape invariant on the write path. *)
+
 val passed : report -> bool
 (** No untyped exceptions and no governed/ungoverned mismatches. *)
 

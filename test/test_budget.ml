@@ -244,6 +244,101 @@ let test_system_governance_counters () =
   check_int "two governed epochs" 2 g.Sys_.governed_epochs;
   check_int "one degraded" 1 g.Sys_.degraded_epochs
 
+(* --- wall-clock deadline, deterministic via an injected clock --- *)
+
+let test_wall_deadline_injected_clock () =
+  let engine = make_engine () in
+  (* a fake clock that advances 1ms per budget tick: a 5ms wall deadline
+     must fire partway through the scan *)
+  let t = ref 0.0 in
+  let now () =
+    t := !t +. 1.0;
+    !t
+  in
+  let tripped =
+    try
+      ignore (Eng.query ~budget:(B.create ~now (B.limits ~wall_ms:5 ())) engine group_query);
+      false
+    with E.Budget_exceeded (E.Time, _) -> true
+  in
+  check_bool "5ms wall deadline trips on a 30-row group-by" true tripped;
+  (* a deadline the query finishes under changes nothing *)
+  let t2 = ref 0.0 in
+  let now2 () =
+    t2 := !t2 +. 1.0;
+    !t2
+  in
+  Alcotest.(check string)
+    "generous wall deadline is invisible"
+    (result_csv engine None group_query)
+    (result_csv engine (Some (B.create ~now:now2 (B.limits ~wall_ms:1_000_000 ()))) group_query);
+  (* without a wall limit the clock is never consulted *)
+  let consulted = ref false in
+  let spy () =
+    consulted := true;
+    0.0
+  in
+  ignore (Eng.query ~budget:(B.create ~now:spy B.unlimited) engine group_query);
+  check_bool "clock not consulted without a wall limit" false !consulted
+
+(* --- budgets on the enforcement path (Control_center.query) --- *)
+
+let make_control () =
+  let control = Hdb.Control_center.create ~vocab:(S.vocab ()) () in
+  ignore (Hdb.Control_center.admin_exec control "CREATE TABLE visits (id INT, note TEXT)");
+  for i = 1 to 20 do
+    ignore
+      (Hdb.Control_center.admin_exec control
+         (Printf.sprintf "INSERT INTO visits VALUES (%d, 'n%d')" i i))
+  done;
+  control
+
+let enforcement_query control =
+  Hdb.Control_center.query control ~user:"u" ~role:"nurse" ~purpose:"treatment"
+    "SELECT * FROM visits"
+
+let test_enforcement_over_quota_raises () =
+  let control = make_control () in
+  (* ungoverned: the full result set comes back *)
+  (match enforcement_query control with
+  | Ok o -> check_int "ungoverned rows" 20 (List.length o.Hdb.Enforcement.result.Relational.Executor.rows)
+  | Error e -> Alcotest.failf "ungoverned query denied: %s" (Hdb.Enforcement.error_to_string e));
+  (* over quota: the typed exception, never silent truncation *)
+  Hdb.Control_center.set_query_limits control (Some (B.limits ~rows:5 ()));
+  (match enforcement_query control with
+  | exception E.Budget_exceeded (E.Rows, _) -> ()
+  | Ok o ->
+    Alcotest.failf "over-quota enforcement query returned %d rows instead of raising"
+      (List.length o.Hdb.Enforcement.result.Relational.Executor.rows)
+  | Error e -> Alcotest.failf "denied instead of budget trip: %s" (Hdb.Enforcement.error_to_string e));
+  (* generous limits: identical rows again *)
+  Hdb.Control_center.set_query_limits control (Some (B.limits ~rows:1000 ~ticks:100_000 ()));
+  (match enforcement_query control with
+  | Ok o -> check_int "governed-but-generous rows" 20 (List.length o.Hdb.Enforcement.result.Relational.Executor.rows)
+  | Error e -> Alcotest.failf "generous query denied: %s" (Hdb.Enforcement.error_to_string e));
+  (* clearing the limits restores the ungoverned path *)
+  Hdb.Control_center.set_query_limits control None;
+  check_bool "limits cleared" true (Hdb.Control_center.query_limits control = None)
+
+let test_system_knob_reaches_enforcement () =
+  let sys = Sys_.create ~vocab:(S.vocab ()) ~p_ps:(S.policy_store ()) () in
+  let control = Sys_.control sys in
+  ignore (Hdb.Control_center.admin_exec control "CREATE TABLE k (id INT)");
+  for i = 1 to 9 do
+    ignore (Hdb.Control_center.admin_exec control (Printf.sprintf "INSERT INTO k VALUES (%d)" i))
+  done;
+  Sys_.set_query_limits sys (Some (B.limits ~rows:2 ()));
+  let tripped =
+    try
+      ignore
+        (Hdb.Control_center.query control ~user:"u" ~role:"nurse" ~purpose:"treatment"
+           "SELECT * FROM k");
+      false
+    with E.Budget_exceeded (E.Rows, _) -> true
+  in
+  Sys_.set_query_limits sys None;
+  check_bool "System.set_query_limits governs the enforcement path" true tripped
+
 let () =
   Alcotest.run "budget"
     [ ( "quotas",
@@ -267,4 +362,13 @@ let () =
         ] );
       ( "system",
         [ Alcotest.test_case "governance counters" `Quick test_system_governance_counters ] );
+      ( "wall clock",
+        [ Alcotest.test_case "injected clock, deterministic deadline" `Quick
+            test_wall_deadline_injected_clock ] );
+      ( "enforcement path",
+        [ Alcotest.test_case "over quota raises typed, never truncates" `Quick
+            test_enforcement_over_quota_raises;
+          Alcotest.test_case "system knob reaches enforcement" `Quick
+            test_system_knob_reaches_enforcement;
+        ] );
     ]

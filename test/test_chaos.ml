@@ -1,0 +1,146 @@
+(* Whole-system chaos: composed fault schedules checked against the pure
+   model oracle.  The runtest-sized sweep here keeps the long soak in
+   `make chaos`; both are deterministic in their seeds, so any failure
+   reproduces from the printed seed alone. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- fixed-seed schedules: the five invariants hold end to end --- *)
+
+let run_seed seed steps () =
+  let report = Chaos.Harness.run ~seed ~steps () in
+  (match report.Chaos.Harness.violation with
+  | None -> ()
+  | Some v ->
+    Fmt.epr "--- fault log (seed %d) ---@." seed;
+    List.iter (Fmt.epr "%s@.") report.Chaos.Harness.events;
+    Fmt.epr "%a@." Chaos.Harness.pp_violation v);
+  check (Printf.sprintf "seed %d: all invariants hold" seed) true
+    (Chaos.Harness.passed report);
+  check
+    (Printf.sprintf "seed %d: schedule ran to completion" seed)
+    true
+    (report.Chaos.Harness.actions_run = steps);
+  (* the schedule must actually exercise the fault planes it composes *)
+  check (Printf.sprintf "seed %d: crashes happened" seed) true
+    (report.Chaos.Harness.crashes > 0);
+  check (Printf.sprintf "seed %d: consolidations happened" seed) true
+    (report.Chaos.Harness.consolidations > 0);
+  check (Printf.sprintf "seed %d: refinement ran" seed) true
+    (report.Chaos.Harness.refines_ok + report.Chaos.Harness.refines_rejected > 0);
+  check (Printf.sprintf "seed %d: enforcement budgets tripped" seed) true
+    (report.Chaos.Harness.enforce_trips > 0)
+
+(* --- determinism: a seed replays to the identical run --- *)
+
+let test_deterministic () =
+  let a = Chaos.Harness.run ~seed:42 ~steps:120 () in
+  let b = Chaos.Harness.run ~seed:42 ~steps:120 () in
+  check "same seed, same event log" true
+    (a.Chaos.Harness.events = b.Chaos.Harness.events);
+  check "same seed, same verdict" true
+    (Chaos.Harness.passed a = Chaos.Harness.passed b);
+  check_int "same seed, same crash count" a.Chaos.Harness.crashes
+    b.Chaos.Harness.crashes;
+  let c = Chaos.Harness.run ~seed:43 ~steps:120 () in
+  check "different seed, different schedule" false
+    (a.Chaos.Harness.events = c.Chaos.Harness.events)
+
+(* --- pinned regression: refine over an empty practice window ---
+
+   Found by the chaos harness (seed 1 of the first sweep): a consolidated
+   window whose entries are all regular accesses filters to an {e empty}
+   practice policy, which used to materialise as a zero-column table and
+   blow up Algorithm 5 with [Sql_error "unknown column data"] escaping
+   [System.refine] as an exception.  An empty practice can never meet a
+   positive frequency threshold, so the answer is "no patterns". *)
+
+let test_empty_practice_analysis () =
+  let empty = Prima_core.Policy.make [] in
+  check_int "analyse of an empty practice finds nothing" 0
+    (List.length (Prima_core.Data_analysis.analyse empty));
+  let governed =
+    Prima_core.Data_analysis.analyse_governed
+      ~limits:(Relational.Budget.limits ~ticks:10 ())
+      empty
+  in
+  check_int "governed analyse of an empty practice finds nothing" 0
+    (List.length governed.Prima_core.Data_analysis.patterns);
+  check "and does not degrade" false governed.Prima_core.Data_analysis.degraded
+
+let test_empty_practice_epoch () =
+  let config = Workload.Hospital.default_config ~seed:7 () in
+  let vocab = config.Workload.Hospital.vocab in
+  let p_ps = Workload.Hospital.policy_store config in
+  (* a window of regular accesses only: Filter(P_AL) is empty *)
+  let entries =
+    List.init 8 (fun i ->
+        Hdb.Audit_schema.entry ~time:(i + 1) ~op:Hdb.Audit_schema.Allow
+          ~user:(Printf.sprintf "u%d" i) ~data:"medication_data" ~purpose:"treatment"
+          ~authorized:"nurse" ~status:Hdb.Audit_schema.Regular)
+  in
+  let p_al = Audit_mgmt.To_policy.policy_of_entries entries in
+  let report = Prima_core.Refinement.run_epoch ~vocab ~p_ps ~p_al () in
+  check_int "no patterns from an all-regular window" 0
+    (List.length report.Prima_core.Refinement.patterns)
+
+(* --- the model oracle itself: consolidation mirrors the heap merge --- *)
+
+let test_model_consolidation () =
+  let config = Workload.Hospital.default_config ~seed:11 () in
+  let config = { config with Workload.Hospital.total_accesses = 60 } in
+  let entries =
+    Workload.Generator.entries (Workload.Generator.generate config)
+  in
+  let vocab = config.Workload.Hospital.vocab in
+  let p_ps = Workload.Hospital.policy_store config in
+  let model = Chaos.Model.create ~vocab ~p_ps ~nsites:2 in
+  (* deal the stream round-robin across clinical and the two remotes *)
+  List.iteri
+    (fun i e ->
+      match i mod 3 with
+      | 0 -> Chaos.Model.append_clinical model [ e ]
+      | 1 -> Chaos.Model.append_remote model 0 [ e ]
+      | _ -> Chaos.Model.append_remote model 1 [ e ])
+    entries;
+  (* against the real federation fed the same split *)
+  let fed = Audit_mgmt.Federation.create () in
+  let clinical = Audit_mgmt.Site.create ~name:"clinical-db" () in
+  let r0 = Audit_mgmt.Site.create ~name:"site-0" () in
+  let r1 = Audit_mgmt.Site.create ~name:"site-1" () in
+  List.iter (Audit_mgmt.Federation.add_site fed) [ clinical; r0; r1 ];
+  List.iteri
+    (fun i e ->
+      let site = match i mod 3 with 0 -> clinical | 1 -> r0 | _ -> r1 in
+      Audit_mgmt.Site.ingest_entry site e)
+    entries;
+  let merged = Audit_mgmt.Federation.consolidated fed in
+  let modelled = Chaos.Model.consolidated model in
+  check_int "same trail length" (List.length merged) (List.length modelled);
+  check "model consolidation equals the heap merge" true
+    (List.for_all2 Hdb.Audit_schema.equal merged modelled)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "schedules",
+        [
+          Alcotest.test_case "seed 1 x 250 steps" `Slow (run_seed 1 250);
+          Alcotest.test_case "seed 2 x 250 steps" `Slow (run_seed 2 250);
+          Alcotest.test_case "seed 3 x 250 steps" `Slow (run_seed 3 250);
+          Alcotest.test_case "deterministic replay" `Quick test_deterministic;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "empty practice: data analysis" `Quick
+            test_empty_practice_analysis;
+          Alcotest.test_case "empty practice: refinement epoch" `Quick
+            test_empty_practice_epoch;
+        ] );
+      ( "model oracle",
+        [
+          Alcotest.test_case "consolidation mirrors the heap merge" `Quick
+            test_model_consolidation;
+        ] );
+    ]

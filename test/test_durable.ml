@@ -471,6 +471,145 @@ let matrix name f =
         matrix_seeds)
     D.all_crash_points
 
+(* --- group-commit batching --- *)
+
+(* With batching on, appends accumulate in user space — the device sees
+   nothing until sync, which lands the whole batch as one write. *)
+let test_group_commit_coalesces () =
+  let log = L.create ~seed:44 () in
+  ignore (L.open_or_recover log);
+  let dev = L.wal_device log in
+  let base_unsynced = D.unsynced dev in
+  let base_syncs = D.syncs dev in
+  L.set_group_commit log true;
+  check_bool "mode reads back" true (L.group_commit log);
+  for i = 0 to 9 do
+    ignore (L.append log (payload i))
+  done;
+  check_int "appends pend in user space, not the page cache" base_unsynced
+    (D.unsynced dev);
+  check_int "ten records pending" 10 (L.pending_records log);
+  L.sync log;
+  check_int "sync drains the batch" 0 (L.pending_records log);
+  check_int "one device sync covered all ten records" (base_syncs + 1) (D.syncs dev);
+  let r = L.open_or_recover (restart log) in
+  check_int "all ten durable" 10 (List.length r.R.entries)
+
+(* Turning batching off flushes the pending batch to the page cache so
+   nothing silently vanishes on the mode switch. *)
+let test_group_commit_off_flushes () =
+  let log = L.create ~seed:45 () in
+  ignore (L.open_or_recover log);
+  let dev = L.wal_device log in
+  let base_unsynced = D.unsynced dev in
+  L.set_group_commit log true;
+  for i = 0 to 4 do
+    ignore (L.append log (payload i))
+  done;
+  check_int "five pending" 5 (L.pending_records log);
+  L.set_group_commit log false;
+  check_int "switch-off flushes the batch" 0 (L.pending_records log);
+  check_bool "bytes reached the page cache" true (D.unsynced dev > base_unsynced);
+  L.sync log;
+  let r = L.open_or_recover (restart log) in
+  check_int "all five durable" 5 (List.length r.R.entries)
+
+(* Checkpoint replaces the WAL object underneath the log; the batching mode
+   must survive onto the fresh WAL. *)
+let test_group_commit_survives_checkpoint () =
+  let log = L.create ~seed:46 () in
+  ignore (L.open_or_recover log);
+  L.set_group_commit log true;
+  for i = 0 to 4 do
+    ignore (L.append log (payload i))
+  done;
+  L.checkpoint log ~entries:(List.init 5 payload);
+  check_bool "mode survives the WAL replacement" true (L.group_commit log);
+  ignore (L.append log (payload 99));
+  check_int "appends still batch after checkpoint" 1 (L.pending_records log);
+  L.sync log;
+  let r = L.open_or_recover (restart log) in
+  check_int "snapshot + post-checkpoint record" 6 (List.length r.R.entries)
+
+(* Crash matrix under group commit: the pending batch is lost entirely —
+   strictly within the durability contract — and since nothing unsynced
+   ever reached the device, every crash point except the lying fsync
+   recovers exactly the synced prefix. *)
+let test_group_commit_crash_matrix point seed () =
+  let appended = List.init 30 payload in
+  let synced = 17 in
+  let log = L.create ~seed () in
+  ignore (L.open_or_recover log);
+  L.set_group_commit log true;
+  List.iteri
+    (fun i p ->
+      ignore (L.append log p);
+      if i = synced - 1 then L.sync log)
+    appended;
+  D.crash (L.wal_device log) ~point;
+  let r = L.open_or_recover (restart log) in
+  check_bool
+    (Printf.sprintf "gc/%s/%d: recovered a prefix" (D.crash_point_to_string point) seed)
+    true
+    (is_prefix ~of_:appended r.R.entries);
+  if point <> D.Truncated_sync then
+    check_int
+      (Printf.sprintf "gc/%s/%d: exactly the synced batch survives"
+         (D.crash_point_to_string point) seed)
+      synced
+      (List.length r.R.entries)
+
+(* --- quarantine reprocess across a crash ---
+
+   A site quarantines foreign records its mapping cannot read; the mapping
+   fix arrives, and the process dies *between* the fix and the reprocess.
+   After recovery the reprocess must run exactly once: a second reprocess
+   and a full upstream retry of the original batch are both no-ops. *)
+
+let foreign_raw i role_col =
+  [
+    ("time", string_of_int (i + 1));
+    ("op", "allow");
+    ("user", Printf.sprintf "u%d" i);
+    ("data", "referral");
+    ("purpose", "treatment");
+    (role_col, "nurse");
+    ("status", "btg");
+  ]
+
+let test_quarantine_reprocess_idempotent_across_crash () =
+  let log = L.create ~seed:77 () in
+  let q, _, _ = Audit_mgmt.Quarantine.open_durable log in
+  let site = Audit_mgmt.Site.create ~quarantine:q ~name:"icu" () in
+  (* "rolle" hides the authorized attribute from the identity mapping *)
+  let batch = List.init 4 (fun i -> foreign_raw i "rolle") in
+  let s = Audit_mgmt.Site.ingest_raw_all site batch in
+  check_int "all quarantined" 4 s.Audit_mgmt.Site.quarantined;
+  Audit_mgmt.Quarantine.sync q;
+  (* the mapping fix lands; the process dies before reprocessing runs *)
+  D.crash (L.wal_device log) ~point:D.Clean_loss;
+  let q2, r, undecodable = Audit_mgmt.Quarantine.open_durable (restart log) in
+  check_bool "clean recovery" true (R.clean r);
+  check_int "no codec mismatches" 0 undecodable;
+  check_int "items survived the crash" 4 (Audit_mgmt.Quarantine.length q2);
+  let fixed =
+    Audit_mgmt.Mapping.create ~column_aliases:[ ("rolle", "authorized") ] ()
+  in
+  let site2 = Audit_mgmt.Site.create ~mapping:fixed ~quarantine:q2 ~name:"icu" () in
+  let first = Audit_mgmt.Site.reprocess_quarantined site2 in
+  check_int "reprocess ingests everything" 4 first.Audit_mgmt.Site.ingested;
+  check_int "quarantine drained" 0 (Audit_mgmt.Quarantine.length q2);
+  check_int "store holds the records" 4 (Audit_mgmt.Site.length site2);
+  (* idempotence: a second reprocess is a no-op *)
+  let second = Audit_mgmt.Site.reprocess_quarantined site2 in
+  check_int "second reprocess ingests nothing" 0
+    (Audit_mgmt.Site.summary_total second);
+  (* and an upstream retry of the original batch at its original seqs is
+     all duplicates — exactly-once across crash + reprocess *)
+  let retry = Audit_mgmt.Site.ingest_raw_batch ~first_seq:0 site2 batch in
+  check_int "retried batch is all duplicates" 4 retry.Audit_mgmt.Site.duplicates;
+  check_int "store unchanged" 4 (Audit_mgmt.Site.length site2)
+
 let () =
   Alcotest.run "durable"
     [ ("crash-matrix", matrix "prefix" test_crash_matrix);
@@ -498,6 +637,16 @@ let () =
             test_quarantine_auto_checkpoint;
         ] );
       ("auto-checkpoint-crash", matrix "auto-ckpt" test_crash_after_auto_checkpoint);
+      ( "group-commit",
+        Alcotest.test_case "coalesces into one device write" `Quick
+          test_group_commit_coalesces
+        :: Alcotest.test_case "switch-off flushes" `Quick test_group_commit_off_flushes
+        :: Alcotest.test_case "mode survives checkpoint" `Quick
+             test_group_commit_survives_checkpoint
+        :: matrix "gc" test_group_commit_crash_matrix );
+      ( "reprocess",
+        [ Alcotest.test_case "idempotent across crash before reprocess" `Quick
+            test_quarantine_reprocess_idempotent_across_crash ] );
       ( "system",
         [ Alcotest.test_case "dropped tail -> lower bound" `Quick
             test_system_recovery_and_lower_bound;
