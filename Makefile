@@ -1,4 +1,4 @@
-.PHONY: build test faults crash fuzz chaos bench bench-quick bench-coverage bench-wal bench-governor
+.PHONY: build test faults crash fuzz chaos tamper bench bench-quick bench-coverage bench-wal bench-governor
 
 build:
 	dune build
@@ -27,11 +27,19 @@ fuzz:
 
 # Whole-system chaos sweep: 20 seeds x 400-step composed fault schedules
 # (crashes, outages, corruption, budget trips) checked against the pure
-# model oracle's five invariants.  A smaller 3-seed regression lives in
+# model oracle's six invariants.  A smaller 3-seed regression lives in
 # dune runtest (test/test_chaos.ml); one schedule replays with
 # `prima chaos --seed N --steps M`.
 chaos:
 	dune build && dune exec bench/chaos_sweep.exe
+
+# Tamper-evidence sweep: the same 20 seeds x 400-step schedules graded
+# on invariant 6 alone — every seeded in-place mutation of stable media
+# caught by the next recovery at its exact offset, no crash misread as
+# tampering, and every final trail verifying clean.  Offline check of a
+# single WAL: `prima verify --wal F [--snapshot F]`.
+tamper:
+	dune build && dune exec bench/tamper_sweep.exe
 
 # All experiments + Bechamel microbenchmarks.
 bench:

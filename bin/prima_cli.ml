@@ -7,6 +7,7 @@
      prima mine     --audit F [--min-support N] [--min-confidence X]
      prima federation-health --audit F [--sites N --seed N ...]
      prima recover  --wal F [--snapshot F --kind audit|quarantine --out F]
+     prima verify   --wal F [--snapshot F]   (read-only; exit 1 on tampering)
 
    File formats:
    - policy files: one rule per line, "data:purpose:authorized"; '#' comments;
@@ -233,6 +234,49 @@ let run_recover wal_path snapshot_path kind out =
   | other ->
     Fmt.epr "unknown --kind %S (use audit or quarantine)@." other;
     2
+
+(* --- verify --- *)
+
+(* Offline chain verification: strictly read-only — unlike [recover] it
+   adopts nothing, truncates nothing and reseals nothing, so the evidence
+   stays on disk and the command can run twice with the same verdict.
+   Exits 1 on a tamper verdict so scripts can gate on it. *)
+let run_verify wal_path snapshot_path =
+  let wal = Durable.Device.load wal_path in
+  let snapshot =
+    match snapshot_path with
+    | Some path -> Durable.Device.load path
+    | None -> Durable.Device.create ()
+  in
+  let r = Durable.Recovery.run ~wal ~snapshot () in
+  Fmt.pr "verdict: %s@." (Durable.Recovery.verdict_to_string r.Durable.Recovery.verdict);
+  Fmt.pr
+    "accepted prefix: %d record(s) (%d from the snapshot, %d from the WAL; %d verified WAL \
+     bytes)@."
+    (List.length r.Durable.Recovery.entries)
+    r.Durable.Recovery.snapshot_entries r.Durable.Recovery.wal_entries
+    r.Durable.Recovery.wal_verified_bytes;
+  Fmt.pr "chain head: %s@." (Durable.Chain.to_hex r.Durable.Recovery.chain_head);
+  (match r.Durable.Recovery.tail_error with
+  | Some why -> Fmt.pr "scan stopped: %s@." why
+  | None -> ());
+  (match r.Durable.Recovery.snapshot_error with
+  | Some why -> Fmt.pr "snapshot: %s@." why
+  | None -> ());
+  match r.Durable.Recovery.verdict with
+  | Durable.Recovery.Tamper_detected { offset } ->
+    Fmt.pr
+      "first divergence: offset %d — bytes from there were durable and verified once, and \
+       no longer verify@."
+      offset;
+    1
+  | Durable.Recovery.Torn_tail ->
+    Fmt.pr "benign torn tail: %d unverifiable byte(s) dropped@."
+      r.Durable.Recovery.dropped_tail;
+    0
+  | Durable.Recovery.Verified ->
+    Fmt.pr "log verifies end-to-end@.";
+    0
 
 (* --- analyze --- *)
 
@@ -469,6 +513,21 @@ let recover_cmd =
        ~doc:"Verify a WAL (+ snapshot), print the recovery report and the surviving state")
     Term.(const run_recover $ wal $ snapshot $ kind $ out)
 
+let verify_cmd =
+  let wal =
+    Arg.(required & opt (some file) None & info [ "wal" ] ~docv:"FILE"
+           ~doc:"Write-ahead log file to verify.")
+  in
+  let snapshot =
+    Arg.(value & opt (some file) None & info [ "snapshot" ] ~docv:"FILE"
+           ~doc:"Companion snapshot image, if one was checkpointed.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Offline tamper check of a WAL (+ snapshot): hash-chain verification without \
+             adopting or rewriting anything; exits 1 on a tamper verdict")
+    Term.(const run_verify $ wal $ snapshot)
+
 let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
@@ -561,7 +620,7 @@ let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Drive the whole system through a seeded fault schedule and check the model \
-             oracle's five invariants")
+             oracle's six invariants")
     Term.(const run_chaos $ seed $ steps $ sites $ verbose)
 
 let main_cmd =
@@ -569,7 +628,7 @@ let main_cmd =
     (Cmd.info "prima" ~version:"1.0.0"
        ~doc:"PRIMA: privacy policy coverage and refinement for healthcare")
     [ paper_cmd; coverage_cmd; refine_cmd; mine_cmd; simulate_cmd; generate_cmd; analyze_cmd;
-      trend_cmd; federation_health_cmd; recover_cmd; chaos_cmd ]
+      trend_cmd; federation_health_cmd; recover_cmd; verify_cmd; chaos_cmd ]
 
 let () =
   (* PRIMA_VERBOSE=1 surfaces refinement and enforcement decision logs. *)

@@ -27,6 +27,15 @@
                            whole trail, coverage equals the model's exact
                            stats, and a final refinement accepts exactly the
                            patterns the fault-free model epoch accepts.
+   6. tamper-evidence    — every injected bit-flip of a previously accepted
+                           (stable) audit record is reported as
+                           [Tamper_detected] at the exact frame offset by the
+                           next recovery, verifying twice gives the same
+                           verdict, the mutated record is never read back as
+                           accepted data, the rebuilt system is durably
+                           degraded with [Lower_bound] coverage — and no
+                           ordinary crash, however ugly, is ever classified
+                           as tampering (zero false positives).
 
    Everything is deterministic in the seed: the schedule, the workload, the
    fault wrappers and the device damage all draw from seeded Splitmix
@@ -54,6 +63,8 @@ type report = {
   refines_rejected : int;  (** completeness below the adaptive floor *)
   degraded_epochs : int;  (** governed extractions that hit their budget *)
   enforce_trips : int;  (** typed budget/cancel trips on the enforcement path *)
+  tampers : int;  (** bit-flips injected into accepted (stable) records *)
+  tampers_detected : int;  (** of those, reported as [Tamper_detected] *)
   events : string list;  (** step-by-step fault log, oldest first *)
   violation : violation option;
 }
@@ -82,6 +93,8 @@ type t = {
   mutable refines_rejected : int;
   mutable degraded_epochs : int;
   mutable enforce_trips : int;
+  mutable tampers : int;
+  mutable tampers_detected : int;
   trace : (string -> unit) option;
 }
 
@@ -287,9 +300,17 @@ let crash_and_recover h point =
   (* invariant 4: recovery is idempotent — run it twice over the same
      devices and demand identical state with nothing newly dropped *)
   let sys_a = rebuild () in
+  (* invariant 6 (zero false positives): crash damage, however ugly, lands
+     in the unsynced tail — it must read as a torn tail, never tampering *)
+  if Sys_.tampered sys_a then
+    violate "tamper-evidence" "crash point %s misclassified as tampering"
+      (Durable.Device.crash_point_to_string point);
   let entries_a = store_entries sys_a in
   let qitems_a = q_items sys_a in
   let sys_b = rebuild () in
+  if Sys_.tampered sys_b then
+    violate "tamper-evidence" "second recovery after crash point %s reports tampering"
+      (Durable.Device.crash_point_to_string point);
   let entries_b = store_entries sys_b in
   let qitems_b = q_items sys_b in
   if List.length entries_a <> List.length entries_b
@@ -334,6 +355,122 @@ let crash_and_recover h point =
      new unsynced region *)
   Model.set_synced h.model k;
   Printf.sprintf "recovered %d/%d, replayed %d" k model_len (List.length lost)
+
+(* ---------- tampering fault (invariant 6) ---------- *)
+
+(* Flip one bit of a previously accepted — synced, stable — audit WAL
+   record, then demand the whole detection story: a read-only verification
+   reports [Tamper_detected] at the exact frame offset, a second pass says
+   the same, the mutated record is never surfaced as accepted data, and a
+   full rebuild over the tampered devices comes up tampered + durably
+   degraded with lower-bound coverage.  Unlike the crash path the system
+   is rebuilt only once: the first open's reopen truncates the log at the
+   divergence and reseals, consuming the evidence a second open would
+   need.  The client then replays the amputated suffix, exactly as after
+   a lossy crash. *)
+let tamper_and_verify h pick bit_pick =
+  let sys = h.sys in
+  let audit_log =
+    match Hdb.Audit_store.log (Hdb.Control_center.audit_store (Sys_.control sys)) with
+    | Some l -> l
+    | None -> violate "tamper-evidence" "audit store lost its durable log"
+  in
+  let q_log =
+    match Q.log (transit sys) with
+    | Some l -> l
+    | None -> violate "quarantine-exactly-once" "transit quarantine lost its durable log"
+  in
+  let awal = Durable.Log.wal_device audit_log in
+  let asnap = Durable.Log.snapshot_device audit_log in
+  let qwal = Durable.Log.wal_device q_log in
+  let qsnap = Durable.Log.snapshot_device q_log in
+  let image = Durable.Device.contents awal in
+  let data_spans =
+    List.filter
+      (fun (_, _, k) -> match k with Durable.Frame.Data -> true | Durable.Frame.Seal -> false)
+      (Durable.Wal.frame_spans image)
+  in
+  if data_spans = [] then "no-op (no accepted record on stable media)"
+  else begin
+    let idx = pick mod List.length data_spans in
+    let off, len, _ = List.nth data_spans idx in
+    let bit_total = bit_pick mod (len * 8) in
+    let pos = off + (bit_total / 8) in
+    let bit = bit_total mod 8 in
+    Durable.Device.corrupt_stable awal ~pos ~bit;
+    h.tampers <- h.tampers + 1;
+    (* detection, at the exact frame offset, idempotently (read-only) *)
+    let r1 = Durable.Recovery.run ~wal:awal ~snapshot:asnap () in
+    let r2 = Durable.Recovery.run ~wal:awal ~snapshot:asnap () in
+    (match r1.Durable.Recovery.verdict with
+    | Durable.Recovery.Tamper_detected { offset } when offset = off -> ()
+    | Durable.Recovery.Tamper_detected { offset } ->
+      violate "tamper-evidence" "tamper at frame offset %d reported at offset %d" off offset
+    | v ->
+      violate "tamper-evidence"
+        "flipped bit %d of stable byte %d (frame at %d) but the verdict is %s" bit pos off
+        (Durable.Recovery.verdict_to_string v));
+    if r2.Durable.Recovery.verdict <> r1.Durable.Recovery.verdict then
+      violate "tamper-evidence" "verifying the tampered log twice changed the verdict";
+    (* the scan must stop dead at the mutated frame: the tampered record is
+       never part of the verified prefix *)
+    if r1.Durable.Recovery.wal_records <> idx then
+      violate "tamper-evidence"
+        "tampered WAL record %d, but the scan verified %d record(s) — mutated data %s" idx
+        r1.Durable.Recovery.wal_records
+        (if r1.Durable.Recovery.wal_records > idx then "read back as accepted"
+         else "took earlier records with it");
+    (* power-cut all four devices and rebuild once over the tampered media *)
+    Durable.Device.crash awal ~point:Durable.Device.Clean_loss;
+    Durable.Device.crash asnap ~point:Durable.Device.Clean_loss;
+    Durable.Device.crash qwal ~point:Durable.Device.Clean_loss;
+    Durable.Device.crash qsnap ~point:Durable.Device.Clean_loss;
+    let p_ps = Prima_core.Prima.policy_store (Sys_.prima sys) in
+    let storage =
+      {
+        Sys_.audit_log = Durable.Log.of_devices ~wal:awal ~snapshot:asnap;
+        quarantine_log = Durable.Log.of_devices ~wal:qwal ~snapshot:qsnap;
+      }
+    in
+    let sys' = Sys_.create ~storage ~vocab:h.vocab ~p_ps () in
+    if not (Sys_.tampered sys') then
+      violate "tamper-evidence" "rebuilt system does not report the tampering";
+    if not (Sys_.durably_degraded sys') then
+      violate "tamper-evidence" "tampered recovery not flagged durably degraded";
+    (* invariant 1 still holds: the amputated store is a (shorter) prefix *)
+    let entries = store_entries sys' in
+    let k = List.length entries in
+    let model_all = Model.clinical h.model in
+    let model_len = Model.clinical_length h.model in
+    if k > model_len then
+      violate "no-loss" "recovered %d entries but only %d were ever appended" k model_len;
+    let prefix = List.filteri (fun i _ -> i < k) model_all in
+    if not (List.for_all2 Hdb.Audit_schema.equal entries prefix) then
+      violate "no-loss" "post-tamper recovered store is not a prefix of the appended entries";
+    (* resume on the rebuilt system; the next coverage reading must carry
+       the Lower_bound label even over a nominally complete window *)
+    Array.iter (fun f -> Sys_.add_faulty_site sys' f) h.faults;
+    Sys_.set_group_commit sys' h.group_commit;
+    setup_enforcement sys';
+    h.sys <- sys';
+    let qc = Sys_.coverage_qualified h.sys in
+    let lower (q : Prima_core.Coverage.qualified) =
+      match q.Prima_core.Coverage.qualifier with
+      | Prima_core.Coverage.Lower_bound _ -> true
+      | Prima_core.Coverage.Exact -> false
+    in
+    if not (lower qc.Sys_.set_semantics && lower qc.Sys_.bag_semantics) then
+      violate "tamper-evidence" "coverage after a tampered recovery not labelled Lower_bound";
+    sync_q_floor h;
+    (* the client replays everything the amputation cost (at-least-once) *)
+    let lost = List.filteri (fun i _ -> i >= k) model_all in
+    let store = Hdb.Control_center.audit_store (Sys_.control h.sys) in
+    List.iter (Hdb.Audit_store.append store) lost;
+    Model.set_synced h.model k;
+    h.tampers_detected <- h.tampers_detected + 1;
+    Printf.sprintf "bit %d of byte %d (record %d): detected at offset %d, replayed %d" bit
+      pos idx off (List.length lost)
+  end
 
 (* ---------- enforcement-path budget regimes ---------- *)
 
@@ -459,6 +596,7 @@ let run_action h step action =
       Sys_.set_group_commit h.sys on;
       h.group_commit <- on;
       if on then "batching on" else "batching off"
+    | Schedule.Tamper (pick, bit_pick) -> tamper_and_verify h pick bit_pick
   in
   event h "%4d  %-28s  %s" step (Schedule.to_string action) outcome
 
@@ -526,7 +664,22 @@ let epilogue h =
     Model.install h.model accepted;
     event h "      epilogue refine             accepted %d pattern(s)"
       (List.length accepted));
-  check_parity ()
+  check_parity ();
+  (* invariant 6, clean side: the final durable trail verifies free of
+     tampering — trivially so for a zero-tamper run, and equally after
+     tampers, whose evidence was consumed when the log was truncated and
+     resealed at rebuild *)
+  match Hdb.Audit_store.log (audit_store h) with
+  | None -> violate "tamper-evidence" "audit store lost its durable log"
+  | Some log ->
+    let r =
+      Durable.Recovery.run ~wal:(Durable.Log.wal_device log)
+        ~snapshot:(Durable.Log.snapshot_device log) ()
+    in
+    if Durable.Recovery.tampered r then
+      violate "tamper-evidence" "%d tamper(s) injected yet the final trail verifies as %s"
+        h.tampers
+        (Durable.Recovery.verdict_to_string r.Durable.Recovery.verdict)
 
 (* ---------- entry point ---------- *)
 
@@ -583,6 +736,8 @@ let run ?(nsites = 2) ?trace ~seed ~steps () =
       refines_rejected = 0;
       degraded_epochs = 0;
       enforce_trips = 0;
+      tampers = 0;
+      tampers_detected = 0;
       trace;
     }
   in
@@ -626,6 +781,8 @@ let run ?(nsites = 2) ?trace ~seed ~steps () =
     refines_rejected = h.refines_rejected;
     degraded_epochs = h.degraded_epochs;
     enforce_trips = h.enforce_trips;
+    tampers = h.tampers;
+    tampers_detected = h.tampers_detected;
     events = List.rev h.events;
     violation = !violation;
   }
@@ -639,9 +796,9 @@ let pp_violation ppf v =
 let pp ppf (r : report) =
   Fmt.pf ppf
     "@[<v>seed %d: %d/%d steps, %d entries, %d crashes, %d consolidations, %d+%d \
-     refines (%d degraded), %d budget trips — %a@]"
+     refines (%d degraded), %d budget trips, %d/%d tampers detected — %a@]"
     r.seed r.actions_run r.steps r.appended r.crashes r.consolidations r.refines_ok
-    r.refines_rejected r.degraded_epochs r.enforce_trips
+    r.refines_rejected r.degraded_epochs r.enforce_trips r.tampers_detected r.tampers
     (fun ppf -> function
       | None -> Fmt.pf ppf "all invariants held"
       | Some v -> pp_violation ppf v)

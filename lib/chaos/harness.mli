@@ -20,6 +20,12 @@
       identical state with nothing newly dropped.
     + {b convergence} — after faults stop, consolidation, coverage and a
       final refinement all agree exactly with the model.
+    + {b tamper-evidence} — every injected bit-flip of an accepted
+      (stable) audit record is reported as
+      {!Durable.Recovery.Tamper_detected} at the exact frame offset,
+      idempotently; the mutated record is never read back; the rebuilt
+      system is durably degraded with [Lower_bound] coverage; and no
+      ordinary crash is ever classified as tampering.
 
     Fully deterministic in [seed]: a violation replays from its seed. *)
 
@@ -41,6 +47,8 @@ type report = {
   refines_rejected : int;
   degraded_epochs : int;
   enforce_trips : int;
+  tampers : int;  (** bit-flips injected into accepted (stable) records *)
+  tampers_detected : int;  (** of those, reported as [Tamper_detected] *)
   events : string list;  (** step-by-step fault log, oldest first *)
   violation : violation option;
 }

@@ -26,6 +26,10 @@ type action =
   | Refine of int option  (** one refinement cycle; [Some ticks] governs it *)
   | Enforce of enforce  (** an enforcement query under a budget regime *)
   | Set_group_commit of bool  (** toggle WAL group-commit batching *)
+  | Tamper of int * int
+      (** flip bit [pick2 mod 8] of a previously accepted (stable) audit
+          WAL record chosen by [pick1]; recovery must report
+          [Tamper_detected], never a clean or torn verdict *)
 
 let enforce_to_string = function
   | E_plain -> "enforce(plain)"
@@ -47,6 +51,7 @@ let to_string = function
   | Refine (Some ticks) -> Printf.sprintf "refine(governed %d ticks)" ticks
   | Enforce e -> enforce_to_string e
   | Set_group_commit b -> Printf.sprintf "group-commit %b" b
+  | Tamper (pick, bit) -> Printf.sprintf "tamper record-pick %d bit-pick %d" pick bit
 
 let pp ppf a = Format.pp_print_string ppf (to_string a)
 
@@ -80,6 +85,7 @@ let gen_action rng ~nsites =
         (`Refine, 2);
         (`Enforce, 3);
         (`Group_commit, 1);
+        (`Tamper, 2);
       ]
   with
   | `Append_clinical -> Append_clinical (1 + Splitmix.int rng 4)
@@ -106,6 +112,10 @@ let gen_action rng ~nsites =
            E_cancel (1 + Splitmix.int rng 60);
          ])
   | `Group_commit -> Set_group_commit (Splitmix.bool rng ~probability:0.5)
+  (* The picks are drawn at generation time (kept deterministic in the
+     seed); the harness maps them onto whatever accepted records exist
+     when the action fires. *)
+  | `Tamper -> Tamper (Splitmix.int rng 1_000_000, Splitmix.int rng 1_000_000)
 
 let generate ~nsites ~seed ~steps =
   let rng = Splitmix.create ~seed in

@@ -25,6 +25,9 @@ type action =
   | Refine of int option  (** [Some ticks]: governed extraction budget *)
   | Enforce of enforce
   | Set_group_commit of bool
+  | Tamper of int * int
+      (** (record pick, bit pick): flip one bit of a previously accepted
+          (stable) audit WAL record; recovery must say [Tamper_detected] *)
 
 val generate : nsites:int -> seed:int -> steps:int -> action list
 val to_string : action -> string

@@ -1,0 +1,25 @@
+(** The hash chain that makes the WAL tamper-evident.
+
+    [step prev payload] hashes the previous chain head together with the
+    payload, so the value at position [k] commits to the whole record
+    history up to [k] and any prefix-preserving mutation is caught by
+    re-verification.  Values fit in 62 bits (always positive, round-trip
+    through a u64 header field).  Integrity-check strength — the threat
+    model of the framing CRC, not a cryptographic MAC. *)
+
+val zero : int
+(** The chain head of an empty log. *)
+
+val step : int -> string -> int
+(** [step prev payload] — the chain value of the record holding
+    [payload] appended under head [prev]. *)
+
+val hash_string : string -> int
+(** A standalone (unchained) hash of one string, for per-record integrity
+    fields. *)
+
+val to_hex : int -> string
+(** 16 lowercase hex digits. *)
+
+val of_hex : string -> int option
+(** Inverse of {!to_hex}; [None] unless exactly 16 lowercase hex digits. *)

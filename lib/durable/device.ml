@@ -147,6 +147,16 @@ let crash t ~point =
   t.marks <- [];
   t.crashes <- t.crashes + 1
 
+(* The tampering fault: flip one bit of the *stable* image — bytes a sync
+   already promised durable.  Unlike [crash], which only damages the
+   unsynced tail, this is the mutation recovery must classify as
+   [Tamper_detected] rather than a torn tail. *)
+let corrupt_stable t ~pos ~bit =
+  if pos < 0 || pos >= t.dlen then invalid_arg "Device.corrupt_stable: position not durable";
+  if bit < 0 || bit > 7 then invalid_arg "Device.corrupt_stable: bit out of range";
+  Bytes.set t.durable pos
+    (Char.chr (Char.code (Bytes.get t.durable pos) lxor (1 lsl bit)))
+
 (* Real-file interchange, for `prima recover` on WALs written by another
    process: only the stable image travels. *)
 let save t path =

@@ -45,6 +45,11 @@ val truncate : t -> int -> unit
 val crash : t -> point:crash_point -> unit
 (** Lose the volatile tail, minus the crash point's survivors. *)
 
+val corrupt_stable : t -> pos:int -> bit:int -> unit
+(** The tampering fault: flip bit [bit] of stable byte [pos] — damage in
+    the region {!crash} can never touch.
+    @raise Invalid_argument when [pos] is not durable or [bit] not 0–7. *)
+
 val save : t -> string -> unit
 (** Write the stable image to a real file. *)
 

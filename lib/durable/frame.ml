@@ -1,14 +1,23 @@
-(* Length-prefixed, checksummed record framing shared by the WAL and the
-   snapshot image:
+(* Length-prefixed, checksummed, hash-chained record framing shared by the
+   WAL and the snapshot image:
 
-     [length : u32 LE] [crc32 : u32 LE] [payload bytes]
+     [length : u32 LE] [crc32 : u32 LE] [kind : u8] [chain : u64 LE] [payload]
 
-   The CRC covers the length bytes *and* the payload, so a flipped length
-   field fails verification even when the corrupted length happens to stay
-   in bounds.  [scan] distinguishes a clean end of log from a tail that
-   cannot be verified — the distinction recovery reports. *)
+   The CRC covers the length bytes, the kind byte, the chain bytes *and*
+   the payload, so a flipped length field fails verification even when the
+   corrupted length happens to stay in bounds — and so does a flipped kind
+   or chain field.
 
-let header_size = 8
+   [chain] is the hash-chain value of this record ([Chain.step] of the
+   previous head and the payload for data records; the current head for
+   seal records) — the scanner surfaces it and recovery re-derives the
+   expected value, which is how interior mutations are caught even when a
+   record's own CRC still verifies.
+
+   [scan] distinguishes a clean end of log from a tail that cannot be
+   verified — the distinction recovery reports. *)
+
+let header_size = 4 + 4 + 1 + 8
 
 (* Generous but bounded: a corrupted length field must not convince the
    scanner to allocate gigabytes. *)
@@ -35,26 +44,40 @@ let get_u64 s pos =
   done;
   !n
 
+type kind =
+  | Data (* a logical record; advances the LSN and the chain *)
+  | Seal (* a sync marker carrying the chain head; advances neither *)
+
+let kind_byte = function Data -> 0 | Seal -> 1
+
 let length_bytes n =
   let buffer = Buffer.create 4 in
   put_u32 buffer n;
   Buffer.contents buffer
 
-let add buffer payload =
+let trailer_bytes kind chain =
+  let buffer = Buffer.create 9 in
+  Buffer.add_char buffer (Char.chr (kind_byte kind));
+  put_u64 buffer chain;
+  Buffer.contents buffer
+
+let add buffer ?(kind = Data) ~chain payload =
   let len = String.length payload in
   if len > max_payload then invalid_arg "Frame.add: payload too large";
   let len_bytes = length_bytes len in
+  let trailer = trailer_bytes kind chain in
   Buffer.add_string buffer len_bytes;
-  put_u32 buffer (Crc.strings [ len_bytes; payload ]);
+  put_u32 buffer (Crc.strings [ len_bytes; trailer; payload ]);
+  Buffer.add_string buffer trailer;
   Buffer.add_string buffer payload
 
-let encode payload =
+let encode ?(kind = Data) ~chain payload =
   let buffer = Buffer.create (header_size + String.length payload) in
-  add buffer payload;
+  add buffer ~kind ~chain payload;
   Buffer.contents buffer
 
 type scan_result =
-  | Record of { payload : string; next : int }
+  | Record of { payload : string; kind : kind; chain : int; next : int }
   | End (* exactly at the end of the image: a clean boundary *)
   | Bad of string (* the remaining tail cannot be verified *)
 
@@ -70,14 +93,26 @@ let scan image ~pos =
       let stored = get_u32 image (pos + 4) in
       let computed =
         Crc.update
-          (Crc.update 0 image ~pos ~len:4)
+          (Crc.update (Crc.update 0 image ~pos ~len:4) image ~pos:(pos + 8) ~len:9)
           image ~pos:(pos + header_size) ~len
       in
       if stored <> computed then Bad "record checksum mismatch"
-      else
-        Record
-          { payload = String.sub image (pos + header_size) len;
-            next = pos + header_size + len;
-          }
+      else begin
+        let kind =
+          match Char.code image.[pos + 8] with
+          | 0 -> Some Data
+          | 1 -> Some Seal
+          | _ -> None
+        in
+        match kind with
+        | None -> Bad "unknown record kind"
+        | Some kind ->
+          Record
+            { payload = String.sub image (pos + header_size) len;
+              kind;
+              chain = get_u64 image (pos + 9);
+              next = pos + header_size + len;
+            }
+      end
     end
   end

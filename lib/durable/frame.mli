@@ -1,19 +1,27 @@
-(** Length-prefixed, checksummed record framing shared by the WAL and the
-    snapshot image: [[length : u32 LE] [crc32 : u32 LE] [payload]].  The
-    CRC covers the length bytes and the payload, so a flipped length field
-    fails verification even when it stays in bounds. *)
+(** Length-prefixed, checksummed, hash-chained record framing shared by
+    the WAL and the snapshot image:
+    [[length : u32 LE] [crc32 : u32 LE] [kind : u8] [chain : u64 LE]
+    [payload]].  The CRC covers the length bytes, the kind byte, the chain
+    bytes and the payload, so a flipped length (or kind, or chain) field
+    fails verification even when it stays in bounds.  [chain] is the
+    record's hash-chain value — recovery re-derives the expected value to
+    catch interior mutations. *)
 
 val header_size : int
 val max_payload : int
 
-val add : Buffer.t -> string -> unit
-(** Append one framed record.
+type kind =
+  | Data  (** a logical record; advances the LSN and the chain *)
+  | Seal  (** a sync marker carrying the chain head; advances neither *)
+
+val add : Buffer.t -> ?kind:kind -> chain:int -> string -> unit
+(** Append one framed record ([kind] defaults to [Data]).
     @raise Invalid_argument when the payload exceeds {!max_payload}. *)
 
-val encode : string -> string
+val encode : ?kind:kind -> chain:int -> string -> string
 
 type scan_result =
-  | Record of { payload : string; next : int }
+  | Record of { payload : string; kind : kind; chain : int; next : int }
   | End  (** exactly at the end of the image: a clean boundary *)
   | Bad of string  (** the remaining tail cannot be verified *)
 

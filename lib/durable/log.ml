@@ -64,12 +64,15 @@ let wal_device t = t.wal_device
 let snapshot_device t = t.snapshot_device
 
 let open_or_recover t =
-  let r = Recovery.run ~wal:t.wal_device ~snapshot:t.snapshot_device in
+  let r = Recovery.run ~wal:t.wal_device ~snapshot:t.snapshot_device () in
   let wal =
     if r.Recovery.wal_ok then
       Wal.reopen t.wal_device ~base_lsn:r.Recovery.wal_base_lsn
         ~entries:r.Recovery.wal_records ~verified_bytes:r.Recovery.wal_verified_bytes
-    else Wal.format t.wal_device ~base_lsn:r.Recovery.next_lsn
+        ~chain:r.Recovery.chain_head ~ends_sealed:r.Recovery.wal_ends_sealed
+    else
+      Wal.format t.wal_device ~base_lsn:r.Recovery.next_lsn
+        ~base_chain:r.Recovery.chain_head ()
   in
   (* Framed bytes, so slightly above the payload sum — the policy trigger
      only needs the right order of magnitude. *)
@@ -91,13 +94,18 @@ let sync t = Wal.sync (wal t)
 
 let next_lsn t = Wal.next_lsn (wal t)
 
+let chain_head t = Wal.chain_head (wal t)
+
 let checkpoint t ~entries =
   let w = wal t in
   (* Everything the snapshot will claim must be durable first. *)
   Wal.sync w;
   let lsn = Wal.next_lsn w in
-  Snapshot.write t.snapshot_device ~lsn ~entries;
-  let fresh = Wal.format t.wal_device ~base_lsn:lsn in
+  let chain = Wal.chain_head w in
+  (* The snapshot seals the chain head; the fresh WAL links from it, so
+     the chain is continuous across the truncation. *)
+  Snapshot.write t.snapshot_device ~lsn ~chain ~entries;
+  let fresh = Wal.format t.wal_device ~base_lsn:lsn ~base_chain:chain () in
   Wal.set_group_commit fresh t.group_commit;
   t.wal <- Some fresh;
   t.wal_payload_bytes <- 0

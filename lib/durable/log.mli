@@ -34,6 +34,9 @@ val append : t -> string -> int
 val sync : t -> unit
 val next_lsn : t -> int
 
+val chain_head : t -> int
+(** The running hash-chain head of the logical log (see {!Chain}). *)
+
 val set_group_commit : t -> bool -> unit
 (** Group-commit batching: appends accumulate in a user-space batch and
     reach the device as one write at the next {!sync} (or {!checkpoint},

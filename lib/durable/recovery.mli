@@ -1,12 +1,32 @@
 (** Crash recovery: scan a snapshot device and a WAL device, verify every
-    checksum, stop at the first record that does not verify.
+    checksum {e and} the hash chain, stop at the first record that does
+    not verify.
 
     Contract: {!run} returns a {e verified prefix} of what was appended —
     never reordered, never a corrupted record surfaced — and reports
     whatever it had to drop, so downstream coverage can be downgraded to a
     lower bound.  Reconciliation handles every state the checkpoint
     protocol can crash in (overlapping WAL after an interrupted
-    truncation, missing or invalid snapshot, LSN gaps). *)
+    truncation, missing or invalid snapshot, LSN gaps).
+
+    Tamper classification: crash damage only lands in the unsynced tail,
+    and seal frames reach stable media exclusively through completed
+    syncs, so damage {e followed by} a valid seal can only be post-sync
+    mutation — reported as {!Tamper_detected} with the first-divergence
+    offset.  Damage with no seal after it is a benign {!Torn_tail}.
+    {!run} never writes: verifying a tampered log twice yields the same
+    verdict. *)
+
+type verdict =
+  | Verified  (** every image verified end-to-end *)
+  | Torn_tail
+      (** benign, crash-consistent damage: data was dropped or an image
+          failed to verify, with no evidence of interior mutation *)
+  | Tamper_detected of { offset : int }
+      (** bytes at [offset] of the WAL image were durable and verified
+          once, and do not verify now *)
+
+val verdict_to_string : verdict -> string
 
 type t = {
   entries : string list;  (** the verified logical log, in append order *)
@@ -17,13 +37,19 @@ type t = {
   tail_error : string option;  (** why the WAL scan stopped early *)
   snapshot_error : string option;
   next_lsn : int;  (** where appends resume *)
+  verdict : verdict;
+  chain_head : int;  (** hash-chain head over the recovered logical log *)
   wal_ok : bool;  (** the WAL file is adoptable as-is (see {!Log}) *)
   wal_base_lsn : int;
   wal_records : int;
   wal_verified_bytes : int;
+  wal_ends_sealed : bool;  (** the verified prefix ends sealed (or is empty) *)
 }
 
-val run : wal:Device.t -> snapshot:Device.t -> t
+val run : ?verify_chain:bool -> wal:Device.t -> snapshot:Device.t -> unit -> t
+(** Read-only — safe to repeat, same verdict every time.  [verify_chain]
+    (default [true]) exists so the replay bench can measure a CRC-only
+    baseline; every production caller leaves it on. *)
 
 val clean : t -> bool
 (** Nothing was dropped and both images verified. *)
@@ -31,5 +57,8 @@ val clean : t -> bool
 val dropped_tail : t -> bool
 (** Some appended bytes did not survive: coverage over the recovered trail
     is a lower bound. *)
+
+val tampered : t -> bool
+(** The verdict is {!Tamper_detected}. *)
 
 val pp : Format.formatter -> t -> unit

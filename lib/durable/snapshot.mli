@@ -2,18 +2,24 @@
     the WAL can be truncated.
 
     [lsn] is the LSN the image covers up to (exclusive): replay resumes at
-    a WAL whose [base_lsn] equals it.  The image is all-or-nothing: written
-    and synced {e before} the WAL is truncated, and rejected wholesale when
-    any part fails to verify — the WAL then still holds everything. *)
+    a WAL whose [base_lsn] equals it.  [chain] is the logical log's sealed
+    hash-chain head at that LSN, carried as an opaque anchor (the entries
+    are a state image, not the payload history) so recovery can check the
+    WAL's chain across the truncation boundary; the image frames
+    additionally carry their own mini-chain.  The image is all-or-nothing:
+    written and synced {e before} the WAL is truncated, and rejected
+    wholesale when any part fails to verify — the WAL then still holds
+    everything. *)
 
 val magic : string
 
 type t = {
   lsn : int;
+  chain : int;  (** the logical log's sealed chain head at [lsn] *)
   entries : string list;
 }
 
-val write : Device.t -> lsn:int -> entries:string list -> unit
+val write : Device.t -> lsn:int -> chain:int -> entries:string list -> unit
 (** Replace the device's contents with a fresh image and sync it. *)
 
 val read : Device.t -> (t option, string) result

@@ -1,27 +1,50 @@
 (** The write-ahead log: framed records behind a fixed header
-    ([magic "PWAL0001"], [base_lsn : u64 LE]).
+    ([magic "PWAL0002"], [base_lsn : u64 LE], [base_chain : u64 LE]).
 
     LSNs are global record indexes across snapshot truncations; [base_lsn]
-    is the LSN of the file's first record.  Appends land in the device's
-    page cache; {!sync} is the fsync point — a record is durable only once
-    synced. *)
+    is the LSN of the file's first record and [base_chain] the hash-chain
+    head it links from.  Appends land in the device's page cache; {!sync}
+    is the fsync point — a record is durable only once synced.
+
+    Tamper evidence: every data record carries its chain value, and every
+    sync that flushed unsealed data appends a {e seal} frame repeating the
+    chain head and next LSN.  Seals only reach stable media through a
+    completed sync, which is how recovery tells a benign torn tail from
+    interior tampering (damage followed by a durably written seal). *)
 
 val magic : string
 val header_size : int
 
-val read_header : string -> (int, string) result
-(** The [base_lsn] of a stable image, or why it has no readable header. *)
+val read_header : string -> (int * int, string) result
+(** The [(base_lsn, base_chain)] of a stable image, or why it has no
+    readable header. *)
+
+val seal_magic : string
+(** The 8-byte marker opening every seal frame's payload. *)
+
+val seal_payload : chain:int -> lsn:int -> string
+val read_seal_payload : string -> (int * int) option
+(** [(chain, lsn)] of a well-formed seal payload. *)
 
 type t
 
-val format : Device.t -> base_lsn:int -> t
-(** Initialise the device as an empty log at [base_lsn]; the header is
-    synced immediately. *)
+val format : Device.t -> base_lsn:int -> ?base_chain:int -> unit -> t
+(** Initialise the device as an empty log at [base_lsn] under chain head
+    [base_chain] (default {!Chain.zero}); the header is synced
+    immediately. *)
 
-val reopen : Device.t -> base_lsn:int -> entries:int -> verified_bytes:int -> t
+val reopen :
+  Device.t ->
+  base_lsn:int ->
+  entries:int ->
+  verified_bytes:int ->
+  chain:int ->
+  ends_sealed:bool ->
+  t
 (** Adopt a recovered device: the stable image is truncated to the
     verified prefix so an unverifiable tail can never resurface, and
-    appends continue at [base_lsn + entries]. *)
+    appends continue at [base_lsn + entries] under chain head [chain].  A
+    prefix not ending in a seal is resealed (and synced) immediately. *)
 
 val device : t -> Device.t
 val base_lsn : t -> int
@@ -29,11 +52,20 @@ val base_lsn : t -> int
 val next_lsn : t -> int
 (** The LSN the next {!append} will receive. *)
 
+val chain_head : t -> int
+(** The running hash-chain head over every data record appended so far. *)
+
 val append : t -> string -> int
 (** Write one record into the page cache; returns its LSN.  Not durable
     until {!sync}. *)
 
 val sync : t -> unit
+(** Flush, seal (when unsealed data records were flushed), fsync. *)
+
+val frame_spans : string -> (int * int * Frame.kind) list
+(** The [(offset, total length, kind)] of every verifiable frame of a
+    stable image, in order — how tests and the chaos harness aim a
+    tampering fault at a specific accepted record. *)
 
 (** {1 Group commit}
 

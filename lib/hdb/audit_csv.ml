@@ -1,14 +1,28 @@
 (* CSV interchange for audit trails: the seven Section 4.2 columns with a
    fixed header, so trails can leave one PRIMA deployment and enter
-   another (or a spreadsheet). *)
+   another (or a spreadsheet).
+
+   Provenance travels through five optional extra columns
+   (session,request,parent,changed,integrity).  A file whose header names
+   them may mix rows with and without the extension (7 or 12 columns per
+   row); a file with the plain 7-column header carries none.  [changed] is
+   a ';'-separated list inside one (escaped) field; [integrity] is the
+   16-hex-digit per-record hash, carried verbatim — a reader can audit it
+   against a recomputation via [Audit_schema.verify_integrity]. *)
 
 let header = "time,op,user,data,purpose,authorized,status"
 
+let provenance_columns = "session,request,parent,changed,integrity"
+
+let header_extended = header ^ "," ^ provenance_columns
+
 let expected_columns = String.split_on_char ',' header
+
+let expected_columns_extended = String.split_on_char ',' header_extended
 
 exception Bad_csv of string
 
-let entry_to_line (e : Audit_schema.entry) =
+let core_to_line (e : Audit_schema.entry) =
   Printf.sprintf "%d,%d,%s,%s,%s,%s,%d" e.Audit_schema.time
     (Audit_schema.op_to_int e.Audit_schema.op)
     (Relational.Csv.escape_field e.Audit_schema.user)
@@ -17,43 +31,104 @@ let entry_to_line (e : Audit_schema.entry) =
     (Relational.Csv.escape_field e.Audit_schema.authorized)
     (Audit_schema.status_to_int e.Audit_schema.status)
 
+let entry_to_line (e : Audit_schema.entry) =
+  match e.Audit_schema.provenance with
+  | None -> core_to_line e
+  | Some p ->
+    Printf.sprintf "%s,%s,%s,%s,%s,%s" (core_to_line e)
+      (Relational.Csv.escape_field p.Audit_schema.session)
+      (Relational.Csv.escape_field p.Audit_schema.request)
+      (match p.Audit_schema.parent with Some l -> string_of_int l | None -> "")
+      (Relational.Csv.escape_field (String.concat ";" p.Audit_schema.changed))
+      (Durable.Chain.to_hex p.Audit_schema.integrity)
+
 let to_string entries =
-  String.concat "\n" (header :: List.map entry_to_line entries) ^ "\n"
+  let extended =
+    List.exists (fun e -> e.Audit_schema.provenance <> None) entries
+  in
+  String.concat "\n"
+    ((if extended then header_extended else header) :: List.map entry_to_line entries)
+  ^ "\n"
+
+let parse_core line row time op user data purpose authorized status =
+  match int_of_string_opt time, int_of_string_opt op, int_of_string_opt status with
+  | Some time, Some op, Some status -> begin
+    try
+      Audit_schema.entry ~time ~op:(Audit_schema.op_of_int op) ~user ~data ~purpose
+        ~authorized
+        ~status:(Audit_schema.status_of_int status)
+    with Invalid_argument why -> raise (Bad_csv (Printf.sprintf "line %d: %s" line why))
+  end
+  | _ ->
+    raise
+      (Bad_csv
+         (Printf.sprintf "line %d: unreadable numeric field in: %s" line
+            (String.concat "," row)))
+
+(* The five provenance columns of one extended row.  The integrity hash is
+   carried verbatim (not recomputed): a malformed hex field is a parse
+   error here; a well-formed hash that fails to verify is an integrity
+   finding for [Audit_query.integrity_violations]. *)
+let parse_provenance line core session request parent_s changed_s integrity_s =
+  let parent =
+    if parent_s = "" then None
+    else
+      match int_of_string_opt parent_s with
+      | Some l -> Some l
+      | None ->
+        raise (Bad_csv (Printf.sprintf "line %d: unreadable parent LSN %S" line parent_s))
+  in
+  let changed = if changed_s = "" then [] else String.split_on_char ';' changed_s in
+  let integrity =
+    match Durable.Chain.of_hex integrity_s with
+    | Some h -> h
+    | None ->
+      raise
+        (Bad_csv
+           (Printf.sprintf
+              "line %d: malformed integrity hash %S (want 16 lowercase hex digits)" line
+              integrity_s))
+  in
+  { core with
+    Audit_schema.provenance =
+      Some { Audit_schema.session; request; parent; changed; integrity };
+  }
 
 let of_string text : Audit_schema.entry list =
   match Relational.Csv.parse_line_seq_numbered text with
   | [] -> []
   | (_, got_header) :: rows ->
-    if List.map String.lowercase_ascii got_header <> expected_columns then
-      raise
-        (Bad_csv (Printf.sprintf "header must be %S, got %S" header
-                    (String.concat "," got_header)));
+    let normalized = List.map String.lowercase_ascii got_header in
+    let extended =
+      if normalized = expected_columns then false
+      else if normalized = expected_columns_extended then true
+      else
+        raise
+          (Bad_csv
+             (Printf.sprintf "header must be %S or %S, got %S" header header_extended
+                (String.concat "," got_header)))
+    in
     (* Blank lines parse as a single empty field; skip them. *)
     let rows = List.filter (fun (_, row) -> row <> [] && row <> [ "" ]) rows in
     List.map
       (fun (line, row) ->
         match row with
-        | [ time; op; user; data; purpose; authorized; status ] -> begin
-          match int_of_string_opt time, int_of_string_opt op, int_of_string_opt status with
-          | Some time, Some op, Some status -> begin
-            try
-              Audit_schema.entry ~time ~op:(Audit_schema.op_of_int op) ~user ~data ~purpose
-                ~authorized
-                ~status:(Audit_schema.status_of_int status)
-            with Invalid_argument why ->
-              raise (Bad_csv (Printf.sprintf "line %d: %s" line why))
-          end
-          | _ ->
-            raise
-              (Bad_csv
-                 (Printf.sprintf "line %d: unreadable numeric field in: %s" line
-                    (String.concat "," row)))
-        end
+        | [ time; op; user; data; purpose; authorized; status ] ->
+          parse_core line row time op user data purpose authorized status
+        | [ time; op; user; data; purpose; authorized; status;
+            session; request; parent; changed; integrity ]
+          when extended ->
+          let core = parse_core line row time op user data purpose authorized status in
+          parse_provenance line core session request parent changed integrity
         | _ ->
           raise
             (Bad_csv
-               (Printf.sprintf "line %d: expected %d columns, got %d: %s" line
-                  (List.length expected_columns) (List.length row) (String.concat "," row))))
+               (Printf.sprintf "line %d: expected %s columns, got %d: %s" line
+                  (if extended then
+                     Printf.sprintf "%d or %d" (List.length expected_columns)
+                       (List.length expected_columns_extended)
+                   else string_of_int (List.length expected_columns))
+                  (List.length row) (String.concat "," row))))
       rows
 
 let save path entries =

@@ -1,19 +1,27 @@
 (** CSV interchange for audit trails: the seven Section 4.2 columns under a
     fixed header ([time,op,user,data,purpose,authorized,status], op/status
-    numeric). *)
+    numeric) — plus five optional provenance columns
+    ([session,request,parent,changed,integrity]).  A file with the
+    extended header may mix 7- and 12-column rows; [changed] is
+    ';'-separated inside one field, [integrity] 16 lowercase hex digits,
+    carried verbatim. *)
 
 val header : string
+val header_extended : string
 
 exception Bad_csv of string
 
 val entry_to_line : Audit_schema.entry -> string
+(** 7 columns without provenance, 12 with. *)
+
 val to_string : Audit_schema.entry list -> string
+(** Uses the extended header iff any entry carries provenance. *)
 
 val of_string : string -> Audit_schema.entry list
 (** @raise Bad_csv on a wrong header — and, with the offending 1-based
     line number in the message ["line N: ..."], on a row with the wrong
-    column count, an unreadable numeric field, or an out-of-range
-    op/status value. *)
+    column count, an unreadable numeric field, an out-of-range op/status
+    value, an unreadable parent LSN, or a malformed integrity hash. *)
 
 val save : string -> Audit_schema.entry list -> unit
 val load : string -> Audit_schema.entry list

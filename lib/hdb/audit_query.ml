@@ -11,6 +11,10 @@ type filter = {
   status : Audit_schema.status option;
   time_from : int option;
   time_to : int option;
+  (* Provenance predicates: an entry without the extension never matches a
+     set session/request filter. *)
+  session : string option;
+  request : string option;
 }
 
 let any =
@@ -22,10 +26,17 @@ let any =
     status = None;
     time_from = None;
     time_to = None;
+    session = None;
+    request = None;
   }
 
 let matches f (e : Audit_schema.entry) =
   let opt_eq extract = function None -> true | Some v -> extract e = v in
+  let prov_eq extract = function
+    | None -> true
+    | Some v -> (
+      match e.Audit_schema.provenance with None -> false | Some p -> extract p = v)
+  in
   opt_eq (fun e -> e.Audit_schema.user) f.user
   && opt_eq (fun e -> e.Audit_schema.data) f.data
   && opt_eq (fun e -> e.Audit_schema.purpose) f.purpose
@@ -34,6 +45,8 @@ let matches f (e : Audit_schema.entry) =
   && opt_eq (fun e -> e.Audit_schema.status) f.status
   && (match f.time_from with None -> true | Some t -> e.Audit_schema.time >= t)
   && (match f.time_to with None -> true | Some t -> e.Audit_schema.time <= t)
+  && prov_eq (fun p -> p.Audit_schema.session) f.session
+  && prov_eq (fun p -> p.Audit_schema.request) f.request
 
 let run store f =
   List.rev
@@ -49,6 +62,21 @@ let disclosures store ~data ?time_from ?time_to () =
 
 (* Exception-based accesses: the Break-The-Glass trail. *)
 let exceptions store = run store { any with status = Some Audit_schema.Exception_based }
+
+(* Everything one session (or one request) touched — the MPI-style
+   request-tracing question the provenance extension exists for. *)
+let by_session store session = run store { any with session = Some session }
+let by_request store request = run store { any with request = Some request }
+
+(* Entries whose stored per-record integrity hash no longer matches a
+   recomputation: a non-empty answer means the in-memory trail disagrees
+   with what the records themselves claim — the query-level counterpart of
+   the WAL's chain verification. *)
+let integrity_violations store =
+  List.rev
+    (Audit_store.fold
+       (fun acc e -> if Audit_schema.verify_integrity e then acc else e :: acc)
+       [] store)
 
 (* Frequency summary keyed by a projection of the entry. *)
 let summarize store ~key =

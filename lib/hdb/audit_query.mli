@@ -10,6 +10,9 @@ type filter = {
   status : Audit_schema.status option;
   time_from : int option;  (** inclusive *)
   time_to : int option;  (** inclusive *)
+  session : string option;
+      (** provenance session id; entries without provenance never match *)
+  request : string option;  (** provenance request id; likewise *)
 }
 
 val any : filter
@@ -27,6 +30,14 @@ val disclosures :
 
 val exceptions : Audit_store.t -> Audit_schema.entry list
 (** The Break-The-Glass trail. *)
+
+val by_session : Audit_store.t -> string -> Audit_schema.entry list
+val by_request : Audit_store.t -> string -> Audit_schema.entry list
+(** Everything one session / one request touched (provenance tracing). *)
+
+val integrity_violations : Audit_store.t -> Audit_schema.entry list
+(** Entries whose stored per-record integrity hash does not match a
+    recomputation; empty on an untampered trail. *)
 
 val summarize : Audit_store.t -> key:(Audit_schema.entry -> 'k) -> ('k * int) list
 (** Frequency summary by a projection of the entry, most frequent first. *)

@@ -14,6 +14,20 @@ type status =
   | Exception_based
   | Regular
 
+(* Optional provenance extension (after the MPI exemplar's audit tables):
+   which session/request produced the record, which earlier operation it
+   descends from, which fields it changed, and a per-record integrity hash
+   over everything else.  Orthogonal to the paper's seven attributes — the
+   relational export and Algorithm 5's SQL see exactly the same seven
+   columns whether or not an entry carries provenance. *)
+type provenance = {
+  session : string;
+  request : string;
+  parent : int option; (* LSN of the operation this one descends from *)
+  changed : string list; (* the fields the operation touched *)
+  integrity : int; (* hash over the core fields + provenance-minus-this *)
+}
+
 type entry = {
   time : int;
   op : op;
@@ -22,10 +36,11 @@ type entry = {
   purpose : string;
   authorized : string;
   status : status;
+  provenance : provenance option;
 }
 
 let entry ~time ~op ~user ~data ~purpose ~authorized ~status =
-  { time; op; user; data; purpose; authorized; status }
+  { time; op; user; data; purpose; authorized; status; provenance = None }
 
 let op_to_int = function Disallow -> 0 | Allow -> 1
 
@@ -80,6 +95,8 @@ let to_row e : Relational.Row.t =
      Relational.Value.Int (status_to_int e.status);
   |]
 
+(* Rows carry the paper's seven attributes only: provenance does not
+   travel through the relational export. *)
 let of_row (row : Relational.Row.t) : entry =
   let open Relational in
   let int_at i =
@@ -99,6 +116,7 @@ let of_row (row : Relational.Row.t) : entry =
     purpose = str_at 4;
     authorized = str_at 5;
     status = status_of_int (int_at 6);
+    provenance = None;
   }
 
 (* Association-list view: the entry as the paper's rule of seven RuleTerms. *)
@@ -127,15 +145,63 @@ let add_field buffer s =
   Buffer.add_char buffer (Char.chr (len lsr 8));
   Buffer.add_string buffer s
 
-let to_wire e =
-  let buffer = Buffer.create 64 in
+let add_core buffer e =
   Buffer.add_char buffer (Char.chr (op_to_int e.op));
   Buffer.add_char buffer (Char.chr (status_to_int e.status));
   add_field buffer (string_of_int e.time);
   add_field buffer e.user;
   add_field buffer e.data;
   add_field buffer e.purpose;
-  add_field buffer e.authorized;
+  add_field buffer e.authorized
+
+(* Provenance marker: entries without the extension end exactly after the
+   five core fields; entries with it continue with 'P' and the extension
+   fields.  [of_wire]'s total-parse discipline covers both shapes. *)
+let provenance_marker = 'P'
+
+let add_provenance_fields buffer p =
+  add_field buffer p.session;
+  add_field buffer p.request;
+  add_field buffer (match p.parent with Some l -> string_of_int l | None -> "");
+  let changed = List.length p.changed in
+  if changed > 0xFFFF then invalid_arg "Audit_schema.to_wire: too many changed fields";
+  Buffer.add_char buffer (Char.chr (changed land 0xFF));
+  Buffer.add_char buffer (Char.chr (changed lsr 8));
+  List.iter (add_field buffer) p.changed
+
+(* What the per-record integrity hash commits to: the canonical core
+   serialization plus every provenance field except the hash itself. *)
+let integrity_preimage e p =
+  let buffer = Buffer.create 96 in
+  add_core buffer e;
+  Buffer.add_char buffer provenance_marker;
+  add_provenance_fields buffer p;
+  Buffer.contents buffer
+
+let integrity_hash e =
+  match e.provenance with
+  | None -> Durable.Chain.hash_string ""
+  | Some p -> Durable.Chain.hash_string (integrity_preimage e p)
+
+let verify_integrity e =
+  match e.provenance with None -> true | Some p -> p.integrity = integrity_hash e
+
+(* Attach (or replace) the provenance extension, computing the integrity
+   hash over the final field values. *)
+let with_provenance ~session ~request ?parent ?(changed = []) e =
+  let p = { session; request; parent; changed; integrity = 0 } in
+  let e = { e with provenance = Some p } in
+  { e with provenance = Some { p with integrity = integrity_hash e } }
+
+let to_wire e =
+  let buffer = Buffer.create 64 in
+  add_core buffer e;
+  (match e.provenance with
+  | None -> ()
+  | Some p ->
+    Buffer.add_char buffer provenance_marker;
+    add_provenance_fields buffer p;
+    add_field buffer (Durable.Chain.to_hex p.integrity));
   Buffer.contents buffer
 
 (* Total parser: a WAL payload has already passed its CRC, so a [None]
@@ -174,17 +240,49 @@ let of_wire s =
   let* purpose = field () in
   let* authorized = field () in
   let* time = int_of_string_opt time in
-  if !pos <> n || op > 1 || status > 1 then None
-  else
-    Some
-      { time;
-        op = op_of_int op;
-        user;
-        data;
-        purpose;
-        authorized;
-        status = status_of_int status;
-      }
+  if op > 1 || status > 1 then None
+  else begin
+    let* provenance =
+      if !pos = n then Some None
+      else begin
+        let* marker = byte () in
+        if marker <> Char.code provenance_marker then None
+        else
+          let* session = field () in
+          let* request = field () in
+          let* parent_s = field () in
+          let* parent =
+            if parent_s = "" then Some None
+            else Option.map Option.some (int_of_string_opt parent_s)
+          in
+          let* lo = byte () in
+          let* hi = byte () in
+          let count = lo lor (hi lsl 8) in
+          let rec fields acc remaining =
+            if remaining = 0 then Some (List.rev acc)
+            else
+              let* f = field () in
+              fields (f :: acc) (remaining - 1)
+          in
+          let* changed = fields [] count in
+          let* integrity_s = field () in
+          let* integrity = Durable.Chain.of_hex integrity_s in
+          Some (Some { session; request; parent; changed; integrity })
+      end
+    in
+    if !pos <> n then None
+    else
+      Some
+        { time;
+          op = op_of_int op;
+          user;
+          data;
+          purpose;
+          authorized;
+          status = status_of_int status;
+          provenance;
+        }
+  end
 
 let equal (a : entry) (b : entry) = a = b
 
@@ -192,4 +290,12 @@ let pp ppf e =
   Fmt.pf ppf "t%d %s %s data=%s purpose=%s authorized=%s %s" e.time
     (match e.op with Allow -> "allow" | Disallow -> "disallow")
     e.user e.data e.purpose e.authorized
-    (match e.status with Regular -> "regular" | Exception_based -> "exception")
+    (match e.status with Regular -> "regular" | Exception_based -> "exception");
+  match e.provenance with
+  | None -> ()
+  | Some p ->
+    Fmt.pf ppf " [session=%s request=%s%a%s integrity=%s]" p.session p.request
+      (fun ppf -> function None -> () | Some l -> Fmt.pf ppf " parent=%d" l)
+      p.parent
+      (match p.changed with [] -> "" | c -> " changed=" ^ String.concat ";" c)
+      (Durable.Chain.to_hex p.integrity)

@@ -14,6 +14,17 @@ type status =
   | Exception_based
   | Regular
 
+(** Optional provenance extension (after the MPI exemplar's audit
+    tables).  Orthogonal to the paper's seven attributes: the relational
+    export and Algorithm 5's SQL see the same seven columns either way. *)
+type provenance = {
+  session : string;
+  request : string;
+  parent : int option;  (** LSN of the operation this one descends from *)
+  changed : string list;  (** the fields the operation touched *)
+  integrity : int;  (** hash over the core fields + provenance-minus-this *)
+}
+
 type entry = {
   time : int;  (** logical timestamp *)
   op : op;
@@ -22,6 +33,7 @@ type entry = {
   purpose : string;
   authorized : string;  (** authorization category (role) *)
   status : status;
+  provenance : provenance option;
 }
 
 val entry :
@@ -33,6 +45,20 @@ val entry :
   authorized:string ->
   status:status ->
   entry
+(** An entry without provenance; use {!with_provenance} to attach it. *)
+
+val with_provenance :
+  session:string -> request:string -> ?parent:int -> ?changed:string list -> entry -> entry
+(** Attach (or replace) the provenance extension, computing the integrity
+    hash over the final field values ([changed] defaults to []). *)
+
+val integrity_hash : entry -> int
+(** The hash {!with_provenance} stores: over the canonical core
+    serialization and every provenance field except the hash itself. *)
+
+val verify_integrity : entry -> bool
+(** [true] when the stored integrity hash matches a recomputation — and
+    vacuously for entries without provenance. *)
 
 val op_to_int : op -> int
 val op_of_int : int -> op
@@ -70,6 +96,9 @@ val to_assoc : entry -> (string * string) list
 
 val to_wire : entry -> string
 (** Binary WAL payload: length-prefixed fields, round-trips any bytes.
+    Entries with provenance continue past the core fields with a ['P']
+    marker and the extension fields; entries without end exactly after the
+    core.
     @raise Invalid_argument on a field longer than 65535 bytes. *)
 
 val of_wire : string -> entry option

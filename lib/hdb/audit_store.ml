@@ -72,6 +72,26 @@ let bitvec_push b x =
 
 let bitvec_get b i = Char.code (Bytes.get b.bits (i / 8)) land (1 lsl (i mod 8)) <> 0
 
+(* Provenance side column: one word per row (None for the common case), so
+   the columnar core stays exactly as compact as before for trails without
+   the extension. *)
+type prov_vec = {
+  mutable items : Audit_schema.provenance option array;
+  mutable plen : int;
+}
+
+let prov_create () = { items = [||]; plen = 0 }
+
+let prov_push v x =
+  if v.plen >= Array.length v.items then begin
+    let capacity = max 64 (2 * Array.length v.items) in
+    let items = Array.make capacity None in
+    Array.blit v.items 0 items 0 v.plen;
+    v.items <- items
+  end;
+  v.items.(v.plen) <- x;
+  v.plen <- v.plen + 1
+
 type t = {
   users : dict;
   datas : dict;
@@ -84,6 +104,7 @@ type t = {
   authorized_ids : int_vec;
   ops : bitvec;
   statuses : bitvec;
+  provenances : prov_vec;
   (* Write-ahead durability (optional): every append is framed into the
      log before touching the columns, so after a crash the recovered WAL
      prefix is always a prefix of what this store held. *)
@@ -102,6 +123,7 @@ let create () =
     authorized_ids = vec_create ();
     ops = bitvec_create ();
     statuses = bitvec_create ();
+    provenances = prov_create ();
     log = None;
   }
 
@@ -116,7 +138,8 @@ let append_mem t (e : Audit_schema.entry) =
   vec_push t.purpose_ids (dict_intern t.purposes e.purpose);
   vec_push t.authorized_ids (dict_intern t.authorizeds e.authorized);
   bitvec_push t.ops (e.op = Audit_schema.Allow);
-  bitvec_push t.statuses (e.status = Audit_schema.Regular)
+  bitvec_push t.statuses (e.status = Audit_schema.Regular);
+  prov_push t.provenances e.provenance
 
 let append t (e : Audit_schema.entry) =
   (match t.log with
@@ -133,6 +156,7 @@ let get t i : Audit_schema.entry =
     purpose = dict_get t.purposes t.purpose_ids.data.(i);
     authorized = dict_get t.authorizeds t.authorized_ids.data.(i);
     status = (if bitvec_get t.statuses i then Audit_schema.Regular else Audit_schema.Exception_based);
+    provenance = t.provenances.items.(i);
   }
 
 let iter f t =
@@ -234,11 +258,21 @@ let encoded_bytes t =
     !sum
   in
   let n = length t in
+  let prov_bytes = ref (n * word) (* one word per row for the option column *) in
+  for i = 0 to t.provenances.plen - 1 do
+    match t.provenances.items.(i) with
+    | None -> ()
+    | Some p ->
+      prov_bytes :=
+        !prov_bytes + String.length p.session + String.length p.request + (4 * word)
+        + List.fold_left (fun acc c -> acc + String.length c + word) 0 p.changed
+  done;
   (* times + four id columns *)
   (5 * n * word)
   + (2 * ((n + 7) / 8))
   + dict_bytes t.users + dict_bytes t.datas + dict_bytes t.purposes
   + dict_bytes t.authorizeds
+  + !prov_bytes
 
 (* Export into a relational table (used by refinement's SQL analysis). *)
 let to_table t ~database ~table_name =

@@ -99,10 +99,20 @@ let create ?(training_minimum = 0) ?(completeness_threshold = 0.9) ?config ?stor
 
 let recovery t = t.recovery
 
+(* Did opening the durable state find tampering?  A [Tamper_detected]
+   verdict on either trail means bytes that were once durable and verified
+   were mutated in place — stronger than loss: the prefix before the
+   divergence is trustworthy, everything after it was discarded, and the
+   report says exactly where. *)
+let tampered t =
+  match t.recovery with
+  | None -> false
+  | Some r -> Durable.Recovery.tampered r.audit || Durable.Recovery.tampered r.quarantine
+
 (* Did opening the durable state lose anything?  A dropped WAL tail (or a
-   CRC-valid record that no longer decodes) means the trail on disk is a
-   verified prefix, not necessarily the whole history: every coverage
-   statement over it is only a lower bound. *)
+   CRC-valid record that no longer decodes, or a tampered prefix) means
+   the trail on disk is a verified prefix, not necessarily the whole
+   history: every coverage statement over it is only a lower bound. *)
 let durably_degraded t =
   match t.recovery with
   | None -> false
@@ -110,6 +120,7 @@ let durably_degraded t =
     Durable.Recovery.dropped_tail r.audit
     || Durable.Recovery.dropped_tail r.quarantine
     || r.undecodable > 0
+    || tampered t
 
 let sync_durable t =
   Hdb.Audit_store.sync (Hdb.Control_center.audit_store t.control);

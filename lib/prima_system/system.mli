@@ -91,11 +91,17 @@ val recovery : t -> recovery_report option
 (** The crash-recovery reports from {!create} ([Some] iff [~storage] was
     given). *)
 
+val tampered : t -> bool
+(** Did opening the durable state detect tampering — a
+    {!Durable.Recovery.Tamper_detected} verdict on either trail?  Implies
+    {!durably_degraded}. *)
+
 val durably_degraded : t -> bool
-(** Did opening the durable state lose anything — a dropped WAL tail, or a
-    CRC-valid record that no longer decodes?  While true, every coverage
-    statement is labelled {!Prima_core.Coverage.Lower_bound} even over a
-    nominally complete window. *)
+(** Did opening the durable state lose anything — a dropped WAL tail, a
+    CRC-valid record that no longer decodes, or a tampered prefix?  While
+    true, every coverage statement is labelled
+    {!Prima_core.Coverage.Lower_bound} even over a nominally complete
+    window. *)
 
 val sync_durable : t -> unit
 (** fsync both attached logs (no-op without [~storage]). *)

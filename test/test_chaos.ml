@@ -6,7 +6,7 @@
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
-(* --- fixed-seed schedules: the five invariants hold end to end --- *)
+(* --- fixed-seed schedules: the six invariants hold end to end --- *)
 
 let run_seed seed steps () =
   let report = Chaos.Harness.run ~seed ~steps () in
@@ -30,7 +30,15 @@ let run_seed seed steps () =
   check (Printf.sprintf "seed %d: refinement ran" seed) true
     (report.Chaos.Harness.refines_ok + report.Chaos.Harness.refines_rejected > 0);
   check (Printf.sprintf "seed %d: enforcement budgets tripped" seed) true
-    (report.Chaos.Harness.enforce_trips > 0)
+    (report.Chaos.Harness.enforce_trips > 0);
+  (* tamper-evidence: every injected tamper was detected (zero false
+     negatives); run_seed only passes when no false positive fired either,
+     since a misclassified crash raises the tamper-evidence violation *)
+  check (Printf.sprintf "seed %d: tampers injected" seed) true
+    (report.Chaos.Harness.tampers > 0);
+  check_int
+    (Printf.sprintf "seed %d: every tamper detected" seed)
+    report.Chaos.Harness.tampers report.Chaos.Harness.tampers_detected
 
 (* --- determinism: a seed replays to the identical run --- *)
 

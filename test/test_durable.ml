@@ -8,11 +8,13 @@
    system-level downgrade of coverage to a lower bound after a dropped
    tail. *)
 
+module C = Durable.Chain
 module D = Durable.Device
 module F = Durable.Frame
 module L = Durable.Log
 module R = Durable.Recovery
 module Snap = Durable.Snapshot
+module W = Durable.Wal
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -30,6 +32,10 @@ let is_prefix ~of_:whole part = part = firstn (List.length part) whole
 (* Simulate a process restart: a fresh Log over the same (surviving)
    devices, as if the files were reopened. *)
 let restart log = L.of_devices ~wal:(L.wal_device log) ~snapshot:(L.snapshot_device log)
+
+(* Where the accepted records sit on stable media — tampering targets. *)
+let data_spans image =
+  List.filter (fun (_, _, k) -> k = F.Data) (W.frame_spans image)
 
 (* --- the crash-point matrix --- *)
 
@@ -59,7 +65,13 @@ let test_crash_matrix point seed () =
          (D.crash_point_to_string point) seed (List.length r.R.entries) synced)
       true
       (List.length r.R.entries >= synced);
-  check_int "next LSN = recovered count" (List.length r.R.entries) r.R.next_lsn
+  check_int "next LSN = recovered count" (List.length r.R.entries) r.R.next_lsn;
+  (* zero false positives: crash damage lands in the unsynced tail, so no
+     crash point may ever be classified as interior tampering *)
+  check_bool
+    (Printf.sprintf "%s/%d: crash damage never reads as tampering"
+       (D.crash_point_to_string point) seed)
+    false (R.tampered r)
 
 (* After recovery, the log must accept appends again and a second restart
    must see them — the "recover, keep going, crash again" lifecycle. *)
@@ -173,9 +185,13 @@ let test_overlapping_wal_not_duplicated () =
   ignore (L.open_or_recover log);
   List.iter (fun p -> ignore (L.append log p)) all;
   L.sync log;
-  (* Hand-write the snapshot as the checkpoint would, then "crash" before
-     the WAL reformat: the WAL still holds all 12 from LSN 0. *)
-  Snap.write snapshot ~lsn:7 ~entries:(firstn 7 all);
+  (* Hand-write the snapshot as the checkpoint would — sealing the chain
+     head at LSN 7 — then "crash" before the WAL reformat: the WAL still
+     holds all 12 from LSN 0. *)
+  let chain_at_7 =
+    List.fold_left Durable.Chain.step Durable.Chain.zero (firstn 7 all)
+  in
+  Snap.write snapshot ~lsn:7 ~chain:chain_at_7 ~entries:(firstn 7 all);
   let r = L.open_or_recover (L.of_devices ~wal ~snapshot) in
   check_bool "clean" true (R.clean r);
   check_bool "no duplication across the overlap" true (r.R.entries = all);
@@ -320,6 +336,53 @@ let test_system_recovery_and_lower_bound () =
   | Prima_core.Coverage.Lower_bound _ -> ()
   | Prima_core.Coverage.Exact -> Alcotest.fail "dropped tail must downgrade to Lower_bound"
 
+(* Tampering is surfaced all the way up: the system reports it, counts as
+   durably degraded, amputates the trail at the divergence, and labels
+   every coverage reading a lower bound. *)
+let test_system_tamper_forces_lower_bound () =
+  let audit_log = L.create ~seed:43 () in
+  let quarantine_log = L.create ~seed:44 () in
+  let storage = { Prima_system.System.audit_log; quarantine_log } in
+  let vocab = Vocabulary.Samples.figure1 () in
+  let p_ps = Workload.Scenario.policy_store () in
+  let system = Prima_system.System.create ~storage ~vocab ~p_ps () in
+  check_bool "fresh storage is untampered" false (Prima_system.System.tampered system);
+  let store = Hdb.Control_center.audit_store (Prima_system.System.control system) in
+  let entries = scenario_entries () in
+  Hdb.Audit_store.append_all store entries;
+  Prima_system.System.sync_durable system;
+  (* interior mutation of an accepted record — the region crashes never touch *)
+  let wal = L.wal_device audit_log in
+  let off, _, _ = List.nth (data_spans (D.contents wal)) 1 in
+  D.corrupt_stable wal ~pos:(off + F.header_size) ~bit:3;
+  let storage2 =
+    { Prima_system.System.audit_log = restart audit_log;
+      quarantine_log = restart quarantine_log;
+    }
+  in
+  let system2 = Prima_system.System.create ~storage:storage2 ~vocab ~p_ps () in
+  check_bool "system reports the tampering" true (Prima_system.System.tampered system2);
+  check_bool "tampering implies durably degraded" true
+    (Prima_system.System.durably_degraded system2);
+  let recovery =
+    match Prima_system.System.recovery system2 with
+    | Some r -> r
+    | None -> Alcotest.fail "no recovery report"
+  in
+  (match recovery.Prima_system.System.audit.R.verdict with
+  | R.Tamper_detected { offset } -> check_int "divergence at the mutated frame" off offset
+  | v -> Alcotest.failf "expected tamper verdict, got %s" (R.verdict_to_string v));
+  let store2 = Hdb.Control_center.audit_store (Prima_system.System.control system2) in
+  check_bool "trail amputated just before the mutation" true
+    (Hdb.Audit_store.to_list store2 = firstn 1 entries);
+  let qc = Prima_system.System.coverage_qualified system2 in
+  (match qc.Prima_system.System.set_semantics.Prima_core.Coverage.qualifier with
+  | Prima_core.Coverage.Lower_bound _ -> ()
+  | Prima_core.Coverage.Exact -> Alcotest.fail "tampered recovery must force Lower_bound");
+  match qc.Prima_system.System.bag_semantics.Prima_core.Coverage.qualifier with
+  | Prima_core.Coverage.Lower_bound _ -> ()
+  | Prima_core.Coverage.Exact -> Alcotest.fail "tampered recovery must force Lower_bound"
+
 (* The adaptive completeness gate: the configured floor applies in full to
    a large window, scaled down on a small one. *)
 let test_adaptive_threshold_scales () =
@@ -335,6 +398,169 @@ let test_adaptive_threshold_scales () =
   check_bool "n=25 halves the floor" true (abs_float (eff 25 -. 0.45) < eps);
   check_bool "monotone in window size" true (eff 100 > eff 25 && eff 10_000 > eff 100);
   check_bool "bounded by the configured threshold" true (eff 1_000_000 < 0.9)
+
+(* --- tamper evidence: interior mutation of sealed media --- *)
+
+(* A sealed log: [n] records appended and synced, so every data frame on
+   stable media precedes a seal frame — the region a crash can never
+   damage, and exactly where a tampering mutation must be caught. *)
+let sealed_log ~seed ~n ~sync_every =
+  let log = L.create ~seed () in
+  ignore (L.open_or_recover log);
+  List.iteri
+    (fun i p ->
+      ignore (L.append log p);
+      if (i + 1) mod sync_every = 0 || i = n - 1 then L.sync log)
+    (List.init n payload);
+  log
+
+(* The corrupted-length case: flip a bit inside the length field of an
+   accepted (stable, sealed) frame.  The CRC covers the length bytes, so a
+   reframed scan cannot silently resynchronise — the verdict is tampering
+   at exactly that frame, twice over, and adopting the log amputates the
+   trail just before it, after which life goes on and the evidence is
+   consumed. *)
+let test_tamper_corrupted_length seed () =
+  let all = List.init 12 payload in
+  let log = sealed_log ~seed ~n:12 ~sync_every:5 in
+  let wal = L.wal_device log and snap = L.snapshot_device log in
+  let idx = 6 in
+  let off, _, _ = List.nth (data_spans (D.contents wal)) idx in
+  D.corrupt_stable wal ~pos:(off + (seed mod 4)) ~bit:(seed mod 8);
+  let r1 = R.run ~wal ~snapshot:snap () in
+  (match r1.R.verdict with
+  | R.Tamper_detected { offset } ->
+    check_int (Printf.sprintf "seed %d: divergence at the frame start" seed) off offset
+  | v -> Alcotest.failf "seed %d: expected tamper, got %s" seed (R.verdict_to_string v));
+  check_int "scan stopped dead at the mutated record" idx r1.R.wal_records;
+  check_bool "mutated record never surfaced" true (r1.R.entries = firstn idx all);
+  (* read-only verification is idempotent *)
+  let r2 = R.run ~wal ~snapshot:snap () in
+  check_bool "verdict idempotent" true (r1.R.verdict = r2.R.verdict);
+  (* adoption: reopen truncates at the divergence and reseals *)
+  let log2 = restart log in
+  let r3 = L.open_or_recover log2 in
+  check_bool "open still reports the tampering" true (R.tampered r3);
+  check_bool "adopted trail is the amputated prefix" true (r3.R.entries = firstn idx all);
+  ignore (L.append log2 "after-tamper");
+  L.sync log2;
+  let r4 = L.open_or_recover (restart log2) in
+  check_bool "evidence consumed: next recovery is clean" true
+    (R.clean r4 && not (R.tampered r4));
+  check_bool "trail continues past the amputation" true
+    (r4.R.entries = firstn idx all @ [ "after-tamper" ])
+
+(* Mutating the already-synced header is tampering too: a crash cannot
+   touch it, and the seals further in prove the file once verified. *)
+let test_tamper_header_magic () =
+  let log = sealed_log ~seed:77 ~n:8 ~sync_every:3 in
+  let wal = L.wal_device log and snap = L.snapshot_device log in
+  D.corrupt_stable wal ~pos:2 ~bit:1;
+  let r = R.run ~wal ~snapshot:snap () in
+  check_bool "mutilated magic reads as tampering" true (R.tampered r);
+  check_bool "nothing surfaced from the unreadable file" true (r.R.entries = [])
+
+let test_tamper_base_chain () =
+  let log = sealed_log ~seed:78 ~n:8 ~sync_every:3 in
+  let wal = L.wal_device log and snap = L.snapshot_device log in
+  (* base_chain lives right after magic + base_lsn; flipping it breaks the
+     first data frame's chain link *)
+  D.corrupt_stable wal ~pos:(String.length W.magic + 8) ~bit:0;
+  let r = R.run ~wal ~snapshot:snap () in
+  match r.R.verdict with
+  | R.Tamper_detected { offset } -> check_int "divergence at the first frame" W.header_size offset
+  | v -> Alcotest.failf "expected tamper, got %s" (R.verdict_to_string v)
+
+(* Pinned hole: Frame.get_u64 folds 64 stored bits into a 63-bit OCaml
+   int, so a set bit 63 of either header u64 would vanish in the parse —
+   and the header has no CRC.  Found by prop_single_bitflip_caught
+   (seed=11 n=8 sync_every=4 pos_pick=40941 bit=7: bit 63 of base_lsn);
+   read_header now rejects a top byte with either high bit set. *)
+let test_tamper_header_high_bits () =
+  List.iter
+    (fun (name, field_offset) ->
+      let lo = String.length W.magic + field_offset in
+      List.iter
+        (fun bit ->
+          let log = sealed_log ~seed:80 ~n:8 ~sync_every:4 in
+          let wal = L.wal_device log and snap = L.snapshot_device log in
+          D.corrupt_stable wal ~pos:(lo + 7) ~bit;
+          let r = R.run ~wal ~snapshot:snap () in
+          check_bool
+            (Printf.sprintf "bit %d of %s top byte reads as tampering" bit name)
+            true (R.tampered r))
+        [ 6; 7 ])
+    [ ("base_lsn", 0); ("base_chain", 8) ]
+
+(* The cross-device anchor: a snapshot whose sealed chain head the WAL's
+   header cannot reproduce means one side's history was rewritten. *)
+let test_tamper_snapshot_anchor () =
+  let all = List.init 10 payload in
+  let log = L.create ~seed:79 () in
+  ignore (L.open_or_recover log);
+  List.iter (fun p -> ignore (L.append log p)) (firstn 6 all);
+  L.sync log;
+  L.checkpoint log ~entries:(firstn 6 all);
+  List.iter (fun p -> ignore (L.append log p)) (List.filteri (fun i _ -> i >= 6) all);
+  L.sync log;
+  (* flip one bit of the snapshot header's chain field *)
+  D.corrupt_stable (L.snapshot_device log) ~pos:(String.length Snap.magic + 8) ~bit:4;
+  let r = R.run ~wal:(L.wal_device log) ~snapshot:(L.snapshot_device log) () in
+  match r.R.verdict with
+  | R.Tamper_detected { offset } ->
+    check_int "divergence points at the chain anchor" (String.length W.magic + 8) offset
+  | v -> Alcotest.failf "expected anchor tamper, got %s" (R.verdict_to_string v)
+
+let test_chain_hex_roundtrip () =
+  List.iter
+    (fun n ->
+      match C.of_hex (C.to_hex n) with
+      | Some m -> check_bool "hex round-trip" true (m = n)
+      | None -> Alcotest.fail "to_hex produced unparseable hex")
+    [ 0; 1; C.zero; C.step C.zero "x"; C.hash_string "payload" ];
+  check_bool "garbage rejected" true (C.of_hex "not-hex-at-all!" = None);
+  check_bool "short hex rejected" true (C.of_hex "abc" = None)
+
+(* Satellite property: one bit flip at any sampled offset of a sealed WAL
+   is caught — never a clean recovery — and a flip landing inside a data
+   frame is classified as tampering at exactly that frame's offset, with
+   the same verdict on a second verification.  Device seeds are the three
+   fixed matrix seeds, so the damage streams are stable across runs. *)
+let gen_tamper =
+  let open QCheck2.Gen in
+  let* seed = oneofl matrix_seeds in
+  let* n = int_range 1 20 in
+  let* sync_every = int_range 1 6 in
+  let* pos_pick = int_range 0 100_000 in
+  let* bit = int_range 0 7 in
+  return (seed, n, sync_every, pos_pick, bit)
+
+let print_tamper (seed, n, sync_every, pos_pick, bit) =
+  Printf.sprintf "seed=%d n=%d sync_every=%d pos_pick=%d bit=%d" seed n sync_every pos_pick
+    bit
+
+let prop_single_bitflip_caught =
+  QCheck2.Test.make ~name:"single bit flip on a sealed WAL is caught" ~count:300
+    ~print:print_tamper gen_tamper (fun (seed, n, sync_every, pos_pick, bit) ->
+      let log = sealed_log ~seed ~n ~sync_every in
+      let wal = L.wal_device log and snap = L.snapshot_device log in
+      let image = D.contents wal in
+      let pos = pos_pick mod String.length image in
+      D.corrupt_stable wal ~pos ~bit;
+      let r1 = R.run ~wal ~snapshot:snap () in
+      let r2 = R.run ~wal ~snapshot:snap () in
+      let caught = not (R.clean r1) in
+      let idempotent = r1.R.verdict = r2.R.verdict in
+      let correct_offset =
+        match
+          List.find_opt
+            (fun (off, len, _) -> pos >= off && pos < off + len)
+            (data_spans image)
+        with
+        | Some (off, _, _) -> r1.R.verdict = R.Tamper_detected { offset = off }
+        | None -> true (* header or seal bytes: caught above, offset unconstrained *)
+      in
+      caught && idempotent && correct_offset)
 
 (* --- background checkpointing --- *)
 
@@ -637,6 +863,22 @@ let () =
             test_quarantine_auto_checkpoint;
         ] );
       ("auto-checkpoint-crash", matrix "auto-ckpt" test_crash_after_auto_checkpoint);
+      ( "tamper",
+        List.map
+          (fun seed ->
+            Alcotest.test_case
+              (Printf.sprintf "corrupted length, seed %d" seed)
+              `Quick
+              (test_tamper_corrupted_length seed))
+          matrix_seeds
+        @ [ Alcotest.test_case "mutilated header magic" `Quick test_tamper_header_magic;
+            Alcotest.test_case "mutilated base chain" `Quick test_tamper_base_chain;
+            Alcotest.test_case "header u64 high bits" `Quick test_tamper_header_high_bits;
+            Alcotest.test_case "snapshot anchor mismatch" `Quick
+              test_tamper_snapshot_anchor;
+            Alcotest.test_case "chain hex round-trip" `Quick test_chain_hex_roundtrip;
+            QCheck_alcotest.to_alcotest ~long:false prop_single_bitflip_caught;
+          ] );
       ( "group-commit",
         Alcotest.test_case "coalesces into one device write" `Quick
           test_group_commit_coalesces
@@ -650,6 +892,8 @@ let () =
       ( "system",
         [ Alcotest.test_case "dropped tail -> lower bound" `Quick
             test_system_recovery_and_lower_bound;
+          Alcotest.test_case "tamper -> lower bound" `Quick
+            test_system_tamper_forces_lower_bound;
           Alcotest.test_case "adaptive threshold" `Quick test_adaptive_threshold_scales;
         ] );
     ]

@@ -122,6 +122,111 @@ let test_query_summaries () =
   check_bool "pattern counted" true
     (List.assoc ("referral", "registration", "nurse") by_pattern = 2)
 
+(* --- provenance extension --- *)
+
+let prov_entry ?(parent = Some 7) ?(changed = [ "purpose"; "status" ]) ?(session = "s-1")
+    ?(request = "rq-9") base =
+  Audit_schema.with_provenance ~session ~request ?parent ~changed base
+
+let test_provenance_wire_roundtrip () =
+  let cases =
+    [ entry () (* no provenance: wire ends after the core *)
+    ; prov_entry (entry ~time:2 ())
+    ; prov_entry ~parent:None ~changed:[] (entry ~time:3 ())
+    ; prov_entry ~session:"s,with\nnasty\"bytes" ~request:"" (entry ~time:4 ~user:"o'brien" ())
+    ]
+  in
+  List.iter
+    (fun e ->
+      match Audit_schema.of_wire (Audit_schema.to_wire e) with
+      | Some e' -> check_bool "wire roundtrip preserves provenance" true (e = e')
+      | None -> Alcotest.fail "wire roundtrip failed")
+    cases;
+  (* a truncated extension is a codec mismatch, not a silent core entry *)
+  let wire = Audit_schema.to_wire (prov_entry (entry ())) in
+  check_bool "truncated extension rejected" true
+    (Audit_schema.of_wire (String.sub wire 0 (String.length wire - 3)) = None);
+  check_bool "trailing garbage rejected" true (Audit_schema.of_wire (wire ^ "x") = None)
+
+let test_provenance_integrity () =
+  let e = prov_entry (entry ~time:5 ()) in
+  check_bool "fresh provenance verifies" true (Audit_schema.verify_integrity e);
+  check_bool "stored hash equals recomputation" true
+    ((match e.Audit_schema.provenance with Some p -> p.Audit_schema.integrity | None -> -1)
+    = Audit_schema.integrity_hash e);
+  (* forging a core field after the fact breaks the per-record hash *)
+  let forged = { e with Audit_schema.user = "evil" } in
+  check_bool "forged core field detected" false (Audit_schema.verify_integrity forged);
+  (* forging a provenance field does too *)
+  let forged_prov =
+    { e with
+      Audit_schema.provenance =
+        (match e.Audit_schema.provenance with
+        | Some p -> Some { p with Audit_schema.request = "rq-other" }
+        | None -> None);
+    }
+  in
+  check_bool "forged provenance field detected" false
+    (Audit_schema.verify_integrity forged_prov);
+  check_bool "no provenance verifies vacuously" true
+    (Audit_schema.verify_integrity (entry ()))
+
+let test_provenance_store_roundtrip () =
+  let entries =
+    [ entry ~time:1 (); prov_entry (entry ~time:2 ()); prov_entry ~parent:None (entry ~time:3 ()) ]
+  in
+  let store = Audit_store.of_entries entries in
+  List.iteri
+    (fun i e ->
+      check_bool (Printf.sprintf "entry %d intact" i) true (Audit_store.get store i = e))
+    entries;
+  (* and across the durable write-ahead path *)
+  let log = Durable.Log.create ~seed:9 () in
+  let store2 = Audit_store.create () in
+  ignore (Audit_store.restore store2 log);
+  List.iter (Audit_store.append store2) entries;
+  Audit_store.sync store2;
+  let store3, r, undecodable =
+    Audit_store.open_durable
+      (Durable.Log.of_devices
+         ~wal:(Durable.Log.wal_device log)
+         ~snapshot:(Durable.Log.snapshot_device log))
+  in
+  check_bool "clean recovery" true (Durable.Recovery.clean r);
+  check_int "no codec mismatches" 0 undecodable;
+  check_bool "provenance survives restart" true (Audit_store.to_list store3 = entries)
+
+let test_query_provenance () =
+  let store =
+    Audit_store.of_entries
+      [ entry ~time:1 ()
+      ; prov_entry ~session:"s-1" ~request:"rq-1" (entry ~time:2 ())
+      ; prov_entry ~session:"s-1" ~request:"rq-2" (entry ~time:3 ())
+      ; prov_entry ~session:"s-2" ~request:"rq-1" (entry ~time:4 ())
+      ]
+  in
+  check_int "by_session" 2 (List.length (Audit_query.by_session store "s-1"));
+  check_int "by_request" 2 (List.length (Audit_query.by_request store "rq-1"));
+  check_int "session filter skips bare entries" 1
+    (Audit_query.count store
+       { Audit_query.any with Audit_query.session = Some "s-2" });
+  check_int "combined session+request" 1
+    (Audit_query.count store
+       { Audit_query.any with Audit_query.session = Some "s-1"; request = Some "rq-2" });
+  check_int "untampered trail has no violations" 0
+    (List.length (Audit_query.integrity_violations store));
+  (* forge one record in place: the sweep names exactly it *)
+  let forged = { (Audit_store.get store 2) with Audit_schema.data = "psychiatry" } in
+  let store' =
+    Audit_store.of_entries
+      (List.mapi
+         (fun i e -> if i = 2 then forged else e)
+         (Audit_store.to_list store))
+  in
+  match Audit_query.integrity_violations store' with
+  | [ e ] -> check_bool "the forged record" true (e = forged)
+  | l -> Alcotest.failf "expected exactly the forged record, got %d" (List.length l)
+
 (* --- privacy rules --- *)
 
 let test_rules_closed_world () =
@@ -465,6 +570,13 @@ let () =
       ( "audit-query",
         [ Alcotest.test_case "filters" `Quick test_query_filters;
           Alcotest.test_case "summaries" `Quick test_query_summaries;
+        ] );
+      ( "provenance",
+        [ Alcotest.test_case "wire roundtrip" `Quick test_provenance_wire_roundtrip;
+          Alcotest.test_case "integrity hash" `Quick test_provenance_integrity;
+          Alcotest.test_case "store + durable roundtrip" `Quick
+            test_provenance_store_roundtrip;
+          Alcotest.test_case "query tracing" `Quick test_query_provenance;
         ] );
       ( "privacy-rules",
         [ Alcotest.test_case "closed world" `Quick test_rules_closed_world;

@@ -138,6 +138,86 @@ let test_audit_csv_valid_rows_after_blank () =
       (String.length msg >= 7 && String.sub msg 0 7 = "line 3:")
   | _ -> Alcotest.fail "expected Bad_csv"
 
+(* --- provenance columns --- *)
+
+let prov ?(session = "s-1") ?(request = "rq-1") ?parent ?(changed = []) e =
+  Hdb.Audit_schema.with_provenance ~session ~request ?parent ~changed e
+
+(* A mixed trail — rows with and without the extension — must round-trip
+   through the extended header, each row keeping (or not keeping) its
+   provenance. *)
+let test_audit_csv_provenance_roundtrip () =
+  let entries =
+    [ entry ();
+      prov ~parent:7 ~changed:[ "purpose"; "status" ] (entry ~time:2 ());
+      prov ~session:"s;odd" ~request:"rq,quoted" (entry ~time:3 ~user:"o'brien" ());
+      entry ~time:4 ();
+    ]
+  in
+  let text = Hdb.Audit_csv.to_string entries in
+  check_bool "mixed trail uses the extended header" true
+    (String.length text >= String.length Hdb.Audit_csv.header_extended
+    && String.sub text 0 (String.length Hdb.Audit_csv.header_extended)
+       = Hdb.Audit_csv.header_extended);
+  check_bool "mixed rows round-trip" true (Hdb.Audit_csv.of_string text = entries);
+  (* provenance-free trails keep the plain 7-column header *)
+  let plain = Hdb.Audit_csv.to_string [ entry () ] in
+  check_bool "plain trail keeps the base header" true
+    (String.sub plain 0 (String.length Hdb.Audit_csv.header) = Hdb.Audit_csv.header
+    && not
+         (String.length plain >= String.length Hdb.Audit_csv.header_extended
+         && String.sub plain 0 (String.length Hdb.Audit_csv.header_extended)
+            = Hdb.Audit_csv.header_extended))
+
+(* Malformed provenance fields are rejected with the offending 1-based
+   line number, like every other CSV error. *)
+let test_audit_csv_provenance_errors () =
+  let expect_line line text =
+    match Hdb.Audit_csv.of_string text with
+    | exception Hdb.Audit_csv.Bad_csv msg ->
+      let prefix = Printf.sprintf "line %d:" line in
+      check_bool
+        (Printf.sprintf "error %S names line %d" msg line)
+        true
+        (String.length msg >= String.length prefix
+        && String.sub msg 0 (String.length prefix) = prefix)
+    | entries -> Alcotest.failf "expected Bad_csv, parsed %d entries" (List.length entries)
+  in
+  let h = Hdb.Audit_csv.header_extended in
+  let good = Durable.Chain.to_hex (Durable.Chain.hash_string "x") in
+  (* malformed integrity hash: wrong length, uppercase, non-hex *)
+  expect_line 2 (h ^ "\n1,1,u,d,p,a,1,s,rq,,f,abc\n");
+  expect_line 3 (h ^ Printf.sprintf "\n1,1,u,d,p,a,1,s,rq,,f,%s\n2,1,u,d,p,a,1,s,rq,,f,%s\n"
+                   good (String.uppercase_ascii good));
+  expect_line 2 (h ^ "\n1,1,u,d,p,a,1,s,rq,,f,zzzzzzzzzzzzzzzz\n");
+  (* unreadable parent LSN *)
+  expect_line 2 (h ^ Printf.sprintf "\n1,1,u,d,p,a,1,s,rq,seven,f,%s\n" good);
+  (* a 12-column row under the plain header is an arity error *)
+  expect_line 2
+    (Hdb.Audit_csv.header ^ Printf.sprintf "\n1,1,u,d,p,a,1,s,rq,7,f,%s\n" good);
+  (* partial extension (neither 7 nor 12 columns) *)
+  expect_line 2 (h ^ "\n1,1,u,d,p,a,1,s,rq\n")
+
+(* The carried hash is verbatim: a well-formed but wrong hash parses, and
+   shows up downstream as an integrity violation rather than a CSV error. *)
+let test_audit_csv_provenance_verbatim_hash () =
+  let e = prov (entry ~time:9 ()) in
+  let wrong =
+    match e.Hdb.Audit_schema.provenance with
+    | Some p ->
+      { e with
+        Hdb.Audit_schema.provenance =
+          Some { p with Hdb.Audit_schema.integrity = p.Hdb.Audit_schema.integrity lxor 1 };
+      }
+    | None -> Alcotest.fail "missing provenance"
+  in
+  match Hdb.Audit_csv.of_string (Hdb.Audit_csv.to_string [ wrong ]) with
+  | [ back ] ->
+    check_bool "hash carried verbatim" true (back = wrong);
+    check_bool "and fails verification downstream" false
+      (Hdb.Audit_schema.verify_integrity back)
+  | l -> Alcotest.failf "expected one entry, got %d" (List.length l)
+
 let () =
   Alcotest.run "persistence"
     [ ( "policy-file",
@@ -158,5 +238,13 @@ let () =
           Alcotest.test_case "line-numbered errors" `Quick test_audit_csv_line_numbers;
           Alcotest.test_case "blank lines keep numbering" `Quick
             test_audit_csv_valid_rows_after_blank;
+        ] );
+      ( "audit-csv-provenance",
+        [ Alcotest.test_case "mixed rows roundtrip" `Quick
+            test_audit_csv_provenance_roundtrip;
+          Alcotest.test_case "line-numbered errors" `Quick
+            test_audit_csv_provenance_errors;
+          Alcotest.test_case "hash carried verbatim" `Quick
+            test_audit_csv_provenance_verbatim_hash;
         ] );
     ]
