@@ -1,4 +1,4 @@
-.PHONY: build test faults crash fuzz chaos tamper bench bench-quick bench-coverage bench-wal bench-governor
+.PHONY: build test faults crash fuzz chaos tamper federation bench bench-quick bench-coverage bench-wal bench-governor
 
 build:
 	dune build
@@ -27,7 +27,7 @@ fuzz:
 
 # Whole-system chaos sweep: 20 seeds x 400-step composed fault schedules
 # (crashes, outages, corruption, budget trips) checked against the pure
-# model oracle's six invariants.  A smaller 3-seed regression lives in
+# model oracle's seven invariants.  A smaller 3-seed regression lives in
 # dune runtest (test/test_chaos.ml); one schedule replays with
 # `prima chaos --seed N --steps M`.
 chaos:
@@ -40,6 +40,16 @@ chaos:
 # single WAL: `prima verify --wal F [--snapshot F]`.
 tamper:
 	dune build && dune exec bench/tamper_sweep.exe
+
+# Federation durability sweep: a (sites x entries) grid over the per-site
+# durable federation — write-ahead-logged ingest and consolidation
+# throughput, plus a hard crash-recovery gate (power-cut one site's WAL
+# per point; every synced entry must recover and consolidation must
+# reconverge).  Refreshes BENCH_federation.json and saves the largest
+# point's per-site WALs under _build/federation-wals/ for
+# `prima verify --wal _build/federation-wals`.
+federation:
+	dune build && dune exec bench/federation_sweep.exe
 
 # All experiments + Bechamel microbenchmarks.
 bench:

@@ -1,0 +1,223 @@
+(* Federation durability sweep (`make federation`).
+
+   A (sites x entries) grid over the per-site durable federation: every
+   site sits on its own write-ahead op log, successful fetches are
+   archived into the sharded consolidated store, and each grid point is
+   graded on three axes plus a hard crash-recovery gate:
+
+   - ingest throughput: write-ahead-logged ingestion + fsync, entries/s;
+   - consolidation throughput: the full production path (fetch, archive,
+     tournament-merge) over all sites, records/s;
+   - crash recovery: power-cut one site's own WAL (clean loss of the
+     unsynced tail), reopen it from its op log, and require every synced
+     entry back, a clean verdict, and an identical consolidation after
+     the recovered site is reseated — any miss fails the run.
+
+   The largest grid point's per-site WALs are saved under
+   _build/federation-wals/ so the offline checker can sweep them:
+   `prima verify --wal _build/federation-wals`.
+
+   Results land in BENCH_federation.json with a consolidation-throughput
+   gate (>= 10k records/s at the largest point).
+
+     dune exec bench/federation_sweep.exe            -- default grid
+     dune exec bench/federation_sweep.exe -- quick   -- smallest point only *)
+
+module Site = Audit_mgmt.Site
+module Fault = Audit_mgmt.Fault
+module Federation = Audit_mgmt.Federation
+module Shard_store = Audit_mgmt.Shard_store
+module Health = Audit_mgmt.Health
+
+let ops = [| Hdb.Audit_schema.Allow; Hdb.Audit_schema.Disallow |]
+let users = [| "alice"; "bob"; "carol"; "dave" |]
+let datas = [| "referral"; "gender"; "dob"; "insurance" |]
+let purposes = [| "treatment"; "payment"; "research" |]
+let roles = [| "nurse"; "doctor"; "billing" |]
+
+let pick rng a = a.(Splitmix.int rng (Array.length a))
+
+(* Deterministic synthetic trail: times strictly increasing so entries
+   spread across multiple (site, time-range) shards. *)
+let gen_entries rng ~n ~site_index =
+  List.init n (fun i ->
+      Hdb.Audit_schema.entry
+        ~time:((i * 97) + site_index)
+        ~op:(pick rng ops) ~user:(pick rng users) ~data:(pick rng datas)
+        ~purpose:(pick rng purposes) ~authorized:(pick rng roles)
+        ~status:Hdb.Audit_schema.Regular)
+
+let time_it f =
+  let t0 = Sys.time () in
+  let result = f () in
+  (result, Sys.time () -. t0)
+
+let per_sec n dt = if dt <= 0. then infinity else float_of_int n /. dt
+
+type point = {
+  nsites : int;
+  per_site : int;
+  total : int;
+  ingest_per_sec : float;
+  consolidate_per_sec : float;
+  recovered : int;
+  recovery_clean : bool;
+  reconverged : bool;
+}
+
+let run_point ~nsites ~per_site =
+  let seed = (nsites * 1009) + per_site in
+  let rng = Splitmix.create ~seed in
+  let streams = List.init nsites (fun i -> gen_entries rng ~n:per_site ~site_index:i) in
+  let sites =
+    List.init nsites (fun i ->
+        let site = Site.create ~name:(Printf.sprintf "site-%d" (i + 1)) () in
+        Site.attach_wal site (Durable.Log.create ~seed:(seed + i + 1) ());
+        site)
+  in
+  (* write-ahead-logged ingest, fsynced at the end of each site's stream *)
+  let (), t_ingest =
+    time_it (fun () ->
+        List.iter2
+          (fun site stream ->
+            Site.ingest_entries site stream;
+            Site.sync_wal site)
+          sites streams)
+  in
+  let total = nsites * per_site in
+  (* the production consolidation path, archive attached *)
+  let fed = Federation.create ~retry:Audit_mgmt.Retry.no_retry ~seed () in
+  List.iteri
+    (fun i site ->
+      Federation.add_faulty_site fed
+        (Fault.wrap ~config:Fault.no_faults ~seed:(seed + 100 + i) site))
+    sites;
+  let archive = Shard_store.create ~seed:(seed + 7) () in
+  Federation.attach_archive fed archive;
+  let result, t_consolidate = time_it (fun () -> Federation.consolidated_result fed) in
+  if not (Health.complete result.Federation.health) then
+    failwith "fault-free consolidation was not complete";
+  if List.length result.Federation.entries <> total then
+    failwith "consolidation lost entries";
+  (* crash-recovery gate: power-cut site 1's own WAL, reopen locally *)
+  let victim = List.hd sites in
+  let name = Site.name victim in
+  let log = Option.get (Site.wal victim) in
+  Durable.Device.crash (Durable.Log.wal_device log) ~point:Durable.Device.Clean_loss;
+  Durable.Device.crash (Durable.Log.snapshot_device log) ~point:Durable.Device.Clean_loss;
+  let (site', recovery, undecodable), _t_recover =
+    time_it (fun () ->
+        Site.open_durable ~name
+          (Durable.Log.of_devices
+             ~wal:(Durable.Log.wal_device log)
+             ~snapshot:(Durable.Log.snapshot_device log)))
+  in
+  let recovered = Site.length site' in
+  let recovery_clean =
+    Durable.Recovery.clean recovery && undecodable = 0
+    && (not (Site.durably_degraded site'))
+    && recovered = per_site
+  in
+  (* reseat the recovered site: consolidation must reconverge exactly *)
+  let reconverged =
+    recovery_clean
+    &&
+    (let fed' = Federation.create ~retry:Audit_mgmt.Retry.no_retry ~seed () in
+     List.iteri
+       (fun i site ->
+         let site = if i = 0 then site' else site in
+         Federation.add_faulty_site fed'
+           (Fault.wrap ~config:Fault.no_faults ~seed:(seed + 100 + i) site))
+       sites;
+     let result' = Federation.consolidated_result fed' in
+     Health.complete result'.Federation.health
+     && List.for_all2 Hdb.Audit_schema.equal result.Federation.entries
+          result'.Federation.entries)
+  in
+  ( { nsites;
+      per_site;
+      total;
+      ingest_per_sec = per_sec total t_ingest;
+      consolidate_per_sec = per_sec total t_consolidate;
+      recovered;
+      recovery_clean;
+      reconverged;
+    },
+    sites )
+
+let save_wals sites =
+  let dir = "_build/federation-wals" in
+  (try Unix.mkdir "_build" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  List.iter
+    (fun site ->
+      match Site.wal site with
+      | None -> ()
+      | Some log ->
+        let base = Filename.concat dir (Site.name site) in
+        Durable.Device.save (Durable.Log.wal_device log) (base ^ ".wal");
+        Durable.Device.save (Durable.Log.snapshot_device log) (base ^ ".snapshot"))
+    sites;
+  dir
+
+let () =
+  let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
+  let grid =
+    if quick then [ (2, 500) ]
+    else [ (2, 500); (4, 1000); (8, 2000) ]
+  in
+  Fmt.pr "federation durability sweep: %d grid point(s)@." (List.length grid);
+  Fmt.pr "%-8s %-10s %-14s %-18s %-12s %-6s@." "sites" "entries" "ingest/s"
+    "consolidate/s" "recovered" "gate";
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer "{\n  \"experiment\": \"federation-durability\",\n";
+  Buffer.add_string buffer
+    "  \"gate\": \"crash one site's WAL per point: every synced entry recovered, clean \
+     verdict, consolidation reconverges; >= 10k records/s consolidation at the largest \
+     point\",\n";
+  Buffer.add_string buffer "  \"sweep\": [\n";
+  let points =
+    List.mapi
+      (fun idx (nsites, per_site) ->
+        let p, sites = run_point ~nsites ~per_site in
+        let gate_ok = p.recovery_clean && p.reconverged in
+        Fmt.pr "%-8d %-10d %-14.0f %-18.0f %-4d/%-7d %s@." p.nsites p.per_site
+          p.ingest_per_sec p.consolidate_per_sec p.recovered p.per_site
+          (if gate_ok then "[ok]" else "[FAIL]");
+        Buffer.add_string buffer
+          (Printf.sprintf
+             "    {\"sites\": %d, \"entries_per_site\": %d, \"total\": %d, \
+              \"ingest_per_sec\": %.0f, \"consolidate_per_sec\": %.0f, \"recovered\": \
+              %d, \"recovery_clean\": %b, \"reconverged\": %b}%s\n"
+             p.nsites p.per_site p.total p.ingest_per_sec p.consolidate_per_sec
+             p.recovered p.recovery_clean p.reconverged
+             (if idx = List.length grid - 1 then "" else ","));
+        (p, sites))
+      grid
+  in
+  let largest, largest_sites = List.nth points (List.length points - 1) in
+  let dir = save_wals largest_sites in
+  let throughput_ok = largest.consolidate_per_sec >= 10_000. in
+  Buffer.add_string buffer "  ],\n";
+  Buffer.add_string buffer
+    (Printf.sprintf
+       "  \"largest_point\": {\"sites\": %d, \"entries_per_site\": %d, \
+        \"consolidate_per_sec\": %.0f, \"throughput_gate_10k\": %b}\n}\n"
+       largest.nsites largest.per_site largest.consolidate_per_sec throughput_ok);
+  let oc = open_out "BENCH_federation.json" in
+  output_string oc (Buffer.contents buffer);
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_federation.json; per-site WALs saved under %s@." dir;
+  Fmt.pr "try:  prima verify --wal %s@." dir;
+  let all_ok =
+    List.for_all (fun (p, _) -> p.recovery_clean && p.reconverged) points
+    && throughput_ok
+  in
+  if not all_ok then begin
+    Fmt.pr "@.FEDERATION SWEEP FAILED.@.";
+    exit 1
+  end
+  else
+    Fmt.pr
+      "All points pass: crash-local recovery lossless, consolidation reconverges, \
+       throughput gate met.@."

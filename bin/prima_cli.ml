@@ -6,8 +6,8 @@
      prima refine   --policy F --audit F [options]
      prima mine     --audit F [--min-support N] [--min-confidence X]
      prima federation-health --audit F [--sites N --seed N ...]
-     prima recover  --wal F [--snapshot F --kind audit|quarantine --out F]
-     prima verify   --wal F [--snapshot F]   (read-only; exit 1 on tampering)
+     prima recover  --wal F [--snapshot F --kind audit|quarantine|site --site NAME --out F]
+     prima verify   --wal F-or-DIR [--snapshot F]   (read-only; exit 1 on tampering)
 
    File formats:
    - policy files: one rule per line, "data:purpose:authorized"; '#' comments;
@@ -202,7 +202,7 @@ let run_generate seed accesses audit_out policy_out wal_out =
    any), run recovery, and print the report — what verified, what was
    dropped, where appends would resume.  Decoding happens above the
    durable layer: --kind picks the payload codec. *)
-let run_recover wal_path snapshot_path kind out =
+let run_recover wal_path snapshot_path kind site_name out =
   let wal = Durable.Device.load wal_path in
   let snapshot =
     match snapshot_path with
@@ -211,6 +211,36 @@ let run_recover wal_path snapshot_path kind out =
   in
   let log = Durable.Log.of_devices ~wal ~snapshot in
   match kind with
+  | "site" ->
+    (* Crash-local site recovery: replay the per-site op WAL — entries,
+       exactly-once ledger, in-flight quarantine, sequence floor — and
+       report whether the feed still owes a replay of the lost suffix. *)
+    let name =
+      match site_name with
+      | Some n -> n
+      | None -> Filename.remove_extension (Filename.basename wal_path)
+    in
+    let site, recovery, undecodable = Audit_mgmt.Site.open_durable ~name log in
+    Fmt.pr "%a" Durable.Recovery.pp recovery;
+    if undecodable > 0 then
+      Fmt.pr "warning: %d CRC-valid record(s) did not decode as site ops@." undecodable;
+    Fmt.pr "site %s: %d entries, %d quarantined, next raw seq %d@." name
+      (Audit_mgmt.Site.length site)
+      (Audit_mgmt.Site.quarantined_count site)
+      (Audit_mgmt.Site.next_seq site);
+    (match out with
+    | Some path ->
+      Hdb.Audit_csv.save_store path (Audit_mgmt.Site.store site);
+      Fmt.pr "wrote %s@." path
+    | None -> ());
+    if Audit_mgmt.Site.durably_degraded site then begin
+      Fmt.pr
+        "DEGRADED: recovery was lossy or tampered — replay the feed from raw seq %d, \
+         then acknowledge; until then coverage over this site is a lower bound@."
+        (Audit_mgmt.Site.next_seq site);
+      1
+    end
+    else 0
   | "audit" ->
     let store, recovery, undecodable = Hdb.Audit_store.open_durable log in
     Fmt.pr "%a" Durable.Recovery.pp recovery;
@@ -232,7 +262,7 @@ let run_recover wal_path snapshot_path kind out =
     Fmt.pr "%a" Audit_mgmt.Quarantine.pp q;
     0
   | other ->
-    Fmt.epr "unknown --kind %S (use audit or quarantine)@." other;
+    Fmt.epr "unknown --kind %S (use audit, quarantine or site)@." other;
     2
 
 (* --- verify --- *)
@@ -241,7 +271,7 @@ let run_recover wal_path snapshot_path kind out =
    adopts nothing, truncates nothing and reseals nothing, so the evidence
    stays on disk and the command can run twice with the same verdict.
    Exits 1 on a tamper verdict so scripts can gate on it. *)
-let run_verify wal_path snapshot_path =
+let verify_one wal_path snapshot_path =
   let wal = Durable.Device.load wal_path in
   let snapshot =
     match snapshot_path with
@@ -277,6 +307,38 @@ let run_verify wal_path snapshot_path =
   | Durable.Recovery.Verified ->
     Fmt.pr "log verifies end-to-end@.";
     0
+
+(* A directory of per-site WALs (a federation's durable state) verifies as
+   a unit: each [*.wal] inside is checked read-only, picking up a sibling
+   [<name>.snapshot] when present, and the worst per-site verdict is the
+   exit code — one tampered site fails the whole directory. *)
+let run_verify wal_path snapshot_path =
+  if Sys.is_directory wal_path then begin
+    let wals =
+      Sys.readdir wal_path |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".wal")
+      |> List.sort String.compare
+    in
+    if wals = [] then begin
+      Fmt.epr "no *.wal files in %s@." wal_path;
+      2
+    end
+    else begin
+      let worst = ref 0 in
+      List.iter
+        (fun f ->
+          let wal = Filename.concat wal_path f in
+          let snap = Filename.concat wal_path (Filename.remove_extension f ^ ".snapshot") in
+          let snap = if Sys.file_exists snap then Some snap else None in
+          Fmt.pr "--- %s ---@." f;
+          worst := max !worst (verify_one wal snap))
+        wals;
+      Fmt.pr "@.%d per-site WAL(s) verified: %s@." (List.length wals)
+        (if !worst = 0 then "all chains intact" else "TAMPERING DETECTED");
+      !worst
+    end
+  end
+  else verify_one wal_path snapshot_path
 
 (* --- analyze --- *)
 
@@ -363,14 +425,25 @@ let run_trend vocab_name policy_path audit_path window nsites seed p_unavailable
 (* --- federation-health --- *)
 
 let run_federation_health audit_path nsites seed p_unavailable p_timeout p_flaky p_corrupt
-    heal =
+    archive heal =
   let entries = parse_audit_file audit_path in
   let fed =
     build_faulty_federation ~entries ~nsites ~seed ~p_unavailable ~p_timeout ~p_flaky
       ~p_corrupt
   in
+  let archive_store =
+    if archive then begin
+      let store = Audit_mgmt.Shard_store.create ~seed:(seed + 97) () in
+      Audit_mgmt.Federation.attach_archive fed store;
+      Some store
+    end
+    else None
+  in
   let result = Audit_mgmt.Federation.consolidated_result fed in
   Fmt.pr "%a" Audit_mgmt.Health.pp result.Audit_mgmt.Federation.health;
+  (match archive_store with
+  | Some store -> Fmt.pr "%a" Audit_mgmt.Shard_store.pp store
+  | None -> ());
   let q = Audit_mgmt.Federation.transit_quarantine fed in
   if Audit_mgmt.Quarantine.length q > 0 then Fmt.pr "%a" Audit_mgmt.Quarantine.pp q;
   if heal then begin
@@ -502,30 +575,44 @@ let recover_cmd =
   in
   let kind =
     Arg.(value & opt string "audit" & info [ "kind" ] ~docv:"KIND"
-           ~doc:"Payload codec: audit or quarantine.")
+           ~doc:"Payload codec: audit, quarantine, or site (a federation member's per-site \
+                 op WAL — entries, exactly-once ledger, in-flight quarantine).")
+  in
+  let site =
+    Arg.(value & opt (some string) None & info [ "site" ] ~docv:"NAME"
+           ~doc:"Site name for --kind site; defaults to the WAL file's basename.  Implies \
+                 --kind site is the intended codec.")
   in
   let out =
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
-           ~doc:"Export the recovered audit entries as CSV (audit kind only).")
+           ~doc:"Export the recovered audit entries as CSV (audit and site kinds).")
+  in
+  (* --site alone is enough to select the site codec *)
+  let kind =
+    Term.(const (fun kind site -> match site with Some _ -> "site" | None -> kind)
+          $ kind $ site)
   in
   Cmd.v
     (Cmd.info "recover"
-       ~doc:"Verify a WAL (+ snapshot), print the recovery report and the surviving state")
-    Term.(const run_recover $ wal $ snapshot $ kind $ out)
+       ~doc:"Verify a WAL (+ snapshot), print the recovery report and the surviving state; \
+             exits 1 when a site recovery is left durably degraded")
+    Term.(const run_recover $ wal $ snapshot $ kind $ site $ out)
 
 let verify_cmd =
   let wal =
-    Arg.(required & opt (some file) None & info [ "wal" ] ~docv:"FILE"
-           ~doc:"Write-ahead log file to verify.")
+    Arg.(required & opt (some file) None & info [ "wal" ] ~docv:"FILE-or-DIR"
+           ~doc:"Write-ahead log file to verify, or a directory of per-site *.wal files \
+                 (sibling <name>.snapshot images are picked up automatically).")
   in
   let snapshot =
     Arg.(value & opt (some file) None & info [ "snapshot" ] ~docv:"FILE"
-           ~doc:"Companion snapshot image, if one was checkpointed.")
+           ~doc:"Companion snapshot image, if one was checkpointed (single-file mode).")
   in
   Cmd.v
     (Cmd.info "verify"
-       ~doc:"Offline tamper check of a WAL (+ snapshot): hash-chain verification without \
-             adopting or rewriting anything; exits 1 on a tamper verdict")
+       ~doc:"Offline tamper check of a WAL (+ snapshot) or a directory of per-site WALs: \
+             hash-chain verification without adopting or rewriting anything; exits 1 on \
+             a tamper verdict")
     Term.(const run_verify $ wal $ snapshot)
 
 let analyze_cmd =
@@ -576,11 +663,17 @@ let federation_health_cmd =
   let heal =
     Arg.(value & flag & info [ "heal" ] ~doc:"Also show the report after healing all sites.")
   in
+  let archive =
+    Arg.(value & flag & info [ "archive" ]
+           ~doc:"Attach a sharded durable archive: successful fetches are archived per \
+                 (site, time-range) shard, dark sites are served stale from it, and the \
+                 per-site shard columns are populated in the report.")
+  in
   Cmd.v
     (Cmd.info "federation-health"
        ~doc:"Consolidate a trail across fault-injected sites and print the health report")
     Term.(const run_federation_health $ audit_arg $ sites $ fault_seed_arg $ unavailable_arg
-          $ timeout_arg $ flaky_arg $ corrupt_arg $ heal)
+          $ timeout_arg $ flaky_arg $ corrupt_arg $ archive $ heal)
 
 (* One seeded chaos schedule through the whole system, checked against the
    model oracle; exits non-zero on a violation, printing the step-by-step
@@ -620,7 +713,7 @@ let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Drive the whole system through a seeded fault schedule and check the model \
-             oracle's six invariants")
+             oracle's seven invariants")
     Term.(const run_chaos $ seed $ steps $ sites $ verbose)
 
 let main_cmd =

@@ -2,8 +2,11 @@
 
      Closed     -- normal; consecutive failures counted
      Open       -- site skipped until the cooldown elapses
-     Half_open  -- cooldown over; probe attempts allowed, one success short
-                   of [success_threshold] closes, any failure re-opens
+     Half_open  -- cooldown over; exactly ONE probe in flight at a time —
+                   a second [allow] before the probe's outcome is recorded
+                   is refused, so concurrent callers cannot stampede a
+                   barely-recovered site; [success_threshold] consecutive
+                   probe successes close, any failure re-opens
 
    Time is the same simulated millisecond clock the retry layer advances,
    so breaker trajectories replay deterministically with the fault
@@ -26,10 +29,18 @@ type t = {
   mutable successes : int; (* consecutive, while Half_open *)
   mutable opened_at : int; (* clock value of the last trip *)
   mutable trips : int; (* lifetime Closed/Half_open -> Open transitions *)
+  mutable probing : bool; (* Half_open: the single admitted probe is in flight *)
 }
 
 let create ?(config = default_config) () =
-  { config; state = Closed; failures = 0; successes = 0; opened_at = 0; trips = 0 }
+  { config;
+    state = Closed;
+    failures = 0;
+    successes = 0;
+    opened_at = 0;
+    trips = 0;
+    probing = false;
+  }
 
 let state t = t.state
 
@@ -38,15 +49,23 @@ let config t = t.config
 let trips t = t.trips
 
 (* May a request proceed at simulated time [now]?  Open transitions to
-   Half_open here once the cooldown has elapsed. *)
+   Half_open here once the cooldown has elapsed — that admission IS the
+   single probe, and further requests are refused until its outcome is
+   recorded. *)
 let allow t ~now =
   match t.state with
   | Closed -> true
-  | Half_open -> true
+  | Half_open ->
+    if t.probing then false
+    else begin
+      t.probing <- true;
+      true
+    end
   | Open ->
     if now - t.opened_at >= t.config.cooldown then begin
       t.state <- Half_open;
       t.successes <- 0;
+      t.probing <- true;
       true
     end
     else false
@@ -56,6 +75,7 @@ let trip t ~now =
   t.opened_at <- now;
   t.failures <- 0;
   t.successes <- 0;
+  t.probing <- false;
   t.trips <- t.trips + 1
 
 let record_success t =
@@ -63,6 +83,7 @@ let record_success t =
   | Closed -> t.failures <- 0
   | Open -> () (* success without permission: ignore *)
   | Half_open ->
+    t.probing <- false;
     t.successes <- t.successes + 1;
     if t.successes >= t.config.success_threshold then begin
       t.state <- Closed;

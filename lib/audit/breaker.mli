@@ -2,10 +2,13 @@
 
     [Closed] counts consecutive failures; at [failure_threshold] the breaker
     trips [Open] and the site is skipped until [cooldown] simulated
-    milliseconds elapse, after which probes are allowed in [Half_open]:
-    [success_threshold] consecutive successes close it, any failure
-    re-opens.  Time is the simulated clock the retry layer advances, so
-    breaker trajectories replay deterministically. *)
+    milliseconds elapse, after which [Half_open] admits exactly {e one}
+    probe at a time — a second [allow] before the probe's outcome is
+    recorded is refused, so concurrent callers cannot stampede a
+    barely-recovered site.  [success_threshold] consecutive probe
+    successes close it, any failure re-opens.  Time is the simulated
+    clock the retry layer advances, so breaker trajectories replay
+    deterministically. *)
 
 type state = Closed | Open | Half_open
 

@@ -41,7 +41,7 @@ let default_config =
   { no_faults with p_unavailable = 0.1; p_timeout = 0.1; p_flaky = 0.2; p_corrupt = 0.05 }
 
 type t = {
-  site : Site.t;
+  mutable site : Site.t; (* mutable so a recovered site can be reseated *)
   prng : Splitmix.t;
   mutable config : config;
   mutable down : bool; (* the persistent-outage draw *)
@@ -53,6 +53,11 @@ let wrap ?(config = no_faults) ~seed site =
   { site; prng; config; down }
 
 let site t = t.site
+
+(* Point the wrapper at a replacement — e.g. a site rebuilt from its WAL
+   after a crash.  The PRNG keeps its position: a reseat does not disturb
+   the fault schedule. *)
+let reseat t site = t.site <- site
 
 let config t = t.config
 

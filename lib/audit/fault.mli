@@ -33,6 +33,12 @@ val wrap : ?config:config -> seed:int -> Site.t -> t
 (** The persistent-outage draw happens here, once, from the seed. *)
 
 val site : t -> Site.t
+
+val reseat : t -> Site.t -> unit
+(** Point the wrapper at a replacement — e.g. a site rebuilt from its WAL
+    after a crash.  The PRNG keeps its position, so a reseat does not
+    disturb the fault schedule. *)
+
 val config : t -> config
 val is_down : t -> bool
 

@@ -17,7 +17,7 @@
      completeness fraction downstream coverage must surface. *)
 
 type member = {
-  msite : Site.t;
+  mutable msite : Site.t; (* mutable so a crash-recovered site can be reseated *)
   mutable fault : Fault.t option; (* None = perfectly reliable transport *)
   breaker : Breaker.t;
 }
@@ -28,6 +28,10 @@ type t = {
   mutable retry : Retry.policy;
   prng : Splitmix.t; (* jitter stream for retry backoff *)
   transit : Quarantine.t; (* records corrupted in transit, latest fetch *)
+  (* The durable consolidated archive (optional): successful fetches are
+     archived per (site, time-range) shard, and a site whose live fetch
+     fails is served stale from its shards instead of being skipped. *)
+  mutable archive : Shard_store.t option;
 }
 
 let create ?(retry = Retry.default) ?(seed = 0) () =
@@ -36,6 +40,7 @@ let create ?(retry = Retry.default) ?(seed = 0) () =
     retry;
     prng = Splitmix.create ~seed;
     transit = Quarantine.create ();
+    archive = None;
   }
 
 let member ?fault ?breaker site =
@@ -68,6 +73,19 @@ let set_fault t name fault =
   match find_member t name with
   | Some m -> m.fault <- fault
   | None -> invalid_arg (Printf.sprintf "Federation.set_fault: unknown site %s" name)
+
+(* Swap in a replacement site — e.g. one rebuilt from its WAL after a
+   crash — keeping the member's breaker history and fault schedule. *)
+let reseat_site t name site =
+  match find_member t name with
+  | Some m ->
+    m.msite <- site;
+    Option.iter (fun f -> Fault.reseat f site) m.fault
+  | None -> invalid_arg (Printf.sprintf "Federation.reseat_site: unknown site %s" name)
+
+let attach_archive t archive = t.archive <- Some archive
+
+let archive t = t.archive
 
 let heal_all t =
   List.iter (fun m -> Option.iter Fault.heal m.fault) t.members
@@ -102,99 +120,12 @@ let sort_defensively entries =
 
 let sorted_entries site = sort_defensively (Site.entries site)
 
-(* K-way merge on a binary min-heap keyed by (time, site index): ties
-   resolve in site order, and within a site the next head is only pushed
-   after its predecessor pops, so the merge is stable and deterministic.
-   O(N log k) against the former per-element scan over all heads. *)
-module Heap = struct
-  type node = {
-    time : int;
-    site : int;
-    entry : Hdb.Audit_schema.entry;
-    rest : Hdb.Audit_schema.entry list;
-  }
-
-  type h = {
-    mutable nodes : node array;
-    mutable size : int;
-  }
-
-  let lt a b = a.time < b.time || (a.time = b.time && a.site < b.site)
-
-  let create capacity node = { nodes = Array.make (max 1 capacity) node; size = 0 }
-
-  let swap h i j =
-    let tmp = h.nodes.(i) in
-    h.nodes.(i) <- h.nodes.(j);
-    h.nodes.(j) <- tmp
-
-  let rec sift_up h i =
-    if i > 0 then begin
-      let parent = (i - 1) / 2 in
-      if lt h.nodes.(i) h.nodes.(parent) then begin
-        swap h i parent;
-        sift_up h parent
-      end
-    end
-
-  let rec sift_down h i =
-    let l = (2 * i) + 1 and r = (2 * i) + 2 in
-    let smallest = ref i in
-    if l < h.size && lt h.nodes.(l) h.nodes.(!smallest) then smallest := l;
-    if r < h.size && lt h.nodes.(r) h.nodes.(!smallest) then smallest := r;
-    if !smallest <> i then begin
-      swap h i !smallest;
-      sift_down h !smallest
-    end
-
-  let push h node =
-    if h.size >= Array.length h.nodes then begin
-      let nodes = Array.make (2 * Array.length h.nodes) node in
-      Array.blit h.nodes 0 nodes 0 h.size;
-      h.nodes <- nodes
-    end;
-    h.nodes.(h.size) <- node;
-    h.size <- h.size + 1;
-    sift_up h (h.size - 1)
-
-  let pop h =
-    let top = h.nodes.(0) in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      h.nodes.(0) <- h.nodes.(h.size);
-      sift_down h 0
-    end;
-    top
-end
-
-(* Merge per-site streams (already sorted) into one time-ordered list. *)
-let merge_streams (streams : Hdb.Audit_schema.entry list list) :
-    Hdb.Audit_schema.entry list =
-  let heads =
-    List.filter_map
-      (fun (i, stream) ->
-        match stream with
-        | [] -> None
-        | e :: rest ->
-          Some { Heap.time = e.Hdb.Audit_schema.time; site = i; entry = e; rest })
-      (List.mapi (fun i stream -> (i, stream)) streams)
-  in
-  match heads with
-  | [] -> []
-  | first :: _ ->
-    let heap = Heap.create (List.length heads) first in
-    List.iter (Heap.push heap) heads;
-    let acc = ref [] in
-    while heap.Heap.size > 0 do
-      let node = Heap.pop heap in
-      acc := node.Heap.entry :: !acc;
-      match node.Heap.rest with
-      | [] -> ()
-      | e :: rest ->
-        Heap.push heap
-          { Heap.time = e.Hdb.Audit_schema.time; site = node.Heap.site; entry = e; rest }
-    done;
-    List.rev !acc
+(* Merge per-site streams (already sorted) into one time-ordered list —
+   a tournament merge keyed (time, site index): ties resolve in site
+   order and within a site records keep append order, so the merge is
+   stable and deterministic (pinned by the QCheck parity test against a
+   global stable sort). *)
+let merge_streams = Tournament.merge_entries
 
 (* The trusted direct view: reads every store in-process, never fails.
    Also the fault-free baseline for the fault-matrix suite. *)
@@ -222,7 +153,16 @@ type result_t = {
 }
 
 (* The production path: breaker-gated, retried fetches; corrupted records
-   quarantined; a health report accounting for every input record. *)
+   quarantined; a health report accounting for every input record.
+
+   With an archive attached, a successful fetch is archived into the
+   site's shards, and a site whose live fetch fails (or whose breaker is
+   open) is served {e stale} from its servable shards: the archived
+   records count as delivered, the lag as stranded, so completeness still
+   measures exactly what the merge contains.  Per-site durability state —
+   shard health, a pending site-WAL replay — rides on each health entry
+   so downstream coverage stays a lower bound while anything durable is
+   damaged. *)
 let consolidated_result t : result_t =
   let streams_rev, healths_rev =
     List.fold_left
@@ -230,18 +170,51 @@ let consolidated_result t : result_t =
         let name = Site.name m.msite in
         let store_len = Site.length m.msite in
         let ingest_q = Site.quarantined_count m.msite in
+        let site_degraded = Site.durably_degraded m.msite in
+        let shards, shards_degraded =
+          match t.archive with
+          | None -> (0, 0)
+          | Some a ->
+            let mine =
+              List.filter
+                (fun (i : Shard_store.shard_info) -> String.equal i.Shard_store.site name)
+                (Shard_store.shard_infos a)
+            in
+            ( List.length mine,
+              List.length
+                (List.filter
+                   (fun (i : Shard_store.shard_info) ->
+                     i.Shard_store.status <> Shard_store.Healthy)
+                   mine) )
+        in
+        let health ~status ~entries ~quarantined ~skipped_entries =
+          Health.make ~shards ~shards_degraded ~site_degraded ~site:name ~status
+            ~entries ~quarantined ~skipped_entries
+            ~breaker:(Breaker.state m.breaker) ~trips:(Breaker.trips m.breaker) ()
+        in
+        (* A failed (or breaker-gated) live fetch degrades to the durable
+           archive when it can serve anything; otherwise the site is
+           skipped outright. *)
+        let degrade ~skip_status =
+          match t.archive with
+          | Some a when Shard_store.site_records a ~site:name > 0 ->
+            let archived = Shard_store.site_records a ~site:name in
+            let lag = max 0 (store_len - archived) in
+            let h =
+              health
+                ~status:(Health.Stale { archived; lag })
+                ~entries:archived ~quarantined:ingest_q ~skipped_entries:lag
+            in
+            (Shard_store.merged_site a ~site:name :: streams, h :: healths)
+          | _ ->
+            let h =
+              health ~status:skip_status ~entries:0 ~quarantined:ingest_q
+                ~skipped_entries:store_len
+            in
+            (streams, h :: healths)
+        in
         if not (Breaker.allow m.breaker ~now:!(t.clock)) then
-          let h =
-            { Health.site = name;
-              status = Health.Skipped Health.Breaker_open;
-              entries = 0;
-              quarantined = ingest_q;
-              skipped_entries = store_len;
-              breaker = Breaker.state m.breaker;
-              trips = Breaker.trips m.breaker;
-            }
-          in
-          (streams, h :: healths)
+          degrade ~skip_status:(Health.Skipped Health.Breaker_open)
         else
           match fetch_member t m with
           | Ok (fetched, retries) ->
@@ -252,30 +225,20 @@ let consolidated_result t : result_t =
               (fun (seq, raw, reason) -> Quarantine.add t.transit ~site:name ~seq ~raw ~reason)
               fetched.Fault.corrupted;
             let corrupted = List.length fetched.Fault.corrupted in
+            let stream = sort_defensively fetched.Fault.delivered in
+            Option.iter
+              (fun a -> ignore (Shard_store.archive_site a ~site:name stream))
+              t.archive;
             let h =
-              { Health.site = name;
-                status = Health.Delivered { retries };
-                entries = store_len - corrupted;
-                quarantined = ingest_q + corrupted;
-                skipped_entries = 0;
-                breaker = Breaker.state m.breaker;
-                trips = Breaker.trips m.breaker;
-              }
+              health
+                ~status:(Health.Delivered { retries })
+                ~entries:(store_len - corrupted)
+                ~quarantined:(ingest_q + corrupted) ~skipped_entries:0
             in
-            (sort_defensively fetched.Fault.delivered :: streams, h :: healths)
+            (stream :: streams, h :: healths)
           | Error why ->
             Breaker.record_failure m.breaker ~now:!(t.clock);
-            let h =
-              { Health.site = name;
-                status = Health.Skipped (Health.Fetch_failed why);
-                entries = 0;
-                quarantined = ingest_q;
-                skipped_entries = store_len;
-                breaker = Breaker.state m.breaker;
-                trips = Breaker.trips m.breaker;
-              }
-            in
-            (streams, h :: healths))
+            degrade ~skip_status:(Health.Skipped (Health.Fetch_failed why)))
       ([], []) t.members
   in
   { entries = merge_streams (List.rev streams_rev);

@@ -33,6 +33,19 @@ val set_fault : t -> string -> Fault.t option -> unit
 (** Replace (or clear) a member's fault wrapper.
     @raise Invalid_argument on an unknown site. *)
 
+val reseat_site : t -> string -> Site.t -> unit
+(** Swap in a replacement site — e.g. one rebuilt from its WAL after a
+    crash — keeping the member's breaker history and fault schedule.
+    @raise Invalid_argument on an unknown site. *)
+
+val attach_archive : t -> Shard_store.t -> unit
+(** Attach the durable consolidated archive: successful fetches are
+    archived per (site, time-range) shard, and a site whose live fetch
+    fails — or whose breaker is open — is served {e stale} from its
+    servable shards instead of being skipped outright. *)
+
+val archive : t -> Shard_store.t option
+
 val heal_all : t -> unit
 (** {!Fault.heal} every member — the recovery step of the convergence
     oracle. *)
@@ -51,7 +64,7 @@ val transit_quarantine : t -> Quarantine.t
 val total_entries : t -> int
 
 val consolidated : t -> Hdb.Audit_schema.entry list
-(** K-way min-heap merge of the per-site streams by timestamp; ties resolve
+(** Tournament merge of the per-site streams by timestamp; ties resolve
     in site order (stable and deterministic).  Out-of-order site logs are
     sorted defensively.  Direct in-process reads: never fails. *)
 
@@ -64,7 +77,10 @@ val consolidated_result : t -> result_t
 (** The production path: each site fetched through its fault wrapper (if
     any) under retry/backoff, gated by its circuit breaker; corrupted
     records quarantined.  Never raises — failures degrade the health report
-    instead: delivered + quarantined + stranded = 100% of known input. *)
+    instead: delivered + quarantined + stranded = 100% of known input.
+    With an archive attached, failed sites degrade to stale archive reads
+    (see {!attach_archive}) and each health entry carries the site's
+    durable state (shard health, pending WAL replay). *)
 
 val to_policy : t -> Prima_core.Policy.t
 (** The consolidated view as P_AL. *)

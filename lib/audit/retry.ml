@@ -33,6 +33,13 @@ let delay_before policy prng ~attempt =
     let factor = 1. -. (policy.jitter /. 2.) +. (policy.jitter *. Splitmix.float prng) in
     max 0 (int_of_float (float_of_int raw *. factor))
 
+(* The deadline boundary, pinned: the budget is the half-open window
+   [0, deadline) of elapsed simulated ms.  An attempt that would start at
+   exactly [deadline] is refused — both the post-failure check and the
+   post-backoff check use the same closed comparison, so the boundary
+   cannot drift between the two call sites (regression-tested). *)
+let deadline_reached policy ~start ~clock = clock - start >= policy.deadline
+
 (* Run [f] until it returns [Ok], attempts are exhausted, or the deadline
    is blown.  [f] receives the 1-based attempt number.  The last error wins;
    the clock cell ends at start + elapsed backoff. *)
@@ -42,11 +49,11 @@ let run ?(policy = default) ~prng ~clock f =
     match f ~attempt with
     | Ok v -> (Ok v, { attempts = attempt; elapsed = !clock - start })
     | Error e ->
-      if attempt >= policy.max_attempts || !clock - start >= policy.deadline then
-        (Error e, { attempts = attempt; elapsed = !clock - start })
+      if attempt >= policy.max_attempts || deadline_reached policy ~start ~clock:!clock
+      then (Error e, { attempts = attempt; elapsed = !clock - start })
       else begin
         clock := !clock + delay_before policy prng ~attempt;
-        if !clock - start >= policy.deadline then
+        if deadline_reached policy ~start ~clock:!clock then
           (Error e, { attempts = attempt; elapsed = !clock - start })
         else go (attempt + 1)
       end

@@ -11,7 +11,11 @@ type policy = {
   base_delay : int;  (** ms before the second attempt *)
   max_delay : int;  (** backoff ceiling, ms *)
   jitter : float;  (** +/- fraction of the delay, in [0, 1] *)
-  deadline : int;  (** overall budget, ms; attempts stop once exceeded *)
+  deadline : int;
+      (** overall budget: the half-open window [0, deadline) of elapsed
+          simulated ms.  An attempt that would start at {e exactly}
+          [deadline] is refused — the boundary is closed, identically at
+          both the post-failure and the post-backoff check. *)
 }
 
 val default : policy

@@ -68,3 +68,58 @@ val reprocess_quarantined : t -> ingest_summary
     so reprocessing never double-ingests. *)
 
 val entries : t -> Hdb.Audit_schema.entry list
+
+(** {2 Per-site durability}
+
+    A site may sit on its own {!Durable.Log.t}: every mutation — an
+    accepted entry, a ledger mark, a quarantine add/remove, a sequence
+    advance — is framed as an op record into the write-ahead log {e
+    before} the in-memory state changes, so the store, the exactly-once
+    ledger and the in-flight quarantine survive a site-local crash and
+    replay locally instead of re-ingesting from the source.  A site with
+    its own WAL owns its quarantine's durability — do not also attach a
+    {!Quarantine.attach_log} log to the same quarantine. *)
+
+val attach_wal : t -> Durable.Log.t -> unit
+(** Future mutations are write-ahead logged.  State already held is
+    {e not} retro-logged — attach at creation or via {!restore}. *)
+
+val wal : t -> Durable.Log.t option
+
+val recovery : t -> Durable.Recovery.t option
+(** The report of the last {!restore}, if any. *)
+
+val undecodable : t -> int
+(** Recovered ops that no longer decode (0 unless the codec changed). *)
+
+val sync_wal : t -> unit
+(** fsync the attached WAL (no-op without one). *)
+
+val checkpoint_wal : t -> unit
+(** Compact the op history into a snapshot of the live state (entries,
+    ledger, quarantine, sequence floor) and truncate the WAL. *)
+
+val enable_auto_checkpoint : ?policy:Durable.Log.checkpoint_policy -> t -> unit
+(** Register a background-compaction policy (default: every 1024 WAL
+    records) on the attached WAL; no-op without one. *)
+
+val restore : t -> Durable.Log.t -> Durable.Recovery.t * int
+(** Open-or-recover [log], replay the verified ops into [t] (assumed
+    fresh), attach the log, and return the recovery report plus the count
+    of undecodable ops.  A lossy or tampered recovery leaves the site
+    {!durably_degraded} until {!acknowledge_replay}. *)
+
+val open_durable :
+  ?mapping:Mapping.t -> name:string -> Durable.Log.t -> t * Durable.Recovery.t * int
+(** [create] + {!restore} — the crash-restart entry point. *)
+
+val durably_degraded : t -> bool
+(** The last recovery lost records (torn tail), found tampering, or hit
+    undecodable ops, and the feed has not yet replayed the lost suffix:
+    the site's own length is not a trustworthy total, so consolidation
+    must keep coverage at [Lower_bound]. *)
+
+val acknowledge_replay : t -> unit
+(** The feed declares it has re-sent everything past the verified prefix
+    (it knows the lost suffix; the site only knows its [next_seq] floor),
+    clearing {!durably_degraded}. *)

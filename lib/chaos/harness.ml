@@ -36,6 +36,15 @@
                            degraded with [Lower_bound] coverage — and no
                            ordinary crash, however ugly, is ever classified
                            as tampering (zero false positives).
+   7. site-local-recovery — a remote whose own WAL is power-cut recovers
+                           locally: the rebuilt site is a prefix of its
+                           ingested stream, never below its durable floor
+                           (again excepting [Truncated_sync]), the crash is
+                           never classified as tampering, recovery is
+                           idempotent, a lossy recovery forces [Lower_bound]
+                           coverage until the feed replays the lost suffix —
+                           and after the replay the system re-converges to
+                           [Exact].
 
    Everything is deterministic in the seed: the schedule, the workload, the
    fault wrappers and the device damage all draw from seeded Splitmix
@@ -58,6 +67,9 @@ type report = {
   actions_run : int;
   appended : int;  (** workload entries fed to the system (and model) *)
   crashes : int;
+  site_crashes : int;  (** power cuts to a remote site's own WAL *)
+  site_recovered : int;  (** entries the crashed sites replayed from their WALs *)
+  site_replayed : int;  (** lost-suffix entries the feed re-sent after site crashes *)
   consolidations : int;
   refines_ok : int;
   refines_rejected : int;  (** completeness below the adaptive floor *)
@@ -80,6 +92,7 @@ type t = {
   vocab : Vocabulary.Vocab.t;
   model : Model.t;
   mutable sys : Sys_.t;
+  archive : Audit_mgmt.Shard_store.t;  (** the durable consolidated archive *)
   faults : Audit_mgmt.Fault.t array;
   pool : Hdb.Audit_schema.entry array;  (** the pre-generated workload stream *)
   mutable next_entry : int;
@@ -88,6 +101,9 @@ type t = {
   mutable events : string list;  (** newest first *)
   mutable appended : int;
   mutable crashes : int;
+  mutable site_crashes : int;
+  mutable site_recovered : int;
+  mutable site_replayed : int;
   mutable consolidations : int;
   mutable refines_ok : int;
   mutable refines_rejected : int;
@@ -200,7 +216,7 @@ let check_consolidate h =
   in
   check_sem "set" qc.Sys_.set_semantics mset;
   check_sem "bag" qc.Sys_.bag_semantics mbag;
-  let expect_exact = health.H.completeness >= 1.0 && not (Sys_.durably_degraded h.sys) in
+  let expect_exact = health.H.completeness >= 1.0 && Sys_.fully_verified h.sys in
   let label_ok (q : Prima_core.Coverage.qualified) =
     match (q.Prima_core.Coverage.qualifier, expect_exact) with
     | Prima_core.Coverage.Exact, true -> true
@@ -209,10 +225,15 @@ let check_consolidate h =
   in
   if not (label_ok qc.Sys_.set_semantics && label_ok qc.Sys_.bag_semantics) then
     violate "lower-bound-label"
-      "coverage over a %s window (completeness %.3f, durably_degraded %b) mislabelled"
+      "coverage over a %s window (completeness %.3f, fully_verified %b) mislabelled"
       (if expect_exact then "complete" else "partial")
-      health.H.completeness
-      (Sys_.durably_degraded h.sys);
+      health.H.completeness (Sys_.fully_verified h.sys);
+  (* the health report's degraded tallies must agree with the members *)
+  if Sys_.federation_degraded h.sys
+     && health.H.degraded_sites = 0 && health.H.degraded_shards = 0
+  then
+    violate "site-local-recovery"
+      "federation durably degraded but the health report shows no degraded site or shard";
   (* consolidation mutated the quarantine: make its state the synced floor *)
   sync_q_floor h;
   health
@@ -243,7 +264,7 @@ let check_refine h =
     let c = Sys_.completeness h.sys in
     let expect_exact =
       c >= 1.0
-      && (not (Sys_.durably_degraded h.sys))
+      && Sys_.fully_verified h.sys
       && not report.Prima_core.Refinement.degraded
     in
     (match (report.Prima_core.Refinement.qualifier, expect_exact) with
@@ -345,6 +366,7 @@ let crash_and_recover h point =
   (* resume: re-wire the fault plane and enforcement table, then have the
      client replay the lost unsynced suffix (at-least-once delivery) *)
   Array.iter (fun f -> Sys_.add_faulty_site sys_b f) h.faults;
+  Sys_.attach_archive sys_b h.archive;
   Sys_.set_group_commit sys_b h.group_commit;
   setup_enforcement sys_b;
   h.sys <- sys_b;
@@ -354,6 +376,104 @@ let crash_and_recover h point =
   (* everything recovered sits on stable storage; the replayed tail is the
      new unsynced region *)
   Model.set_synced h.model k;
+  Printf.sprintf "recovered %d/%d, replayed %d" k model_len (List.length lost)
+
+(* ---------- site-local crash + recovery (invariant 7) ---------- *)
+
+(* Power-cut remote [i]'s own WAL at the drawn point, rebuild the site
+   from its op log alone, reseat it into the federation (keeping breaker
+   history and fault schedule), and have the feed replay the lost suffix.
+   The clinical pair and every other site are untouched: the blast radius
+   of a site-local crash is exactly one site. *)
+let site_crash_and_recover h i point =
+  h.site_crashes <- h.site_crashes + 1;
+  let fault = h.faults.(i) in
+  let old_site = Audit_mgmt.Fault.site fault in
+  let name = Audit_mgmt.Site.name old_site in
+  let log =
+    match Audit_mgmt.Site.wal old_site with
+    | Some l -> l
+    | None -> violate "site-local-recovery" "site %s lost its durable WAL" name
+  in
+  let wal = Durable.Log.wal_device log in
+  let snap = Durable.Log.snapshot_device log in
+  (* the drawn point hits the site's WAL; its snapshot loses power with a
+     clean loss of the unsynced tail *)
+  Durable.Device.crash wal ~point;
+  Durable.Device.crash snap ~point:Durable.Device.Clean_loss;
+  let open_once () =
+    Audit_mgmt.Site.open_durable ~name (Durable.Log.of_devices ~wal ~snapshot:snap)
+  in
+  (* the first open truncates any torn tail and reseals, so it is the one
+     that carries the true verdict — it becomes the live site; the second
+     open is the idempotency probe over the now-clean devices *)
+  let site', report, undecodable = open_once () in
+  (* crash damage lands in the unsynced tail: never tampering, and the
+     op codec did not change under us *)
+  if Durable.Recovery.tampered report then
+    violate "site-local-recovery" "site crash point %s misclassified as tampering"
+      (Durable.Device.crash_point_to_string point);
+  if undecodable > 0 then
+    violate "site-local-recovery" "%d recovered site op(s) no longer decode" undecodable;
+  let entries = Audit_mgmt.Site.entries site' in
+  (* recovery is idempotent: a second open over the same devices yields
+     the same site and drops nothing new *)
+  let site_b, report_b, _ = open_once () in
+  if Durable.Recovery.tampered report_b then
+    violate "site-local-recovery" "second site recovery after point %s reports tampering"
+      (Durable.Device.crash_point_to_string point);
+  if Durable.Recovery.dropped_tail report_b then
+    violate "site-local-recovery" "second site recovery still dropping WAL bytes";
+  let entries_b = Audit_mgmt.Site.entries site_b in
+  if List.length entries <> List.length entries_b
+     || not (List.for_all2 Hdb.Audit_schema.equal entries entries_b)
+  then violate "site-local-recovery" "second site recovery produced a different store";
+  (* prefix + durable floor, against the model's fault-free remote stream *)
+  let k = List.length entries in
+  let model_all = Model.remote h.model i in
+  let model_len = Model.remote_length h.model i in
+  if k > model_len then
+    violate "site-local-recovery" "site %s recovered %d entries but only %d were ingested"
+      name k model_len;
+  if point <> Durable.Device.Truncated_sync && k < Model.remote_synced h.model i then
+    violate "site-local-recovery"
+      "site %s recovered %d entries, below its durable floor of %d (point %s)" name k
+      (Model.remote_synced h.model i)
+      (Durable.Device.crash_point_to_string point);
+  let prefix = List.filteri (fun j _ -> j < k) model_all in
+  if not (List.for_all2 Hdb.Audit_schema.equal entries prefix) then
+    violate "site-local-recovery" "site %s recovered store is not a prefix of its stream"
+      name;
+  h.site_recovered <- h.site_recovered + k;
+  (* swap the rebuilt site back in; the member keeps its breaker history
+     and fault schedule (Fault.reseat inside) *)
+  Sys_.reseat_site h.sys name site';
+  let lost = List.filteri (fun j _ -> j >= k) model_all in
+  (* a lossy recovery leaves the site durably degraded: until the feed
+     replays, every coverage reading must carry the Lower_bound label *)
+  if Audit_mgmt.Site.durably_degraded site' then begin
+    if not (Sys_.federation_degraded h.sys) then
+      violate "site-local-recovery"
+        "site %s degraded after a lossy recovery but the system does not see it" name;
+    let qc = Sys_.coverage_qualified h.sys in
+    let lower (q : Prima_core.Coverage.qualified) =
+      match q.Prima_core.Coverage.qualifier with
+      | Prima_core.Coverage.Lower_bound _ -> true
+      | Prima_core.Coverage.Exact -> false
+    in
+    if not (lower qc.Sys_.set_semantics && lower qc.Sys_.bag_semantics) then
+      violate "site-local-recovery"
+        "coverage after site %s's lossy recovery not labelled Lower_bound" name;
+    sync_q_floor h
+  end;
+  (* the feed replays the lost suffix (at-least-once) and declares the
+     site whole again; the recovered prefix sits on stable storage *)
+  Audit_mgmt.Site.ingest_entries site' lost;
+  Audit_mgmt.Site.acknowledge_replay site';
+  if Audit_mgmt.Site.durably_degraded site' then
+    violate "site-local-recovery" "site %s still degraded after the replay" name;
+  Model.set_remote_synced h.model i k;
+  h.site_replayed <- h.site_replayed + List.length lost;
   Printf.sprintf "recovered %d/%d, replayed %d" k model_len (List.length lost)
 
 (* ---------- tampering fault (invariant 6) ---------- *)
@@ -450,6 +570,7 @@ let tamper_and_verify h pick bit_pick =
     (* resume on the rebuilt system; the next coverage reading must carry
        the Lower_bound label even over a nominally complete window *)
     Array.iter (fun f -> Sys_.add_faulty_site sys' f) h.faults;
+    Sys_.attach_archive sys' h.archive;
     Sys_.set_group_commit sys' h.group_commit;
     setup_enforcement sys';
     h.sys <- sys';
@@ -572,6 +693,7 @@ let run_action h step action =
       sync_q_floor h;
       "compacted"
     | Schedule.Crash point -> crash_and_recover h point
+    | Schedule.Site_crash (i, point) -> site_crash_and_recover h i point
     | Schedule.Consolidate ->
       let health = check_consolidate h in
       Printf.sprintf "completeness %.3f (%d/%d, %d quarantined)" health.H.completeness
@@ -636,7 +758,7 @@ let epilogue h =
     in
     if not (same qc.Sys_.set_semantics mset && same qc.Sys_.bag_semantics mbag) then
       violate "convergence" "coverage over the healed trail differs from the model";
-    let expect_exact = not (Sys_.durably_degraded h.sys) in
+    let expect_exact = Sys_.fully_verified h.sys in
     let label_ok (q : Prima_core.Coverage.qualified) =
       match (q.Prima_core.Coverage.qualifier, expect_exact) with
       | Prima_core.Coverage.Exact, true -> true
@@ -711,18 +833,26 @@ let run ?(nsites = 2) ?trace ~seed ~steps () =
       timeout_cost = 40;
     }
   in
+  (* every remote sits on its own durable op log, so a site-local crash
+     recovers from the site's WAL instead of re-ingesting from source *)
   let faults =
     Array.init nsites (fun i ->
         let site = Audit_mgmt.Site.create ~name:(site_name i) () in
+        Audit_mgmt.Site.attach_wal site (Durable.Log.create ~seed:((seed * 13) + 10 + i) ());
         Audit_mgmt.Fault.wrap ~config:fault_config ~seed:((seed * 101) + i) site)
   in
   Array.iter (fun f -> Sys_.add_faulty_site sys f) faults;
+  (* the durable consolidated archive: failed fetches degrade to stale
+     shard reads instead of skipping the site outright *)
+  let archive = Audit_mgmt.Shard_store.create ~seed:((seed * 13) + 5) () in
+  Sys_.attach_archive sys archive;
   let h =
     {
       seed;
       vocab;
       model = Model.create ~vocab ~p_ps ~nsites;
       sys;
+      archive;
       faults;
       pool;
       next_entry = 0;
@@ -731,6 +861,9 @@ let run ?(nsites = 2) ?trace ~seed ~steps () =
       events = [];
       appended = 0;
       crashes = 0;
+      site_crashes = 0;
+      site_recovered = 0;
+      site_replayed = 0;
       consolidations = 0;
       refines_ok = 0;
       refines_rejected = 0;
@@ -776,6 +909,9 @@ let run ?(nsites = 2) ?trace ~seed ~steps () =
     actions_run = !actions_run;
     appended = h.appended;
     crashes = h.crashes;
+    site_crashes = h.site_crashes;
+    site_recovered = h.site_recovered;
+    site_replayed = h.site_replayed;
     consolidations = h.consolidations;
     refines_ok = h.refines_ok;
     refines_rejected = h.refines_rejected;
@@ -795,10 +931,12 @@ let pp_violation ppf v =
 
 let pp ppf (r : report) =
   Fmt.pf ppf
-    "@[<v>seed %d: %d/%d steps, %d entries, %d crashes, %d consolidations, %d+%d \
-     refines (%d degraded), %d budget trips, %d/%d tampers detected — %a@]"
-    r.seed r.actions_run r.steps r.appended r.crashes r.consolidations r.refines_ok
-    r.refines_rejected r.degraded_epochs r.enforce_trips r.tampers_detected r.tampers
+    "@[<v>seed %d: %d/%d steps, %d entries, %d crashes, %d site crashes (%d \
+     recovered/%d replayed), %d consolidations, %d+%d refines (%d degraded), %d budget \
+     trips, %d/%d tampers detected — %a@]"
+    r.seed r.actions_run r.steps r.appended r.crashes r.site_crashes r.site_recovered
+    r.site_replayed r.consolidations r.refines_ok r.refines_rejected r.degraded_epochs
+    r.enforce_trips r.tampers_detected r.tampers
     (fun ppf -> function
       | None -> Fmt.pf ppf "all invariants held"
       | Some v -> pp_violation ppf v)

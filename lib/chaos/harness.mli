@@ -26,6 +26,12 @@
       idempotently; the mutated record is never read back; the rebuilt
       system is durably degraded with [Lower_bound] coverage; and no
       ordinary crash is ever classified as tampering.
+    + {b site-local-recovery} — a remote whose own WAL is power-cut
+      recovers locally to a prefix of its ingested stream, never below its
+      durable floor ([Truncated_sync] excepted), never as tampering,
+      idempotently; a lossy recovery keeps coverage at [Lower_bound] until
+      the feed replays the lost suffix, after which the system
+      re-converges to [Exact].
 
     Fully deterministic in [seed]: a violation replays from its seed. *)
 
@@ -42,6 +48,9 @@ type report = {
   actions_run : int;
   appended : int;
   crashes : int;
+  site_crashes : int;  (** power cuts to a remote site's own WAL *)
+  site_recovered : int;  (** entries the crashed sites replayed from their WALs *)
+  site_replayed : int;  (** lost-suffix entries the feed re-sent after site crashes *)
   consolidations : int;
   refines_ok : int;
   refines_rejected : int;

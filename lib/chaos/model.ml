@@ -16,6 +16,7 @@ type t = {
   mutable clinical_len : int;
   mutable synced : int;  (** durable floor: entries guaranteed to survive a crash *)
   remote_rev : Hdb.Audit_schema.entry list array;
+  remote_synced : int array;  (** per-remote durable floors (site WALs) *)
 }
 
 let create ~vocab ~p_ps ~nsites =
@@ -26,6 +27,7 @@ let create ~vocab ~p_ps ~nsites =
     clinical_len = 0;
     synced = 0;
     remote_rev = Array.make nsites [];
+    remote_synced = Array.make nsites 0;
   }
 
 let append_clinical t entries =
@@ -42,7 +44,18 @@ let clinical t = List.rev t.clinical_rev
 let clinical_length t = t.clinical_len
 let synced t = t.synced
 let set_synced t n = t.synced <- n
-let mark_all_synced t = t.synced <- t.clinical_len
+
+let remote t i = List.rev t.remote_rev.(i)
+let remote_length t i = List.length t.remote_rev.(i)
+let remote_synced t i = t.remote_synced.(i)
+let set_remote_synced t i n = t.remote_synced.(i) <- n
+
+(* A whole-system sync makes every attached WAL durable: the clinical
+   floor and each remote site's floor all rise to the current lengths. *)
+let mark_all_synced t =
+  t.synced <- t.clinical_len;
+  Array.iteri (fun i l -> t.remote_synced.(i) <- List.length l) t.remote_rev
+
 let p_ps t = t.p_ps
 
 (* The fault-free consolidated trail.  Workload timestamps are strictly

@@ -22,7 +22,21 @@ val synced : t -> int
 (** The durable floor: a crash may never lose entries below this index. *)
 
 val set_synced : t -> int -> unit
+
+val remote : t -> int -> Hdb.Audit_schema.entry list
+(** Everything ever ingested at remote [i], in append order. *)
+
+val remote_length : t -> int -> int
+
+val remote_synced : t -> int -> int
+(** Remote [i]'s durable floor: a site-local crash may never lose entries
+    below this index. *)
+
+val set_remote_synced : t -> int -> int -> unit
+
 val mark_all_synced : t -> unit
+(** A whole-system sync: the clinical floor and every remote floor rise
+    to the current stream lengths. *)
 
 val p_ps : t -> Prima_core.Policy.t
 

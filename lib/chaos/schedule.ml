@@ -19,6 +19,10 @@ type action =
   | Crash of Durable.Device.crash_point
       (** power-cut the durable devices, recover, and resume on the
           rebuilt system *)
+  | Site_crash of int * Durable.Device.crash_point
+      (** power-cut remote [i]'s own WAL at the drawn point, recover the
+          site locally from its op log, reseat it into the federation and
+          replay the lost suffix *)
   | Consolidate  (** fault-aware consolidation + qualified coverage *)
   | Outage of int  (** force the persistent outage on remote [i] *)
   | Heal of int  (** clear every injected fault on remote [i] *)
@@ -43,6 +47,8 @@ let to_string = function
   | Sync_durable -> "sync-durable"
   | Checkpoint_durable -> "checkpoint-durable"
   | Crash p -> "crash " ^ Durable.Device.crash_point_to_string p
+  | Site_crash (i, p) ->
+    Printf.sprintf "site-crash site-%d %s" i (Durable.Device.crash_point_to_string p)
   | Consolidate -> "consolidate"
   | Outage i -> Printf.sprintf "outage site-%d" i
   | Heal i -> Printf.sprintf "heal site-%d" i
@@ -78,6 +84,7 @@ let gen_action rng ~nsites =
         (`Sync, 3);
         (`Checkpoint, 1);
         (`Crash, 2);
+        (`Site_crash, 2);
         (`Consolidate, 5);
         (`Outage, 2);
         (`Heal, 2);
@@ -93,6 +100,7 @@ let gen_action rng ~nsites =
   | `Sync -> Sync_durable
   | `Checkpoint -> Checkpoint_durable
   | `Crash -> Crash (gen_crash_point rng)
+  | `Site_crash -> Site_crash (Splitmix.int rng nsites, gen_crash_point rng)
   | `Consolidate -> Consolidate
   | `Outage -> Outage (Splitmix.int rng nsites)
   | `Heal -> Heal (Splitmix.int rng nsites)

@@ -18,6 +18,9 @@ type action =
   | Sync_durable
   | Checkpoint_durable
   | Crash of Durable.Device.crash_point
+  | Site_crash of int * Durable.Device.crash_point
+      (** (site index, point): power-cut that remote's own WAL, recover
+          it locally, reseat it and replay the lost suffix *)
   | Consolidate
   | Outage of int
   | Heal of int

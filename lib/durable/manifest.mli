@@ -1,0 +1,40 @@
+(** The shard manifest: a checksummed catalogue of the shards a sharded
+    store is made of, written atomically (whole-image replace + sync) at
+    every durability point.
+
+    The catalogue is one {!Frame}-checksummed record: a torn write, a
+    truncated tail or a flipped bit anywhere makes the whole manifest
+    unreadable, and {!read} reports it as such instead of serving a
+    half-catalogue — the store then rebuilds the catalogue by scanning
+    the shards themselves, which remain individually recoverable. *)
+
+type shard = {
+  name : string;  (** owning site (or any shard key rendered as a string) *)
+  lo : int;  (** lowest timestamp the shard covers (inclusive) *)
+  hi : int;  (** highest timestamp the shard covers (inclusive) *)
+  records : int;  (** records durable in the shard at manifest-write time *)
+  chain : int;  (** the shard WAL's hash-chain head at that point *)
+}
+
+type t = { shards : shard list }
+
+val empty : t
+
+val encode : t -> string
+(** The full device image: magic + one checksummed catalogue frame. *)
+
+val decode : string -> (t, string) result
+(** Inverse of {!encode}; [Error] on any framing, checksum, chain or
+    codec damage. *)
+
+val write : Device.t -> t -> unit
+(** Replace the device's contents with a fresh image and sync it. *)
+
+val read : Device.t -> (t option, string) result
+(** [Ok None] on an empty device (no manifest yet); [Error] when the
+    image does not verify — fall back to scanning the shards. *)
+
+val find : t -> string -> shard option
+
+val pp_shard : Format.formatter -> shard -> unit
+val pp : Format.formatter -> t -> unit

@@ -122,13 +122,36 @@ let durably_degraded t =
     || r.undecodable > 0
     || tampered t
 
+(* Is any federation-side durable state damaged?  A member site whose WAL
+   recovery was lossy or tampered (and whose feed has not yet replayed
+   the lost suffix), or a torn/tampered archive shard: either way some
+   site's own record totals are not trustworthy, so coverage must stay a
+   lower bound even when the record accounting looks complete. *)
+let federation_degraded t =
+  List.exists Audit_mgmt.Site.durably_degraded (Audit_mgmt.Federation.sites t.federation)
+  || (match Audit_mgmt.Federation.archive t.federation with
+     | Some a -> Audit_mgmt.Shard_store.shards_degraded a > 0
+     | None -> false)
+
+(* Everything durable verified end-to-end: central logs, per-site WALs,
+   archive shards.  The [verified] input to coverage qualification. *)
+let fully_verified t = (not (durably_degraded t)) && not (federation_degraded t)
+
 let sync_durable t =
   Hdb.Audit_store.sync (Hdb.Control_center.audit_store t.control);
-  Audit_mgmt.Quarantine.sync (Audit_mgmt.Federation.transit_quarantine t.federation)
+  Audit_mgmt.Quarantine.sync (Audit_mgmt.Federation.transit_quarantine t.federation);
+  List.iter Audit_mgmt.Site.sync_wal (Audit_mgmt.Federation.sites t.federation);
+  Option.iter Audit_mgmt.Shard_store.sync (Audit_mgmt.Federation.archive t.federation)
 
 let checkpoint_durable t =
   Hdb.Audit_store.checkpoint (Hdb.Control_center.audit_store t.control);
-  Audit_mgmt.Quarantine.checkpoint (Audit_mgmt.Federation.transit_quarantine t.federation)
+  Audit_mgmt.Quarantine.checkpoint (Audit_mgmt.Federation.transit_quarantine t.federation);
+  List.iter Audit_mgmt.Site.checkpoint_wal (Audit_mgmt.Federation.sites t.federation);
+  Option.iter Audit_mgmt.Shard_store.checkpoint (Audit_mgmt.Federation.archive t.federation)
+
+let attach_archive t archive = Audit_mgmt.Federation.attach_archive t.federation archive
+
+let reseat_site t name site = Audit_mgmt.Federation.reseat_site t.federation name site
 
 let control t = t.control
 let federation t = t.federation
@@ -203,7 +226,10 @@ let advance_clock t ms = Audit_mgmt.Federation.advance_clock t.federation ms
 let set_group_commit t on =
   let set = function Some log -> Durable.Log.set_group_commit log on | None -> () in
   set (Hdb.Audit_store.log (Hdb.Control_center.audit_store t.control));
-  set (Audit_mgmt.Quarantine.log (Audit_mgmt.Federation.transit_quarantine t.federation))
+  set (Audit_mgmt.Quarantine.log (Audit_mgmt.Federation.transit_quarantine t.federation));
+  List.iter
+    (fun site -> set (Audit_mgmt.Site.wal site))
+    (Audit_mgmt.Federation.sites t.federation)
 
 (* Pull the fault-aware consolidated view into the refinement component's
    P_AL; the health report of this consolidation is retained and its
@@ -237,7 +263,7 @@ type qualified_coverage = {
 let coverage_qualified t : qualified_coverage =
   let health = sync_audit t in
   let c = health.Audit_mgmt.Health.completeness in
-  let verified = not (durably_degraded t) in
+  let verified = fully_verified t in
   let report = Prima_core.Prima.coverage t.prima in
   { set_semantics =
       Prima_core.Coverage.qualify ~verified ~completeness:c
@@ -293,7 +319,7 @@ let refine t : (Prima_core.Refinement.epoch_report, string) result =
          health.Audit_mgmt.Health.total)
   else
     match
-      Prima_core.Prima.refine ~completeness:c ~verified:(not (durably_degraded t)) t.prima
+      Prima_core.Prima.refine ~completeness:c ~verified:(fully_verified t) t.prima
     with
     | Error _ as e -> e
     | Ok report ->

@@ -103,11 +103,31 @@ val durably_degraded : t -> bool
     {!Prima_core.Coverage.Lower_bound} even over a nominally complete
     window. *)
 
+val federation_degraded : t -> bool
+(** Is any federation-side durable state damaged — a member site whose WAL
+    recovery was lossy or tampered with the replay still pending, or a
+    torn/tampered archive shard?  While true, coverage stays a lower
+    bound: a degraded site's own record totals are not trustworthy. *)
+
+val fully_verified : t -> bool
+(** Neither {!durably_degraded} nor {!federation_degraded} — the
+    [verified] input to coverage qualification. *)
+
 val sync_durable : t -> unit
-(** fsync both attached logs (no-op without [~storage]). *)
+(** fsync every attached log: the central pair, each member site's WAL,
+    and the archive's shards + manifest (each a no-op when absent). *)
 
 val checkpoint_durable : t -> unit
-(** Compact both logs: snapshot current state and truncate the WALs. *)
+(** Compact every attached log: snapshot current state and truncate the
+    WALs (central pair, member site WALs, archive shards + manifest). *)
+
+val attach_archive : t -> Audit_mgmt.Shard_store.t -> unit
+(** Attach the durable consolidated archive to the federation (see
+    {!Audit_mgmt.Federation.attach_archive}). *)
+
+val reseat_site : t -> string -> Audit_mgmt.Site.t -> unit
+(** Swap a crash-recovered site back into the federation (see
+    {!Audit_mgmt.Federation.reseat_site}). *)
 
 val last_health : t -> Audit_mgmt.Health.t option
 (** The health report of the most recent consolidation, if any. *)
@@ -136,9 +156,9 @@ val advance_clock : t -> int -> unit
     breaker cooldowns). *)
 
 val set_group_commit : t -> bool -> unit
-(** Toggle group-commit batching on both attached WALs (no-op without
-    [~storage]): pending appends coalesce into one device write at the
-    next {!sync_durable}. *)
+(** Toggle group-commit batching on every attached WAL (central pair and
+    member site WALs): pending appends coalesce into one device write at
+    the next {!sync_durable}. *)
 
 val sync_audit : t -> Audit_mgmt.Health.t
 (** Pull the fault-aware consolidated view into the refinement component's

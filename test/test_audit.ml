@@ -298,6 +298,114 @@ let prop_heap_merge_parity =
       List.map (fun e -> e.Hdb.Audit_schema.user) merged
       = List.map (fun e -> e.Hdb.Audit_schema.user) expected)
 
+(* --- the tournament merge itself --- *)
+
+let test_tournament_basics () =
+  check_bool "no streams" true (Tournament.merge ~key:(fun x -> x) [] = []);
+  check_bool "all empty streams" true
+    (Tournament.merge ~key:(fun x -> x) [ []; []; [] ] = []);
+  check_bool "single stream passes through" true
+    (Tournament.merge ~key:(fun x -> x) [ [ 1; 2; 3 ] ] = [ 1; 2; 3 ]);
+  (* non-power-of-two cursor counts exercise the padded leaves *)
+  check_bool "three streams interleave" true
+    (Tournament.merge ~key:(fun x -> x) [ [ 1; 4; 7 ]; [ 2; 5 ]; [ 3; 6; 9 ] ]
+    = [ 1; 2; 3; 4; 5; 6; 7; 9 ]);
+  check_bool "five streams, uneven lengths" true
+    (Tournament.merge ~key:(fun x -> x) [ [ 10 ]; []; [ 1; 2; 3 ]; [ 2 ]; [ 0; 11 ] ]
+    = [ 0; 1; 2; 2; 3; 10; 11 ])
+
+(* Equal keys resolve by cursor priority, not arrival order: the archive
+   hands the merge cursors in site order regardless of shard layout. *)
+let test_tournament_priority_ties () =
+  let a = Tournament.cursor ~priority:2 [ (1, "low") ] in
+  let b = Tournament.cursor ~priority:1 [ (1, "high") ] in
+  check_bool "lower priority value wins the tie" true
+    (Tournament.merge_cursors ~key:fst [ a; b ] = [ (1, "high"); (1, "low") ])
+
+(* --- per-site durable WAL: crash, local replay, exactly-once --- *)
+
+let site_log seed = Durable.Log.create ~seed ()
+
+(* A site on its own WAL: kill it mid-stream, reopen from the devices
+   alone, and the store, the exactly-once ledger and the quarantine are
+   all back without re-ingesting from the source. *)
+let test_site_wal_crash_replay () =
+  let log = site_log 7 in
+  let site = Site.create ~name:"icu" () in
+  Site.attach_wal site log;
+  Site.ingest_entries site [ entry ~time:1 ~user:"a" (); entry ~time:2 ~user:"b" () ];
+  ignore (Site.ingest_raw_all site [ raw_row ~time:"3" (); raw_row ~time:"nope" () ]);
+  Site.sync_wal site;
+  (* unsynced tail: lost by the clean power cut below *)
+  Site.ingest_entry site (entry ~time:9 ~user:"late" ());
+  let wal = Durable.Log.wal_device log and snap = Durable.Log.snapshot_device log in
+  Durable.Device.crash wal ~point:Durable.Device.Clean_loss;
+  Durable.Device.crash snap ~point:Durable.Device.Clean_loss;
+  let site', r, undecodable =
+    Site.open_durable ~name:"icu" (Durable.Log.of_devices ~wal ~snapshot:snap)
+  in
+  check_bool "clean recovery" true (Durable.Recovery.clean r);
+  check_int "no codec mismatches" 0 undecodable;
+  check_int "synced entries replayed locally" 3 (Site.length site');
+  check_int "quarantine replayed locally" 1 (Site.quarantined_count site');
+  check_bool "clean loss of the unsynced tail is not degradation" false
+    (Site.durably_degraded site');
+  (* the ledger survived: a full upstream retry of the raw batch is all
+     duplicates — exactly-once across the crash *)
+  let retry =
+    Site.ingest_raw_batch ~first_seq:0 site' [ raw_row ~time:"3" (); raw_row ~time:"nope" () ]
+  in
+  check_int "retried batch all duplicates" 2 retry.Site.duplicates;
+  check_int "store unchanged" 3 (Site.length site');
+  (* the unsynced tail is re-sent by the feed, exactly like the clinical path *)
+  Site.ingest_entry site' (entry ~time:9 ~user:"late" ());
+  check_int "tail replayed" 4 (Site.length site')
+
+(* A torn WAL tail marks the site durably degraded until the feed
+   acknowledges the replay; checkpointing compacts the op history. *)
+let test_site_wal_torn_tail_degrades () =
+  let log = site_log 11 in
+  let site = Site.create ~name:"lab" () in
+  Site.attach_wal site log;
+  Site.ingest_entries site (List.init 6 (fun i -> entry ~time:(i + 1) ()));
+  Site.sync_wal site;
+  Site.ingest_entries site [ entry ~time:7 (); entry ~time:8 () ];
+  let wal = Durable.Log.wal_device log and snap = Durable.Log.snapshot_device log in
+  Durable.Device.crash wal ~point:Durable.Device.Torn_tail;
+  Durable.Device.crash snap ~point:Durable.Device.Clean_loss;
+  let site', r, _ =
+    Site.open_durable ~name:"lab" (Durable.Log.of_devices ~wal ~snapshot:snap)
+  in
+  check_bool "synced prefix survived" true (Site.length site' >= 6);
+  if Durable.Recovery.dropped_tail r then begin
+    check_bool "torn tail degrades the site" true (Site.durably_degraded site');
+    Site.ingest_entries site'
+      (List.init (8 - Site.length site') (fun i -> entry ~time:(Site.length site' + i + 1) ()));
+    Site.acknowledge_replay site';
+    check_bool "replay acknowledged" false (Site.durably_degraded site')
+  end;
+  check_int "whole stream back" 8 (Site.length site')
+
+(* Checkpoint compacts: after a checkpoint and a crash, recovery comes
+   back from the snapshot image alone. *)
+let test_site_wal_checkpoint_then_crash () =
+  let log = site_log 13 in
+  let site = Site.create ~name:"rad" () in
+  Site.attach_wal site log;
+  Site.ingest_entries site (List.init 5 (fun i -> entry ~time:(i + 1) ()));
+  ignore (Site.ingest_raw_all site [ raw_row ~time:"nope" () ]);
+  Site.checkpoint_wal site;
+  let wal = Durable.Log.wal_device log and snap = Durable.Log.snapshot_device log in
+  Durable.Device.crash wal ~point:Durable.Device.Clean_loss;
+  Durable.Device.crash snap ~point:Durable.Device.Clean_loss;
+  let site', r, _ =
+    Site.open_durable ~name:"rad" (Durable.Log.of_devices ~wal ~snapshot:snap)
+  in
+  check_bool "clean recovery from the snapshot" true (Durable.Recovery.clean r);
+  check_int "entries back" 5 (Site.length site');
+  check_int "quarantine back" 1 (Site.quarantined_count site');
+  check_int "sequence floor preserved" (Site.next_seq site) (Site.next_seq site')
+
 (* --- consolidated_result health --- *)
 
 (* Reliable sites: the production path is equivalent to the direct view and
@@ -365,6 +473,18 @@ let () =
           Alcotest.test_case "heterogeneous end-to-end" `Quick
             test_federation_heterogeneous_end_to_end;
           QCheck_alcotest.to_alcotest ~long:false prop_heap_merge_parity;
+        ] );
+      ( "tournament",
+        [ Alcotest.test_case "degenerate shapes" `Quick test_tournament_basics;
+          Alcotest.test_case "priority breaks ties" `Quick test_tournament_priority_ties;
+        ] );
+      ( "site-wal",
+        [ Alcotest.test_case "crash + local replay + exactly-once" `Quick
+            test_site_wal_crash_replay;
+          Alcotest.test_case "torn tail degrades until replay" `Quick
+            test_site_wal_torn_tail_degrades;
+          Alcotest.test_case "checkpoint then crash" `Quick
+            test_site_wal_checkpoint_then_crash;
         ] );
       ( "consolidated-result",
         [ Alcotest.test_case "reliable sites" `Quick test_consolidated_result_reliable;

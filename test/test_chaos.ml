@@ -6,7 +6,7 @@
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
-(* --- fixed-seed schedules: the six invariants hold end to end --- *)
+(* --- fixed-seed schedules: the seven invariants hold end to end --- *)
 
 let run_seed seed steps () =
   let report = Chaos.Harness.run ~seed ~steps () in

@@ -836,6 +836,111 @@ let test_quarantine_reprocess_idempotent_across_crash () =
   check_int "retried batch is all duplicates" 4 retry.Audit_mgmt.Site.duplicates;
   check_int "store unchanged" 4 (Audit_mgmt.Site.length site2)
 
+(* --- the shard manifest ---
+
+   One checksummed catalogue frame behind a magic header.  The codec must
+   round-trip arbitrary catalogues bit-for-bit, and any damage — a
+   truncation at any byte, a flip of any bit — must make the whole image
+   unreadable: the reader serves the full catalogue or none, never a
+   half-catalogue.  Damage sweeps run per matrix seed so the device
+   streams are stable across runs. *)
+
+module M = Durable.Manifest
+
+let gen_catalogue =
+  let open QCheck2.Gen in
+  let gen_shard =
+    let* name = string_size ~gen:(char_range 'a' 'z') (int_range 0 12) in
+    let* bucket = int_range 0 99 in
+    let* lo = int_range 0 1_000_000 in
+    let* span = int_range 0 10_000 in
+    let* records = int_range 0 100_000 in
+    let* chain = int_range 0 max_int in
+    return
+      { M.name = Printf.sprintf "%s#%d" name bucket;
+        lo;
+        hi = lo + span;
+        records;
+        chain;
+      }
+  in
+  let* shards = list_size (int_range 0 12) gen_shard in
+  return { M.shards }
+
+let print_catalogue (t : M.t) = Format.asprintf "%a" M.pp t
+
+let prop_manifest_roundtrip =
+  QCheck2.Test.make ~name:"manifest encode/decode round-trip" ~count:300
+    ~print:print_catalogue gen_catalogue (fun t -> M.decode (M.encode t) = Ok t)
+
+(* A device holding [image] bytes, all synced — the state a manifest is
+   read back from after a restart. *)
+let device_of ~seed image =
+  let dv = D.create ~seed () in
+  D.append dv image;
+  D.sync dv;
+  dv
+
+let sample_catalogue =
+  { M.shards =
+      [ { M.name = "icu#3"; lo = 30_000; hi = 39_992; records = 41; chain = 77 };
+        { M.name = "icu#4"; lo = 40_001; hi = 49_871; records = 12; chain = 133 };
+        { M.name = "lab#3"; lo = 30_505; hi = 39_404; records = 7; chain = 9 };
+      ];
+  }
+
+let test_manifest_write_read seed () =
+  let dv = D.create ~seed () in
+  check_bool "empty device: no manifest yet" true (M.read dv = Ok None);
+  M.write dv sample_catalogue;
+  check_bool "reads back whole" true (M.read dv = Ok (Some sample_catalogue));
+  (* a rewrite replaces, never appends *)
+  let smaller = { M.shards = [ List.hd sample_catalogue.M.shards ] } in
+  M.write dv smaller;
+  check_bool "replaced wholesale" true (M.read dv = Ok (Some smaller))
+
+(* Every proper truncation of the image is unreadable (the empty prefix is
+   the one exception: indistinguishable from "no manifest yet", which is
+   exactly the torn-write-from-scratch story — the store rebuilds). *)
+let test_manifest_truncation seed () =
+  let image = M.encode sample_catalogue in
+  let n = String.length image in
+  for cut = 0 to n - 1 do
+    let dv = device_of ~seed (String.sub image 0 cut) in
+    match M.read dv with
+    | Ok None ->
+      check_int "only the empty prefix reads as absent" 0 cut
+    | Ok (Some _) ->
+      Alcotest.failf "truncation at %d/%d served a catalogue" cut n
+    | Error _ -> ()
+  done
+
+(* One flipped bit anywhere — magic, frame header, payload, CRC, chain —
+   makes the image unreadable; the bit position is drawn per byte from the
+   seeded stream so each matrix seed sweeps a different damage pattern. *)
+let test_manifest_bitflip seed () =
+  let image = M.encode sample_catalogue in
+  let rng = Splitmix.create ~seed in
+  String.iteri
+    (fun pos _ ->
+      let bit = Splitmix.int rng 8 in
+      let dv = device_of ~seed image in
+      D.corrupt_stable dv ~pos ~bit;
+      match M.read dv with
+      | Ok (Some t) when t = sample_catalogue ->
+        (* the flip must actually change the byte, so this cannot happen *)
+        Alcotest.failf "bit %d of byte %d read back as the intact catalogue" bit pos
+      | Ok (Some _) -> Alcotest.failf "bit %d of byte %d served a catalogue" bit pos
+      | Ok None -> Alcotest.failf "bit %d of byte %d read as an empty device" bit pos
+      | Error _ -> ())
+    image
+
+let manifest_matrix name f =
+  List.map
+    (fun seed ->
+      Alcotest.test_case (Printf.sprintf "%s, seed %d" name seed) `Quick (f seed))
+    matrix_seeds
+
 let () =
   Alcotest.run "durable"
     [ ("crash-matrix", matrix "prefix" test_crash_matrix);
@@ -889,6 +994,11 @@ let () =
       ( "reprocess",
         [ Alcotest.test_case "idempotent across crash before reprocess" `Quick
             test_quarantine_reprocess_idempotent_across_crash ] );
+      ( "manifest",
+        (QCheck_alcotest.to_alcotest ~long:false prop_manifest_roundtrip
+         :: manifest_matrix "write/read/replace" test_manifest_write_read)
+        @ manifest_matrix "every truncation unreadable" test_manifest_truncation
+        @ manifest_matrix "every bit flip unreadable" test_manifest_bitflip );
       ( "system",
         [ Alcotest.test_case "dropped tail -> lower bound" `Quick
             test_system_recovery_and_lower_bound;

@@ -57,6 +57,56 @@ let test_retry_exhaustion_and_deadline () =
   in
   check_bool "deadline bounds attempts" true (stats.Retry.attempts < 100)
 
+(* The deadline boundary is closed: an attempt that would start at exactly
+   [deadline] elapsed ms is refused.  Jitter off, base = max = 50ms, so the
+   backoff trajectory is exact: attempt 1 at t=0, attempt 2 at t=50, and
+   the attempt that would start at t=100 = deadline is refused.  Widening
+   the budget by a single millisecond admits it. *)
+let test_retry_deadline_boundary () =
+  let policy =
+    { Retry.max_attempts = 10; base_delay = 50; max_delay = 50; jitter = 0.; deadline = 100 }
+  in
+  let prng = Splitmix.create ~seed:1 in
+  let clock = ref 0 in
+  let calls = ref 0 in
+  let result, stats =
+    Retry.run ~policy ~prng ~clock (fun ~attempt:_ ->
+        incr calls;
+        Error "down")
+  in
+  check_bool "still failing" true (result = Error "down");
+  check_int "attempt at exactly the deadline refused" 2 stats.Retry.attempts;
+  check_int "callback count matches" 2 !calls;
+  check_int "elapsed stops at the boundary" 100 stats.Retry.elapsed;
+  (* one ms of headroom flips the boundary attempt to admitted *)
+  let clock = ref 0 in
+  let _, stats =
+    Retry.run ~policy:{ policy with deadline = 101 } ~prng ~clock (fun ~attempt:_ ->
+        Error "down")
+  in
+  check_int "deadline + 1 admits the boundary attempt" 3 stats.Retry.attempts
+
+(* Jittered schedules are a pure function of the PRNG seed: same seed,
+   bit-identical trajectory (attempts, elapsed, final clock); this is what
+   lets any fault-matrix or chaos run replay from its seed alone. *)
+let test_retry_jitter_determinism () =
+  let policy =
+    { Retry.max_attempts = 6; base_delay = 40; max_delay = 500; jitter = 0.5; deadline = 5_000 }
+  in
+  let trajectory seed =
+    let prng = Splitmix.create ~seed in
+    let clock = ref 0 in
+    let _, stats = Retry.run ~policy ~prng ~clock (fun ~attempt:_ -> Error "down") in
+    (stats.Retry.attempts, stats.Retry.elapsed, !clock)
+  in
+  check_bool "same seed, same jittered trajectory" true (trajectory 7 = trajectory 7);
+  let a, e, c = trajectory 7 in
+  check_int "attempts exhausted" 6 a;
+  check_bool "jittered backoff advanced the clock" true (e > 0 && c = e);
+  check_bool "different seed, different jitter" true
+    (let _, e', _ = trajectory 8 in
+     e <> e')
+
 (* --- breaker transitions --- *)
 
 let breaker_config = { Breaker.failure_threshold = 2; cooldown = 100; success_threshold = 1 }
@@ -109,6 +159,160 @@ let test_breaker_halfopen_failure_reopens () =
   check_bool "half-open" true (Breaker.state b = Breaker.Half_open);
   Breaker.record_failure b ~now:100;
   check_bool "failed probe reopens" true (Breaker.state b = Breaker.Open)
+
+(* Half-open admits exactly one probe at a time: while the first probe's
+   outcome is unrecorded, a second concurrent [allow] is refused — callers
+   cannot stampede a barely-recovered site.  Recording the outcome frees
+   the slot: a success (threshold 1 here) closes the breaker, a failure
+   re-opens it and the next cooldown admits exactly one probe again. *)
+let test_breaker_halfopen_single_probe () =
+  let b = Breaker.create ~config:breaker_config () in
+  Breaker.record_failure b ~now:0;
+  Breaker.record_failure b ~now:0;
+  check_bool "open" true (Breaker.state b = Breaker.Open);
+  check_bool "first probe admitted" true (Breaker.allow b ~now:100);
+  check_bool "half-open" true (Breaker.state b = Breaker.Half_open);
+  check_bool "second concurrent probe refused" false (Breaker.allow b ~now:100);
+  check_bool "still refused later, outcome unrecorded" false (Breaker.allow b ~now:500);
+  check_bool "still half-open" true (Breaker.state b = Breaker.Half_open);
+  Breaker.record_success b;
+  check_bool "successful probe closes" true (Breaker.state b = Breaker.Closed);
+  check_bool "closed admits freely" true (Breaker.allow b ~now:500 && Breaker.allow b ~now:500);
+  (* the failure path frees the probe slot too *)
+  Breaker.record_failure b ~now:500;
+  Breaker.record_failure b ~now:500;
+  check_bool "re-opened" true (Breaker.state b = Breaker.Open);
+  check_bool "new cooldown, one probe" true (Breaker.allow b ~now:600);
+  check_bool "and only one" false (Breaker.allow b ~now:600);
+  Breaker.record_failure b ~now:600;
+  check_bool "failed probe re-opens" true (Breaker.state b = Breaker.Open);
+  check_bool "refused while open" false (Breaker.allow b ~now:650);
+  check_bool "next cooldown admits a fresh probe" true (Breaker.allow b ~now:700)
+
+(* --- the durable consolidated archive --- *)
+
+(* With an archive attached, a dark site is served stale from its shards:
+   archived records count as delivered, the lag as stranded — and a later
+   live fetch catches the archive back up. *)
+let test_archive_stale_serving () =
+  let site = Site.create ~name:"icu" () in
+  Site.ingest_entries site [ entry ~time:1 ~user:"a" (); entry ~time:2 ~user:"b" () ];
+  let fault = Fault.wrap ~config:Fault.no_faults ~seed:1 site in
+  let fed = Federation.create ~retry:Retry.no_retry () in
+  Federation.add_faulty_site fed fault;
+  let archive = Shard_store.create ~seed:5 () in
+  Federation.attach_archive fed archive;
+  let r1 = Federation.consolidated_result fed in
+  check_bool "live fetch complete" true (Health.complete r1.Federation.health);
+  check_int "fetch archived" 2 (Shard_store.site_records archive ~site:"icu");
+  (* new entries arrive, then the site goes dark before they are archived *)
+  Site.ingest_entries site [ entry ~time:3 ~user:"c" () ];
+  Fault.take_down fault;
+  let r2 = Federation.consolidated_result fed in
+  check_int "stale serve: the archived records" 2 (List.length r2.Federation.entries);
+  let h = r2.Federation.health in
+  (match (List.hd h.Health.sites).Health.status with
+  | Health.Stale { archived = 2; lag = 1 } -> ()
+  | s -> Alcotest.failf "expected Stale{2,1}, got %s" (Fmt.str "%a" Health.pp_status s));
+  check_int "archived counted delivered" 2 h.Health.delivered;
+  check_int "lag counted stranded" 1 h.Health.skipped_entries;
+  check_int "accounting intact" h.Health.total
+    (h.Health.delivered + h.Health.quarantined + h.Health.skipped_entries);
+  check_bool "partial while lagging" true (h.Health.completeness < 1.0);
+  (* the site comes back: live fetch resumes and the archive catches up *)
+  Fault.restore fault;
+  let r3 = Federation.consolidated_result fed in
+  check_bool "complete again" true (Health.complete r3.Federation.health);
+  check_int "archive caught up" 3 (Shard_store.site_records archive ~site:"icu")
+
+(* Open-or-recover semantics: a torn manifest is rebuilt from shard scans
+   (never trusted half-read), and the rebuilt store merges identically. *)
+let test_archive_manifest_rebuild () =
+  let a = Shard_store.create ~seed:9 () in
+  ignore
+    (Shard_store.archive_site a ~site:"icu"
+       [ entry ~time:1 ~user:"a" (); entry ~time:10_500 ~user:"b" () ]);
+  ignore (Shard_store.archive_site a ~site:"lab" [ entry ~time:7 ~user:"c" () ]);
+  Shard_store.sync a;
+  check_int "two buckets + one = three shards" 3 (Shard_store.shard_count a);
+  let before = Shard_store.merged a in
+  (* tear the manifest: drop its last bytes *)
+  let md = Shard_store.manifest_device a in
+  let img = Durable.Device.contents md in
+  Durable.Device.truncate md (String.length img - 3);
+  Durable.Device.sync md;
+  let b, report = Shard_store.reopen ~manifest:md ~shards:(Shard_store.devices a) () in
+  check_bool "manifest rebuilt from scans" true report.Shard_store.manifest_rebuilt;
+  check_int "every shard recovered from its scan" 3 (Shard_store.shard_count b);
+  check_int "no adoptions against a rebuilt catalogue" 0 report.Shard_store.adopted;
+  check_int "no shard degraded" 0 (Shard_store.shards_degraded b);
+  check_bool "merge identical after rebuild" true
+    (List.for_all2 Hdb.Audit_schema.equal before (Shard_store.merged b));
+  (* and the rewritten manifest now reads back whole *)
+  let _, report2 = Shard_store.reopen ~manifest:md ~shards:(Shard_store.devices b) () in
+  check_bool "second open trusts the manifest" false report2.Shard_store.manifest_rebuilt
+
+(* A tampered shard is quarantined per shard, not whole-store: its records
+   count stranded, the merge excludes it, the other site still serves —
+   and a clean fetch supersedes the damaged archive wholesale. *)
+let test_archive_tampered_shard_quarantined () =
+  let a = Shard_store.create ~seed:21 () in
+  let icu = [ entry ~time:1 ~user:"a" (); entry ~time:2 ~user:"b" () ] in
+  ignore (Shard_store.archive_site a ~site:"icu" icu);
+  ignore (Shard_store.archive_site a ~site:"lab" [ entry ~time:3 ~user:"c" () ]);
+  Shard_store.sync a;
+  let _, wal, _ =
+    List.find (fun (n, _, _) -> String.equal n "icu#0") (Shard_store.devices a)
+  in
+  let off, len, _ =
+    List.hd
+      (List.filter
+         (fun (_, _, k) -> k = Durable.Frame.Data)
+         (Durable.Wal.frame_spans (Durable.Device.contents wal)))
+  in
+  Durable.Device.corrupt_stable wal ~pos:(off + (len / 2)) ~bit:3;
+  let b, report = Shard_store.reopen ~manifest:(Shard_store.manifest_device a)
+      ~shards:(Shard_store.devices a) () in
+  check_bool "manifest itself fine" false report.Shard_store.manifest_rebuilt;
+  (match Shard_store.shard_status b ~site:"icu" ~bucket:0 with
+  | Some (Shard_store.Tampered _) -> ()
+  | s ->
+    Alcotest.failf "expected Tampered, got %s"
+      (match s with Some st -> Shard_store.status_to_string st | None -> "no shard"));
+  check_int "tampered shard serves nothing" 0 (Shard_store.site_records b ~site:"icu");
+  check_int "its records counted stranded" 2 (Shard_store.site_stranded b ~site:"icu");
+  check_bool "site degraded" true (Shard_store.site_degraded b ~site:"icu");
+  check_int "blast radius is one shard" 1 (Shard_store.shards_degraded b);
+  check_int "other site unaffected" 1 (Shard_store.site_records b ~site:"lab");
+  check_bool "merge excludes the quarantined shard" true
+    (List.for_all
+       (fun e -> e.Hdb.Audit_schema.user = "c")
+       (Shard_store.merged b));
+  (* a clean fetch supersedes the damaged archive *)
+  let s = Shard_store.archive_site b ~site:"icu" icu in
+  check_bool "rebuilt wholesale from the fetch" true s.Shard_store.rebuilt;
+  check_bool "healthy again" false (Shard_store.site_degraded b ~site:"icu");
+  check_int "records back" 2 (Shard_store.site_records b ~site:"icu")
+
+(* A catalogued shard whose device is gone surfaces as lost: a torn
+   placeholder keeps the site degraded until the next fetch rebuilds. *)
+let test_archive_lost_shard_placeholder () =
+  let a = Shard_store.create ~seed:33 () in
+  let icu = [ entry ~time:1 ~user:"a" (); entry ~time:10_500 ~user:"b" () ] in
+  ignore (Shard_store.archive_site a ~site:"icu" icu);
+  Shard_store.sync a;
+  let surviving =
+    List.filter (fun (n, _, _) -> not (String.equal n "icu#1")) (Shard_store.devices a)
+  in
+  let b, report =
+    Shard_store.reopen ~manifest:(Shard_store.manifest_device a) ~shards:surviving ()
+  in
+  check_bool "missing shard reported lost" true (report.Shard_store.lost = [ "icu#1" ]);
+  check_bool "site degraded until refetched" true (Shard_store.site_degraded b ~site:"icu");
+  let s = Shard_store.archive_site b ~site:"icu" icu in
+  check_bool "next fetch rebuilds the site" true s.Shard_store.rebuilt;
+  check_bool "whole again" false (Shard_store.site_degraded b ~site:"icu");
+  check_int "both records servable" 2 (Shard_store.site_records b ~site:"icu")
 
 (* --- the fault matrix --- *)
 
@@ -291,12 +495,26 @@ let () =
         [ Alcotest.test_case "flaky then success" `Quick test_retry_flaky_then_success;
           Alcotest.test_case "exhaustion and deadline" `Quick
             test_retry_exhaustion_and_deadline;
+          Alcotest.test_case "deadline boundary is closed" `Quick
+            test_retry_deadline_boundary;
+          Alcotest.test_case "jitter determinism" `Quick test_retry_jitter_determinism;
         ] );
       ( "breaker",
         [ Alcotest.test_case "transitions through the federation" `Quick
             test_breaker_transitions;
           Alcotest.test_case "half-open failure reopens" `Quick
             test_breaker_halfopen_failure_reopens;
+          Alcotest.test_case "half-open admits exactly one probe" `Quick
+            test_breaker_halfopen_single_probe;
+        ] );
+      ( "archive",
+        [ Alcotest.test_case "stale serving from shards" `Quick test_archive_stale_serving;
+          Alcotest.test_case "torn manifest rebuilt from scans" `Quick
+            test_archive_manifest_rebuild;
+          Alcotest.test_case "tampered shard quarantined per-shard" `Quick
+            test_archive_tampered_shard_quarantined;
+          Alcotest.test_case "lost shard placeholder until refetch" `Quick
+            test_archive_lost_shard_placeholder;
         ] );
       ("fault-matrix", matrix_cases);
       ( "quarantine-convergence",
