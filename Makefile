@@ -1,4 +1,4 @@
-.PHONY: build test faults crash fuzz chaos tamper federation bench bench-quick bench-coverage bench-wal bench-governor
+.PHONY: build test faults crash fuzz chaos shrink tamper federation bench bench-quick bench-coverage bench-wal bench-governor
 
 build:
 	dune build
@@ -27,11 +27,20 @@ fuzz:
 
 # Whole-system chaos sweep: 20 seeds x 400-step composed fault schedules
 # (crashes, outages, corruption, budget trips) checked against the pure
-# model oracle's seven invariants.  A smaller 3-seed regression lives in
+# model oracle's nine invariants.  A smaller 3-seed regression lives in
 # dune runtest (test/test_chaos.ml); one schedule replays with
 # `prima chaos --seed N --steps M`.
 chaos:
 	dune build && dune exec bench/chaos_sweep.exe
+
+# E17 delta-debugging sweep: harvest >= 20 failing 400-step schedules
+# (cycling the harness's injected defects across seeds) and shrink each
+# with ddmin; gates on <= 40 actions per minimal repro, byte-identical
+# determinism across two shrinks, and faithfulness to the original
+# invariant.  Refreshes BENCH_shrink.json and drops the smallest repro
+# under _chaos/ (replay with `prima chaos --replay FILE`).
+shrink:
+	dune build && dune exec bench/shrink_sweep.exe
 
 # Tamper-evidence sweep: the same 20 seeds x 400-step schedules graded
 # on invariant 6 alone — every seeded in-place mutation of stable media

@@ -1,0 +1,129 @@
+(* E17: delta-debugging shrink sweep (`make shrink`).
+
+   Harvest failing 400-step chaos schedules — cycling the harness's three
+   injected defects (eat-entry, drop-replay, stale-vocab) across seeds
+   until at least 20 have failed — and push every one of them through the
+   ddmin shrinker.  The sweep gates on three properties:
+
+   - size:          every minimal repro has at most 40 actions (in
+                    practice almost all land under 10);
+   - determinism:   shrinking the same failing schedule twice yields
+                    byte-identical repros;
+   - faithfulness:  every minimal repro still violates the same invariant
+                    the original 400-step run violated.
+
+   Results land in BENCH_shrink.json; the smallest repro of the run is
+   saved under _chaos/ as a replayable serialized schedule:
+
+     dune exec bench/shrink_sweep.exe              -- default sweep (>= 20 failures)
+     dune exec bench/shrink_sweep.exe -- 8 250     -- >= 8 failures x 250-step schedules *)
+
+let defects =
+  [| Chaos.Harness.Eat_entry 5; Chaos.Harness.Drop_replay; Chaos.Harness.Stale_vocab |]
+
+type row = {
+  seed : int;
+  defect : string;
+  invariant : string;
+  original : int;
+  minimal : int;
+  candidates : int;
+  seconds : float;
+}
+
+let () =
+  let want, steps =
+    match Sys.argv with
+    | [| _; w; n |] -> (int_of_string w, int_of_string n)
+    | [| _; w |] -> (int_of_string w, 400)
+    | _ -> (20, 400)
+  in
+  Fmt.pr "shrink sweep: collecting >= %d failing %d-step schedules@." want steps;
+  let rows = ref [] in
+  let nondeterministic = ref 0 in
+  let oversized = ref 0 in
+  let unfaithful = ref 0 in
+  let smallest = ref None in
+  let found = ref 0 in
+  let seed = ref 0 in
+  while !found < want do
+    incr seed;
+    let defect = defects.((!seed - 1) mod Array.length defects) in
+    let actions = Chaos.Schedule.generate ~nsites:2 ~seed:!seed ~steps () in
+    let pool = (steps * 3) + 120 in
+    let report = Chaos.Harness.run_actions ~defect ~pool ~seed:!seed ~actions () in
+    match Chaos.Shrink.of_report ~defect ~actions report with
+    | None -> ()
+    | Some repro ->
+      incr found;
+      let t0 = Unix.gettimeofday () in
+      let mini, stats = Chaos.Shrink.shrink repro in
+      let dt = Unix.gettimeofday () -. t0 in
+      let mini2, _ = Chaos.Shrink.shrink repro in
+      let deterministic = Chaos.Shrink.to_string mini = Chaos.Shrink.to_string mini2 in
+      let faithful = Chaos.Shrink.still_fails mini in
+      if not deterministic then incr nondeterministic;
+      if stats.Chaos.Shrink.minimal > 40 then incr oversized;
+      if not faithful then incr unfaithful;
+      (match !smallest with
+      | Some (_, n) when n <= stats.Chaos.Shrink.minimal -> ()
+      | _ -> smallest := Some (mini, stats.Chaos.Shrink.minimal));
+      rows :=
+        {
+          seed = !seed;
+          defect = Chaos.Harness.defect_to_string defect;
+          invariant = mini.Chaos.Shrink.invariant;
+          original = stats.Chaos.Shrink.original;
+          minimal = stats.Chaos.Shrink.minimal;
+          candidates = stats.Chaos.Shrink.candidates;
+          seconds = dt;
+        }
+        :: !rows;
+      Fmt.pr "seed %4d  %-12s  %-16s  %d -> %2d action(s), %4d candidates, %.1fs%s%s@."
+        !seed
+        (Chaos.Harness.defect_to_string defect)
+        mini.Chaos.Shrink.invariant stats.Chaos.Shrink.original stats.Chaos.Shrink.minimal
+        stats.Chaos.Shrink.candidates dt
+        (if deterministic then "" else "  NONDETERMINISTIC")
+        (if faithful then "" else "  UNFAITHFUL")
+  done;
+  let rows = List.rev !rows in
+  let n = List.length rows in
+  let sum f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
+  let avg_min = sum (fun r -> float_of_int r.minimal) /. float_of_int n in
+  let max_min = List.fold_left (fun acc r -> max acc r.minimal) 0 rows in
+  (* the smallest repro of the sweep, saved as a replayable schedule *)
+  (try Unix.mkdir "_chaos" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  (match !smallest with
+  | Some (mini, sz) ->
+    let path = Printf.sprintf "_chaos/minimal-seed%d.repro" mini.Chaos.Shrink.seed in
+    Chaos.Shrink.save path mini;
+    Fmt.pr "@.smallest repro (%d action(s), seed %d) saved to %s@." sz
+      mini.Chaos.Shrink.seed path
+  | None -> ());
+  let oc = open_out "BENCH_shrink.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n  \"experiment\": \"E17 schedule shrinking\",\n";
+  p "  \"steps\": %d,\n  \"failures\": %d,\n  \"seeds_scanned\": %d,\n" steps n !seed;
+  p "  \"avg_minimal_actions\": %.2f,\n  \"max_minimal_actions\": %d,\n" avg_min max_min;
+  p "  \"nondeterministic\": %d,\n  \"oversized\": %d,\n  \"unfaithful\": %d,\n"
+    !nondeterministic !oversized !unfaithful;
+  p "  \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      p
+        "    {\"seed\": %d, \"defect\": \"%s\", \"invariant\": \"%s\", \"original\": %d, \
+         \"minimal\": %d, \"candidates\": %d, \"seconds\": %.2f}%s\n"
+        r.seed r.defect r.invariant r.original r.minimal r.candidates r.seconds
+        (if i = n - 1 then "" else ","))
+    rows;
+  p "  ]\n}\n";
+  close_out oc;
+  Fmt.pr "@.%d failing schedules shrunk: avg %.1f, max %d action(s); wrote BENCH_shrink.json@."
+    n avg_min max_min;
+  if !nondeterministic > 0 || !oversized > 0 || !unfaithful > 0 then begin
+    Fmt.pr "SHRINK SWEEP GATE FAILED: %d nondeterministic, %d oversized (> 40), %d unfaithful@."
+      !nondeterministic !oversized !unfaithful;
+    exit 1
+  end
+  else Fmt.pr "All repros deterministic, <= 40 actions, and faithful to their invariant.@."

@@ -677,22 +677,77 @@ let federation_health_cmd =
 
 (* One seeded chaos schedule through the whole system, checked against the
    model oracle; exits non-zero on a violation, printing the step-by-step
-   fault log and the violation trace. *)
-let run_chaos seed steps sites verbose =
+   fault log and the violation trace.  --replay re-runs a serialized repro
+   file instead (exit 1 names the violated invariant and step); --shrink
+   delta-debugs a failing run to a 1-minimal repro and optionally saves
+   it. *)
+let run_chaos seed steps sites verbose defect replay_file do_shrink repro_out =
   let trace = if verbose then Some (fun line -> Fmt.pr "%s@." line) else None in
-  let report = Chaos.Harness.run ~nsites:sites ?trace ~seed ~steps () in
-  Fmt.pr "%a@." Chaos.Harness.pp report;
-  match report.Chaos.Harness.violation with
-  | None -> 0
-  | Some v ->
-    if not verbose then begin
-      Fmt.pr "@.--- fault log ---@.";
-      List.iter (Fmt.pr "%s@.") report.Chaos.Harness.events
-    end;
-    Fmt.pr "@.%a@." Chaos.Harness.pp_violation v;
-    Fmt.pr "reproduce with: prima chaos --seed %d --steps %d --sites %d@." seed steps
-      sites;
-    1
+  let defect =
+    match defect with
+    | None -> None
+    | Some s -> (
+      match Chaos.Harness.defect_of_string s with
+      | Some d -> Some d
+      | None ->
+        Fmt.epr "unknown defect %S (try \"eat-entry 5\", \"drop-replay\", \"stale-vocab\")@." s;
+        exit 2)
+  in
+  let shrink_and_save repro =
+    let mini, stats = Chaos.Shrink.shrink repro in
+    Fmt.pr "shrunk %d -> %d action(s) in %d candidate run(s), %d round(s)@."
+      stats.Chaos.Shrink.original stats.Chaos.Shrink.minimal stats.Chaos.Shrink.candidates
+      stats.Chaos.Shrink.rounds;
+    Fmt.pr "@.--- minimal repro ---@.%s" (Chaos.Shrink.to_string mini);
+    match repro_out with
+    | None -> ()
+    | Some path ->
+      Chaos.Shrink.save path mini;
+      Fmt.pr "@.saved to %s (replay with: prima chaos --replay %s)@." path path
+  in
+  match replay_file with
+  | Some path -> (
+    match Chaos.Shrink.load path with
+    | Error e ->
+      Fmt.epr "cannot load repro %s: %s@." path e;
+      2
+    | Ok repro ->
+      let report = Chaos.Shrink.replay repro in
+      Fmt.pr "%a@." Chaos.Harness.pp report;
+      (match report.Chaos.Harness.violation with
+      | None ->
+        Fmt.pr "repro no longer fails (recorded invariant %S at step %d)@."
+          repro.Chaos.Shrink.invariant repro.Chaos.Shrink.step;
+        0
+      | Some v ->
+        Fmt.pr "@.%a@." Chaos.Harness.pp_violation v;
+        1))
+  | None -> (
+    let actions = Chaos.Schedule.generate ~nsites:sites ~seed ~steps () in
+    let report =
+      Chaos.Harness.run_actions ~nsites:sites ?defect ?trace
+        ~pool:((steps * 3) + 120) ~seed ~actions ()
+    in
+    Fmt.pr "%a@." Chaos.Harness.pp report;
+    match report.Chaos.Harness.violation with
+    | None -> 0
+    | Some v ->
+      if not verbose then begin
+        Fmt.pr "@.--- fault log ---@.";
+        List.iter (Fmt.pr "%s@.") report.Chaos.Harness.events
+      end;
+      Fmt.pr "@.%a@." Chaos.Harness.pp_violation v;
+      Fmt.pr "reproduce with: prima chaos --seed %d --steps %d --sites %d%s@." seed steps
+        sites
+        (match defect with
+        | None -> ""
+        | Some d -> Printf.sprintf " --defect %S" (Chaos.Harness.defect_to_string d));
+      if do_shrink then begin
+        match Chaos.Shrink.of_report ?defect ~nsites:sites ~actions report with
+        | Some repro -> shrink_and_save repro
+        | None -> ()
+      end;
+      1)
 
 let chaos_cmd =
   let seed =
@@ -710,11 +765,31 @@ let chaos_cmd =
   let verbose =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Stream the fault log while running.")
   in
+  let defect =
+    Arg.(value & opt (some string) None & info [ "defect" ] ~docv:"NAME"
+           ~doc:"Arm an injected bug (\"eat-entry K\", \"drop-replay\", \"stale-vocab\") \
+                 so the run has a real failure to find and shrink.")
+  in
+  let replay =
+    Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE"
+           ~doc:"Replay a serialized repro file instead of generating a schedule; exits \
+                 non-zero naming the violated invariant and step.")
+  in
+  let shrink =
+    Arg.(value & flag & info [ "shrink" ]
+           ~doc:"On a violation, delta-debug the schedule to a 1-minimal repro \
+                 (deterministic; every surviving action is load-bearing).")
+  in
+  let repro_out =
+    Arg.(value & opt (some string) None & info [ "repro-out" ] ~docv:"FILE"
+           ~doc:"With --shrink: save the minimal repro to FILE.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Drive the whole system through a seeded fault schedule and check the model \
-             oracle's seven invariants")
-    Term.(const run_chaos $ seed $ steps $ sites $ verbose)
+             oracle's invariants; shrink failures to minimal repros")
+    Term.(const run_chaos $ seed $ steps $ sites $ verbose $ defect $ replay $ shrink
+          $ repro_out)
 
 let main_cmd =
   Cmd.group

@@ -3,7 +3,7 @@
    Drives a full [Prima_system.System] — durable storage, fault-injected
    federation, budgeted queries, the refinement loop — through a seeded
    [Schedule] of composed faults, while a pure [Model] oracle receives the
-   same inputs fault-free.  After every step the harness checks five
+   same inputs fault-free.  After every step the harness checks nine
    invariants:
 
    1. no-loss            — across any crash+recover, the recovered clinical
@@ -45,14 +45,47 @@
                            coverage until the feed replays the lost suffix —
                            and after the replay the system re-converges to
                            [Exact].
+   8. cache-coherence    — after a mid-run vocabulary edit (a taxonomy that
+                           grew a leaf, adopted with a fresh stamp) the
+                           system's coverage readings equal a from-scratch
+                           recompute over the same policies under an
+                           identically rebuilt vocabulary: no grounding
+                           cache may serve an answer from the old stamp.
+                           Checked at every edit and every consolidation.
+   9. purpose-plausibility — every multi-step clinical plan the workload
+                           emits is classified correctly by the prefix
+                           conformance checker: untwisted instances conform
+                           to their template, twisted ones (skipped step,
+                           transposed steps, alien role) never do — the
+                           violation is visible only as a sequence.
+
+   The raw federation path carries its own mapping-coherence discipline:
+   under the correct foreign-dialect mapping every raw record ingests and
+   round-trips exactly; under a broken mapping every record quarantines
+   (never drops); fixing the mapping reprocesses exactly the quarantined
+   backlog, in sequence order, with nothing double-ingested.
 
    Everything is deterministic in the seed: the schedule, the workload, the
    fault wrappers and the device damage all draw from seeded Splitmix
-   streams, so a violation replays from its seed alone. *)
+   streams, so a violation replays from its seed alone — and, after
+   [Shrink], from its minimized action list alone ([run_actions]).
+
+   For shrinker tests the harness can also carry one injected defect — a
+   deliberate bug switched on by [run_actions ~defect] — so there is a
+   real, deterministic failure to minimize:
+
+   - [Eat_entry k]   the k-th clinical append is silently dropped on the
+                     system side (the model still sees it);
+   - [Drop_replay]   the client forgets the first post-crash replay of the
+                     lost unsynced suffix;
+   - [Stale_vocab]   a vocabulary edit is adopted by the model and the
+                     workload but never handed to the system, so its
+                     grounding caches keep answering under the old stamp. *)
 
 module Sys_ = Prima_system.System
 module H = Audit_mgmt.Health
 module Q = Audit_mgmt.Quarantine
+module Site = Audit_mgmt.Site
 
 type violation = {
   step : int;  (** 1-based schedule position; 0 = setup, steps+1 = epilogue *)
@@ -60,6 +93,24 @@ type violation = {
   invariant : string;
   detail : string;
 }
+
+type defect =
+  | Eat_entry of int  (** swallow the [k]-th clinical append (1-based) *)
+  | Drop_replay  (** skip the first post-crash replay of the lost suffix *)
+  | Stale_vocab  (** never hand vocabulary edits to the system *)
+
+let defect_to_string = function
+  | Eat_entry k -> Printf.sprintf "eat-entry %d" k
+  | Drop_replay -> "drop-replay"
+  | Stale_vocab -> "stale-vocab"
+
+let defect_of_string s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ "eat-entry"; k ] ->
+    (match int_of_string_opt k with Some k when k > 0 -> Some (Eat_entry k) | _ -> None)
+  | [ "drop-replay" ] -> Some Drop_replay
+  | [ "stale-vocab" ] -> Some Stale_vocab
+  | _ -> None
 
 type report = {
   seed : int;
@@ -77,6 +128,12 @@ type report = {
   enforce_trips : int;  (** typed budget/cancel trips on the enforcement path *)
   tampers : int;  (** bit-flips injected into accepted (stable) records *)
   tampers_detected : int;  (** of those, reported as [Tamper_detected] *)
+  raw_ingested : int;  (** raw foreign-dialect records mapped and ingested *)
+  raw_quarantined : int;  (** raw records a broken mapping sent to quarantine *)
+  reprocessed : int;  (** quarantined records re-ingested after a mapping fix *)
+  workflows : int;  (** purpose-workflow plan instances appended *)
+  twisted_workflows : int;  (** of those, plan-implausible (twisted) ones *)
+  vocab_edits : int;  (** mid-run vocabulary edits adopted *)
   events : string list;  (** step-by-step fault log, oldest first *)
   violation : violation option;
 }
@@ -89,15 +146,28 @@ exception Violation of string * string  (** (invariant, detail) *)
 
 type t = {
   seed : int;
-  vocab : Vocabulary.Vocab.t;
+  mutable vocab : Vocabulary.Vocab.t;  (** current, including mid-run edits *)
   model : Model.t;
   mutable sys : Sys_.t;
   archive : Audit_mgmt.Shard_store.t;  (** the durable consolidated archive *)
   faults : Audit_mgmt.Fault.t array;
+  wconfig : Workload.Hospital.config;
+  wf_rng : Splitmix.t;  (** drawn from only by workflow instantiation *)
   pool : Hdb.Audit_schema.entry array;  (** the pre-generated workload stream *)
+  defect : defect option;
   mutable next_entry : int;
+  mutable next_time : int;  (** global restamping clock: appended entries get
+                                strictly increasing times in append order *)
   mutable q_floor : Q.item list;  (** sorted synced quarantine items *)
   mutable group_commit : bool;
+  mutable auto_checkpoint : bool;
+  mutable threshold : float option;  (** completeness threshold, if overridden *)
+  mutable edits : (string * string) list;  (** (parent, leaf), oldest first *)
+  pending : Hdb.Audit_schema.entry list array;
+      (** per-remote raw records a broken mapping quarantined, seq order *)
+  mapping_correct : bool array;
+  mutable clinical_seen : int;  (** clinical appends so far (for [Eat_entry]) *)
+  mutable replay_dropped : bool;  (** [Drop_replay] already fired *)
   mutable events : string list;  (** newest first *)
   mutable appended : int;
   mutable crashes : int;
@@ -111,6 +181,12 @@ type t = {
   mutable enforce_trips : int;
   mutable tampers : int;
   mutable tampers_detected : int;
+  mutable raw_ingested : int;
+  mutable raw_quarantined : int;
+  mutable reprocessed : int;
+  mutable workflows : int;
+  mutable twisted_workflows : int;
+  mutable vocab_edits : int;
   trace : (string -> unit) option;
 }
 
@@ -151,13 +227,35 @@ let rec has_dup = function
   | a :: (b :: _ as tl) -> a = b || has_dup tl
   | _ -> false
 
+(* Every entry the harness appends anywhere is restamped off one global
+   clock, so times stay strictly increasing in append order across the
+   clinical stream, the remotes, raw batches and workflow plans alike —
+   the property that makes the model's stable time sort reproduce the
+   fault-free heap merge. *)
+let stamp h (e : Hdb.Audit_schema.entry) =
+  h.next_time <- h.next_time + 1;
+  { e with Hdb.Audit_schema.time = h.next_time }
+
 let take_pool h n =
   let avail = Array.length h.pool - h.next_entry in
   let n = min n avail in
   let es = Array.to_list (Array.sub h.pool h.next_entry n) in
   h.next_entry <- h.next_entry + n;
   h.appended <- h.appended + n;
-  es
+  List.map (stamp h) es
+
+(* All clinical-store writes funnel through here so the [Eat_entry] defect
+   has one switch to throw. *)
+let append_clinical_sys h es =
+  let store = audit_store h in
+  List.iter
+    (fun e ->
+      h.clinical_seen <- h.clinical_seen + 1;
+      let eaten =
+        match h.defect with Some (Eat_entry k) -> h.clinical_seen = k | _ -> false
+      in
+      if not eaten then Hdb.Audit_store.append store e)
+    es
 
 let sync_q_floor h =
   let q = transit h.sys in
@@ -178,10 +276,261 @@ let setup_enforcement sys =
          (Printf.sprintf "INSERT INTO chaos_patients VALUES (%d, 'p%d')" i i))
   done
 
+(* Re-apply the operator-visible configuration a rebuilt system must keep:
+   the group-commit toggle, any overridden completeness threshold, and the
+   auto-checkpoint policy (the rebuilt logs start without one). *)
+let reapply_config h sys =
+  Sys_.set_group_commit sys h.group_commit;
+  Option.iter (Sys_.set_completeness_threshold sys) h.threshold;
+  if h.auto_checkpoint then Sys_.set_auto_checkpoint sys true
+
+(* ---------- the foreign raw dialect ---------- *)
+
+(* The remotes' legacy export: renamed columns, GRANTED/DENIED op tokens,
+   BTG status tokens, and "RN" as the local synonym for nurse.  The correct
+   mapping normalises all of it; the broken one has lost the role alias,
+   so every record is missing [authorized] and must quarantine. *)
+let dialect_aliases =
+  [ ("ts", Vocabulary.Audit_attrs.time);
+    ("op_code", Vocabulary.Audit_attrs.op);
+    ("actor", Vocabulary.Audit_attrs.user);
+    ("category", Vocabulary.Audit_attrs.data);
+    ("reason", Vocabulary.Audit_attrs.purpose);
+    ("role", Vocabulary.Audit_attrs.authorized);
+    ("mode", Vocabulary.Audit_attrs.status);
+  ]
+
+let dialect_synonyms = [ ((Vocabulary.Audit_attrs.authorized, "rn"), "nurse") ]
+
+let correct_mapping () =
+  Audit_mgmt.Mapping.create ~column_aliases:dialect_aliases
+    ~value_synonyms:dialect_synonyms ()
+
+let broken_mapping () =
+  Audit_mgmt.Mapping.create
+    ~column_aliases:(List.remove_assoc "role" dialect_aliases)
+    ~value_synonyms:dialect_synonyms ()
+
+let raw_of_entry (e : Hdb.Audit_schema.entry) =
+  [ ("ts", string_of_int e.Hdb.Audit_schema.time);
+    ("op_code",
+     match e.Hdb.Audit_schema.op with
+     | Hdb.Audit_schema.Allow -> "GRANTED"
+     | Hdb.Audit_schema.Disallow -> "DENIED");
+    ("actor", e.Hdb.Audit_schema.user);
+    ("category", e.Hdb.Audit_schema.data);
+    ("reason", e.Hdb.Audit_schema.purpose);
+    ("role",
+     if String.equal e.Hdb.Audit_schema.authorized "nurse" then "RN"
+     else e.Hdb.Audit_schema.authorized);
+    ("mode",
+     match e.Hdb.Audit_schema.status with
+     | Hdb.Audit_schema.Regular -> "regular"
+     | Hdb.Audit_schema.Exception_based -> "BTG");
+  ]
+
+(* The last [n] elements of [xs]. *)
+let last_n xs n =
+  let len = List.length xs in
+  List.filteri (fun i _ -> i >= len - n) xs
+
+(* After a raw batch lands, the site's WAL is synced (batch interfaces
+   acknowledge durably), so the whole remote stream known to the model is
+   on stable media: raise the model's floor to match. *)
+let sync_site_floor h i =
+  Site.sync_wal (Audit_mgmt.Fault.site h.faults.(i));
+  Model.set_remote_synced h.model i (Model.remote_length h.model i)
+
+(* ---------- vocabulary edits (invariant 8) ---------- *)
+
+(* Each edit grows one fresh leaf under a data category that the documented
+   policy covers, so an access using the new leaf is covered — the edit
+   moves real coverage numbers, giving the cache-coherence check (and the
+   [Stale_vocab] defect) teeth. *)
+let vocab_edit_targets =
+  [| ("routine", "treatment", "nurse");
+     ("sensitive", "diagnosis", "doctor");
+     ("imaging", "diagnosis", "radiologist");
+     ("demographic", "registration", "receptionist");
+  |]
+
+(* An identically re-grown vocabulary, from scratch: fresh base, fresh
+   stamp, stone-cold caches.  Coverage under this value is the
+   "from-scratch recompute" the live readings are compared against. *)
+let rebuild_vocab h =
+  List.fold_left
+    (fun v (parent, leaf) ->
+      Vocabulary.Vocab.with_leaf v ~attr:Vocabulary.Audit_attrs.data ~parent ~value:leaf)
+    (Vocabulary.Samples.hospital ()) h.edits
+
+(* Invariant 8: the system's live coverage readings — computed against its
+   current vocabulary, whose grounding caches have been warmed across
+   stamps, edits and crashes — must equal a from-scratch recompute over
+   the same two policies under an identically rebuilt vocabulary.  Any
+   divergence means a cache served an answer from a dead stamp. *)
+let check_cache_coherence h =
+  let prima = Sys_.prima h.sys in
+  let live = Prima_core.Prima.coverage prima in
+  let fresh = rebuild_vocab h in
+  let attrs = Vocabulary.Audit_attrs.pattern in
+  let p_x = Prima_core.Prima.policy_store prima in
+  let p_y = Prima_core.Prima.audit_policy prima in
+  let check name (l : Prima_core.Coverage.stats) bag =
+    let f = Prima_core.Coverage.aligned ~bag fresh ~attrs ~p_x ~p_y in
+    if l.Prima_core.Coverage.overlap <> f.Prima_core.Coverage.overlap
+       || l.Prima_core.Coverage.denominator <> f.Prima_core.Coverage.denominator
+    then
+      violate "cache-coherence"
+        "%s coverage reads %d/%d live but %d/%d from scratch (stale grounding cache?)"
+        name l.Prima_core.Coverage.overlap l.Prima_core.Coverage.denominator
+        f.Prima_core.Coverage.overlap f.Prima_core.Coverage.denominator
+  in
+  check "set" live.Prima_core.Prima.set_semantics false;
+  check "bag" live.Prima_core.Prima.bag_semantics true
+
+let run_vocab_edit h pick =
+  let parent, purpose, role =
+    vocab_edit_targets.(pick mod Array.length vocab_edit_targets)
+  in
+  let leaf = Printf.sprintf "chaos-%s-%d" parent h.vocab_edits in
+  let vocab' =
+    Vocabulary.Vocab.with_leaf h.vocab ~attr:Vocabulary.Audit_attrs.data ~parent
+      ~value:leaf
+  in
+  h.vocab <- vocab';
+  h.edits <- h.edits @ [ (parent, leaf) ];
+  h.vocab_edits <- h.vocab_edits + 1;
+  (* the [Stale_vocab] defect: the model and the workload adopt the edit,
+     the system never hears of it *)
+  (match h.defect with
+  | Some Stale_vocab -> ()
+  | _ -> Sys_.set_vocab h.sys vocab');
+  Model.set_vocab h.model vocab';
+  (* one access under the new leaf, with a purpose/role pair the documented
+     policy covers: the edit changes real coverage, not just the tree *)
+  let e =
+    stamp h
+      (Hdb.Audit_schema.entry ~time:0 ~op:Hdb.Audit_schema.Allow ~user:(role ^ "-01")
+         ~data:leaf ~purpose ~authorized:role ~status:Hdb.Audit_schema.Regular)
+  in
+  append_clinical_sys h [ e ];
+  Model.append_clinical h.model [ e ];
+  h.appended <- h.appended + 1;
+  check_cache_coherence h;
+  (* the fresh stamp itself is a process-global counter — don't log it, or
+     event logs stop being deterministic across runs in one process *)
+  Printf.sprintf "leaf %s under %s (edit %d)" leaf parent h.vocab_edits
+
+(* ---------- purpose workflows (invariant 9) ---------- *)
+
+let n_templates = List.length Workload.Purpose.templates
+
+let run_workflow h pick twist =
+  let template = List.nth Workload.Purpose.templates (pick mod n_templates) in
+  let inst =
+    Workload.Purpose.instantiate h.wf_rng h.wconfig ?twist ~start_time:0 template
+  in
+  let entries = List.map (stamp h) inst.Workload.Purpose.entries in
+  (* invariant 9: the conformance checker classifies the instance exactly
+     as generated — untwisted plans conform, twisted ones never do *)
+  let plausible = Workload.Purpose.conforms (Workload.Purpose.steps_of_entries entries) in
+  (match (plausible, twist) with
+  | false, None ->
+    violate "purpose-plausibility" "untwisted %s instance fails prefix conformance"
+      template.Workload.Purpose.name
+  | true, Some tw ->
+    violate "purpose-plausibility"
+      "%s instance twisted by %s still conforms to a template"
+      template.Workload.Purpose.name
+      (Workload.Purpose.twist_to_string tw)
+  | _ -> ());
+  append_clinical_sys h entries;
+  Model.append_clinical h.model entries;
+  let n = List.length entries in
+  h.appended <- h.appended + n;
+  h.workflows <- h.workflows + 1;
+  if twist <> None then h.twisted_workflows <- h.twisted_workflows + 1;
+  Printf.sprintf "%s: %d step(s), %s" template.Workload.Purpose.name n
+    (match twist with
+    | None -> "plausible"
+    | Some tw -> "twisted (" ^ Workload.Purpose.twist_to_string tw ^ ")")
+
+(* ---------- the raw federation path (mapping coherence) ---------- *)
+
+let run_raw_append h i n =
+  let es = take_pool h n in
+  if es = [] then "pool dry"
+  else begin
+    let site = Audit_mgmt.Fault.site h.faults.(i) in
+    let before = Site.length site in
+    let s = Site.ingest_raw_batch site (List.map raw_of_entry es) in
+    let n' = List.length es in
+    if s.Site.duplicates <> 0 then
+      violate "mapping-coherence" "fresh raw batch at site %d counted %d duplicate(s)" i
+        s.Site.duplicates;
+    let outcome =
+      if h.mapping_correct.(i) then begin
+        if s.Site.ingested <> n' || s.Site.quarantined <> 0 then
+          violate "mapping-coherence"
+            "correct mapping at site %d ingested %d/%d, quarantined %d" i s.Site.ingested
+            n' s.Site.quarantined;
+        (* round-trip: the mapped entries equal the originals, in order *)
+        let got = last_n (Site.entries site) (Site.length site - before) in
+        if List.length got <> n' || not (List.for_all2 Hdb.Audit_schema.equal got es) then
+          violate "mapping-coherence" "raw round-trip at site %d altered the records" i;
+        Model.append_remote h.model i es;
+        h.raw_ingested <- h.raw_ingested + n';
+        Printf.sprintf "%d raw record(s) mapped" n'
+      end
+      else begin
+        if s.Site.ingested <> 0 || s.Site.quarantined <> n' then
+          violate "mapping-coherence"
+            "broken mapping at site %d ingested %d, quarantined %d/%d" i s.Site.ingested
+            s.Site.quarantined n';
+        h.pending.(i) <- h.pending.(i) @ es;
+        h.raw_quarantined <- h.raw_quarantined + n';
+        Printf.sprintf "%d raw record(s) quarantined (broken mapping)" n'
+      end
+    in
+    sync_site_floor h i;
+    outcome
+  end
+
+let run_set_mapping h i correct =
+  let site = Audit_mgmt.Fault.site h.faults.(i) in
+  if correct then begin
+    Site.set_mapping site (correct_mapping ());
+    h.mapping_correct.(i) <- true;
+    let pending = h.pending.(i) in
+    let np = List.length pending in
+    let before = Site.length site in
+    let s = Site.reprocess_quarantined site in
+    if s.Site.ingested <> np || s.Site.quarantined <> 0 then
+      violate "mapping-coherence"
+        "reprocess at site %d under the fixed mapping ingested %d/%d, %d still quarantined"
+        i s.Site.ingested np s.Site.quarantined;
+    (* reprocessing walks the quarantine in seq order: the re-ingested
+       records are the backlog, byte for byte, in arrival order *)
+    let got = last_n (Site.entries site) (Site.length site - before) in
+    if List.length got <> np || not (List.for_all2 Hdb.Audit_schema.equal got pending)
+    then violate "mapping-coherence" "reprocess at site %d reordered or altered the backlog" i;
+    Model.append_remote h.model i pending;
+    h.pending.(i) <- [];
+    h.reprocessed <- h.reprocessed + np;
+    sync_site_floor h i;
+    Printf.sprintf "correct mapping, reprocessed %d" np
+  end
+  else begin
+    Site.set_mapping site (broken_mapping ());
+    h.mapping_correct.(i) <- false;
+    "broken mapping installed"
+  end
+
 (* ---------- invariant checks ---------- *)
 
-(* Consolidation-time checks: accounting, exactly-once, coverage bounds and
-   the lower-bound labelling discipline (invariants 1-3). *)
+(* Consolidation-time checks: accounting, exactly-once, coverage bounds,
+   the lower-bound labelling discipline (invariants 1-3), and cache
+   coherence against a from-scratch vocabulary (invariant 8). *)
 let check_consolidate h =
   h.consolidations <- h.consolidations + 1;
   let qc = Sys_.coverage_qualified h.sys in
@@ -228,6 +577,9 @@ let check_consolidate h =
       "coverage over a %s window (completeness %.3f, fully_verified %b) mislabelled"
       (if expect_exact then "complete" else "partial")
       health.H.completeness (Sys_.fully_verified h.sys);
+  (* invariant 8: the live readings (vocab caches warmed across edits and
+     crashes) against a from-scratch recompute over the same window *)
+  check_cache_coherence h;
   (* the health report's degraded tallies must agree with the members *)
   if Sys_.federation_degraded h.sys
      && health.H.degraded_sites = 0 && health.H.degraded_shards = 0
@@ -363,35 +715,44 @@ let crash_and_recover h point =
     violate "quarantine-exactly-once"
       "recovered quarantine (%d items) differs from the synced floor (%d items)"
       (List.length qitems_b) (List.length h.q_floor);
-  (* resume: re-wire the fault plane and enforcement table, then have the
-     client replay the lost unsynced suffix (at-least-once delivery) *)
+  (* resume: re-wire the fault plane, enforcement table and operator
+     config, then have the client replay the lost unsynced suffix
+     (at-least-once delivery) *)
   Array.iter (fun f -> Sys_.add_faulty_site sys_b f) h.faults;
   Sys_.attach_archive sys_b h.archive;
-  Sys_.set_group_commit sys_b h.group_commit;
+  reapply_config h sys_b;
   setup_enforcement sys_b;
   h.sys <- sys_b;
   let lost = List.filteri (fun i _ -> i >= k) model_all in
-  let store = Hdb.Control_center.audit_store (Sys_.control sys_b) in
-  List.iter (Hdb.Audit_store.append store) lost;
+  let dropped =
+    h.defect = Some Drop_replay && not h.replay_dropped && lost <> []
+  in
+  if dropped then h.replay_dropped <- true
+  else begin
+    let store = Hdb.Control_center.audit_store (Sys_.control sys_b) in
+    List.iter (Hdb.Audit_store.append store) lost
+  end;
   (* everything recovered sits on stable storage; the replayed tail is the
      new unsynced region *)
   Model.set_synced h.model k;
-  Printf.sprintf "recovered %d/%d, replayed %d" k model_len (List.length lost)
+  Printf.sprintf "recovered %d/%d, replayed %d" k model_len
+    (if dropped then 0 else List.length lost)
 
 (* ---------- site-local crash + recovery (invariant 7) ---------- *)
 
 (* Power-cut remote [i]'s own WAL at the drawn point, rebuild the site
    from its op log alone, reseat it into the federation (keeping breaker
-   history and fault schedule), and have the feed replay the lost suffix.
-   The clinical pair and every other site are untouched: the blast radius
-   of a site-local crash is exactly one site. *)
+   history, fault schedule and schema mapping), and have the feed replay
+   the lost suffix.  The clinical pair and every other site are untouched:
+   the blast radius of a site-local crash is exactly one site. *)
 let site_crash_and_recover h i point =
   h.site_crashes <- h.site_crashes + 1;
   let fault = h.faults.(i) in
   let old_site = Audit_mgmt.Fault.site fault in
-  let name = Audit_mgmt.Site.name old_site in
+  let name = Site.name old_site in
+  let mapping = Site.mapping old_site in
   let log =
-    match Audit_mgmt.Site.wal old_site with
+    match Site.wal old_site with
     | Some l -> l
     | None -> violate "site-local-recovery" "site %s lost its durable WAL" name
   in
@@ -402,7 +763,7 @@ let site_crash_and_recover h i point =
   Durable.Device.crash wal ~point;
   Durable.Device.crash snap ~point:Durable.Device.Clean_loss;
   let open_once () =
-    Audit_mgmt.Site.open_durable ~name (Durable.Log.of_devices ~wal ~snapshot:snap)
+    Site.open_durable ~mapping ~name (Durable.Log.of_devices ~wal ~snapshot:snap)
   in
   (* the first open truncates any torn tail and reseals, so it is the one
      that carries the true verdict — it becomes the live site; the second
@@ -415,7 +776,7 @@ let site_crash_and_recover h i point =
       (Durable.Device.crash_point_to_string point);
   if undecodable > 0 then
     violate "site-local-recovery" "%d recovered site op(s) no longer decode" undecodable;
-  let entries = Audit_mgmt.Site.entries site' in
+  let entries = Site.entries site' in
   (* recovery is idempotent: a second open over the same devices yields
      the same site and drops nothing new *)
   let site_b, report_b, _ = open_once () in
@@ -424,7 +785,7 @@ let site_crash_and_recover h i point =
       (Durable.Device.crash_point_to_string point);
   if Durable.Recovery.dropped_tail report_b then
     violate "site-local-recovery" "second site recovery still dropping WAL bytes";
-  let entries_b = Audit_mgmt.Site.entries site_b in
+  let entries_b = Site.entries site_b in
   if List.length entries <> List.length entries_b
      || not (List.for_all2 Hdb.Audit_schema.equal entries entries_b)
   then violate "site-local-recovery" "second site recovery produced a different store";
@@ -445,13 +806,15 @@ let site_crash_and_recover h i point =
     violate "site-local-recovery" "site %s recovered store is not a prefix of its stream"
       name;
   h.site_recovered <- h.site_recovered + k;
+  (* a site with auto-compaction enabled keeps it across the restart *)
+  if h.auto_checkpoint then Site.enable_auto_checkpoint site';
   (* swap the rebuilt site back in; the member keeps its breaker history
      and fault schedule (Fault.reseat inside) *)
   Sys_.reseat_site h.sys name site';
   let lost = List.filteri (fun j _ -> j >= k) model_all in
   (* a lossy recovery leaves the site durably degraded: until the feed
      replays, every coverage reading must carry the Lower_bound label *)
-  if Audit_mgmt.Site.durably_degraded site' then begin
+  if Site.durably_degraded site' then begin
     if not (Sys_.federation_degraded h.sys) then
       violate "site-local-recovery"
         "site %s degraded after a lossy recovery but the system does not see it" name;
@@ -468,10 +831,32 @@ let site_crash_and_recover h i point =
   end;
   (* the feed replays the lost suffix (at-least-once) and declares the
      site whole again; the recovered prefix sits on stable storage *)
-  Audit_mgmt.Site.ingest_entries site' lost;
-  Audit_mgmt.Site.acknowledge_replay site';
-  if Audit_mgmt.Site.durably_degraded site' then
+  Site.ingest_entries site' lost;
+  Site.acknowledge_replay site';
+  if Site.durably_degraded site' then
     violate "site-local-recovery" "site %s still degraded after the replay" name;
+  (* A lying-fsync crash can rewind even synced quarantine ops,
+     resurrecting already-reprocessed records or un-quarantining pending
+     ones.  The recovered site is ground truth: re-derive the raw-path
+     bookkeeping from its quarantine, and drop any resurrected record the
+     model already holds (its entry was replayed above) so a later
+     reprocess cannot double-ingest it. *)
+  let site_q = Site.quarantine site' in
+  let items =
+    List.sort
+      (fun (a : Q.item) (b : Q.item) -> compare a.seq b.seq)
+      (Q.site_items site_q ~site:name)
+  in
+  h.pending.(i) <-
+    List.filter_map
+      (fun (it : Q.item) ->
+        let e = Audit_mgmt.Mapping.apply (correct_mapping ()) it.raw in
+        if List.exists (Hdb.Audit_schema.equal e) model_all then begin
+          Q.remove site_q ~site:name ~seq:it.seq;
+          None
+        end
+        else Some e)
+      items;
   Model.set_remote_synced h.model i k;
   h.site_replayed <- h.site_replayed + List.length lost;
   Printf.sprintf "recovered %d/%d, replayed %d" k model_len (List.length lost)
@@ -571,7 +956,7 @@ let tamper_and_verify h pick bit_pick =
        the Lower_bound label even over a nominally complete window *)
     Array.iter (fun f -> Sys_.add_faulty_site sys' f) h.faults;
     Sys_.attach_archive sys' h.archive;
-    Sys_.set_group_commit sys' h.group_commit;
+    reapply_config h sys';
     setup_enforcement sys';
     h.sys <- sys';
     let qc = Sys_.coverage_qualified h.sys in
@@ -669,8 +1054,7 @@ let run_action h step action =
       let es = take_pool h n in
       if es = [] then "pool dry"
       else begin
-        let store = audit_store h in
-        List.iter (Hdb.Audit_store.append store) es;
+        append_clinical_sys h es;
         Model.append_clinical h.model es;
         Printf.sprintf "%d entries" (List.length es)
       end
@@ -678,10 +1062,14 @@ let run_action h step action =
       let es = take_pool h n in
       if es = [] then "pool dry"
       else begin
-        Audit_mgmt.Site.ingest_entries (Audit_mgmt.Fault.site h.faults.(i)) es;
+        Site.ingest_entries (Audit_mgmt.Fault.site h.faults.(i)) es;
         Model.append_remote h.model i es;
         Printf.sprintf "%d entries" (List.length es)
       end
+    | Schedule.Append_remote_raw (i, n) -> run_raw_append h i n
+    | Schedule.Set_mapping (i, correct) -> run_set_mapping h i correct
+    | Schedule.Append_workflow (pick, twist) -> run_workflow h pick twist
+    | Schedule.Vocab_edit pick -> run_vocab_edit h pick
     | Schedule.Sync_durable ->
       Sys_.sync_durable h.sys;
       Model.mark_all_synced h.model;
@@ -692,6 +1080,10 @@ let run_action h step action =
       Model.mark_all_synced h.model;
       sync_q_floor h;
       "compacted"
+    | Schedule.Set_auto_checkpoint on ->
+      Sys_.set_auto_checkpoint h.sys on;
+      h.auto_checkpoint <- on;
+      if on then "auto-compaction on" else "auto-compaction off"
     | Schedule.Crash point -> crash_and_recover h point
     | Schedule.Site_crash (i, point) -> site_crash_and_recover h i point
     | Schedule.Consolidate ->
@@ -713,6 +1105,23 @@ let run_action h step action =
       let msg = check_refine h in
       Sys_.set_query_limits h.sys None;
       msg
+    | Schedule.Refine_race n ->
+      (* consolidation fixes the window; [n] fresh accesses then land
+         behind its back before the epoch runs — refinement must stay
+         sound for the window it actually saw *)
+      ignore (check_consolidate h);
+      let es = take_pool h n in
+      append_clinical_sys h es;
+      Model.append_clinical h.model es;
+      let msg = check_refine h in
+      Printf.sprintf "%s (%d raced in)" msg (List.length es)
+    | Schedule.Set_threshold pct ->
+      let v = float_of_int pct /. 100.0 in
+      Sys_.set_completeness_threshold h.sys v;
+      h.threshold <- Some v;
+      if Sys_.completeness_threshold h.sys <> v then
+        violate "harness-error" "completeness threshold did not take";
+      Printf.sprintf "completeness threshold %.2f" v
     | Schedule.Enforce kind -> run_enforce h kind
     | Schedule.Set_group_commit on ->
       Sys_.set_group_commit h.sys on;
@@ -725,8 +1134,13 @@ let run_action h step action =
 (* ---------- convergence epilogue (invariant 5) ---------- *)
 
 let epilogue h =
-  (* stop the faults for good: heal everything and swap each wrapper for a
-     genuinely fault-free one, so the remaining fetches are clean draws *)
+  (* stop the faults for good: fix any still-broken schema mapping (which
+     reprocesses its quarantined backlog), heal everything, and swap each
+     wrapper for a genuinely fault-free one, so the remaining fetches are
+     clean draws *)
+  Array.iteri
+    (fun i _ -> if not h.mapping_correct.(i) then ignore (run_set_mapping h i true))
+    h.faults;
   Sys_.heal_all h.sys;
   let fed = Sys_.federation h.sys in
   Array.iteri
@@ -803,14 +1217,20 @@ let epilogue h =
         h.tampers
         (Durable.Recovery.verdict_to_string r.Durable.Recovery.verdict)
 
-(* ---------- entry point ---------- *)
+(* ---------- entry points ---------- *)
 
-let run ?(nsites = 2) ?trace ~seed ~steps () =
+(* Run an explicit action list — the replay/shrink entry point.  [pool] is
+   the workload pool size (recorded in repros so a shrunk schedule draws
+   from the same entry stream as the original run); [defect] arms one
+   injected bug.  Deterministic in (seed, nsites, pool, defect, actions). *)
+let run_actions ?(nsites = 2) ?defect ?trace ?pool ~seed ~actions () =
+  let steps = List.length actions in
+  let pool_size = match pool with Some n -> n | None -> (steps * 3) + 120 in
   (* the workload: one globally time-ordered stream of hospital accesses,
      split across the clinical DB and the remotes by the schedule *)
   let config =
     let base = Workload.Hospital.default_config ~seed:((seed * 31) + 7) () in
-    { base with Workload.Hospital.total_accesses = (steps * 3) + 120 }
+    { base with Workload.Hospital.total_accesses = pool_size }
   in
   let pool = Array.of_list (Workload.Generator.entries (Workload.Generator.generate config)) in
   let vocab = config.Workload.Hospital.vocab in
@@ -834,11 +1254,15 @@ let run ?(nsites = 2) ?trace ~seed ~steps () =
     }
   in
   (* every remote sits on its own durable op log, so a site-local crash
-     recovers from the site's WAL instead of re-ingesting from source *)
+     recovers from the site's WAL instead of re-ingesting from source;
+     each speaks the foreign dialect through the correct mapping until a
+     Set_mapping action breaks it *)
   let faults =
     Array.init nsites (fun i ->
-        let site = Audit_mgmt.Site.create ~name:(site_name i) () in
-        Audit_mgmt.Site.attach_wal site (Durable.Log.create ~seed:((seed * 13) + 10 + i) ());
+        let site =
+          Site.create ~mapping:(correct_mapping ()) ~name:(site_name i) ()
+        in
+        Site.attach_wal site (Durable.Log.create ~seed:((seed * 13) + 10 + i) ());
         Audit_mgmt.Fault.wrap ~config:fault_config ~seed:((seed * 101) + i) site)
   in
   Array.iter (fun f -> Sys_.add_faulty_site sys f) faults;
@@ -854,10 +1278,21 @@ let run ?(nsites = 2) ?trace ~seed ~steps () =
       sys;
       archive;
       faults;
+      wconfig = config;
+      wf_rng = Splitmix.create ~seed:((seed * 41) + 9);
       pool;
+      defect;
       next_entry = 0;
+      next_time = 0;
       q_floor = [];
       group_commit = false;
+      auto_checkpoint = false;
+      threshold = None;
+      edits = [];
+      pending = Array.make nsites [];
+      mapping_correct = Array.make nsites true;
+      clinical_seen = 0;
+      replay_dropped = false;
       events = [];
       appended = 0;
       crashes = 0;
@@ -871,10 +1306,15 @@ let run ?(nsites = 2) ?trace ~seed ~steps () =
       enforce_trips = 0;
       tampers = 0;
       tampers_detected = 0;
+      raw_ingested = 0;
+      raw_quarantined = 0;
+      reprocessed = 0;
+      workflows = 0;
+      twisted_workflows = 0;
+      vocab_edits = 0;
       trace;
     }
   in
-  let schedule = Schedule.generate ~nsites ~seed ~steps in
   let violation = ref None in
   let actions_run = ref 0 in
   let guard step action f =
@@ -900,7 +1340,7 @@ let run ?(nsites = 2) ?trace ~seed ~steps () =
            incr actions_run);
        if !violation = None then loop (step + 1) rest
    in
-   loop 1 schedule);
+   loop 1 actions);
   if !violation = None then
     guard (steps + 1) Schedule.Consolidate (fun () -> epilogue h);
   {
@@ -919,9 +1359,19 @@ let run ?(nsites = 2) ?trace ~seed ~steps () =
     enforce_trips = h.enforce_trips;
     tampers = h.tampers;
     tampers_detected = h.tampers_detected;
+    raw_ingested = h.raw_ingested;
+    raw_quarantined = h.raw_quarantined;
+    reprocessed = h.reprocessed;
+    workflows = h.workflows;
+    twisted_workflows = h.twisted_workflows;
+    vocab_edits = h.vocab_edits;
     events = List.rev h.events;
     violation = !violation;
   }
+
+let run ?(nsites = 2) ?defect ?trace ~seed ~steps () =
+  let actions = Schedule.generate ~nsites ~seed ~steps () in
+  run_actions ~nsites ?defect ?trace ~pool:((steps * 3) + 120) ~seed ~actions ()
 
 (* ---------- reporting ---------- *)
 
@@ -933,10 +1383,12 @@ let pp ppf (r : report) =
   Fmt.pf ppf
     "@[<v>seed %d: %d/%d steps, %d entries, %d crashes, %d site crashes (%d \
      recovered/%d replayed), %d consolidations, %d+%d refines (%d degraded), %d budget \
-     trips, %d/%d tampers detected — %a@]"
+     trips, %d/%d tampers detected, %d raw (%d quarantined, %d reprocessed), %d \
+     workflows (%d twisted), %d vocab edits — %a@]"
     r.seed r.actions_run r.steps r.appended r.crashes r.site_crashes r.site_recovered
     r.site_replayed r.consolidations r.refines_ok r.refines_rejected r.degraded_epochs
-    r.enforce_trips r.tampers_detected r.tampers
+    r.enforce_trips r.tampers_detected r.tampers r.raw_ingested r.raw_quarantined
+    r.reprocessed r.workflows r.twisted_workflows r.vocab_edits
     (fun ppf -> function
       | None -> Fmt.pf ppf "all invariants held"
       | Some v -> pp_violation ppf v)

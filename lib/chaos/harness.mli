@@ -4,7 +4,7 @@
     One seeded {!Schedule} drives a full {!Prima_system.System} — durable
     storage, fault-injected federation, budgeted queries, the refinement
     loop — while a pure {!Model} oracle receives the same inputs
-    fault-free.  Five invariants are checked as the run unfolds:
+    fault-free.  Nine invariants are checked as the run unfolds:
 
     + {b no-loss} — recovery yields a prefix of the appended entries,
       never below the durable floor (the lying-fsync [Truncated_sync]
@@ -32,8 +32,23 @@
       idempotently; a lossy recovery keeps coverage at [Lower_bound] until
       the feed replays the lost suffix, after which the system
       re-converges to [Exact].
+    + {b cache-coherence} — after a mid-run vocabulary edit, the system's
+      coverage readings equal a from-scratch recompute over the same
+      policies under an identically rebuilt (freshly stamped) vocabulary:
+      no grounding cache may answer from a dead stamp.  Checked at every
+      edit and every consolidation.
+    + {b purpose-plausibility} — multi-step clinical plans from
+      {!Workload.Purpose} are classified exactly as generated: untwisted
+      instances pass prefix conformance, twisted ones never do.
 
-    Fully deterministic in [seed]: a violation replays from its seed. *)
+    The raw federation path additionally checks mapping coherence: under
+    the correct foreign-dialect mapping every raw record ingests and
+    round-trips exactly; under a broken one every record quarantines
+    (never drops); fixing the mapping reprocesses exactly the backlog.
+
+    Fully deterministic in [seed]: a violation replays from its seed
+    alone, or — via {!run_actions} — from an explicit (possibly shrunk)
+    action list. *)
 
 type violation = {
   step : int;  (** 1-based schedule position; 0 = setup, steps+1 = epilogue *)
@@ -41,6 +56,18 @@ type violation = {
   invariant : string;
   detail : string;
 }
+
+(** A deliberate, deterministic bug the harness can arm ({!run_actions}'s
+    [defect]) so the {!Shrink} minimizer has real failures to work on. *)
+type defect =
+  | Eat_entry of int  (** swallow the [k]-th clinical append (1-based) *)
+  | Drop_replay  (** skip the first post-crash replay of the lost suffix *)
+  | Stale_vocab  (** never hand vocabulary edits to the system *)
+
+val defect_to_string : defect -> string
+
+val defect_of_string : string -> defect option
+(** Total inverse of {!defect_to_string}; [None] on anything else. *)
 
 type report = {
   seed : int;
@@ -58,15 +85,43 @@ type report = {
   enforce_trips : int;
   tampers : int;  (** bit-flips injected into accepted (stable) records *)
   tampers_detected : int;  (** of those, reported as [Tamper_detected] *)
+  raw_ingested : int;  (** raw foreign-dialect records mapped and ingested *)
+  raw_quarantined : int;  (** raw records a broken mapping sent to quarantine *)
+  reprocessed : int;  (** quarantined records re-ingested after a mapping fix *)
+  workflows : int;  (** purpose-workflow plan instances appended *)
+  twisted_workflows : int;  (** of those, plan-implausible (twisted) ones *)
+  vocab_edits : int;  (** mid-run vocabulary edits adopted *)
   events : string list;  (** step-by-step fault log, oldest first *)
   violation : violation option;
 }
 
-val run : ?nsites:int -> ?trace:(string -> unit) -> seed:int -> steps:int -> unit -> report
+val run :
+  ?nsites:int ->
+  ?defect:defect ->
+  ?trace:(string -> unit) ->
+  seed:int ->
+  steps:int ->
+  unit ->
+  report
 (** Execute a [steps]-action schedule over [nsites] faulty remotes
     (default 2) plus the clinical DB, then the convergence epilogue.
-    [trace] streams the event log as it is produced.  Stops at the first
-    violation. *)
+    [trace] streams the event log as it is produced; [defect] arms one
+    injected bug.  Stops at the first violation. *)
+
+val run_actions :
+  ?nsites:int ->
+  ?defect:defect ->
+  ?trace:(string -> unit) ->
+  ?pool:int ->
+  seed:int ->
+  actions:Schedule.action list ->
+  unit ->
+  report
+(** {!run} over an explicit action list — the replay/shrink entry point.
+    [pool] fixes the workload pool size (default [3·|actions| + 120]);
+    repros record it so a shrunk schedule draws from the same entry
+    stream as the original run.  Deterministic in
+    [(seed, nsites, pool, defect, actions)]. *)
 
 val passed : report -> bool
 

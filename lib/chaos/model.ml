@@ -10,7 +10,7 @@
    test. *)
 
 type t = {
-  vocab : Vocabulary.Vocab.t;
+  mutable vocab : Vocabulary.Vocab.t;
   mutable p_ps : Prima_core.Policy.t;
   mutable clinical_rev : Hdb.Audit_schema.entry list;
   mutable clinical_len : int;
@@ -57,6 +57,11 @@ let mark_all_synced t =
   Array.iteri (fun i l -> t.remote_synced.(i) <- List.length l) t.remote_rev
 
 let p_ps t = t.p_ps
+let vocab t = t.vocab
+
+(* Mirror a mid-run vocabulary edit: the oracle grounds everything from
+   here on against the same re-stamped vocabulary the system adopted. *)
+let set_vocab t vocab = t.vocab <- vocab
 
 (* The fault-free consolidated trail.  Workload timestamps are strictly
    increasing, so a stable sort keyed on time alone reproduces the heap

@@ -40,6 +40,13 @@ val mark_all_synced : t -> unit
 
 val p_ps : t -> Prima_core.Policy.t
 
+val vocab : t -> Vocabulary.Vocab.t
+
+val set_vocab : t -> Vocabulary.Vocab.t -> unit
+(** Mirror a mid-run vocabulary edit: every subsequent coverage and epoch
+    computation grounds against the re-stamped vocabulary the system
+    adopted. *)
+
 val consolidated : t -> Hdb.Audit_schema.entry list
 (** The fault-free consolidated trail: stable time sort across the
     clinical and remote streams in federation site order. *)

@@ -5,7 +5,7 @@
    integration with HDB enforcement lives in the prima_system library. *)
 
 type t = {
-  vocab : Vocabulary.Vocab.t;
+  mutable vocab : Vocabulary.Vocab.t;
   mutable p_ps : Policy.t;
   mutable p_al : Policy.t;
   mutable training_minimum : int; (* entries required before refinement *)
@@ -23,6 +23,13 @@ let create ?(training_minimum = 0) ?(config = Refinement.default_config) ~vocab 
   }
 
 let vocab t = t.vocab
+
+(* Adopt an edited vocabulary (e.g. a taxonomy that grew a leaf mid-run).
+   Vocabulary values are immutable and freshly stamped, so every grounding
+   cache keyed by the old stamp goes cold at once — subsequent coverage
+   readings must be indistinguishable from a from-scratch recompute. *)
+let set_vocab t vocab = t.vocab <- vocab
+
 let policy_store t = t.p_ps
 let audit_policy t = t.p_al
 let history t = List.rev t.history

@@ -18,6 +18,14 @@ val create :
     before {!refine} will run (default 0). *)
 
 val vocab : t -> Vocabulary.Vocab.t
+
+val set_vocab : t -> Vocabulary.Vocab.t -> unit
+(** Adopt an edited vocabulary mid-run.  Vocabulary values are immutable
+    and freshly stamped ({!Vocabulary.Vocab.stamp}), so the grounding
+    caches keyed by the old stamp go cold atomically: coverage computed
+    after the swap must equal a from-scratch recompute over the same
+    policies. *)
+
 val policy_store : t -> Policy.t
 val audit_policy : t -> Policy.t
 

@@ -33,6 +33,14 @@ let crash_point_to_string = function
   | Bit_flip -> "bit-flip"
   | Truncated_sync -> "truncated-sync"
 
+let crash_point_of_string = function
+  | "clean-loss" -> Some Clean_loss
+  | "torn-tail" -> Some Torn_tail
+  | "partial-header" -> Some Partial_header
+  | "bit-flip" -> Some Bit_flip
+  | "truncated-sync" -> Some Truncated_sync
+  | _ -> None
+
 type t = {
   mutable durable : Bytes.t; (* stable media *)
   mutable dlen : int;

@@ -17,6 +17,10 @@ type crash_point =
 val all_crash_points : crash_point list
 val crash_point_to_string : crash_point -> string
 
+val crash_point_of_string : string -> crash_point option
+(** Inverse of {!crash_point_to_string} — serialized chaos schedules
+    round-trip through these names. *)
+
 type t
 
 val create : ?seed:int -> unit -> t

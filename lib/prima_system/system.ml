@@ -231,6 +231,35 @@ let set_group_commit t on =
     (fun site -> set (Audit_mgmt.Site.wal site))
     (Audit_mgmt.Federation.sites t.federation)
 
+(* Adopt an edited vocabulary on the refinement/coverage plane.  The
+   enforcement rule base keeps matching under the vocabulary it was
+   created with — an edit only ever adds values, and installed permit
+   rules reference values that existed at installation time — while every
+   coverage and refinement reading switches to the new (freshly stamped)
+   vocabulary at once. *)
+let set_vocab t vocab = Prima_core.Prima.set_vocab t.prima vocab
+
+let vocab t = Prima_core.Prima.vocab t.prima
+
+(* Toggle background WAL compaction on every attached log: the central
+   audit/quarantine pair and each member site's op WAL.  No-op for logs
+   that are not attached. *)
+let set_auto_checkpoint ?(policy = Durable.Log.checkpoint_every ~records:64 ()) t on =
+  let audit = Hdb.Control_center.audit_store t.control in
+  let transit = Audit_mgmt.Federation.transit_quarantine t.federation in
+  let sites = Audit_mgmt.Federation.sites t.federation in
+  if on then begin
+    Hdb.Audit_store.enable_auto_checkpoint ~policy audit;
+    Audit_mgmt.Quarantine.enable_auto_checkpoint ~policy transit;
+    List.iter (Audit_mgmt.Site.enable_auto_checkpoint ~policy) sites
+  end
+  else begin
+    let clear log = Option.iter Durable.Log.clear_auto_checkpoint log in
+    clear (Hdb.Audit_store.log audit);
+    clear (Audit_mgmt.Quarantine.log transit);
+    List.iter (fun site -> clear (Audit_mgmt.Site.wal site)) sites
+  end
+
 (* Pull the fault-aware consolidated view into the refinement component's
    P_AL; the health report of this consolidation is retained and its
    completeness qualifies everything computed from the window. *)

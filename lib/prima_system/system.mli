@@ -160,6 +160,27 @@ val set_group_commit : t -> bool -> unit
     member site WALs): pending appends coalesce into one device write at
     the next {!sync_durable}. *)
 
+val vocab : t -> Vocabulary.Vocab.t
+(** The vocabulary the refinement/coverage plane currently grounds
+    against. *)
+
+val set_vocab : t -> Vocabulary.Vocab.t -> unit
+(** Adopt an edited vocabulary (a freshly constructed
+    {!Vocabulary.Vocab.t} — e.g. a taxonomy that grew a leaf) on the
+    refinement/coverage plane.  Fresh construction means a fresh
+    {!Vocabulary.Vocab.stamp}: every grounding cache keyed by the old
+    stamp goes cold atomically, so post-edit coverage must equal a
+    from-scratch recompute.  The enforcement rule base keeps matching
+    under its creation vocabulary — edits only add values, and installed
+    permit rules reference values that existed when they were
+    installed. *)
+
+val set_auto_checkpoint : ?policy:Durable.Log.checkpoint_policy -> t -> bool -> unit
+(** Toggle background WAL compaction ({!Durable.Log.set_auto_checkpoint},
+    default policy: every 64 records) on every attached log — the central
+    audit/quarantine pair and each member site's op WAL.  [false] clears
+    the policy everywhere. *)
+
 val sync_audit : t -> Audit_mgmt.Health.t
 (** Pull the fault-aware consolidated view into the refinement component's
     P_AL; returns (and retains) the consolidation's health report. *)

@@ -38,6 +38,19 @@ let attr t = t.attr
 
 let root_value t = t.root.value
 
+(* Grow one leaf under an existing value, functionally: rebuild the tree
+   with the new leaf appended to the parent's children and revalidate.
+   The original taxonomy is untouched — callers adopting the result get a
+   structurally fresh tree (and, via Vocab, a fresh stamp). *)
+let with_leaf t ~parent ~value =
+  if not (Hashtbl.mem t.by_value parent) then raise (Unknown_value parent);
+  let rec rebuild n =
+    let children = List.map rebuild n.children in
+    let children = if String.equal n.value parent then children @ [ leaf value ] else children in
+    node n.value children
+  in
+  create ~attr:t.attr (rebuild t.root)
+
 let mem t value = Hashtbl.mem t.by_value value
 
 let find_node t value =

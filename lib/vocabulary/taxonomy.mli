@@ -28,6 +28,12 @@ val create : attr:string -> node -> t
 (** [create ~attr root] validates value uniqueness and builds the taxonomy.
     @raise Duplicate_value if a value occurs twice. *)
 
+val with_leaf : t -> parent:string -> value:string -> t
+(** A fresh taxonomy equal to [t] with one new ground value appended under
+    [parent] — the functional "the vocabulary grew mid-run" edit.
+    @raise Unknown_value when [parent] is absent.
+    @raise Duplicate_value when [value] is already in the tree. *)
+
 val attr : t -> string
 (** The attribute this taxonomy describes, e.g. ["data"]. *)
 

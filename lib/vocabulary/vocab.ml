@@ -47,6 +47,15 @@ let add t taxonomy =
 
 let of_taxonomies taxonomies = List.fold_left add empty taxonomies
 
+(* Grow one taxonomy leaf, functionally: the result is a fresh vocabulary
+   value with empty caches and a fresh stamp, so every downstream cache
+   keyed by the old stamp goes cold atomically when a caller adopts it. *)
+let with_leaf t ~attr ~parent ~value =
+  match String_map.find_opt attr t.taxonomies with
+  | None -> raise (Unknown_attribute attr)
+  | Some tax ->
+    of_map (String_map.add attr (Taxonomy.with_leaf tax ~parent ~value) t.taxonomies)
+
 let attributes t = List.map fst (String_map.bindings t.taxonomies)
 
 let mem_attribute t attr = String_map.mem attr t.taxonomies

@@ -27,6 +27,15 @@ val add : t -> Taxonomy.t -> t
 
 val of_taxonomies : Taxonomy.t list -> t
 
+val with_leaf : t -> attr:string -> parent:string -> value:string -> t
+(** A fresh vocabulary equal to [t] with one new ground value under
+    [parent] in [attr]'s taxonomy ({!Taxonomy.with_leaf}) — empty caches,
+    fresh {!stamp}, so downstream grounding caches keyed by the old stamp
+    go cold atomically when the result is adopted.
+    @raise Unknown_attribute when [attr] is absent.
+    @raise Taxonomy.Unknown_value / [Taxonomy.Duplicate_value] as
+    {!Taxonomy.with_leaf}. *)
+
 val attributes : t -> string list
 (** Attribute names, sorted. *)
 

@@ -1,0 +1,144 @@
+(* Purposes as plans: multi-step clinical workflows (after Tschantz,
+   Datta and Wing's plan-based reading of purpose).
+
+   A template is a plan over the hospital vocabulary; an instance
+   realises it as audit entries.  A twist is a violation visible only as
+   an implausible sequence — every individual entry uses a staffed role,
+   a ground value and a Regular status.  [conforms] is the sequence-level
+   prefix check that separates plausible from twisted. *)
+
+type step = {
+  data : string;
+  purpose : string;
+  authorized : string;
+}
+
+type template = {
+  name : string;
+  steps : step list;
+}
+
+let s data purpose authorized = { data; purpose; authorized }
+
+(* Every value is a ground leaf of Vocabulary.Samples.hospital and every
+   role is staffed in Hospital.default_config.  First steps are pairwise
+   distinct so prefix conformance is unambiguous. *)
+let templates =
+  [ { name = "inpatient-admission";
+      steps =
+        [ s "admission-record" "registration" "receptionist";
+          s "vitals" "diagnosis" "nurse";
+          s "lab-results" "diagnosis" "doctor";
+          s "referral" "treatment" "doctor";
+          s "insurance" "billing" "billing-specialist";
+        ];
+    };
+    { name = "imaging-workup";
+      steps =
+        [ s "appointments" "scheduling" "receptionist";
+          s "x-ray" "diagnosis" "radiologist";
+          s "x-ray" "treatment" "doctor";
+          s "payment-history" "claims-processing" "billing-specialist";
+        ];
+    };
+    { name = "emergency-visit";
+      steps =
+        [ s "admission-record" "emergency-care" "emergency-physician";
+          s "vitals" "emergency-care" "nurse";
+          s "prescription" "treatment" "emergency-physician";
+          s "discharge-record" "transfer" "nurse";
+          s "insurance" "billing" "billing-specialist";
+        ];
+    };
+  ]
+
+type twist =
+  | Skip_step
+  | Swap_steps
+  | Alien_role
+
+let all_twists = [ Skip_step; Swap_steps; Alien_role ]
+
+let twist_to_string = function
+  | Skip_step -> "skip-step"
+  | Swap_steps -> "swap-steps"
+  | Alien_role -> "alien-role"
+
+let twist_of_string = function
+  | "skip-step" -> Some Skip_step
+  | "swap-steps" -> Some Swap_steps
+  | "alien-role" -> Some Alien_role
+  | _ -> None
+
+type instance = {
+  template : template;
+  twist : twist option;
+  entries : Hdb.Audit_schema.entry list;
+}
+
+(* Apply a twist to a step list.  Parameters are drawn from [rng] but
+   constrained so the result can never be a prefix of any template (the
+   exhaustive check lives in test_workload):
+   - Skip_step drops a middle step, so the tail no longer lines up;
+   - Swap_steps transposes an adjacent pair;
+   - Alien_role hands one step to a clerk — a staffed role no plan uses. *)
+let twist_steps rng twist steps =
+  let n = List.length steps in
+  match twist with
+  | Skip_step ->
+    let drop = 1 + Prng.int rng (n - 2) in
+    List.filteri (fun i _ -> i <> drop) steps
+  | Swap_steps ->
+    let i = Prng.int rng (n - 1) in
+    List.mapi
+      (fun j step ->
+        if j = i then List.nth steps (i + 1)
+        else if j = i + 1 then List.nth steps i
+        else step)
+      steps
+  | Alien_role ->
+    let i = Prng.int rng n in
+    List.mapi (fun j step -> if j = i then { step with authorized = "clerk" } else step) steps
+
+let user_for rng config role =
+  match Hospital.users_of_role config role with
+  | [] -> role ^ "-00"
+  | users -> Prng.pick rng users
+
+let instantiate rng (config : Hospital.config) ?twist ~start_time template =
+  let steps =
+    match twist with
+    | None -> template.steps
+    | Some tw -> twist_steps rng tw template.steps
+  in
+  let entries =
+    List.mapi
+      (fun i step ->
+        Hdb.Audit_schema.entry ~time:(start_time + i) ~op:Hdb.Audit_schema.Allow
+          ~user:(user_for rng config step.authorized) ~data:step.data ~purpose:step.purpose
+          ~authorized:step.authorized ~status:Hdb.Audit_schema.Regular)
+      steps
+  in
+  { template; twist; entries }
+
+let steps_of_entries entries =
+  List.map
+    (fun (e : Hdb.Audit_schema.entry) -> (e.data, e.purpose, e.authorized))
+    entries
+
+(* Prefix conformance: the observed triples line up, step for step, with
+   the start of some plan.  Mid-flight plans (strict prefixes) conform;
+   so does the empty observation. *)
+let conforms observed =
+  let matches_template t =
+    let rec go obs steps =
+      match (obs, steps) with
+      | [], _ -> true
+      | _ :: _, [] -> false
+      | (d, p, a) :: obs', step :: steps' ->
+        String.equal d step.data && String.equal p step.purpose
+        && String.equal a step.authorized && go obs' steps'
+    in
+    go observed t.steps
+  in
+  List.exists matches_template templates

@@ -1,0 +1,69 @@
+(** Purposes as plans: multi-step clinical workflows.
+
+    Following the plan-based reading of purpose (Tschantz, Datta and
+    Wing), a purpose is not a label on one access but a plan the accesses
+    jointly execute: admission, consultation, referral, billing.  Each
+    template below is such a plan over the hospital vocabulary; an
+    instance is the plan's step sequence realised as audit entries.
+
+    The adversarial interest is the {e twist}: a violation that is
+    invisible entry-by-entry — every access uses a staffed role, a ground
+    vocabulary value and a [Regular] status — and shows up only as an
+    implausible {e sequence}: a skipped admission, billing before the
+    consult, an administrative clerk inside a clinical plan.  {!conforms}
+    is the sequence-level check (prefix conformance against the template
+    library) that separates the two. *)
+
+type step = {
+  data : string;
+  purpose : string;
+  authorized : string;  (** the leaf role the plan assigns this step to *)
+}
+
+type template = {
+  name : string;
+  steps : step list;  (** in plan order; at least three steps *)
+}
+
+val templates : template list
+(** The plan library: inpatient admission, imaging workup, emergency
+    visit.  Every value is a ground leaf of the hospital vocabulary and
+    every role is staffed in {!Hospital.default_config}; templates have
+    pairwise-distinct first steps, so prefix conformance is
+    unambiguous. *)
+
+(** A plan-implausible violation: entries stay individually innocent, the
+    sequence betrays them. *)
+type twist =
+  | Skip_step  (** a required middle step never happened *)
+  | Swap_steps  (** two adjacent steps out of order (e.g. billed before the consult) *)
+  | Alien_role  (** one step performed by a role foreign to the plan *)
+
+val all_twists : twist list
+val twist_to_string : twist -> string
+
+val twist_of_string : string -> twist option
+(** Inverse of {!twist_to_string} — serialized chaos schedules round-trip
+    through these names. *)
+
+type instance = {
+  template : template;
+  twist : twist option;
+  entries : Hdb.Audit_schema.entry list;
+}
+
+val instantiate :
+  Prng.t -> Hospital.config -> ?twist:twist -> start_time:int -> template -> instance
+(** Realise the plan as audit entries at consecutive times from
+    [start_time], drawing each step's user from the staffed members of
+    its role.  All steps are [Regular] [Allow] accesses — with a twist
+    applied, the violation is only visible to {!conforms}. *)
+
+val steps_of_entries : Hdb.Audit_schema.entry list -> (string * string * string) list
+(** Project entries to their (data, purpose, authorized) triples. *)
+
+val conforms : (string * string * string) list -> bool
+(** Is the observed triple sequence a prefix (possibly complete, possibly
+    mid-flight) of some template's plan?  Every untwisted instance
+    conforms; every twisted instance must not — the harness checks this
+    classification as its purpose-plausibility invariant. *)

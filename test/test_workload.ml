@@ -203,6 +203,98 @@ let test_generator_vocabulary_closed () =
         (Vocabulary.Vocab.mem_value vocab ~attr:"purpose" ~value:e.Hdb.Audit_schema.purpose))
     (Generator.generate config)
 
+(* ---- purpose workflows: plans, twists, and prefix conformance ---- *)
+
+(* Untwisted instances conform to their template; every twist of every
+   template, across seeds (which randomise the twist's position draw and
+   the user assignment), produces a sequence that conforms to NO template.
+   The twists are exactly the violations that are invisible entry by entry
+   — each access alone is plausible; only the sequence betrays it. *)
+
+let test_purpose_untwisted_conforms () =
+  let config = Hospital.default_config ~seed:5 () in
+  List.iter
+    (fun template ->
+      for seed = 1 to 20 do
+        let rng = Prng.create ~seed in
+        let inst = Purpose.instantiate rng config ~start_time:100 template in
+        check_bool
+          (Printf.sprintf "%s (seed %d) conforms" template.Purpose.name seed)
+          true
+          (Purpose.conforms (Purpose.steps_of_entries inst.Purpose.entries));
+        check_int
+          (Printf.sprintf "%s: one entry per step" template.Purpose.name)
+          (List.length template.Purpose.steps)
+          (List.length inst.Purpose.entries)
+      done)
+    Purpose.templates
+
+let test_purpose_twisted_never_conforms () =
+  let config = Hospital.default_config ~seed:5 () in
+  List.iter
+    (fun template ->
+      List.iter
+        (fun twist ->
+          for seed = 1 to 20 do
+            let rng = Prng.create ~seed in
+            let inst = Purpose.instantiate rng config ~twist ~start_time:100 template in
+            check_bool
+              (Printf.sprintf "%s twisted by %s (seed %d) does not conform"
+                 template.Purpose.name (Purpose.twist_to_string twist) seed)
+              false
+              (Purpose.conforms (Purpose.steps_of_entries inst.Purpose.entries))
+          done)
+        Purpose.all_twists)
+    Purpose.templates
+
+let test_purpose_entries_in_vocabulary () =
+  let config = Hospital.default_config ~seed:5 () in
+  let vocab = config.Hospital.vocab in
+  List.iter
+    (fun template ->
+      let rng = Prng.create ~seed:9 in
+      let inst = Purpose.instantiate rng config ~start_time:1 template in
+      List.iter
+        (fun (e : Hdb.Audit_schema.entry) ->
+          check_bool "workflow data is a vocabulary leaf" true
+            (Vocabulary.Vocab.mem_value vocab ~attr:"data" ~value:e.Hdb.Audit_schema.data
+            && Vocabulary.Vocab.is_ground vocab ~attr:"data"
+                 ~value:e.Hdb.Audit_schema.data);
+          check_bool "workflow purpose is in the vocabulary" true
+            (Vocabulary.Vocab.mem_value vocab ~attr:"purpose"
+               ~value:e.Hdb.Audit_schema.purpose);
+          check_bool "workflow user is staffed" true
+            (Hospital.users_of_role config e.Hdb.Audit_schema.authorized <> []
+            || e.Hdb.Audit_schema.authorized = "clerk"))
+        inst.Purpose.entries)
+    Purpose.templates
+
+let test_purpose_twist_round_trip () =
+  List.iter
+    (fun twist ->
+      check_bool
+        (Printf.sprintf "twist %S round-trips" (Purpose.twist_to_string twist))
+        true
+        (Purpose.twist_of_string (Purpose.twist_to_string twist) = Some twist))
+    Purpose.all_twists;
+  check_bool "unknown twist rejected" true (Purpose.twist_of_string "inverted" = None)
+
+let test_purpose_prefix_is_plausible () =
+  (* a prefix of a legitimate plan is still plausible — conformance must
+     not demand completed plans, or every in-flight workflow would read as
+     a violation *)
+  let config = Hospital.default_config ~seed:5 () in
+  let rng = Prng.create ~seed:3 in
+  let template = List.hd Purpose.templates in
+  let inst = Purpose.instantiate rng config ~start_time:1 template in
+  let steps = Purpose.steps_of_entries inst.Purpose.entries in
+  for k = 1 to List.length steps do
+    check_bool
+      (Printf.sprintf "%d-step prefix conforms" k)
+      true
+      (Purpose.conforms (List.filteri (fun i _ -> i < k) steps))
+  done
+
 let () =
   Alcotest.run "workload"
     [ ( "prng",
@@ -234,5 +326,16 @@ let () =
           Alcotest.test_case "fixtures in vocabulary" `Quick test_scenario_vocabulary_closed;
           Alcotest.test_case "generated values in vocabulary" `Quick
             test_generator_vocabulary_closed;
+        ] );
+      ( "purpose workflows",
+        [ Alcotest.test_case "untwisted plans conform" `Quick
+            test_purpose_untwisted_conforms;
+          Alcotest.test_case "twisted plans never conform" `Quick
+            test_purpose_twisted_never_conforms;
+          Alcotest.test_case "entries stay in the vocabulary" `Quick
+            test_purpose_entries_in_vocabulary;
+          Alcotest.test_case "twist names round-trip" `Quick test_purpose_twist_round_trip;
+          Alcotest.test_case "plan prefixes are plausible" `Quick
+            test_purpose_prefix_is_plausible;
         ] );
     ]
