@@ -1,4 +1,4 @@
-.PHONY: build test faults crash fuzz chaos shrink tamper federation bench bench-quick bench-coverage bench-wal bench-governor
+.PHONY: build test faults crash fuzz chaos shrink tamper federation overload bench bench-quick bench-coverage bench-wal bench-governor
 
 build:
 	dune build
@@ -59,6 +59,16 @@ tamper:
 # `prima verify --wal _build/federation-wals`.
 federation:
 	dune build && dune exec bench/federation_sweep.exe
+
+# E18 overload-storm admission sweep: 10:1 hot-tenant storms arbitrated
+# by deficit-round-robin drains.  Gates: every victim tenant keeps >= 80%
+# of its no-storm baseline throughput, every shed batch is all-or-nothing
+# with an honest retry hint, invariant 10 holds over 20 seeds x 400-step
+# chaos schedules with Overload_storm in the alphabet, and every brownout
+# refinement epoch reports Coverage.Lower_bound.  Refreshes
+# BENCH_overload.json.
+overload:
+	dune build && dune exec bench/overload_sweep.exe
 
 # All experiments + Bechamel microbenchmarks.
 bench:

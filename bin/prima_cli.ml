@@ -424,12 +424,126 @@ let run_trend vocab_name policy_path audit_path window nsites seed p_unavailable
 
 (* --- federation-health --- *)
 
+(* "NAME=CAP[:REFILL[:WEIGHT]]" -> (name, class_config) with a rows
+   quota; refill defaults to the capacity, weight to 1. *)
+let parse_class_spec s =
+  let fail () =
+    Fmt.epr "bad --class %S (expected NAME=CAP[:REFILL[:WEIGHT]])@." s;
+    exit 2
+  in
+  match String.index_opt s '=' with
+  | None -> fail ()
+  | Some eq ->
+    let name = String.sub s 0 eq in
+    let rest = String.sub s (eq + 1) (String.length s - eq - 1) in
+    if name = "" then fail ();
+    (match String.split_on_char ':' rest with
+    | parts when List.exists (fun p -> int_of_string_opt p = None) parts -> fail ()
+    | [ cap ] ->
+      (name, Audit_mgmt.Admission.(class_config ~rows:(quota ~capacity:(int_of_string cap) ()) ()))
+    | [ cap; refill ] ->
+      ( name,
+        Audit_mgmt.Admission.(
+          class_config
+            ~rows:(quota ~capacity:(int_of_string cap) ~refill_per_s:(int_of_string refill) ())
+            ()) )
+    | [ cap; refill; weight ] ->
+      ( name,
+        Audit_mgmt.Admission.(
+          class_config ~weight:(int_of_string weight)
+            ~rows:(quota ~capacity:(int_of_string cap) ~refill_per_s:(int_of_string refill) ())
+            ()) )
+    | _ -> fail ())
+
+(* "USER=CLASS" -> (tenant, class name). *)
+let parse_tenant_spec s =
+  match String.index_opt s '=' with
+  | Some eq when eq > 0 && eq < String.length s - 1 ->
+    (String.sub s 0 eq, String.sub s (eq + 1) (String.length s - eq - 1))
+  | _ ->
+    Fmt.epr "bad --tenant %S (expected USER=CLASS)@." s;
+    exit 2
+
+(* The admission-gated twin of [build_faulty_federation]: the controller
+   attaches first, then every entry passes through the tenant gate
+   ([Site.ingest_entries_admitted], tenant = the entry's user) on its way
+   into its site.  Shed entries never reach the federation, so the health
+   report's completeness is honest about what admission dropped. *)
+let build_admitted_federation ~entries ~nsites ~seed ~p_unavailable ~p_timeout ~p_flaky
+    ~p_corrupt ~classes ~tenants =
+  let nsites = max 1 nsites in
+  let sites =
+    List.init nsites (fun i ->
+        Audit_mgmt.Site.create ~name:(Printf.sprintf "site-%d" (i + 1)) ())
+  in
+  let adm = Audit_mgmt.Admission.create ~now:0 classes in
+  List.iter (fun (tenant, cls) -> Audit_mgmt.Admission.assign adm ~tenant cls) tenants;
+  let fed = Audit_mgmt.Federation.create ~seed () in
+  Audit_mgmt.Federation.set_admission fed (Some adm);
+  let config =
+    { Audit_mgmt.Fault.no_faults with
+      Audit_mgmt.Fault.p_unavailable;
+      p_timeout;
+      p_flaky;
+      p_corrupt;
+    }
+  in
+  List.iteri
+    (fun i site ->
+      Audit_mgmt.Federation.add_faulty_site fed
+        (Audit_mgmt.Fault.wrap ~config ~seed:(seed + i + 1) site))
+    sites;
+  let admitted = ref 0 and shed = ref 0 and last_reject = ref None in
+  let clock = ref 0 in
+  List.iteri
+    (fun i e ->
+      (* The trail's own logical timestamps drive the refill clock. *)
+      clock := max !clock e.Hdb.Audit_schema.time;
+      let site = List.nth sites (i mod nsites) in
+      let principal =
+        Audit_mgmt.Admission.principal ~tenant:e.Hdb.Audit_schema.user ()
+      in
+      match Audit_mgmt.Site.ingest_entries_admitted site ~now:!clock ~principal [ e ] with
+      | Ok n -> admitted := !admitted + n
+      | Error r ->
+        incr shed;
+        last_reject := Some r)
+    entries;
+  (fed, adm, !admitted, !shed, !last_reject)
+
 let run_federation_health audit_path nsites seed p_unavailable p_timeout p_flaky p_corrupt
-    archive heal =
+    archive heal class_specs tenant_specs =
   let entries = parse_audit_file audit_path in
+  if class_specs = [] && tenant_specs <> [] then begin
+    Fmt.epr "--tenant requires at least one --class@.";
+    exit 2
+  end;
   let fed =
-    build_faulty_federation ~entries ~nsites ~seed ~p_unavailable ~p_timeout ~p_flaky
-      ~p_corrupt
+    if class_specs = [] then
+      build_faulty_federation ~entries ~nsites ~seed ~p_unavailable ~p_timeout ~p_flaky
+        ~p_corrupt
+    else begin
+      let classes = List.map parse_class_spec class_specs in
+      let tenants = List.map parse_tenant_spec tenant_specs in
+      List.iter
+        (fun (_, cls) ->
+          if not (List.mem_assoc cls classes) && cls <> "standard" then begin
+            Fmt.epr "--tenant maps to unknown class %S@." cls;
+            exit 2
+          end)
+        tenants;
+      let fed, _adm, admitted, shed, last_reject =
+        build_admitted_federation ~entries ~nsites ~seed ~p_unavailable ~p_timeout ~p_flaky
+          ~p_corrupt ~classes ~tenants
+      in
+      Fmt.pr "admission: %d/%d entries admitted, %d shed@." admitted
+        (List.length entries) shed;
+      (match last_reject with
+      | Some r when shed > 0 ->
+        Fmt.pr "  last shed: %s@." (Audit_mgmt.Admission.rejection_to_string r)
+      | _ -> ());
+      fed
+    end
   in
   let archive_store =
     if archive then begin
@@ -669,11 +783,24 @@ let federation_health_cmd =
                  (site, time-range) shard, dark sites are served stale from it, and the \
                  per-site shard columns are populated in the report.")
   in
+  let classes =
+    Arg.(value & opt_all string [] & info [ "class" ] ~docv:"NAME=CAP[:REFILL[:WEIGHT]]"
+           ~doc:"Register a budget class (repeatable): a rows token bucket of CAP tokens \
+                 refilled at REFILL/s (default CAP) with fair-share WEIGHT (default 1).  \
+                 With at least one class, the trail ingests through the tenant admission \
+                 gate and the report gains per-class admitted/brownout/shed columns.")
+  in
+  let tenants =
+    Arg.(value & opt_all string [] & info [ "tenant" ] ~docv:"USER=CLASS"
+           ~doc:"Map an audit-trail user to a budget class (repeatable).  Unmapped users \
+                 fall into the default \"standard\" class.")
+  in
   Cmd.v
     (Cmd.info "federation-health"
-       ~doc:"Consolidate a trail across fault-injected sites and print the health report")
+       ~doc:"Consolidate a trail across fault-injected sites and print the health report \
+             (per-site breaker trips; per-class admission counters with --class)")
     Term.(const run_federation_health $ audit_arg $ sites $ fault_seed_arg $ unavailable_arg
-          $ timeout_arg $ flaky_arg $ corrupt_arg $ archive $ heal)
+          $ timeout_arg $ flaky_arg $ corrupt_arg $ archive $ heal $ classes $ tenants)
 
 (* One seeded chaos schedule through the whole system, checked against the
    model oracle; exits non-zero on a violation, printing the step-by-step

@@ -32,6 +32,9 @@ type t = {
      archived per (site, time-range) shard, and a site whose live fetch
      fails is served stale from its shards instead of being skipped. *)
   mutable archive : Shard_store.t option;
+  (* Tenant admission controller (optional), shared with every member
+     site's ingestion gate. *)
+  mutable admission : Admission.t option;
 }
 
 let create ?(retry = Retry.default) ?(seed = 0) () =
@@ -41,12 +44,15 @@ let create ?(retry = Retry.default) ?(seed = 0) () =
     prng = Splitmix.create ~seed;
     transit = Quarantine.create ();
     archive = None;
+    admission = None;
   }
 
 let member ?fault ?breaker site =
   { msite = site; fault; breaker = Breaker.create ?config:breaker () }
 
-let add_member t m = t.members <- t.members @ [ m ]
+let add_member t m =
+  t.members <- t.members @ [ m ];
+  Site.set_admission m.msite t.admission
 
 let add_site t site = add_member t (member site)
 
@@ -80,12 +86,62 @@ let reseat_site t name site =
   match find_member t name with
   | Some m ->
     m.msite <- site;
+    Site.set_admission site t.admission;
     Option.iter (fun f -> Fault.reseat f site) m.fault
   | None -> invalid_arg (Printf.sprintf "Federation.reseat_site: unknown site %s" name)
 
 let attach_archive t archive = t.archive <- Some archive
 
 let archive t = t.archive
+
+(* {2 Tenant admission} — one controller shared by every member site's
+   ingestion gate, its backpressure fed from the federation's own health
+   signals. *)
+
+let set_admission t admission =
+  t.admission <- admission;
+  List.iter (fun m -> Site.set_admission m.msite admission) t.members
+
+let admission t = t.admission
+
+(* The live overload signals backpressure is derived from: un-synced
+   site-WAL records, degraded archive shards, and open breakers. *)
+let pressure_signals t =
+  let wal_backlog =
+    List.fold_left
+      (fun acc m ->
+        match Site.wal m.msite with
+        | None -> acc
+        | Some log -> acc + Durable.Log.pending_records log)
+      0 t.members
+  in
+  let degraded_shards =
+    match t.archive with None -> 0 | Some a -> Shard_store.shards_degraded a
+  in
+  let open_breakers =
+    List.length
+      (List.filter (fun m -> Breaker.state m.breaker = Breaker.Open) t.members)
+  in
+  { Admission.wal_backlog; degraded_shards; open_breakers }
+
+(* Re-derive backpressure and raise/lower the admission bar; a no-op
+   without a controller. *)
+let refresh_pressure t =
+  Option.iter (fun adm -> Admission.set_pressure adm (pressure_signals t)) t.admission
+
+let class_health_rows t =
+  match t.admission with
+  | None -> []
+  | Some adm ->
+      List.map
+        (fun (s : Admission.class_stats) ->
+          { Health.cls = s.Admission.cls;
+            weight = s.Admission.weight;
+            admitted = s.Admission.admitted;
+            brownouts = s.Admission.brownouts;
+            shed = s.Admission.shed;
+          })
+        (Admission.stats adm)
 
 let heal_all t =
   List.iter (fun m -> Option.iter Fault.heal m.fault) t.members
@@ -164,6 +220,9 @@ type result_t = {
    so downstream coverage stays a lower bound while anything durable is
    damaged. *)
 let consolidated_result t : result_t =
+  (* Consolidation observes the freshest overload signals, so the
+     admission bar tracks the federation's actual health. *)
+  refresh_pressure t;
   let streams_rev, healths_rev =
     List.fold_left
       (fun (streams, healths) m ->
@@ -242,7 +301,7 @@ let consolidated_result t : result_t =
       ([], []) t.members
   in
   { entries = merge_streams (List.rev streams_rev);
-    health = Health.of_sites (List.rev healths_rev);
+    health = Health.of_sites ~classes:(class_health_rows t) (List.rev healths_rev);
   }
 
 (* The consolidated view as P_AL. *)

@@ -46,6 +46,26 @@ val attach_archive : t -> Shard_store.t -> unit
 
 val archive : t -> Shard_store.t option
 
+val set_admission : t -> Admission.t option -> unit
+(** Attach (or detach) a tenant admission controller, sharing it with
+    every member site's ingestion gate — including sites added or
+    reseated later.  The federation owns the gate: joining a federation
+    replaces whatever controller a site carried. *)
+
+val admission : t -> Admission.t option
+
+val pressure_signals : t -> Admission.pressure
+(** The live overload signals: un-synced site-WAL records, degraded
+    archive shards, open breakers. *)
+
+val refresh_pressure : t -> unit
+(** Re-derive {!pressure_signals} into the attached controller (no-op
+    without one).  {!consolidated_result} does this implicitly. *)
+
+val class_health_rows : t -> Health.class_health list
+(** Per-budget-class admission counters as health rows; [[]] without a
+    controller. *)
+
 val heal_all : t -> unit
 (** {!Fault.heal} every member — the recovery step of the convergence
     oracle. *)

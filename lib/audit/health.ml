@@ -50,8 +50,20 @@ let make ?(shards = 0) ?(shards_degraded = 0) ?(site_degraded = false) ~site ~st
     site_degraded;
   }
 
+(* Admission accounting for one budget class: how many requests the
+   class had strictly admitted, browned out to Partial execution, or
+   shed outright since counters were last reset. *)
+type class_health = {
+  cls : string;
+  weight : int;
+  admitted : int;
+  brownouts : int;
+  shed : int;
+}
+
 type t = {
   sites : site_health list;
+  classes : class_health list; (* per-budget-class admission rows; [] when unattached *)
   delivered : int;
   quarantined : int;
   skipped_entries : int;
@@ -68,13 +80,20 @@ let site_ok s =
    not a trustworthy total, whatever its fetch status. *)
 let site_durably_degraded s = s.site_degraded || s.shards_degraded > 0
 
-let of_sites (sites : site_health list) =
+(* A site that expects nothing is vacuously complete: guard the division
+   so an empty site reports 1.0 instead of NaN. *)
+let site_completeness (s : site_health) =
+  let expected = s.entries + s.quarantined + s.skipped_entries in
+  if expected = 0 then 1.0 else float_of_int s.entries /. float_of_int expected
+
+let of_sites ?(classes = []) (sites : site_health list) =
   let sum f = List.fold_left (fun acc (s : site_health) -> acc + f s) 0 sites in
   let delivered = sum (fun s -> s.entries) in
   let quarantined = sum (fun s -> s.quarantined) in
   let skipped_entries = sum (fun s -> s.skipped_entries) in
   let total = delivered + quarantined + skipped_entries in
   { sites;
+    classes;
     delivered;
     quarantined;
     skipped_entries;
@@ -112,6 +131,10 @@ let pp_site ppf s =
     (if s.site_degraded then " DEGRADED" else "")
     Breaker.pp_state s.breaker s.trips
 
+let pp_class ppf c =
+  Fmt.pf ppf "%-16s weight=%d admitted=%d brownouts=%d shed=%d" c.cls c.weight c.admitted
+    c.brownouts c.shed
+
 let pp ppf t =
   Fmt.pf ppf "federation health: %d/%d records delivered (completeness %.1f%%)@."
     t.delivered t.total (100. *. t.completeness);
@@ -120,4 +143,8 @@ let pp ppf t =
   if t.degraded_sites > 0 || t.degraded_shards > 0 then
     Fmt.pf ppf "  durably degraded: %d site(s), %d shard(s)@." t.degraded_sites
       t.degraded_shards;
-  List.iter (fun s -> Fmt.pf ppf "  %a@." pp_site s) t.sites
+  List.iter (fun s -> Fmt.pf ppf "  %a@." pp_site s) t.sites;
+  if t.classes <> [] then begin
+    Fmt.pf ppf "  budget classes:@.";
+    List.iter (fun c -> Fmt.pf ppf "    %a@." pp_class c) t.classes
+  end

@@ -52,8 +52,20 @@ val make :
   site_health
 (** Durability fields default to healthy (0 shards, not degraded). *)
 
+type class_health = {
+  cls : string;
+  weight : int;
+  admitted : int;  (** strict admission grants *)
+  brownouts : int;  (** Partial-mode (lower-bound) grants *)
+  shed : int;  (** typed, all-or-nothing rejections *)
+}
+(** Admission accounting for one budget class (see {!Admission}). *)
+
 type t = {
   sites : site_health list;
+  classes : class_health list;
+      (** per-budget-class admission rows; [[]] when no admission
+          controller is attached *)
   delivered : int;
   quarantined : int;
   skipped_entries : int;
@@ -63,8 +75,13 @@ type t = {
   degraded_shards : int;  (** torn or tampered archive shards, all sites *)
 }
 
-val of_sites : site_health list -> t
+val of_sites : ?classes:class_health list -> site_health list -> t
 val complete : t -> bool
+
+val site_completeness : site_health -> float
+(** [entries / (entries + quarantined + skipped_entries)] for one site;
+    a site with zero expected entries is vacuously complete (1.0), never
+    NaN. *)
 
 val durably_degraded : t -> bool
 (** Any site durably degraded — coverage must stay a lower bound. *)
@@ -75,4 +92,5 @@ val skipped_sites : t -> site_health list
 val skip_reason_to_string : skip_reason -> string
 val pp_status : Format.formatter -> site_status -> unit
 val pp_site : Format.formatter -> site_health -> unit
+val pp_class : Format.formatter -> class_health -> unit
 val pp : Format.formatter -> t -> unit

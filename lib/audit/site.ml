@@ -34,6 +34,9 @@ type t = {
   (* A lossy or tampered recovery leaves the site degraded until the
      feed acknowledges it has replayed the lost suffix. *)
   mutable replay_pending : bool;
+  (* Tenant admission gate for the ingestion path (optional, shared
+     across the federation). *)
+  mutable admission : Admission.t option;
 }
 
 (* Op record codec.  One byte of opcode, then length-prefixed strings and
@@ -193,6 +196,7 @@ let create ?(mapping = Mapping.identity) ?quarantine ~name () =
     recovery = None;
     undecodable = 0;
     replay_pending = false;
+    admission = None;
   }
 
 (* Attach an existing store (e.g. an enforcement logger's). *)
@@ -207,6 +211,7 @@ let of_store ?(mapping = Mapping.identity) ?quarantine ~name store =
     recovery = None;
     undecodable = 0;
     replay_pending = false;
+    admission = None;
   }
 
 let name t = t.name
@@ -301,6 +306,40 @@ let ingest_raw_batch ?first_seq t raws =
 (* Fresh records at the next sequence numbers; never raises — failures are
    quarantined per record. *)
 let ingest_raw_all t raws = ingest_raw_batch t raws
+
+(* {2 Admitted ingestion} — the tenant gate in front of the mutation path.
+
+   Ingestion is a Mutation, so the admission controller never browns it
+   out: either the whole batch is admitted (and then ingests exactly as
+   the un-gated path would), or it is shed with a typed, retryable
+   rejection before ANY state — store, ledger, quarantine, WAL — is
+   touched.  With no controller attached the gate is a no-op. *)
+
+let set_admission t admission = t.admission <- admission
+
+let admission t = t.admission
+
+let admission_gate t ~now ~principal ~batch_rows =
+  match t.admission with
+  | None -> Ok ()
+  | Some adm -> (
+      let cost = Admission.cost ~rows:batch_rows () in
+      match Admission.admit adm ~now ~kind:Admission.Mutation principal cost with
+      | Admission.Admitted _ -> Ok ()
+      | Admission.Brownout _ -> assert false (* mutations are never browned out *)
+      | Admission.Rejected r -> Error r)
+
+let ingest_entries_admitted t ~now ~principal entries =
+  match admission_gate t ~now ~principal ~batch_rows:(List.length entries) with
+  | Error _ as e -> e
+  | Ok () ->
+      ingest_entries t entries;
+      Ok (List.length entries)
+
+let ingest_raw_batch_admitted ?first_seq t ~now ~principal raws =
+  match admission_gate t ~now ~principal ~batch_rows:(List.length raws) with
+  | Error _ as e -> e
+  | Ok () -> Ok (ingest_raw_batch ?first_seq t raws)
 
 (* Push the site's quarantined records back through the (possibly fixed)
    mapping; records that still fail return to quarantine.  Original seqs are

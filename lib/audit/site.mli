@@ -62,6 +62,30 @@ val ingest_raw_batch :
 val ingest_raw_all : t -> (string * string) list list -> ingest_summary
 (** [ingest_raw_batch] at the next fresh sequence numbers. *)
 
+(** {2 Admitted ingestion} — the tenant gate in front of the mutation
+    path.  Ingestion is a {!Admission.Mutation}, so it is never browned
+    out: either the whole batch is admitted and ingests exactly as the
+    un-gated path would, or it is shed with a typed retryable rejection
+    before any state (store, ledger, quarantine, WAL) is touched. *)
+
+val set_admission : t -> Admission.t option -> unit
+(** Attach (or detach) the shared admission controller. *)
+
+val admission : t -> Admission.t option
+
+val ingest_entries_admitted :
+  t -> now:int -> principal:Admission.principal -> Hdb.Audit_schema.entry list ->
+  (int, Admission.rejection) result
+(** All-or-nothing: [Ok n] ingested the whole batch of [n] entries;
+    [Error r] shed it whole. *)
+
+val ingest_raw_batch_admitted :
+  ?first_seq:int -> t -> now:int -> principal:Admission.principal ->
+  (string * string) list list ->
+  (ingest_summary, Admission.rejection) result
+(** {!ingest_raw_batch} behind the gate; the whole batch (including
+    records that would quarantine or dedupe) is costed as rows. *)
+
 val reprocess_quarantined : t -> ingest_summary
 (** Push quarantined records back through the (possibly fixed) mapping;
     records that still fail return to quarantine.  Original seqs are kept,

@@ -3,7 +3,7 @@
    Drives a full [Prima_system.System] — durable storage, fault-injected
    federation, budgeted queries, the refinement loop — through a seeded
    [Schedule] of composed faults, while a pure [Model] oracle receives the
-   same inputs fault-free.  After every step the harness checks nine
+   same inputs fault-free.  After every step the harness checks ten
    invariants:
 
    1. no-loss            — across any crash+recover, the recovered clinical
@@ -58,6 +58,17 @@
                            to their template, twisted ones (skipped step,
                            transposed steps, alien role) never do — the
                            violation is visible only as a sequence.
+   10. admission-fairness — during an overload storm driven through the
+                           admission gate's weighted-fair arbiter, every
+                           non-storm tenant's admitted count equals its pure
+                           token-bucket floor exactly (a 10:1 hot tenant
+                           cannot starve the others), the storm tenant's own
+                           count matches the bucket-and-drain-capacity
+                           prediction, no mutation is ever browned out,
+                           every shed carries an honest retry hint, and a
+                           shed batch leaves no partial mutation behind
+                           (store, sequence floor and quarantine all
+                           untouched).
 
    The raw federation path carries its own mapping-coherence discipline:
    under the correct foreign-dialect mapping every raw record ingests and
@@ -86,6 +97,7 @@ module Sys_ = Prima_system.System
 module H = Audit_mgmt.Health
 module Q = Audit_mgmt.Quarantine
 module Site = Audit_mgmt.Site
+module Adm = Audit_mgmt.Admission
 
 type violation = {
   step : int;  (** 1-based schedule position; 0 = setup, steps+1 = epilogue *)
@@ -134,6 +146,9 @@ type report = {
   workflows : int;  (** purpose-workflow plan instances appended *)
   twisted_workflows : int;  (** of those, plan-implausible (twisted) ones *)
   vocab_edits : int;  (** mid-run vocabulary edits adopted *)
+  storms : int;  (** overload bursts driven through the admission gate *)
+  storm_admitted : int;  (** storm + probe requests the gate admitted *)
+  storm_shed : int;  (** storm + probe requests shed, all-or-nothing *)
   events : string list;  (** step-by-step fault log, oldest first *)
   violation : violation option;
 }
@@ -187,10 +202,50 @@ type t = {
   mutable workflows : int;
   mutable twisted_workflows : int;
   mutable vocab_edits : int;
+  admission : Adm.t;
+      (** the shared tenant gate — owned by the harness (the client side),
+          so it survives system rebuilds: a crash must not refill anyone's
+          bucket *)
+  tenant_quota : (int * int) array;  (** current (capacity, refill/s) per tenant *)
+  mutable storms : int;
+  mutable storm_admitted : int;
+  mutable storm_shed : int;
   trace : (string -> unit) option;
 }
 
 let site_name i = Printf.sprintf "site-%d" i
+let tenant_name i = Printf.sprintf "tenant-%d" i
+let class_name i = Printf.sprintf "class-%d" i
+
+(* (capacity, refill/s, weight) of each tenant's budget class at setup —
+   one class per tenant, in Schedule.n_tenants order. *)
+let initial_classes = [| (60, 25, 1); (80, 30, 2); (40, 15, 1) |]
+
+(* The Set_budget_class preset palette (name, capacity, refill/s,
+   weight), kept in step with Schedule.n_class_presets: "zero" is the
+   class that can never admit, so its sheds must say so (no retry
+   hint). *)
+let class_presets =
+  [| ("generous", 120, 60, 2);
+     ("standard", 60, 25, 1);
+     ("tight", 12, 5, 1);
+     ("zero", 0, 0, 1);
+  |]
+
+let rows_class ~cap ~rate ~weight =
+  Adm.class_config ~weight ~rows:(Adm.quota ~refill_per_s:rate ~capacity:cap ()) ()
+
+let make_admission () =
+  let adm =
+    Adm.create ~default_class:(class_name 0) ~now:0
+      (List.mapi
+         (fun i (cap, rate, weight) -> (class_name i, rows_class ~cap ~rate ~weight))
+         (Array.to_list initial_classes))
+  in
+  Array.iteri
+    (fun i _ -> Adm.assign adm ~tenant:(tenant_name i) (class_name i))
+    initial_classes;
+  adm
 
 let event h fmt =
   Printf.ksprintf
@@ -277,12 +332,15 @@ let setup_enforcement sys =
   done
 
 (* Re-apply the operator-visible configuration a rebuilt system must keep:
-   the group-commit toggle, any overridden completeness threshold, and the
-   auto-checkpoint policy (the rebuilt logs start without one). *)
+   the group-commit toggle, any overridden completeness threshold, the
+   auto-checkpoint policy (the rebuilt logs start without one), and the
+   client-owned admission controller — tenant buckets and counters ride
+   across the rebuild untouched. *)
 let reapply_config h sys =
   Sys_.set_group_commit sys h.group_commit;
   Option.iter (Sys_.set_completeness_threshold sys) h.threshold;
-  if h.auto_checkpoint then Sys_.set_auto_checkpoint sys true
+  if h.auto_checkpoint then Sys_.set_auto_checkpoint sys true;
+  Sys_.set_admission sys (Some h.admission)
 
 (* ---------- the foreign raw dialect ---------- *)
 
@@ -1045,6 +1103,184 @@ let run_enforce h kind =
       h.enforce_trips <- h.enforce_trips + 1;
       "cancelled (typed)")
 
+(* ---------- overload storms (invariant 10) ---------- *)
+
+(* Probe load every non-storm tenant offers per storm. *)
+let probe_count = 4
+
+(* Server drain capacity for a storm of [rate]: large enough that the
+   probes can never be overload-shed — the storm class's worst-case
+   round-1 service is its carried DRR deficit (at most one quantum
+   round, 16) plus a fresh round's quantum (weight <= 2 x quantum 8),
+   then the 8 probes — yet small enough that a big storm (rate beyond
+   ~43) exhausts it and must shed by overload, not just by its own
+   bucket. *)
+let storm_serve_limit ~rate = 40 + (rate / 4)
+
+let tenant_index h name =
+  let nt = Array.length h.tenant_quota in
+  let rec go i =
+    if i >= nt then violate "harness-error" "decision for unknown tenant %s" name
+    else if String.equal (tenant_name i) name then i
+    else go (i + 1)
+  in
+  go 0
+
+(* One overload burst through the admission gate's weighted-fair
+   arbiter: [rate] single-row mutations from the storm tenant race
+   [probe_count] probes from every other tenant, all at the same clock
+   reading.  The pure model predicts every tenant's admitted count from
+   its token bucket alone — the check that a hot tenant cannot starve
+   the others.  The admitted requests then ingest for real (system and
+   model alike), and two gated batches pin the all-or-nothing shed
+   discipline on the site itself. *)
+let run_overload_storm h ti rate =
+  let nt = Array.length h.tenant_quota in
+  let storm = ti mod nt in
+  let adm = h.admission in
+  (* the gate must see the freshest overload signals *)
+  Sys_.refresh_pressure h.sys;
+  let level = Adm.pressure_level adm in
+  let now = Audit_mgmt.Federation.clock (Sys_.federation h.sys) in
+  let one_row = Adm.cost ~rows:1 () in
+  let principal t =
+    Adm.principal ~tenant:(tenant_name t)
+      ~session:(Printf.sprintf "storm-%d" (h.storms + 1))
+      ~request:(Printf.sprintf "step-%d" now) ()
+  in
+  let burst t n = List.init n (fun _ -> (principal t, one_row, Adm.Mutation)) in
+  let reqs =
+    burst storm rate
+    @ List.concat
+        (List.init nt (fun t -> if t = storm then [] else burst t probe_count))
+  in
+  let serve_limit = storm_serve_limit ~rate in
+  let decisions = Adm.drain adm ~now ~serve_limit reqs in
+  let admitted = Array.make nt 0 in
+  let shed = Array.make nt 0 in
+  List.iter
+    (fun ((p : Adm.principal), d) ->
+      let t = tenant_index h p.Adm.tenant in
+      match d with
+      | Adm.Admitted _ -> admitted.(t) <- admitted.(t) + 1
+      | Adm.Brownout _ ->
+        violate "admission-fairness" "mutation from %s browned out — mutations are whole or shed"
+          p.Adm.tenant
+      | Adm.Rejected r ->
+        shed.(t) <- shed.(t) + 1;
+        let cap, refill = h.tenant_quota.(t) in
+        (match (r.Adm.r_resource, r.Adm.retry_after_ms) with
+        (* overload and pressure-only sheds: affordable at face value, so
+           the earliest retry is the very next tick *)
+        | Relational.Errors.Time, Some 1 -> ()
+        | Relational.Errors.Time, hint ->
+          violate "admission-fairness" "overload shed for %s hints %s instead of 1ms"
+            p.Adm.tenant
+            (match hint with None -> "never" | Some ms -> Printf.sprintf "%dms" ms)
+        (* bucket sheds: retryable exactly when the bucket can ever refill *)
+        | _, Some ms when ms >= 1 && cap >= 1 && refill > 0 -> ()
+        | _, None when cap < 1 || refill <= 0 -> ()
+        | _, Some ms ->
+          violate "admission-fairness"
+            "shed for %s (capacity %d, %d/s) carries hint %dms for a bucket that never refills"
+            p.Adm.tenant cap refill ms
+        | _, None ->
+          violate "admission-fairness"
+            "shed for %s (capacity %d, %d/s) claims it is never retryable" p.Adm.tenant cap
+            refill))
+    decisions;
+  (* non-storm tenants first: their token-bucket floor must hold exactly *)
+  let probes_admitted = ref 0 in
+  for t = 0 to nt - 1 do
+    if t <> storm then begin
+      let expect =
+        Model.admit_requests h.model ~tenant:t ~now ~level ~count:probe_count ()
+      in
+      probes_admitted := !probes_admitted + admitted.(t);
+      if admitted.(t) <> expect then
+        violate "admission-fairness"
+          "storm on %s (x%d): probe %s admitted %d/%d, its token-bucket floor says %d (level %d)"
+          (tenant_name storm) rate (tenant_name t) admitted.(t) probe_count expect level
+    end
+  done;
+  (* the storm tenant itself: bucket + leftover drain capacity *)
+  let serve_cap = max 0 (serve_limit - !probes_admitted) in
+  let expect_storm =
+    Model.admit_requests h.model ~tenant:storm ~now ~level ~serve_cap ~count:rate ()
+  in
+  if admitted.(storm) <> expect_storm then
+    violate "admission-fairness"
+      "storm tenant %s admitted %d/%d, bucket-and-capacity prediction says %d (level %d)"
+      (tenant_name storm) admitted.(storm) rate expect_storm level;
+  (* admitted traffic ingests for real — same entries on both sides *)
+  let total_admitted = Array.fold_left ( + ) 0 admitted in
+  let site_i = storm mod Array.length h.faults in
+  let site = Audit_mgmt.Fault.site h.faults.(site_i) in
+  let es = take_pool h total_admitted in
+  if es <> [] then begin
+    Site.ingest_entries site es;
+    Model.append_remote h.model site_i es
+  end;
+  (* a batch larger than the whole bucket can never be admitted: it must
+     shed whole — no partial mutation, no retry hint — through the gated
+     batch interface itself *)
+  let cap, _ = h.tenant_quota.(storm) in
+  let p_storm = principal storm in
+  let oversized = List.init (cap + 1) (fun _ -> h.pool.(0)) in
+  let len0 = Site.length site in
+  let seq0 = Site.next_seq site in
+  let q0 = Site.quarantined_count site in
+  (match Site.ingest_entries_admitted site ~now ~principal:p_storm oversized with
+  | Ok n ->
+    violate "admission-fairness" "oversized batch (%d rows over capacity %d) admitted %d"
+      (cap + 1) cap n
+  | Error r ->
+    if r.Adm.retry_after_ms <> None then
+      violate "admission-fairness" "oversized batch got a retry hint but can never fit";
+    if Site.length site <> len0 || Site.next_seq site <> seq0
+       || Site.quarantined_count site <> q0
+    then
+      violate "admission-fairness"
+        "shed batch left a partial mutation behind (%d->%d entries, seq %d->%d, %d->%d quarantined)"
+        len0 (Site.length site) seq0 (Site.next_seq site) q0 (Site.quarantined_count site));
+  (* and a single-entry gated batch agrees with the mirror about whether
+     anything is left in the storm tenant's bucket *)
+  let expect_one = Model.admit_requests h.model ~tenant:storm ~now ~level ~count:1 () in
+  (match take_pool h 1 with
+  | [] -> ()
+  | es1 -> (
+    match Site.ingest_entries_admitted site ~now ~principal:p_storm es1 with
+    | Ok _ ->
+      if expect_one = 0 then
+        violate "admission-fairness" "gated batch admitted from a drained bucket";
+      Model.append_remote h.model site_i es1
+    | Error _ ->
+      if expect_one = 1 then
+        violate "admission-fairness"
+          "gated single-entry batch shed though the mirror holds %d token(s)"
+          (Model.tenant_tokens h.model ~tenant:storm ~now)));
+  h.storms <- h.storms + 1;
+  h.storm_admitted <- h.storm_admitted + total_admitted;
+  h.storm_shed <- h.storm_shed + Array.fold_left ( + ) 0 shed;
+  let probe_sum =
+    String.concat "+"
+      (List.filter_map
+         (fun t -> if t = storm then None else Some (string_of_int admitted.(t)))
+         (List.init nt (fun t -> t)))
+  in
+  Printf.sprintf "%s x%d level %d: admitted %d (probes %s), shed %d" (tenant_name storm)
+    rate level total_admitted probe_sum
+    (Array.fold_left ( + ) 0 shed)
+
+let run_set_budget_class h ti pick =
+  let nt = Array.length h.tenant_quota in
+  let t = ti mod nt in
+  let pname, cap, rate, weight = class_presets.(pick mod Array.length class_presets) in
+  Adm.set_class h.admission (class_name t) (rows_class ~cap ~rate ~weight);
+  h.tenant_quota.(t) <- (cap, rate);
+  Model.set_tenant_quota h.model ~tenant:t ~capacity:cap ~refill_per_s:rate;
+  Printf.sprintf "%s -> %s (%d rows, %d/s, weight %d)" (tenant_name t) pname cap rate weight
+
 (* ---------- the step interpreter ---------- *)
 
 let run_action h step action =
@@ -1128,6 +1364,8 @@ let run_action h step action =
       h.group_commit <- on;
       if on then "batching on" else "batching off"
     | Schedule.Tamper (pick, bit_pick) -> tamper_and_verify h pick bit_pick
+    | Schedule.Overload_storm (ti, rate) -> run_overload_storm h ti rate
+    | Schedule.Set_budget_class (ti, pick) -> run_set_budget_class h ti pick
   in
   event h "%4d  %-28s  %s" step (Schedule.to_string action) outcome
 
@@ -1270,11 +1508,18 @@ let run_actions ?(nsites = 2) ?defect ?trace ?pool ~seed ~actions () =
      shard reads instead of skipping the site outright *)
   let archive = Audit_mgmt.Shard_store.create ~seed:((seed * 13) + 5) () in
   Sys_.attach_archive sys archive;
+  (* the multi-tenant admission gate, client-owned so it survives system
+     rebuilds, and its pure token-bucket mirror in the model *)
+  let admission = make_admission () in
+  Sys_.set_admission sys (Some admission);
+  let model = Model.create ~vocab ~p_ps ~nsites in
+  Model.set_tenant_classes model
+    (List.map (fun (cap, rate, _) -> (cap, rate)) (Array.to_list initial_classes));
   let h =
     {
       seed;
       vocab;
-      model = Model.create ~vocab ~p_ps ~nsites;
+      model;
       sys;
       archive;
       faults;
@@ -1312,6 +1557,11 @@ let run_actions ?(nsites = 2) ?defect ?trace ?pool ~seed ~actions () =
       workflows = 0;
       twisted_workflows = 0;
       vocab_edits = 0;
+      admission;
+      tenant_quota = Array.map (fun (cap, rate, _) -> (cap, rate)) initial_classes;
+      storms = 0;
+      storm_admitted = 0;
+      storm_shed = 0;
       trace;
     }
   in
@@ -1365,6 +1615,9 @@ let run_actions ?(nsites = 2) ?defect ?trace ?pool ~seed ~actions () =
     workflows = h.workflows;
     twisted_workflows = h.twisted_workflows;
     vocab_edits = h.vocab_edits;
+    storms = h.storms;
+    storm_admitted = h.storm_admitted;
+    storm_shed = h.storm_shed;
     events = List.rev h.events;
     violation = !violation;
   }
@@ -1384,11 +1637,12 @@ let pp ppf (r : report) =
     "@[<v>seed %d: %d/%d steps, %d entries, %d crashes, %d site crashes (%d \
      recovered/%d replayed), %d consolidations, %d+%d refines (%d degraded), %d budget \
      trips, %d/%d tampers detected, %d raw (%d quarantined, %d reprocessed), %d \
-     workflows (%d twisted), %d vocab edits — %a@]"
+     workflows (%d twisted), %d vocab edits, %d storms (%d admitted/%d shed) — %a@]"
     r.seed r.actions_run r.steps r.appended r.crashes r.site_crashes r.site_recovered
     r.site_replayed r.consolidations r.refines_ok r.refines_rejected r.degraded_epochs
     r.enforce_trips r.tampers_detected r.tampers r.raw_ingested r.raw_quarantined
-    r.reprocessed r.workflows r.twisted_workflows r.vocab_edits
+    r.reprocessed r.workflows r.twisted_workflows r.vocab_edits r.storms r.storm_admitted
+    r.storm_shed
     (fun ppf -> function
       | None -> Fmt.pf ppf "all invariants held"
       | Some v -> pp_violation ppf v)

@@ -4,7 +4,7 @@
     One seeded {!Schedule} drives a full {!Prima_system.System} — durable
     storage, fault-injected federation, budgeted queries, the refinement
     loop — while a pure {!Model} oracle receives the same inputs
-    fault-free.  Nine invariants are checked as the run unfolds:
+    fault-free.  Ten invariants are checked as the run unfolds:
 
     + {b no-loss} — recovery yields a prefix of the appended entries,
       never below the durable floor (the lying-fsync [Truncated_sync]
@@ -40,6 +40,15 @@
     + {b purpose-plausibility} — multi-step clinical plans from
       {!Workload.Purpose} are classified exactly as generated: untwisted
       instances pass prefix conformance, twisted ones never do.
+    + {b admission-fairness} — during an {!Schedule.action.Overload_storm}
+      through {!Audit_mgmt.Admission.drain}, every non-storm tenant's
+      admitted count equals its pure token-bucket floor exactly (a 10:1
+      hot tenant cannot starve the others), the storm tenant matches the
+      bucket-and-drain-capacity prediction, no mutation ever browns out,
+      every shed carries an honest retry hint, and a shed batch leaves no
+      partial mutation behind (store, sequence floor and quarantine all
+      untouched).  The controller is client-owned: crashes and rebuilds
+      must never refill a bucket or reset a counter.
 
     The raw federation path additionally checks mapping coherence: under
     the correct foreign-dialect mapping every raw record ingests and
@@ -91,6 +100,9 @@ type report = {
   workflows : int;  (** purpose-workflow plan instances appended *)
   twisted_workflows : int;  (** of those, plan-implausible (twisted) ones *)
   vocab_edits : int;  (** mid-run vocabulary edits adopted *)
+  storms : int;  (** overload bursts driven through the admission gate *)
+  storm_admitted : int;  (** storm + probe requests the gate admitted *)
+  storm_shed : int;  (** storm + probe requests shed, all-or-nothing *)
   events : string list;  (** step-by-step fault log, oldest first *)
   violation : violation option;
 }

@@ -9,6 +9,19 @@
    point is that it shares no machinery with the implementation under
    test. *)
 
+(* One pure token bucket per tenant — the mirror of the rows bucket the
+   admission controller meters storm mutations against.  Same arithmetic
+   as Admission.refill: closed boundary (integer credit
+   (carry + elapsed * rate) / 1000), carry resets when the bucket tops
+   out. *)
+type tenant_bucket = {
+  mutable cap : int;
+  mutable rate : int;  (** tokens per second *)
+  mutable tokens : int;
+  mutable carry : int;  (** refill numerator remainder, < 1000 *)
+  mutable tlast : int;  (** clock reading of the last refill *)
+}
+
 type t = {
   mutable vocab : Vocabulary.Vocab.t;
   mutable p_ps : Prima_core.Policy.t;
@@ -17,6 +30,7 @@ type t = {
   mutable synced : int;  (** durable floor: entries guaranteed to survive a crash *)
   remote_rev : Hdb.Audit_schema.entry list array;
   remote_synced : int array;  (** per-remote durable floors (site WALs) *)
+  mutable tenants : tenant_bucket array;  (** admission mirror, [] until set *)
 }
 
 let create ~vocab ~p_ps ~nsites =
@@ -28,6 +42,7 @@ let create ~vocab ~p_ps ~nsites =
     synced = 0;
     remote_rev = Array.make nsites [];
     remote_synced = Array.make nsites 0;
+    tenants = [||];
   }
 
 let append_clinical t entries =
@@ -97,3 +112,55 @@ let epoch t =
 (* Mirror the system's store: whatever the system actually accepted and
    installed is installed here too, keeping P_PS bitwise in step. *)
 let install t rules = t.p_ps <- Prima_core.Policy.add_rules t.p_ps rules
+
+(* ---------- admission mirror (invariant 10) ---------- *)
+
+let set_tenant_classes t specs =
+  t.tenants <-
+    Array.of_list
+      (List.map
+         (fun (cap, rate) -> { cap; rate; tokens = cap; carry = 0; tlast = 0 })
+         specs)
+
+(* Mirror of Admission.set_class on an existing bucket: the level is
+   clamped to the new capacity, carry and refill clock survive. *)
+let set_tenant_quota t ~tenant ~capacity ~refill_per_s =
+  let b = t.tenants.(tenant) in
+  b.cap <- capacity;
+  b.rate <- refill_per_s;
+  b.tokens <- min capacity b.tokens
+
+(* Closed-boundary refill, identical to Admission.refill. *)
+let refill_bucket b ~now =
+  if now > b.tlast then begin
+    let elapsed = now - b.tlast in
+    b.tlast <- now;
+    let num = b.carry + (elapsed * b.rate) in
+    b.tokens <- b.tokens + (num / 1000);
+    b.carry <- num mod 1000;
+    if b.tokens >= b.cap then begin
+      b.tokens <- b.cap;
+      b.carry <- 0
+    end
+  end
+
+let tenant_tokens t ~tenant ~now =
+  let b = t.tenants.(tenant) in
+  refill_bucket b ~now;
+  b.tokens
+
+(* How many of [count] single-row mutation requests the gate admits at
+   [now] under pressure [level], and the bucket debit that goes with
+   them.  Strict admission needs [1 + level] tokens per request but
+   debits one, so a bucket holding [tok] covers [tok - level] requests;
+   [serve_cap] additionally models the server's drain capacity left after
+   the other tenants were served. *)
+let admit_requests t ~tenant ~now ~level ?serve_cap ~count () =
+  let b = t.tenants.(tenant) in
+  refill_bucket b ~now;
+  let by_bucket = max 0 (min count (b.tokens - level)) in
+  let admitted =
+    match serve_cap with None -> by_bucket | Some cap -> max 0 (min by_bucket cap)
+  in
+  b.tokens <- b.tokens - admitted;
+  admitted

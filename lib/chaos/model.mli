@@ -67,3 +67,28 @@ val epoch : t -> Prima_core.Refinement.epoch_report
 
 val install : t -> Prima_core.Rule.t list -> unit
 (** Mirror patterns the system actually accepted into the model's store. *)
+
+(** {1 Admission mirror}
+
+    A pure token bucket per tenant — the oracle for invariant 10
+    (admission fairness).  Same closed-boundary refill arithmetic as
+    {!Audit_mgmt.Admission}, none of its machinery. *)
+
+val set_tenant_classes : t -> (int * int) list -> unit
+(** One [(capacity, refill_per_s)] rows bucket per tenant, full at
+    clock 0. *)
+
+val set_tenant_quota : t -> tenant:int -> capacity:int -> refill_per_s:int -> unit
+(** Mirror a mid-run class reconfiguration: the level clamps to the new
+    capacity; carry and refill clock survive. *)
+
+val tenant_tokens : t -> tenant:int -> now:int -> int
+(** The bucket level after refilling to [now]. *)
+
+val admit_requests :
+  t -> tenant:int -> now:int -> level:int -> ?serve_cap:int -> count:int -> unit -> int
+(** How many of [count] single-row mutation requests the gate must admit
+    at [now] under pressure [level] (strict admission needs [1 + level]
+    tokens per request, debits one); [serve_cap] caps the answer at the
+    server drain capacity left for this tenant.  Debits the bucket by the
+    returned count. *)

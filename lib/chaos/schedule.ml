@@ -56,6 +56,17 @@ type action =
       (** flip bit [pick2 mod 8] of a previously accepted (stable) audit
           WAL record chosen by [pick1]; recovery must report
           [Tamper_detected], never a clean or torn verdict *)
+  | Overload_storm of int * int
+      (** (tenant index, rate): an overload burst — [rate] single-row
+          mutation requests from the storm tenant race fixed probe loads
+          from every other tenant through the admission gate's
+          weighted-fair arbiter; non-storm tenants must keep exactly their
+          token-bucket floor and every shed request must be all-or-nothing
+          with an honest retry hint *)
+  | Set_budget_class of int * int
+      (** (tenant index, preset pick): reconfigure the storm tenant's
+          budget class to one of the fixed presets mid-run — from generous
+          down to a zero-capacity class that can never admit *)
 
 let enforce_to_string = function
   | E_plain -> "enforce(plain)"
@@ -92,6 +103,9 @@ let to_string = function
   | Enforce e -> enforce_to_string e
   | Set_group_commit b -> Printf.sprintf "group-commit %b" b
   | Tamper (pick, bit) -> Printf.sprintf "tamper record-pick %d bit-pick %d" pick bit
+  | Overload_storm (tenant, rate) -> Printf.sprintf "overload-storm tenant-%d %d" tenant rate
+  | Set_budget_class (tenant, preset) ->
+    Printf.sprintf "set-budget-class tenant-%d preset-%d" tenant preset
 
 let pp ppf a = Format.pp_print_string ppf (to_string a)
 
@@ -104,6 +118,16 @@ let site_of s =
 let template_of s =
   if String.starts_with ~prefix:"template-" s then
     int_of_string_opt (String.sub s 9 (String.length s - 9))
+  else None
+
+let tenant_of s =
+  if String.starts_with ~prefix:"tenant-" s then
+    int_of_string_opt (String.sub s 7 (String.length s - 7))
+  else None
+
+let preset_of s =
+  if String.starts_with ~prefix:"preset-" s then
+    int_of_string_opt (String.sub s 7 (String.length s - 7))
   else None
 
 let ms_of s =
@@ -200,6 +224,14 @@ let of_string line : action option =
     let* pick = nonneg (int_of_string_opt pick) in
     let* bit = nonneg (int_of_string_opt bit) in
     Some (Tamper (pick, bit))
+  | [ "overload-storm"; tenant; rate ] ->
+    let* t = nonneg (tenant_of tenant) in
+    let* r = nonneg (int_of_string_opt rate) in
+    Some (Overload_storm (t, r))
+  | [ "set-budget-class"; tenant; preset ] ->
+    let* t = nonneg (tenant_of tenant) in
+    let* p = nonneg (preset_of preset) in
+    Some (Set_budget_class (t, p))
   | _ -> None
 
 (* Crash points weighted towards the recoverable ones; [Truncated_sync] —
@@ -240,6 +272,8 @@ type weights = {
   w_enforce : int;
   w_group_commit : int;
   w_tamper : int;
+  w_overload_storm : int;
+  w_set_budget_class : int;
 }
 
 let default_weights =
@@ -265,6 +299,8 @@ let default_weights =
     w_enforce = 3;
     w_group_commit = 1;
     w_tamper = 2;
+    w_overload_storm = 2;
+    w_set_budget_class = 1;
   }
 
 let weight_table w =
@@ -290,6 +326,8 @@ let weight_table w =
     (`Enforce, w.w_enforce);
     (`Group_commit, w.w_group_commit);
     (`Tamper, w.w_tamper);
+    (`Overload_storm, w.w_overload_storm);
+    (`Set_budget_class, w.w_set_budget_class);
   ]
 
 (* Reject bad tables before any draw: a negative weight or an all-zero
@@ -305,6 +343,12 @@ let validate_weights table =
     raise (Invalid_weights "all weights are zero")
 
 let n_templates = List.length Workload.Purpose.templates
+
+(* The fixed multi-tenant cast: three tenants, each with its own budget
+   class, reconfigurable through a small preset palette.  The harness
+   names them tenant-0..2 / class-0..2. *)
+let n_tenants = 3
+let n_class_presets = 4
 
 let gen_action rng ~nsites ~table =
   match Splitmix.pick_weighted rng table with
@@ -352,6 +396,12 @@ let gen_action rng ~nsites ~table =
      seed); the harness maps them onto whatever accepted records exist
      when the action fires. *)
   | `Tamper -> Tamper (Splitmix.int rng 1_000_000, Splitmix.int rng 1_000_000)
+  (* Rates up to 10:1 against the fixed 4-request probe loads: small
+     storms drain only the storm tenant's own bucket, large ones also
+     exhaust the server's drain capacity and must overload-shed. *)
+  | `Overload_storm -> Overload_storm (Splitmix.int rng n_tenants, 10 + Splitmix.int rng 80)
+  | `Set_budget_class ->
+    Set_budget_class (Splitmix.int rng n_tenants, Splitmix.int rng n_class_presets)
 
 let generate ?(weights = default_weights) ~nsites ~seed ~steps () =
   let table = weight_table weights in

@@ -66,6 +66,18 @@ type action =
   | Tamper of int * int
       (** (record pick, bit pick): flip one bit of a previously accepted
           (stable) audit WAL record; recovery must say [Tamper_detected] *)
+  | Overload_storm of int * int
+      (** (tenant index, rate): [rate] single-row mutation requests from
+          the storm tenant race fixed probe loads from every other tenant
+          through the admission gate's weighted-fair arbiter
+          ({!Audit_mgmt.Admission.drain}); non-storm tenants must keep
+          exactly their token-bucket floor, no mutation may brown out,
+          and every shed request must be all-or-nothing with an honest
+          retry hint *)
+  | Set_budget_class of int * int
+      (** (tenant index, preset pick): reconfigure that tenant's budget
+          class to one of {!n_class_presets} fixed presets mid-run — from
+          generous down to a zero-capacity class that can never admit *)
 
 (** {1 Generation} *)
 
@@ -96,12 +108,23 @@ type weights = {
   w_enforce : int;
   w_group_commit : int;
   w_tamper : int;
+  w_overload_storm : int;
+  w_set_budget_class : int;
 }
 (** Relative draw frequency per action class.  A zero weight means that
     class is never drawn (pinned by test); negative weights and all-zero
     tables raise {!Invalid_weights}. *)
 
 val default_weights : weights
+
+val n_tenants : int
+(** The fixed multi-tenant cast (3): storm and probe principals are
+    always drawn from tenants [0 .. n_tenants - 1], each bound to its own
+    budget class. *)
+
+val n_class_presets : int
+(** Size of the budget-class preset palette {!Set_budget_class} draws
+    from (4): generous, standard, tight, zero-capacity. *)
 
 val generate :
   ?weights:weights -> nsites:int -> seed:int -> steps:int -> unit -> action list

@@ -152,6 +152,10 @@ let simpler (action : Schedule.action) : Schedule.action list =
       [ Schedule.Enforce Schedule.E_plain ]
     | Schedule.Tamper (pick, bit) ->
       [ Schedule.Tamper (0, 0); Schedule.Tamper (pick mod 8, bit mod 64) ]
+    | Schedule.Overload_storm (t, rate) ->
+      [ Schedule.Overload_storm (0, 10); Schedule.Overload_storm (t, 10);
+        Schedule.Overload_storm (0, rate) ]
+    | Schedule.Set_budget_class (_, preset) -> [ Schedule.Set_budget_class (0, preset) ]
     | Schedule.Set_auto_checkpoint _ | Schedule.Sync_durable | Schedule.Checkpoint_durable
     | Schedule.Consolidate | Schedule.Refine None | Schedule.Set_threshold _
     | Schedule.Enforce _ | Schedule.Set_group_commit _ ->

@@ -42,6 +42,8 @@ type t = {
   mutable governed_epochs : int; (* refinement epochs run under a budget *)
   mutable degraded_epochs : int; (* of those, how many hit the budget *)
   mutable last_budget_stats : Relational.Errors.budget_stats option;
+  mutable brownout_epochs : int; (* refinement epochs run under a brownout grant *)
+  mutable shed_requests : int; (* admitted-path requests shed at the gate *)
 }
 
 let create ?(training_minimum = 0) ?(completeness_threshold = 0.9) ?config ?storage ~vocab
@@ -95,6 +97,8 @@ let create ?(training_minimum = 0) ?(completeness_threshold = 0.9) ?config ?stor
     governed_epochs = 0;
     degraded_epochs = 0;
     last_budget_stats = None;
+    brownout_epochs = 0;
+    shed_requests = 0;
   }
 
 let recovery t = t.recovery
@@ -177,6 +181,9 @@ type governance = {
   governed_epochs : int;
   degraded_epochs : int;
   last_budget_stats : Relational.Errors.budget_stats option;
+  brownout_epochs : int;
+  shed_requests : int;
+  classes : Audit_mgmt.Admission.class_stats list; (* per budget class *)
 }
 
 let governance t =
@@ -184,6 +191,12 @@ let governance t =
     governed_epochs = t.governed_epochs;
     degraded_epochs = t.degraded_epochs;
     last_budget_stats = t.last_budget_stats;
+    brownout_epochs = t.brownout_epochs;
+    shed_requests = t.shed_requests;
+    classes =
+      (match Audit_mgmt.Federation.admission t.federation with
+      | None -> []
+      | Some adm -> Audit_mgmt.Admission.stats adm);
   }
 
 let completeness_threshold t = t.completeness_threshold
@@ -360,3 +373,133 @@ let refine t : (Prima_core.Refinement.epoch_report, string) result =
         t.degraded_epochs <- t.degraded_epochs + 1;
       List.iter (install_pattern t) report.Prima_core.Refinement.accepted;
       Ok report
+
+(* --- multi-tenant admission: budget classes on both request paths --- *)
+
+module Admission = Audit_mgmt.Admission
+
+let admission t = Audit_mgmt.Federation.admission t.federation
+
+let set_admission t adm = Audit_mgmt.Federation.set_admission t.federation adm
+
+(* Declare the budget classes and install a fresh controller over them,
+   shared with every member site's ingestion gate.  The controller's
+   buckets start full at the federation's current clock reading. *)
+let set_budget_classes t classes =
+  let adm =
+    Admission.create ~now:(Audit_mgmt.Federation.clock t.federation) classes
+  in
+  set_admission t (Some adm)
+
+let assign_tenant t ~tenant ~class_name =
+  match admission t with
+  | None -> invalid_arg "System.assign_tenant: no budget classes installed"
+  | Some adm -> Admission.assign adm ~tenant class_name
+
+(* Backpressure: the federation's own signals plus the central WAL pair's
+   sync lag.  Raises (or lowers) the admission bar; no-op ungated. *)
+let refresh_pressure t =
+  match admission t with
+  | None -> ()
+  | Some adm ->
+    let p = Audit_mgmt.Federation.pressure_signals t.federation in
+    let pending = function
+      | Some log -> Durable.Log.pending_records log
+      | None -> 0
+    in
+    let central =
+      pending (Hdb.Audit_store.log (Hdb.Control_center.audit_store t.control))
+      + pending
+          (Audit_mgmt.Quarantine.log (Audit_mgmt.Federation.transit_quarantine t.federation))
+    in
+    Admission.set_pressure adm
+      { p with Admission.wal_backlog = p.Admission.wal_backlog + central }
+
+type admitted_outcome = {
+  outcome : Hdb.Enforcement.outcome;
+  admitted_class : string;
+  browned_out : bool; (* Partial execution: result rows are a lower bound *)
+}
+
+type admitted_error =
+  | Shed of Admission.rejection (* rejected at the gate; retryable *)
+  | Query_failed of Hdb.Enforcement.error
+
+(* An enforcement query through the admission gate.  The grant's limits
+   compose tightest-wins with the standing query limits; a brownout grant
+   runs the budget in Partial mode, so the outcome is an honest prefix.
+   Actual consumption settles back against the class, so an
+   underestimated cost declaration is charged eventually. *)
+let enforce_admitted ?(cost = Admission.cost ~rows:64 ~ticks:4096 ()) ?break_glass t
+    ~principal ~user ~role ~purpose sql =
+  match admission t with
+  | None -> (
+    match Hdb.Control_center.query ?break_glass t.control ~user ~role ~purpose sql with
+    | Ok outcome -> Ok { outcome; admitted_class = "(ungated)"; browned_out = false }
+    | Error e -> Error (Query_failed e))
+  | Some adm -> (
+    refresh_pressure t;
+    let now = Audit_mgmt.Federation.clock t.federation in
+    match Admission.admit adm ~now ~kind:Admission.Query principal cost with
+    | Admission.Rejected r ->
+      t.shed_requests <- t.shed_requests + 1;
+      Error (Shed r)
+    | Admission.Admitted grant | Admission.Brownout grant ->
+      let browned_out = grant.Admission.g_mode = Relational.Budget.Partial in
+      let limits =
+        match query_limits t with
+        | None -> grant.Admission.g_limits
+        | Some l -> Relational.Budget.limits_min l grant.Admission.g_limits
+      in
+      let budget = Relational.Budget.create ~mode:grant.Admission.g_mode limits in
+      let result =
+        Hdb.Control_center.query ?break_glass ~budget t.control ~user ~role ~purpose sql
+      in
+      Admission.settle adm ~now principal ~declared:cost (Relational.Budget.stats budget);
+      (match result with
+      | Ok outcome ->
+        Ok { outcome; admitted_class = grant.Admission.g_class; browned_out }
+      | Error e -> Error (Query_failed e)))
+
+(* One refinement cycle through the admission gate.  A shed returns the
+   typed rejection message; a brownout composes the grant's limits over
+   the standing ones and forces the epoch to report
+   [Coverage.Lower_bound] — the run was deliberately truncated, so its
+   readings must not claim exactness even if the tightened budget never
+   fired. *)
+let refine_admitted ?(cost = Admission.cost ~rows:256 ~ticks:65536 ()) t ~principal =
+  match admission t with
+  | None -> refine t
+  | Some adm -> (
+    refresh_pressure t;
+    let now = Audit_mgmt.Federation.clock t.federation in
+    match Admission.admit adm ~now ~kind:Admission.Query principal cost with
+    | Admission.Rejected r ->
+      t.shed_requests <- t.shed_requests + 1;
+      Error (Admission.rejection_to_string r)
+    | Admission.Admitted grant | Admission.Brownout grant ->
+      let browned_out = grant.Admission.g_mode = Relational.Budget.Partial in
+      let saved = query_limits t in
+      let limits =
+        match saved with
+        | None -> grant.Admission.g_limits
+        | Some l -> Relational.Budget.limits_min l grant.Admission.g_limits
+      in
+      set_query_limits t (Some limits);
+      let result = refine t in
+      set_query_limits t saved;
+      (match result with
+      | Error _ as e -> e
+      | Ok report ->
+        Admission.settle adm ~now principal ~declared:cost
+          report.Prima_core.Refinement.budget_stats;
+        if browned_out then begin
+          t.brownout_epochs <- t.brownout_epochs + 1;
+          let c = completeness t in
+          Ok
+            { report with
+              Prima_core.Refinement.qualifier = Prima_core.Coverage.Lower_bound c;
+              degraded = true;
+            }
+        end
+        else Ok report))

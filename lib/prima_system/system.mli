@@ -73,6 +73,10 @@ type governance = {
   degraded_epochs : int;  (** epochs whose extraction hit the budget *)
   last_budget_stats : Relational.Errors.budget_stats option;
       (** resources the most recent governed extraction consumed *)
+  brownout_epochs : int;  (** refinement epochs run under a brownout grant *)
+  shed_requests : int;  (** admitted-path requests shed at the gate *)
+  classes : Audit_mgmt.Admission.class_stats list;
+      (** per-budget-class admission counters; [[]] ungated *)
 }
 
 val governance : t -> governance
@@ -215,3 +219,65 @@ val refine : t -> (Prima_core.Refinement.epoch_report, string) result
     are never auto-accepted, because the evidence that would have rejected
     them may simply not have arrived.  After a recovery that dropped a WAL
     tail, the epoch's coverage readings are lower bounds. *)
+
+(** {1 Multi-tenant admission}
+
+    Budget classes on both request paths (see {!Audit_mgmt.Admission}).
+    Once installed, the controller is shared with every member site's
+    ingestion gate, its backpressure fed from the federation's health
+    signals plus the central WAL pair's sync lag. *)
+
+val set_budget_classes :
+  t -> (string * Audit_mgmt.Admission.class_config) list -> unit
+(** Declare the budget classes and install a fresh controller over them,
+    buckets full at the federation's current clock reading. *)
+
+val set_admission : t -> Audit_mgmt.Admission.t option -> unit
+(** Install (or remove) an externally owned controller — e.g. one that
+    must survive a system rebuild after a crash. *)
+
+val admission : t -> Audit_mgmt.Admission.t option
+
+val assign_tenant : t -> tenant:string -> class_name:string -> unit
+(** @raise Invalid_argument without a controller or on an unknown class. *)
+
+val refresh_pressure : t -> unit
+(** Re-derive backpressure into the controller (no-op ungated).  The
+    admitted paths do this before every decision. *)
+
+type admitted_outcome = {
+  outcome : Hdb.Enforcement.outcome;
+  admitted_class : string;
+  browned_out : bool;
+      (** Partial execution: the outcome's rows are a lower bound *)
+}
+
+type admitted_error =
+  | Shed of Audit_mgmt.Admission.rejection
+      (** rejected at the gate, all-or-nothing and retryable *)
+  | Query_failed of Hdb.Enforcement.error
+
+val enforce_admitted :
+  ?cost:Audit_mgmt.Admission.cost ->
+  ?break_glass:bool ->
+  t ->
+  principal:Audit_mgmt.Admission.principal ->
+  user:string ->
+  role:string ->
+  purpose:string ->
+  string ->
+  (admitted_outcome, admitted_error) result
+(** An enforcement query through the admission gate.  The grant's limits
+    compose tightest-wins with the standing {!query_limits}; actual
+    consumption settles back against the class.  [cost] defaults to a
+    64-row, 4096-tick declaration. *)
+
+val refine_admitted :
+  ?cost:Audit_mgmt.Admission.cost ->
+  t ->
+  principal:Audit_mgmt.Admission.principal ->
+  (Prima_core.Refinement.epoch_report, string) result
+(** {!refine} through the admission gate.  A shed epoch returns the typed
+    rejection message; a brownout epoch runs under the tightened grant
+    and always reports {!Prima_core.Coverage.Lower_bound} — the run was
+    deliberately truncated, so its readings never claim exactness. *)

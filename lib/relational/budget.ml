@@ -37,6 +37,21 @@ let unlimited = { max_rows = None; max_tuples = None; deadline = None; max_wall_
 let limits ?rows ?tuples ?ticks ?wall_ms () =
   { max_rows = rows; max_tuples = tuples; deadline = ticks; max_wall_ms = wall_ms }
 
+(* Pointwise tightest-wins combination: [None] is unlimited, so the
+   other side's quota prevails; two quotas take the minimum.  Used to
+   compose an admission grant with a standing query-limits policy. *)
+let limits_min a b =
+  let m x y =
+    match (x, y) with
+    | None, l | l, None -> l
+    | Some x, Some y -> Some (min x y)
+  in
+  { max_rows = m a.max_rows b.max_rows;
+    max_tuples = m a.max_tuples b.max_tuples;
+    deadline = m a.deadline b.deadline;
+    max_wall_ms = m a.max_wall_ms b.max_wall_ms;
+  }
+
 type mode =
   | Strict
   | Partial

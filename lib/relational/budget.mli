@@ -28,6 +28,11 @@ val unlimited : limits
 val limits : ?rows:int -> ?tuples:int -> ?ticks:int -> ?wall_ms:int -> unit -> limits
 (** Omitted fields are unlimited. *)
 
+val limits_min : limits -> limits -> limits
+(** Pointwise tightest-wins combination — [None] defers to the other
+    side, two quotas take the minimum.  Composes an admission grant with
+    a standing query-limits policy. *)
+
 type mode =
   | Strict  (** raise on exhaustion *)
   | Partial  (** truncate input on exhaustion; result is a lower bound *)

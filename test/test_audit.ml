@@ -322,6 +322,45 @@ let test_tournament_priority_ties () =
   check_bool "lower priority value wins the tie" true
     (Tournament.merge_cursors ~key:fst [ a; b ] = [ (1, "high"); (1, "low") ])
 
+(* Eleven cursors push the bracket past one 8-leaf level, and every
+   cursor carries the same four keys: each key's run must come out in
+   exact stream order, with every stream's own order intact. *)
+let test_tournament_many_cursors_duplicate_keys () =
+  let streams =
+    List.init 11 (fun i -> List.init 4 (fun j -> (j, Printf.sprintf "s%d-%d" i j)))
+  in
+  let expected =
+    List.concat_map
+      (fun j -> List.init 11 (fun i -> (j, Printf.sprintf "s%d-%d" i j)))
+      [ 0; 1; 2; 3 ]
+  in
+  check_bool "ties resolve in stream order across 11 cursors" true
+    (Tournament.merge ~key:fst streams = expected)
+
+(* Up to 12 cursors over a 4-value key range (heavy duplication): the
+   tournament must agree, order included, with a stable sort of the
+   stream-order concatenation — the same oracle the federation-level
+   heap-parity property uses, here against the merge primitive itself. *)
+let prop_tournament_stable_tie_break =
+  QCheck2.Test.make ~name:"tournament merge = stable sort, >8 cursors, duplicate keys"
+    ~count:300
+    ~print:(fun streams -> Printf.sprintf "<%d streams>" (List.length streams))
+    QCheck2.Gen.(list_size (int_range 9 12) (list_size (int_range 0 15) (int_range 0 3)))
+    (fun keystreams ->
+      let streams =
+        List.mapi
+          (fun i keys ->
+            List.mapi
+              (fun j key -> (key, (i, j)))
+              (List.sort Int.compare keys))
+          keystreams
+      in
+      let merged = Tournament.merge ~key:fst streams in
+      let expected =
+        List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) (List.concat streams)
+      in
+      merged = expected)
+
 (* --- per-site durable WAL: crash, local replay, exactly-once --- *)
 
 let site_log seed = Durable.Log.create ~seed ()
@@ -477,6 +516,9 @@ let () =
       ( "tournament",
         [ Alcotest.test_case "degenerate shapes" `Quick test_tournament_basics;
           Alcotest.test_case "priority breaks ties" `Quick test_tournament_priority_ties;
+          Alcotest.test_case "11 cursors, duplicate keys" `Quick
+            test_tournament_many_cursors_duplicate_keys;
+          QCheck_alcotest.to_alcotest ~long:false prop_tournament_stable_tie_break;
         ] );
       ( "site-wal",
         [ Alcotest.test_case "crash + local replay + exactly-once" `Quick
